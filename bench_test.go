@@ -1,0 +1,415 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§7) at bench-friendly sizes; run the full-size versions with
+// cmd/egibench. Each benchmark reports, besides time and allocations, the
+// headline metric of its experiment via b.ReportMetric (avg_score,
+// hit_rate, or wins) so the paper-vs-measured comparison is visible
+// directly in the bench output.
+//
+// Index (see DESIGN.md §3 for the full mapping):
+//
+//	BenchmarkFig1ParamSensitivity  — Fig. 1
+//	BenchmarkTable4Score           — Table 4 (and 5: hit rate is reported)
+//	BenchmarkTable6WTL             — Table 6
+//	BenchmarkTable7Ranges          — Tables 7–9 (one setting per sub-bench)
+//	BenchmarkTable10N              — Tables 10–11
+//	BenchmarkTable12Tau            — Table 12
+//	BenchmarkTable13Window         — Tables 13–14
+//	BenchmarkFig8Scalability       — Fig. 8
+//	BenchmarkFig9CaseStudy         — Fig. 9
+//	BenchmarkSec75MultiAnomaly     — §7.5
+//	BenchmarkAblation*             — design-choice ablations (DESIGN.md §4)
+package egi_test
+
+import (
+	"fmt"
+	"testing"
+
+	"egi/internal/core"
+	"egi/internal/eval"
+	"egi/internal/gen"
+	"egi/internal/grammar"
+	"egi/internal/matrixprofile"
+	"egi/internal/sax"
+	"egi/internal/timeseries"
+	"egi/internal/ucrsim"
+)
+
+// benchSeries/benchSize keep one iteration around a second on a laptop
+// core; cmd/egibench runs the paper-size versions (25 series, N=50).
+const (
+	benchSeries = 3
+	benchSize   = 15
+	benchSeed   = 20200330
+)
+
+// benchDatasets returns the small datasets used by the per-table benches;
+// StarLightCurve (21k points per series) is exercised by its own benches.
+func benchDatasets(b *testing.B) []*ucrsim.Dataset {
+	b.Helper()
+	names := []string{"TwoLeadECG", "Wafer", "Trace"}
+	out := make([]*ucrsim.Dataset, len(names))
+	for i, n := range names {
+		d, err := ucrsim.ByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[i] = d
+	}
+	return out
+}
+
+func BenchmarkFig1ParamSensitivity(b *testing.B) {
+	ds, err := gen.Dishwasher(20, 200, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var worst, best float64
+	for i := 0; i < b.N; i++ {
+		worst, best = 2, -1
+		for w := 2; w <= 10; w++ {
+			for a := 2; a <= 10; a++ {
+				res, err := grammar.Detect(ds.Series, ds.CycleLen, sax.Params{W: w, A: a}, nil, 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var cands []int
+				for _, c := range res.Candidates {
+					cands = append(cands, c.Pos)
+				}
+				s := eval.BestScore(cands, ds.Anomaly.Pos, ds.Anomaly.Length)
+				if s < worst {
+					worst = s
+				}
+				if s > best {
+					best = s
+				}
+			}
+		}
+	}
+	b.ReportMetric(best-worst, "grid_score_spread")
+}
+
+func BenchmarkTable4Score(b *testing.B) {
+	detectors := []eval.Detector{
+		eval.Ensemble(eval.EnsembleOptions{Size: benchSize}),
+		eval.GIRandom(0, 0),
+		eval.GIFix(),
+		eval.GISelect(0, 0),
+		eval.Discord(),
+	}
+	for _, d := range benchDatasets(b) {
+		b.Run(d.Name, func(b *testing.B) {
+			var ensScore, ensHit float64
+			for i := 0; i < b.N; i++ {
+				res, err := eval.RunDataset(d, detectors, eval.RunConfig{
+					NumSeries: benchSeries, Seed: benchSeed,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ensScore = res[0].AvgScore()
+				ensHit = res[0].HitRate()
+			}
+			b.ReportMetric(ensScore, "avg_score")
+			b.ReportMetric(ensHit, "hit_rate")
+		})
+	}
+}
+
+func BenchmarkTable6WTL(b *testing.B) {
+	detectors := []eval.Detector{
+		eval.Ensemble(eval.EnsembleOptions{Size: benchSize}),
+		eval.GIFix(),
+	}
+	for _, d := range benchDatasets(b) {
+		b.Run(d.Name, func(b *testing.B) {
+			var wins float64
+			for i := 0; i < b.N; i++ {
+				res, err := eval.RunDataset(d, detectors, eval.RunConfig{
+					NumSeries: benchSeries, Seed: benchSeed,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				w, _, _, err := eval.WTL(res[0].Scores, res[1].Scores, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wins = float64(w)
+			}
+			b.ReportMetric(wins, "wins_vs_gifix")
+		})
+	}
+}
+
+// BenchmarkTable7Ranges covers Tables 7–9: the ensemble with varied
+// parameter ranges (wmax, amax) against the best GI baseline.
+func BenchmarkTable7Ranges(b *testing.B) {
+	settings := []struct {
+		name       string
+		wmax, amax int
+	}{
+		{"w5a5", 5, 5},     // Table 7 row 1
+		{"w10a10", 10, 10}, // Tables 7-9 shared row
+		{"w15a10", 15, 10}, // Table 8 row 3
+		{"w10a15", 10, 15}, // Table 9 row 3
+	}
+	d, err := ucrsim.ByName("Trace")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, set := range settings {
+		b.Run(set.name, func(b *testing.B) {
+			var wins float64
+			for i := 0; i < b.N; i++ {
+				ss, err := eval.NewSeriesSet(d, benchSeries, 1, benchSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				baseline, err := ss.Run(eval.GIFix(), benchSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ens, err := ss.Run(eval.Ensemble(eval.EnsembleOptions{
+					Size: benchSize, WMax: set.wmax, AMax: set.amax,
+				}), benchSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				w, _, _, err := eval.WTL(ens.Scores, baseline.Scores, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				wins = float64(w)
+			}
+			b.ReportMetric(wins, "wins")
+		})
+	}
+}
+
+func BenchmarkTable10N(b *testing.B) {
+	sizes := []int{5, 10, 25, 50}
+	d, err := ucrsim.ByName("Wafer")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var score50 float64
+	for i := 0; i < b.N; i++ {
+		ss, err := eval.NewSeriesSet(d, benchSeries, 1, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bySize, _, err := ss.SweepSizeTau(0, 0, 50, sizes, nil, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		score50 = bySize[50].AvgScore()
+	}
+	b.ReportMetric(score50, "avg_score_N50")
+}
+
+func BenchmarkTable12Tau(b *testing.B) {
+	taus := []float64{0.05, 0.2, 0.4, 1.0}
+	d, err := ucrsim.ByName("TwoLeadECG")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var spread float64
+	for i := 0; i < b.N; i++ {
+		ss, err := eval.NewSeriesSet(d, benchSeries, 1, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, byTau, err := ss.SweepSizeTau(0, 0, benchSize, nil, taus, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		spread = byTau[0.05].AvgScore() - byTau[1.0].AvgScore()
+	}
+	b.ReportMetric(spread, "tau5_minus_tau100")
+}
+
+func BenchmarkTable13Window(b *testing.B) {
+	d, err := ucrsim.ByName("Wafer")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, frac := range []float64{0.6, 0.8, 1.0} {
+		b.Run(fmt.Sprintf("frac%.1f", frac), func(b *testing.B) {
+			det := eval.Ensemble(eval.EnsembleOptions{Size: benchSize})
+			var score float64
+			for i := 0; i < b.N; i++ {
+				ss, err := eval.NewSeriesSet(d, benchSeries, frac, benchSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ms, err := ss.Run(det, benchSeed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				score = ms.AvgScore()
+			}
+			b.ReportMetric(score, "avg_score")
+		})
+	}
+}
+
+// BenchmarkFig8Scalability contrasts the linear-time ensemble with the
+// quadratic STOMP baseline at growing lengths. The time column IS the
+// result here: ensemble sub-bench times should grow linearly with length,
+// STOMP quadratically.
+func BenchmarkFig8Scalability(b *testing.B) {
+	const window = 300
+	for _, n := range []int{5000, 10000, 20000} {
+		s, err := gen.RandomWalk(n, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("Ensemble/n=%d", n), func(b *testing.B) {
+			cfg := core.DefaultConfig(window)
+			cfg.Size = benchSize
+			cfg.Seed = benchSeed
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Detect(s, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("STOMP/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := matrixprofile.STOMP(s, window, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig9CaseStudy(b *testing.B) {
+	fs, err := gen.FridgeFreezer(50000, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultConfig(fs.CycleLen)
+	cfg.Size = benchSize
+	cfg.Seed = benchSeed
+	cfg.TopK = 2
+	b.ResetTimer()
+	var matched float64
+	for i := 0; i < b.N; i++ {
+		res, err := core.Detect(fs.Series, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		matched = 0
+		for _, c := range res.Candidates {
+			for _, gt := range fs.Anomalies {
+				if c.Pos < gt.Pos+gt.Length && gt.Pos < c.Pos+c.Length {
+					matched++
+				}
+			}
+		}
+	}
+	b.ReportMetric(matched, "planted_found_of_2")
+}
+
+func BenchmarkSec75MultiAnomaly(b *testing.B) {
+	d, err := ucrsim.ByName("StarLightCurve")
+	if err != nil {
+		b.Fatal(err)
+	}
+	det := eval.Ensemble(eval.EnsembleOptions{Size: benchSize})
+	b.ResetTimer()
+	var detected float64
+	for i := 0; i < b.N; i++ {
+		results, err := eval.RunMultiAnomaly(d, det, 2, 20, 2, benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		detected = 0
+		for _, r := range results {
+			detected += float64(r.Detected)
+		}
+	}
+	b.ReportMetric(detected, "detected_of_4")
+}
+
+// --- Ablations (DESIGN.md §4) ---
+
+// BenchmarkAblationMultiResSAX quantifies the §6.2 claim: the shared
+// multi-resolution discretization vs running the naive SAX per member.
+func BenchmarkAblationMultiResSAX(b *testing.B) {
+	s, err := gen.ECG(20000, 200, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f, err := timeseries.NewFeatures(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mr, err := sax.NewMultiResolver(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var params []sax.Params
+	for w := 2; w <= 6; w++ {
+		for a := 2; a <= 5; a++ {
+			params = append(params, sax.Params{W: w, A: a})
+		}
+	}
+	b.Run("multires", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sax.DiscretizeMany(f, 200, params, mr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, p := range params {
+				if _, err := sax.NaiveDiscretize(s, 200, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationCombiner compares the paper's median combiner with the
+// mean, and BenchmarkAblationNormalizer compares divide-by-max with
+// min-max normalization, on the same member curves.
+func BenchmarkAblationCombiner(b *testing.B) {
+	benchCombine(b, "median", core.CombineMedian, core.NormalizeMax)
+	benchCombine(b, "mean", core.CombineMean, core.NormalizeMax)
+}
+
+func BenchmarkAblationNormalizer(b *testing.B) {
+	benchCombine(b, "max", core.CombineMedian, core.NormalizeMax)
+	benchCombine(b, "minmax", core.CombineMedian, core.NormalizeMinMax)
+}
+
+func benchCombine(b *testing.B, name string, comb core.Combiner, norm core.Normalizer) {
+	b.Run(name, func(b *testing.B) {
+		d, err := ucrsim.ByName("Trace")
+		if err != nil {
+			b.Fatal(err)
+		}
+		det := eval.Ensemble(eval.EnsembleOptions{Size: benchSize, Combine: comb, Normalize: norm})
+		var score float64
+		for i := 0; i < b.N; i++ {
+			ss, err := eval.NewSeriesSet(d, benchSeries, 1, benchSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ms, err := ss.Run(det, benchSeed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			score = ms.AvgScore()
+		}
+		b.ReportMetric(score, "avg_score")
+	})
+}

@@ -1,0 +1,106 @@
+// Command egibench regenerates every table and figure of the paper's
+// evaluation (§7) on the synthetic reproduction workloads. Each experiment
+// prints rows in the layout of the corresponding table so paper-vs-measured
+// comparison is direct; EXPERIMENTS.md records one such run.
+//
+// Usage:
+//
+//	egibench -exp table4            # Tables 4 (average Score)
+//	egibench -exp table6 -series 25 # wins/ties/losses, 25 series per dataset
+//	egibench -exp fig8 -full        # scalability up to 160k points
+//	egibench -exp all               # everything at the configured size
+//
+// Experiments: fig1, table4, table5, table6, fig10, table7, table8,
+// table9, table10 (with table11), table12, table13 (with table14), fig8,
+// fig9, multi, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// benchConfig carries the shared experiment knobs.
+type benchConfig struct {
+	out          io.Writer
+	numSeries    int   // series per dataset (paper: 25)
+	seed         int64 // base random seed
+	ensembleSize int   // ensemble size N (paper: 50)
+	repeats      int   // Table 12 repetitions (paper: 20)
+	full         bool  // run full-size fig8/fig9
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "egibench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("egibench", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "", "experiment id (required; see package comment)")
+		series  = fs.Int("series", 25, "planted series per dataset")
+		seed    = fs.Int64("seed", 20200330, "base random seed")
+		size    = fs.Int("size", 50, "ensemble size N")
+		repeats = fs.Int("repeats", 20, "repetitions for table12")
+		full    = fs.Bool("full", false, "full-size fig8 (160k) and fig9 (600k)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *exp == "" {
+		return fmt.Errorf("-exp is required")
+	}
+	cfg := benchConfig{
+		out:          stdout,
+		numSeries:    *series,
+		seed:         *seed,
+		ensembleSize: *size,
+		repeats:      *repeats,
+		full:         *full,
+	}
+
+	experiments := map[string]func(benchConfig) error{
+		"fig1":    expFig1,
+		"table4":  expPerformance("table4"),
+		"table5":  expPerformance("table5"),
+		"table6":  expPerformance("table6"),
+		"fig10":   expPerformance("fig10"),
+		"table7":  expRangeSweep("table7"),
+		"table8":  expRangeSweep("table8"),
+		"table9":  expRangeSweep("table9"),
+		"table10": expSizeSweep,
+		"table12": expTauSweep,
+		"table13": expWindowSweep,
+		"fig8":    expScalability,
+		"fig9":    expCaseStudy,
+		"multi":   expMultiAnomaly,
+	}
+	if *exp == "all" {
+		names := make([]string, 0, len(experiments))
+		for name := range experiments {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(stdout, "\n===== %s =====\n", name)
+			start := time.Now()
+			if err := experiments[name](cfg); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Fprintf(stdout, "[%s took %.1fs]\n", name, time.Since(start).Seconds())
+		}
+		return nil
+	}
+	fn, ok := experiments[*exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return fn(cfg)
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFig1(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "fig1", "-series", "1", "-size", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Fig 1") || !strings.Contains(s, "ensemble") {
+		t.Errorf("unexpected fig1 output:\n%s", s)
+	}
+}
+
+func TestRunTable13Small(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow experiment smoke test")
+	}
+	var out strings.Builder
+	if err := run([]string{"-exp", "table13", "-series", "1", "-size", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Table 13", "TwoLeadECG", "StarLightCurve"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table13 output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -exp should error")
+	}
+	if err := run([]string{"-exp", "nope"}, &out); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}

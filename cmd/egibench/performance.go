@@ -1,0 +1,135 @@
+package main
+
+import (
+	"fmt"
+
+	"egi/internal/eval"
+	"egi/internal/ucrsim"
+)
+
+// methodOrder fixes the column order of Tables 4–6.
+var methodOrder = []string{"Ensemble", "GI-Random", "GI-Fix", "GI-Select", "Discord"}
+
+// perfCache memoizes runAllMethods across the table4/5/6/fig10 views so
+// `-exp all` pays for the §7.1 evaluation once. egibench is single-shot,
+// so a plain package variable suffices.
+var perfCache struct {
+	numSeries    int
+	seed         int64
+	ensembleSize int
+	results      map[string][]eval.MethodScores
+}
+
+// runAllMethods evaluates the five methods of §7.1.3 on every dataset and
+// returns scores keyed by dataset name, in methodOrder.
+func runAllMethods(cfg benchConfig) (map[string][]eval.MethodScores, error) {
+	if perfCache.results != nil && perfCache.numSeries == cfg.numSeries &&
+		perfCache.seed == cfg.seed && perfCache.ensembleSize == cfg.ensembleSize {
+		return perfCache.results, nil
+	}
+	results, err := runAllMethodsUncached(cfg)
+	if err != nil {
+		return nil, err
+	}
+	perfCache.numSeries = cfg.numSeries
+	perfCache.seed = cfg.seed
+	perfCache.ensembleSize = cfg.ensembleSize
+	perfCache.results = results
+	return results, nil
+}
+
+func runAllMethodsUncached(cfg benchConfig) (map[string][]eval.MethodScores, error) {
+	detectors := []eval.Detector{
+		eval.Ensemble(eval.EnsembleOptions{Size: cfg.ensembleSize}),
+		eval.GIRandom(0, 0),
+		eval.GIFix(),
+		eval.GISelect(0, 0),
+		eval.Discord(),
+	}
+	out := make(map[string][]eval.MethodScores)
+	for _, d := range ucrsim.All() {
+		res, err := eval.RunDataset(d, detectors, eval.RunConfig{
+			NumSeries: cfg.numSeries,
+			Seed:      cfg.seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", d.Name, err)
+		}
+		out[d.Name] = res
+	}
+	return out, nil
+}
+
+// expPerformance renders one of the §7.1 views (table4, table5, table6,
+// fig10) from a single evaluation run.
+func expPerformance(view string) func(benchConfig) error {
+	return func(cfg benchConfig) error {
+		results, err := runAllMethods(cfg)
+		if err != nil {
+			return err
+		}
+		switch view {
+		case "table4":
+			fmt.Fprintln(cfg.out, "Table 4: average Score")
+			fmt.Fprintf(cfg.out, "%-16s", "Dataset")
+			for _, m := range methodOrder {
+				fmt.Fprintf(cfg.out, "%12s", m)
+			}
+			fmt.Fprintln(cfg.out)
+			for _, d := range ucrsim.All() {
+				fmt.Fprintf(cfg.out, "%-16s", d.Name)
+				for _, m := range results[d.Name] {
+					fmt.Fprintf(cfg.out, "%12.4f", m.AvgScore())
+				}
+				fmt.Fprintln(cfg.out)
+			}
+		case "table5":
+			fmt.Fprintln(cfg.out, "Table 5: HitRate")
+			fmt.Fprintf(cfg.out, "%-16s", "Dataset")
+			for _, m := range methodOrder {
+				fmt.Fprintf(cfg.out, "%12s", m)
+			}
+			fmt.Fprintln(cfg.out)
+			for _, d := range ucrsim.All() {
+				fmt.Fprintf(cfg.out, "%-16s", d.Name)
+				for _, m := range results[d.Name] {
+					fmt.Fprintf(cfg.out, "%12.2f", m.HitRate())
+				}
+				fmt.Fprintln(cfg.out)
+			}
+		case "table6":
+			fmt.Fprintln(cfg.out, "Table 6: wins/ties/losses of the ensemble vs each baseline")
+			fmt.Fprintf(cfg.out, "%-12s", "Baseline")
+			for _, d := range ucrsim.All() {
+				fmt.Fprintf(cfg.out, "%16s", d.Name)
+			}
+			fmt.Fprintln(cfg.out)
+			for bi := 1; bi < len(methodOrder); bi++ {
+				fmt.Fprintf(cfg.out, "%-12s", methodOrder[bi])
+				for _, d := range ucrsim.All() {
+					ms := results[d.Name]
+					w, t, l, err := eval.WTL(ms[0].Scores, ms[bi].Scores, 0)
+					if err != nil {
+						return err
+					}
+					fmt.Fprintf(cfg.out, "%16s", fmt.Sprintf("%d/%d/%d", w, t, l))
+				}
+				fmt.Fprintln(cfg.out)
+			}
+		case "fig10":
+			fmt.Fprintln(cfg.out, "Fig 10: per-series (ensemble, baseline) Score pairs")
+			for _, d := range ucrsim.All() {
+				ms := results[d.Name]
+				for bi := 1; bi < len(methodOrder); bi++ {
+					fmt.Fprintf(cfg.out, "# %s vs %s\n", d.Name, methodOrder[bi])
+					for si := range ms[0].Scores {
+						fmt.Fprintf(cfg.out, "%.4f\t%.4f\n", ms[0].Scores[si], ms[bi].Scores[si])
+					}
+				}
+			}
+		default:
+			return fmt.Errorf("unknown performance view %q", view)
+		}
+		return nil
+	}
+}

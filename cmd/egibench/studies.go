@@ -1,0 +1,180 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"egi/internal/core"
+	"egi/internal/eval"
+	"egi/internal/gen"
+	"egi/internal/grammar"
+	"egi/internal/matrixprofile"
+	"egi/internal/sax"
+	"egi/internal/timeseries"
+	"egi/internal/ucrsim"
+)
+
+// expFig1 reproduces the motivating example: on a dishwasher-style power
+// series with one anomalous short cycle, the single-run detector's Score
+// varies wildly across the (w, a) grid while the ensemble is stable.
+func expFig1(cfg benchConfig) error {
+	ds, err := gen.Dishwasher(20, 200, cfg.seed)
+	if err != nil {
+		return err
+	}
+	window := ds.CycleLen
+	fmt.Fprintln(cfg.out, "Fig 1: single-run GI Score across the (w,a) grid (dishwasher series)")
+	fmt.Fprintf(cfg.out, "%-6s", "w\\a")
+	for a := 2; a <= 10; a++ {
+		fmt.Fprintf(cfg.out, "%8d", a)
+	}
+	fmt.Fprintln(cfg.out)
+	best, worst := -1.0, 2.0
+	for w := 2; w <= 10; w++ {
+		fmt.Fprintf(cfg.out, "%-6d", w)
+		for a := 2; a <= 10; a++ {
+			res, err := grammar.Detect(ds.Series, window, sax.Params{W: w, A: a}, nil, eval.TopK)
+			if err != nil {
+				return err
+			}
+			var cands []int
+			for _, c := range res.Candidates {
+				cands = append(cands, c.Pos)
+			}
+			s := eval.BestScore(cands, ds.Anomaly.Pos, ds.Anomaly.Length)
+			if s > best {
+				best = s
+			}
+			if s < worst {
+				worst = s
+			}
+			fmt.Fprintf(cfg.out, "%8.3f", s)
+		}
+		fmt.Fprintln(cfg.out)
+	}
+	ecfg := core.DefaultConfig(window)
+	ecfg.Size = cfg.ensembleSize
+	ecfg.Seed = cfg.seed
+	res, err := core.Detect(ds.Series, ecfg)
+	if err != nil {
+		return err
+	}
+	var cands []int
+	for _, c := range res.Candidates {
+		cands = append(cands, c.Pos)
+	}
+	fmt.Fprintf(cfg.out, "grid best %.3f, grid worst %.3f, ensemble %.3f\n",
+		best, worst, eval.BestScore(cands, ds.Anomaly.Pos, ds.Anomaly.Length))
+	return nil
+}
+
+// expScalability reproduces Fig. 8: runtime of the ensemble vs STOMP as
+// the series length grows, on random walk, ECG and EEG data.
+func expScalability(cfg benchConfig) error {
+	lengths := []int{5000, 10000, 20000, 40000}
+	if cfg.full {
+		lengths = []int{10000, 20000, 40000, 80000, 160000}
+	}
+	const window = 300
+	kinds := []struct {
+		name string
+		make func(length int) (timeseries.Series, error)
+	}{
+		{"RW", func(n int) (timeseries.Series, error) { return gen.RandomWalk(n, cfg.seed) }},
+		{"ECG", func(n int) (timeseries.Series, error) { return gen.ECG(n, 200, cfg.seed) }},
+		{"EEG", func(n int) (timeseries.Series, error) { return gen.EEG(n, 256, cfg.seed) }},
+	}
+	fmt.Fprintln(cfg.out, "Fig 8: runtime (seconds) vs series length, window 300")
+	fmt.Fprintf(cfg.out, "%-6s%-10s%14s%14s\n", "data", "length", "ensemble", "STOMP")
+	for _, k := range kinds {
+		for _, n := range lengths {
+			s, err := k.make(n)
+			if err != nil {
+				return err
+			}
+			ecfg := core.DefaultConfig(window)
+			ecfg.Size = cfg.ensembleSize
+			ecfg.Seed = cfg.seed
+			start := time.Now()
+			if _, err := core.Detect(s, ecfg); err != nil {
+				return fmt.Errorf("%s/%d ensemble: %w", k.name, n, err)
+			}
+			ensSec := time.Since(start).Seconds()
+			start = time.Now()
+			if _, err := matrixprofile.STOMP(s, window, 0); err != nil {
+				return fmt.Errorf("%s/%d STOMP: %w", k.name, n, err)
+			}
+			stompSec := time.Since(start).Seconds()
+			fmt.Fprintf(cfg.out, "%-6s%-10d%14.3f%14.3f\n", k.name, n, ensSec, stompSec)
+		}
+	}
+	return nil
+}
+
+// expCaseStudy reproduces Fig. 9: the fridge-freezer power usage case
+// study — a very long series, window 900, top-2 anomalies.
+func expCaseStudy(cfg benchConfig) error {
+	length := 150000
+	if cfg.full {
+		length = 600000
+	}
+	fs, err := gen.FridgeFreezer(length, cfg.seed)
+	if err != nil {
+		return err
+	}
+	ecfg := core.DefaultConfig(fs.CycleLen)
+	ecfg.Size = cfg.ensembleSize
+	ecfg.Seed = cfg.seed
+	ecfg.TopK = 2
+	start := time.Now()
+	res, err := core.Detect(fs.Series, ecfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(cfg.out, "Fig 9: fridge-freezer case study, %d points, window %d, %.1fs\n",
+		length, fs.CycleLen, elapsed.Seconds())
+	for i, c := range res.Candidates {
+		verdict := "MISS"
+		for _, gt := range fs.Anomalies {
+			if c.Pos < gt.Pos+gt.Length && gt.Pos < c.Pos+c.Length {
+				verdict = "matches planted " + gt.Kind
+			}
+		}
+		fmt.Fprintf(cfg.out, "top-%d anomaly at %d (density %.4f): %s\n", i+1, c.Pos, c.Density, verdict)
+	}
+	for _, gt := range fs.Anomalies {
+		fmt.Fprintf(cfg.out, "planted %s at %d len %d\n", gt.Kind, gt.Pos, gt.Length)
+	}
+	return nil
+}
+
+// expMultiAnomaly reproduces §7.5: ten long StarLightCurve series with two
+// planted anomalies each; report how many are found by the top-3.
+func expMultiAnomaly(cfg benchConfig) error {
+	d, err := ucrsim.ByName("StarLightCurve")
+	if err != nil {
+		return err
+	}
+	det := eval.Ensemble(eval.EnsembleOptions{Size: cfg.ensembleSize})
+	// 40 normal + 2 anomalous instances = 42 segments of 1024 = 43008.
+	results, err := eval.RunMultiAnomaly(d, det, 10, 40, 2, cfg.seed)
+	if err != nil {
+		return err
+	}
+	both, one, none := 0, 0, 0
+	for i, r := range results {
+		fmt.Fprintf(cfg.out, "series %d: detected %d of %d\n", i, r.Detected, r.Total)
+		switch r.Detected {
+		case 2:
+			both++
+		case 1:
+			one++
+		default:
+			none++
+		}
+	}
+	fmt.Fprintf(cfg.out, "Sec 7.5: both anomalies in %d/10 series, one in %d/10, none in %d/10\n",
+		both, one, none)
+	return nil
+}

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"fmt"
+
+	"egi/internal/eval"
+	"egi/internal/ucrsim"
+)
+
+// rangeSetting is one row of Tables 7–9: an (amax, wmax) combination for
+// the ensemble's parameter ranges.
+type rangeSetting struct {
+	label      string
+	wmax, amax int
+}
+
+func rangeSettings(table string) []rangeSetting {
+	switch table {
+	case "table7": // wmax = amax, both swept
+		return []rangeSetting{
+			{"amax=5,wmax=5", 5, 5},
+			{"amax=10,wmax=10", 10, 10},
+			{"amax=15,wmax=15", 15, 15},
+			{"amax=20,wmax=20", 20, 20},
+		}
+	case "table8": // wmax swept, amax fixed at 10
+		return []rangeSetting{
+			{"amax=10,wmax=5", 5, 10},
+			{"amax=10,wmax=10", 10, 10},
+			{"amax=10,wmax=15", 15, 10},
+			{"amax=10,wmax=20", 20, 10},
+		}
+	default: // table9: amax swept, wmax fixed at 10
+		return []rangeSetting{
+			{"amax=5,wmax=10", 10, 5},
+			{"amax=10,wmax=10", 10, 10},
+			{"amax=15,wmax=10", 10, 15},
+			{"amax=20,wmax=10", 10, 20},
+		}
+	}
+}
+
+// expRangeSweep reproduces Tables 7–9: wins/ties/losses of the ensemble
+// with varied parameter ranges against the best GI baseline (per series,
+// the pointwise max of GI-Random, GI-Fix and GI-Select).
+func expRangeSweep(table string) func(benchConfig) error {
+	return func(cfg benchConfig) error {
+		settings := rangeSettings(table)
+		fmt.Fprintf(cfg.out, "%s: ensemble W/T/L vs best GI baseline\n", map[string]string{
+			"table7": "Table 7", "table8": "Table 8", "table9": "Table 9",
+		}[table])
+		fmt.Fprintf(cfg.out, "%-20s", "Approach")
+		for _, d := range ucrsim.All() {
+			fmt.Fprintf(cfg.out, "%16s", d.Name)
+		}
+		fmt.Fprintln(cfg.out)
+
+		rows := make(map[string][]string) // setting label -> per-dataset W/T/L
+		for _, d := range ucrsim.All() {
+			ss, err := eval.NewSeriesSet(d, cfg.numSeries, 1, cfg.seed)
+			if err != nil {
+				return err
+			}
+			baseDets := []eval.Detector{eval.GIRandom(0, 0), eval.GIFix(), eval.GISelect(0, 0)}
+			baseScores := make([]eval.MethodScores, len(baseDets))
+			for i, det := range baseDets {
+				baseScores[i], err = ss.Run(det, cfg.seed)
+				if err != nil {
+					return fmt.Errorf("%s/%s: %w", d.Name, det.Name, err)
+				}
+			}
+			// Paper protocol: the single best GI method per dataset (by
+			// average score), compared per series.
+			best, err := eval.BestMethodByAvg(baseScores)
+			if err != nil {
+				return err
+			}
+			for _, set := range settings {
+				det := eval.Ensemble(eval.EnsembleOptions{
+					Size: cfg.ensembleSize, WMax: set.wmax, AMax: set.amax,
+				})
+				ens, err := ss.Run(det, cfg.seed)
+				if err != nil {
+					return fmt.Errorf("%s/%s: %w", d.Name, set.label, err)
+				}
+				w, t, l, err := eval.WTL(ens.Scores, best.Scores, 0)
+				if err != nil {
+					return err
+				}
+				rows[set.label] = append(rows[set.label], fmt.Sprintf("%d/%d/%d", w, t, l))
+			}
+		}
+		for _, set := range settings {
+			fmt.Fprintf(cfg.out, "%-20s", set.label)
+			for _, cell := range rows[set.label] {
+				fmt.Fprintf(cfg.out, "%16s", cell)
+			}
+			fmt.Fprintln(cfg.out)
+		}
+		return nil
+	}
+}
+
+// expSizeSweep reproduces Tables 10 and 11: Score and HitRate of the
+// ensemble for N in {5, 10, 25, 50}, sharing member computations.
+func expSizeSweep(cfg benchConfig) error {
+	sizes := []int{5, 10, 25, 50}
+	fmt.Fprintln(cfg.out, "Table 10 (average Score) and Table 11 (HitRate) vs ensemble size N")
+	fmt.Fprintf(cfg.out, "%-16s", "Dataset")
+	for _, n := range sizes {
+		fmt.Fprintf(cfg.out, "  N=%-2d Score/Hit", n)
+	}
+	fmt.Fprintln(cfg.out)
+	for _, d := range ucrsim.All() {
+		ss, err := eval.NewSeriesSet(d, cfg.numSeries, 1, cfg.seed)
+		if err != nil {
+			return err
+		}
+		bySize, _, err := ss.SweepSizeTau(0, 0, 50, sizes, nil, cfg.seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", d.Name, err)
+		}
+		fmt.Fprintf(cfg.out, "%-16s", d.Name)
+		for _, n := range sizes {
+			ms := bySize[n]
+			fmt.Fprintf(cfg.out, "  %6.4f/%4.2f", ms.AvgScore(), ms.HitRate())
+		}
+		fmt.Fprintln(cfg.out)
+	}
+	return nil
+}
+
+// expTauSweep reproduces Table 12: mean and standard deviation, over
+// cfg.repeats repetitions, of the average Score for selectivities τ from
+// 5% to 100%. Each repetition redraws the ensemble's random parameters.
+func expTauSweep(cfg benchConfig) error {
+	taus := []float64{0.05, 0.10, 0.20, 0.40, 0.80, 1.00}
+	fmt.Fprintf(cfg.out, "Table 12: mean (std) of average Score over %d repeats, vs tau\n", cfg.repeats)
+	fmt.Fprintf(cfg.out, "%-16s", "Dataset")
+	for _, tau := range taus {
+		fmt.Fprintf(cfg.out, "%16s", fmt.Sprintf("tau=%g%%", tau*100))
+	}
+	fmt.Fprintln(cfg.out)
+	for _, d := range ucrsim.All() {
+		ss, err := eval.NewSeriesSet(d, cfg.numSeries, 1, cfg.seed)
+		if err != nil {
+			return err
+		}
+		// avgScores[tauIdx][repeat]
+		avgScores := make([][]float64, len(taus))
+		for rep := 0; rep < cfg.repeats; rep++ {
+			_, byTau, err := ss.SweepSizeTau(0, 0, cfg.ensembleSize, nil, taus, cfg.seed+int64(rep)*100003)
+			if err != nil {
+				return fmt.Errorf("%s rep %d: %w", d.Name, rep, err)
+			}
+			for ti, tau := range taus {
+				avgScores[ti] = append(avgScores[ti], byTau[tau].AvgScore())
+			}
+		}
+		fmt.Fprintf(cfg.out, "%-16s", d.Name)
+		for ti := range taus {
+			mean, std := eval.MeanStd(avgScores[ti])
+			fmt.Fprintf(cfg.out, "%16s", fmt.Sprintf("%.4f(%.3f)", mean, std))
+		}
+		fmt.Fprintln(cfg.out)
+	}
+	return nil
+}
+
+// expWindowSweep reproduces Tables 13 and 14: ensemble Score and HitRate
+// when the sliding window is 60–100% of the planted anomaly length.
+func expWindowSweep(cfg benchConfig) error {
+	fracs := []float64{0.6, 0.7, 0.8, 0.9, 1.0}
+	fmt.Fprintln(cfg.out, "Table 13 (average Score) and Table 14 (HitRate) vs window fraction")
+	fmt.Fprintf(cfg.out, "%-16s", "Dataset")
+	for _, fr := range fracs {
+		fmt.Fprintf(cfg.out, "  n=%.1fna Score/Hit", fr)
+	}
+	fmt.Fprintln(cfg.out)
+	det := eval.Ensemble(eval.EnsembleOptions{Size: cfg.ensembleSize})
+	for _, d := range ucrsim.All() {
+		fmt.Fprintf(cfg.out, "%-16s", d.Name)
+		for _, fr := range fracs {
+			ss, err := eval.NewSeriesSet(d, cfg.numSeries, fr, cfg.seed)
+			if err != nil {
+				return err
+			}
+			ms, err := ss.Run(det, cfg.seed)
+			if err != nil {
+				return fmt.Errorf("%s n=%g: %w", d.Name, fr, err)
+			}
+			fmt.Fprintf(cfg.out, "  %8.4f/%4.2f", ms.AvgScore(), ms.HitRate())
+		}
+		fmt.Fprintln(cfg.out)
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+// Command egidetect detects anomalies in a univariate time series read
+// from a CSV file (or stdin) and prints the ranked candidates.
+//
+// Usage:
+//
+//	egidetect -window 900 [-input series.csv] [-col 0] [-method ensemble]
+//
+// Methods:
+//
+//	ensemble  ensemble grammar induction (the paper's proposed approach)
+//	single    single-run grammar induction with fixed -w and -a
+//	discord   STOMP matrix profile discords (distance-based baseline)
+//	rra       rare rule anomaly: variable-length grammar discords
+//
+// Output: one line per anomaly, "rank pos length score", where score is
+// the ensemble rule density (lower = more anomalous) for the grammar
+// methods and the 1-NN distance (higher = more anomalous) for discord.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"egi"
+	"egi/internal/plot"
+	"egi/internal/timeseries"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "egidetect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("egidetect", flag.ContinueOnError)
+	var (
+		input  = fs.String("input", "-", "input CSV file; - for stdin")
+		col    = fs.Int("col", 0, "CSV column holding the values (0-based)")
+		window = fs.Int("window", 0, "sliding window length n (required)")
+		method = fs.String("method", "ensemble", "ensemble | single | discord | rra")
+		topK   = fs.Int("topk", 3, "number of anomalies to report")
+		size   = fs.Int("size", 0, "ensemble size N (default 50)")
+		wmax   = fs.Int("wmax", 0, "maximum PAA size (default 10)")
+		amax   = fs.Int("amax", 0, "maximum alphabet size (default 10)")
+		tau    = fs.Float64("tau", 0, "ensemble selectivity in (0,1] (default 0.4)")
+		seed   = fs.Int64("seed", 0, "random seed")
+		w      = fs.Int("w", 4, "PAA size for -method single")
+		a      = fs.Int("a", 4, "alphabet size for -method single")
+		plotW  = fs.Int("plot", 0, "if > 0, print sparkline charts this many columns wide")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *window < 2 {
+		return fmt.Errorf("-window is required and must be >= 2")
+	}
+	if *topK < 1 {
+		return fmt.Errorf("-topk must be >= 1")
+	}
+
+	var r io.Reader = stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	series, err := timeseries.ReadCSV(r, *col)
+	if err != nil {
+		return err
+	}
+
+	var anomalies []egi.Anomaly
+	var curve []float64
+	switch *method {
+	case "ensemble":
+		res, err := egi.Detect(series, egi.Options{
+			Window:       *window,
+			EnsembleSize: *size,
+			WMax:         *wmax,
+			AMax:         *amax,
+			Tau:          *tau,
+			TopK:         *topK,
+			Seed:         *seed,
+		})
+		if err != nil {
+			return err
+		}
+		anomalies = res.Anomalies
+		curve = res.Curve
+	case "single":
+		res, err := egi.DetectSingle(series, *window, *w, *a, *topK)
+		if err != nil {
+			return err
+		}
+		anomalies = res.Anomalies
+		curve = res.Curve
+	case "discord":
+		anomalies, err = egi.Discords(series, *window, *topK)
+		if err != nil {
+			return err
+		}
+	case "rra":
+		anomalies, err = egi.VariableLengthAnomalies(series, *window, *topK)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+
+	for i, an := range anomalies {
+		fmt.Fprintf(stdout, "%d\t%d\t%d\t%.6f\n", i+1, an.Pos, an.Length, an.Density)
+	}
+	if *plotW > 0 {
+		if err := printPlots(stdout, series, curve, anomalies, *plotW); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printPlots renders the series, the rule density curve (when the method
+// produced one) and the anomaly locations as terminal sparklines.
+func printPlots(stdout io.Writer, series timeseries.Series, curve []float64, anomalies []egi.Anomaly, width int) error {
+	line, err := plot.Sparkline(series, width)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\nseries  %s\n", line)
+	if curve != nil {
+		line, err = plot.Sparkline(curve, width)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "density %s\n", line)
+	}
+	spans := make([]plot.Span, len(anomalies))
+	for i, a := range anomalies {
+		spans[i] = plot.Span{Start: a.Pos, End: a.Pos + a.Length}
+	}
+	markers, err := plot.MarkerLine(spans, len(series), width)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "        %s\n", markers)
+	return nil
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bufio"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// writeTestSeries writes a periodic series with a planted anomaly and
+// returns its path and the anomaly position.
+func writeTestSeries(t *testing.T) (path string, anomalyPos int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	const length, period = 2000, 50
+	anomalyPos = 1000
+	var sb strings.Builder
+	for i := 0; i < length; i++ {
+		v := math.Sin(2*math.Pi*float64(i)/period) + 0.05*rng.NormFloat64()
+		if i >= anomalyPos && i < anomalyPos+period {
+			v = 1.2 - 2.4*math.Abs(float64(i-anomalyPos)/period-0.5)
+		}
+		sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		sb.WriteByte('\n')
+	}
+	path = filepath.Join(t.TempDir(), "series.csv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path, anomalyPos
+}
+
+func parseOutput(t *testing.T, out string) [][4]string {
+	t.Helper()
+	var rows [][4]string
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		fields := strings.Split(sc.Text(), "\t")
+		if len(fields) != 4 {
+			t.Fatalf("bad output line %q", sc.Text())
+		}
+		rows = append(rows, [4]string{fields[0], fields[1], fields[2], fields[3]})
+	}
+	return rows
+}
+
+func TestRunAllMethods(t *testing.T) {
+	path, anomalyPos := writeTestSeries(t)
+	for _, method := range []string{"ensemble", "single", "discord", "rra"} {
+		var out strings.Builder
+		err := run([]string{"-input", path, "-window", "50", "-method", method, "-seed", "3"},
+			strings.NewReader(""), &out)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		rows := parseOutput(t, out.String())
+		if len(rows) == 0 {
+			t.Fatalf("%s: no anomalies reported", method)
+		}
+		pos, err := strconv.Atoi(rows[0][1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := pos - anomalyPos; d < -50 || d > 50 {
+			t.Errorf("%s: top anomaly at %d, planted at %d", method, pos, anomalyPos)
+		}
+	}
+}
+
+func TestRunReadsStdin(t *testing.T) {
+	path, _ := writeTestSeries(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if err := run([]string{"-window", "50"}, strings.NewReader(string(data)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(parseOutput(t, out.String())) == 0 {
+		t.Error("no output from stdin input")
+	}
+}
+
+func TestRunPlotOutput(t *testing.T) {
+	path, _ := writeTestSeries(t)
+	var out strings.Builder
+	err := run([]string{"-input", path, "-window", "50", "-plot", "60", "-seed", "1"},
+		strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"series", "density", "^"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("plot output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path, _ := writeTestSeries(t)
+	cases := [][]string{
+		{"-input", path}, // missing window
+		{"-input", path, "-window", "50", "-method", "nope"}, // bad method
+		{"-input", "/does/not/exist", "-window", "50"},       // missing file
+		{"-input", path, "-window", "50", "-topk", "0"},      // bad topk
+		{"-input", path, "-window", "999999"},                // window too large
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, strings.NewReader(""), &out); err == nil {
+			t.Errorf("args %v should error", args)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func countLines(s string) int {
+	return len(strings.Fields(s))
+}
+
+func TestGenerateKinds(t *testing.T) {
+	cases := []struct {
+		args      []string
+		wantLines int  // 0 = just non-empty
+		wantTruth bool // ground truth printed on stderr
+	}{
+		{[]string{"-kind", "rw", "-length", "500"}, 500, false},
+		{[]string{"-kind", "ecg", "-length", "800"}, 800, false},
+		{[]string{"-kind", "eeg", "-length", "300"}, 300, false},
+		{[]string{"-kind", "fridge", "-length", "20000"}, 20000, true},
+		{[]string{"-kind", "dishwasher", "-cycles", "5"}, 5 * 200, true},
+		{[]string{"-kind", "Trace"}, 21 * 275, true},
+		{[]string{"-kind", "Wafer"}, 21 * 150, true},
+	}
+	for _, c := range cases {
+		var stdout, stderr strings.Builder
+		if err := run(c.args, &stdout, &stderr); err != nil {
+			t.Fatalf("%v: %v", c.args, err)
+		}
+		if got := countLines(stdout.String()); got != c.wantLines {
+			t.Errorf("%v: %d values, want %d", c.args, got, c.wantLines)
+		}
+		hasTruth := strings.Contains(stderr.String(), "anomaly")
+		if hasTruth != c.wantTruth {
+			t.Errorf("%v: ground truth printed = %v, want %v", c.args, hasTruth, c.wantTruth)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	var e strings.Builder
+	if err := run([]string{"-kind", "GunPoint", "-seed", "9"}, &a, &e); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-kind", "GunPoint", "-seed", "9"}, &b, &e); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("equal seeds must generate identical output")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cases := [][]string{
+		{},                      // missing kind
+		{"-kind", "NoSuchKind"}, // unknown
+		{"-kind", "rw", "-length", "0"},
+		{"-kind", "fridge", "-length", "100"}, // too short for fridge
+	}
+	for _, args := range cases {
+		var stdout, stderr strings.Builder
+		if err := run(args, &stdout, &stderr); err == nil {
+			t.Errorf("args %v should error", args)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// ECG anomaly detection: find a premature-beat-like anomaly in a long
+// synthetic electrocardiogram — the Fig. 4 scenario of the paper — and
+// compare the ensemble detector against the single-run detector and the
+// distance-based discord baseline.
+//
+// Run with:
+//
+//	go run ./examples/ecg
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"egi"
+	"egi/internal/gen"
+)
+
+const beat = 200 // nominal beat length in samples
+
+func main() {
+	// 40,000 samples (~200 beats) of synthetic ECG.
+	series, err := gen.ECG(40000, beat, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Plant a premature, malformed beat: the QRS complex arrives early and
+	// inverted, like the premature heart beat highlighted in the paper.
+	rng := rand.New(rand.NewSource(3))
+	anomalyPos := 23000
+	for i := 0; i < beat; i++ {
+		x := float64(i) / beat
+		d := (x - 0.3) / 0.04
+		series[anomalyPos+i] = -1.1*math.Exp(-0.5*d*d) + 0.4*x + 0.03*rng.NormFloat64()
+	}
+	fmt.Printf("planted premature beat at %d (length %d)\n\n", anomalyPos, beat)
+
+	report := func(name string, anomalies []egi.Anomaly) {
+		fmt.Printf("%s:\n", name)
+		for rank, a := range anomalies {
+			marker := ""
+			if a.Pos < anomalyPos+beat && anomalyPos < a.Pos+a.Length {
+				marker = "  <-- the planted beat"
+			}
+			fmt.Printf("  rank %d: position %d, score %.4f%s\n", rank+1, a.Pos, a.Density, marker)
+		}
+		fmt.Println()
+	}
+
+	// Ensemble grammar induction (linear time).
+	res, err := egi.Detect(series, egi.Options{Window: beat, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("ensemble grammar induction", res.Anomalies)
+
+	// A single fixed-parameter run — this is what the ensemble improves on
+	// when the parameter guess is wrong.
+	single, err := egi.DetectSingle(series, beat, 4, 4, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("single run (w=4, a=4)", single.Anomalies)
+
+	// Distance-based discords (quadratic time).
+	discords, err := egi.Discords(series, beat, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("STOMP discords", discords)
+}

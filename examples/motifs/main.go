@@ -1,0 +1,52 @@
+// Motif discovery: the flip side of grammar-based anomaly detection.
+// Grammar rules that repeat are motifs; stretches no rule covers are
+// anomalies. This example finds both in one synthetic power-usage series
+// using the public egi API.
+//
+// Run with:
+//
+//	go run ./examples/motifs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"egi"
+	"egi/internal/gen"
+)
+
+func main() {
+	// Dishwasher-style power cycles: 20 cycles, one anomalously short.
+	ds, err := gen.Dishwasher(20, 200, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("series: %d points, cycle length %d, anomalous cycle at %d\n\n",
+		len(ds.Series), ds.CycleLen, ds.Anomaly.Pos)
+
+	// Motifs: the repeated cycle structure.
+	motifs, err := egi.Motifs(ds.Series, ds.CycleLen, 4, 4, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top motifs (repeated patterns):")
+	for rank, m := range motifs {
+		fmt.Printf("  %d. %s — %d occurrences, first at %d..%d\n",
+			rank+1, m.Rule, len(m.Occurrences), m.Occurrences[0][0], m.Occurrences[0][1])
+	}
+
+	// Anomalies: what the motifs do NOT cover.
+	res, err := egi.Detect(ds.Series, egi.Options{Window: ds.CycleLen, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntop anomalies (rarely-covered subsequences):")
+	for rank, a := range res.Anomalies {
+		marker := ""
+		if a.Pos < ds.Anomaly.Pos+ds.Anomaly.Length && ds.Anomaly.Pos < a.Pos+a.Length {
+			marker = "  <-- the short cycle"
+		}
+		fmt.Printf("  %d. position %d, density %.4f%s\n", rank+1, a.Pos, a.Density, marker)
+	}
+}

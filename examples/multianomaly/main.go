@@ -1,0 +1,59 @@
+// Multiple-anomaly detection (§7.5 of the paper): long star-light-curve
+// series with two planted anomalies each; the ensemble's top-3 candidates
+// should cover both. Reproduces the experiment's protocol on ten series.
+//
+// Run with:
+//
+//	go run ./examples/multianomaly
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"egi"
+	"egi/internal/ucrsim"
+)
+
+func main() {
+	d, err := ucrsim.ByName("StarLightCurve")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	both, one := 0, 0
+	for si := 0; si < 10; si++ {
+		// 40 normal instances + 2 planted anomalies = 43008 points, the
+		// paper's series length for this experiment.
+		planted, err := d.GenerateMulti(rand.New(rand.NewSource(int64(si))), 40, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := egi.Detect(planted.Series, egi.Options{
+			Window: d.SegmentLength,
+			Seed:   int64(si),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		detected := 0
+		for _, gt := range planted.Anomalies {
+			for _, a := range res.Anomalies {
+				if a.Pos < gt.Pos+gt.Length && gt.Pos < a.Pos+a.Length {
+					detected++
+					break
+				}
+			}
+		}
+		fmt.Printf("series %d (%d points): detected %d of %d planted anomalies\n",
+			si, len(planted.Series), detected, len(planted.Anomalies))
+		switch detected {
+		case 2:
+			both++
+		case 1:
+			one++
+		}
+	}
+	fmt.Printf("\nsummary: both anomalies in %d/10 series, exactly one in %d/10\n", both, one)
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+
+	"egi/internal/grammar"
+	"egi/internal/timeseries"
+)
+
+// DetectChunked runs the ensemble over a very long series in overlapping
+// chunks of chunkLen points, bounding the working set (token sequences,
+// member curves) to one chunk at a time. Consecutive chunks overlap by
+// window-1 points so that every sliding window lies entirely inside at
+// least one chunk; in overlap regions the per-chunk ensemble curves
+// (each already normalized to [0,1]) are averaged. Anomalies are ranked
+// globally on the stitched curve.
+//
+// This trades a small amount of context at chunk boundaries (grammar
+// rules cannot span chunks) for O(chunkLen) memory, the practical mode
+// for month-scale sensor data. With chunkLen >= len(series) it reduces
+// to Detect exactly.
+//
+// The returned Result has Members == nil: member bookkeeping is
+// per-chunk and is not aggregated.
+func DetectChunked(series timeseries.Series, cfg Config, chunkLen int) (*Result, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if err := series.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Window > len(series) {
+		return nil, fmt.Errorf("core: window %d exceeds series length %d", cfg.Window, len(series))
+	}
+	if chunkLen >= len(series) {
+		return Detect(series, cfg)
+	}
+	if chunkLen < 4*cfg.Window {
+		return nil, fmt.Errorf("core: chunk length %d too small; need at least 4x the window (%d)",
+			chunkLen, 4*cfg.Window)
+	}
+
+	overlap := cfg.Window - 1
+	stride := chunkLen - overlap
+	sum := make([]float64, len(series))
+	count := make([]float64, len(series))
+	for chunkIdx, start := 0, 0; start < len(series); chunkIdx, start = chunkIdx+1, start+stride {
+		end := start + chunkLen
+		if end > len(series) {
+			end = len(series)
+			// The final chunk may be shorter than chunkLen but is always
+			// at least `overlap+1 > window` points because stride leaves
+			// the previous chunk's tail uncovered by exactly overlap.
+			if end-start < cfg.Window {
+				break // tail already fully covered by the previous chunk
+			}
+		}
+		chunkCfg := cfg
+		chunkCfg.Seed = cfg.Seed + int64(chunkIdx)*1000003
+		res, err := Detect(series[start:end], chunkCfg)
+		if err != nil {
+			if err == ErrNoUsableCurves {
+				// A locally-constant chunk contributes zero density, which
+				// the stitched ranking treats as "unexplained", consistent
+				// with how Detect treats flat regions inside a chunk.
+				for i := start; i < end; i++ {
+					count[i]++
+				}
+				if end == len(series) {
+					break
+				}
+				continue
+			}
+			return nil, fmt.Errorf("core: chunk %d [%d,%d): %w", chunkIdx, start, end, err)
+		}
+		for i, v := range res.Curve {
+			sum[start+i] += v
+			count[start+i]++
+		}
+		if end == len(series) {
+			break
+		}
+	}
+
+	curve := sum
+	for i := range curve {
+		if count[i] > 0 {
+			curve[i] /= count[i]
+		}
+	}
+	cands, err := grammar.RankAnomalies(curve, cfg.Window, cfg.TopK)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Curve: curve, Candidates: cands}, nil
+}

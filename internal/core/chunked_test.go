@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"egi/internal/timeseries"
+)
+
+func TestDetectChunkedFindsPlantedAnomaly(t *testing.T) {
+	period := 50
+	pos := 5200
+	s := noisyPeriodic(8000, period, pos, 17)
+	cfg := DefaultConfig(period)
+	cfg.Size = 20
+	res, err := DetectChunked(s, cfg, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) != len(s) {
+		t.Fatalf("curve length %d, want %d", len(res.Curve), len(s))
+	}
+	hit := false
+	for _, c := range res.Candidates {
+		if c.Pos < pos+period && pos < c.Pos+c.Length {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("chunked detection missed the planted anomaly at %d: %+v", pos, res.Candidates)
+	}
+	for i, v := range res.Curve {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("curve[%d] = %v outside [0,1]", i, v)
+		}
+	}
+}
+
+func TestDetectChunkedAnomalyNearBoundary(t *testing.T) {
+	// Plant the anomaly right at a chunk boundary; the window-1 overlap
+	// must keep it visible to at least one chunk.
+	period := 40
+	chunkLen := 1600
+	pos := chunkLen - period/2 // straddles the first boundary
+	s := noisyPeriodic(6000, period, pos, 23)
+	cfg := DefaultConfig(period)
+	cfg.Size = 20
+	res, err := DetectChunked(s, cfg, chunkLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := false
+	for _, c := range res.Candidates {
+		if c.Pos < pos+period && pos < c.Pos+c.Length {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("boundary anomaly at %d missed: %+v", pos, res.Candidates)
+	}
+}
+
+func TestDetectChunkedDegeneratesToDetect(t *testing.T) {
+	s := noisyPeriodic(1500, 50, 700, 5)
+	cfg := DefaultConfig(50)
+	cfg.Size = 10
+	cfg.Seed = 3
+	full, err := Detect(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunked, err := DetectChunked(s, cfg, len(s)+100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range full.Curve {
+		if full.Curve[i] != chunked.Curve[i] {
+			t.Fatalf("chunkLen >= len should equal Detect; differs at %d", i)
+		}
+	}
+}
+
+func TestDetectChunkedValidation(t *testing.T) {
+	s := noisyPeriodic(3000, 50, 1500, 1)
+	cfg := DefaultConfig(50)
+	if _, err := DetectChunked(s, cfg, 100); err == nil {
+		t.Error("chunk smaller than 4x window should error")
+	}
+	if _, err := DetectChunked(timeseries.Series{}, cfg, 1000); err == nil {
+		t.Error("empty series should error")
+	}
+	bad := cfg
+	bad.Window = 5000
+	if _, err := DetectChunked(s, bad, 1000); err == nil {
+		t.Error("window beyond series should error")
+	}
+}
+
+func TestDetectChunkedCandidatesNonOverlapping(t *testing.T) {
+	s := noisyPeriodic(6000, 40, 3000, 9)
+	cfg := DefaultConfig(40)
+	cfg.Size = 15
+	res, err := DetectChunked(s, cfg, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Candidates {
+		for j := i + 1; j < len(res.Candidates); j++ {
+			a, b := res.Candidates[i], res.Candidates[j]
+			if a.Pos < b.Pos+b.Length && b.Pos < a.Pos+a.Length {
+				t.Errorf("candidates overlap: %+v %+v", a, b)
+			}
+		}
+	}
+}

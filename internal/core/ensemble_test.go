@@ -1,0 +1,269 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"egi/internal/sax"
+	"egi/internal/timeseries"
+)
+
+// noisyPeriodic builds a periodic series with a structural anomaly planted
+// at pos: one cycle is replaced by a triangle pulse.
+func noisyPeriodic(length, period, pos int, seed int64) timeseries.Series {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(timeseries.Series, length)
+	for i := range s {
+		s[i] = math.Sin(2*math.Pi*float64(i)/float64(period)) + 0.08*rng.NormFloat64()
+	}
+	for i := pos; i < pos+period && i < length; i++ {
+		s[i] = 1.2 - 2.4*math.Abs(float64(i-pos)/float64(period)-0.5) + 0.08*rng.NormFloat64()
+	}
+	return s
+}
+
+func TestGenerateParamsUniqueAndInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	params := GenerateParams(rng, 50, 10, 10, 100)
+	if len(params) != 50 {
+		t.Fatalf("got %d params, want 50", len(params))
+	}
+	seen := map[sax.Params]bool{}
+	for _, p := range params {
+		if p.W < 2 || p.W > 10 || p.A < 2 || p.A > 10 {
+			t.Errorf("param %v out of range", p)
+		}
+		if seen[p] {
+			t.Errorf("param %v repeated", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestGenerateParamsCapsAtAvailable(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// [2,3] x [2,3] has only 4 combinations.
+	params := GenerateParams(rng, 50, 3, 3, 100)
+	if len(params) != 4 {
+		t.Fatalf("got %d params, want all 4", len(params))
+	}
+}
+
+func TestGenerateParamsRespectsWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	params := GenerateParams(rng, 100, 20, 5, 6)
+	for _, p := range params {
+		if p.W > 6 {
+			t.Errorf("param %v has w > window", p)
+		}
+	}
+}
+
+func TestDetectFindsPlantedAnomaly(t *testing.T) {
+	period := 60
+	pos := 1500
+	s := noisyPeriodic(3000, period, pos, 7)
+	res, err := Detect(s, DefaultConfig(period))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Candidates) == 0 {
+		t.Fatal("no candidates")
+	}
+	best := math.Inf(1)
+	for _, c := range res.Candidates {
+		if d := math.Abs(float64(c.Pos - pos)); d < best {
+			best = d
+		}
+	}
+	if best > float64(period) {
+		t.Errorf("no candidate within one period of %d: %+v", pos, res.Candidates)
+	}
+}
+
+func TestDetectCurveBounds(t *testing.T) {
+	s := noisyPeriodic(2000, 40, 900, 11)
+	res, err := Detect(s, DefaultConfig(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Curve) != len(s) {
+		t.Fatalf("curve length %d, want %d", len(res.Curve), len(s))
+	}
+	for i, v := range res.Curve {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("curve[%d] = %v outside [0,1]", i, v)
+		}
+	}
+}
+
+func TestDetectDeterministicWithSeed(t *testing.T) {
+	s := noisyPeriodic(1200, 30, 600, 5)
+	cfg := DefaultConfig(30)
+	cfg.Seed = 42
+	r1, err := Detect(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Detect(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Curve) != len(r2.Curve) {
+		t.Fatal("curve lengths differ")
+	}
+	for i := range r1.Curve {
+		if r1.Curve[i] != r2.Curve[i] {
+			t.Fatalf("curves differ at %d despite equal seed", i)
+		}
+	}
+	if len(r1.Candidates) != len(r2.Candidates) {
+		t.Fatal("candidate counts differ")
+	}
+	for i := range r1.Candidates {
+		if r1.Candidates[i] != r2.Candidates[i] {
+			t.Fatalf("candidate %d differs: %+v vs %+v", i, r1.Candidates[i], r2.Candidates[i])
+		}
+	}
+}
+
+func TestDetectMembersBookkeeping(t *testing.T) {
+	s := noisyPeriodic(1500, 40, 700, 9)
+	cfg := DefaultConfig(40)
+	cfg.Size = 20
+	cfg.Tau = 0.4
+	res, err := Detect(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Members) != 20 {
+		t.Fatalf("got %d members, want 20", len(res.Members))
+	}
+	keptCount := 0
+	minKeptStd := math.Inf(1)
+	maxDroppedStd := math.Inf(-1)
+	for _, m := range res.Members {
+		if m.Kept {
+			keptCount++
+			if m.Std < minKeptStd {
+				minKeptStd = m.Std
+			}
+		} else if m.Std > maxDroppedStd {
+			maxDroppedStd = m.Std
+		}
+	}
+	if keptCount == 0 || keptCount > 8 {
+		t.Errorf("kept %d members, want in (0, 8]", keptCount)
+	}
+	// Selection must be exactly the top-std members.
+	if keptCount == 8 && minKeptStd < maxDroppedStd {
+		t.Errorf("kept member with std %v below dropped member with std %v",
+			minKeptStd, maxDroppedStd)
+	}
+}
+
+func TestDetectCandidatesNonOverlapping(t *testing.T) {
+	s := noisyPeriodic(2500, 50, 1200, 13)
+	res, err := Detect(s, DefaultConfig(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Candidates {
+		for j := i + 1; j < len(res.Candidates); j++ {
+			a, b := res.Candidates[i], res.Candidates[j]
+			if a.Pos < b.Pos+b.Length && b.Pos < a.Pos+a.Length {
+				t.Errorf("candidates overlap: %+v %+v", a, b)
+			}
+		}
+	}
+}
+
+func TestDetectConstantSeriesErrors(t *testing.T) {
+	s := make(timeseries.Series, 500)
+	for i := range s {
+		s[i] = 3
+	}
+	_, err := Detect(s, DefaultConfig(50))
+	if err == nil {
+		t.Fatal("constant series should return ErrNoUsableCurves")
+	}
+}
+
+func TestDetectConfigValidation(t *testing.T) {
+	s := noisyPeriodic(500, 25, 250, 1)
+	bad := []Config{
+		{Window: 1},
+		{Window: 25, Size: -1},
+		{Window: 25, Tau: 1.5},
+		{Window: 25, Tau: -0.1},
+		{Window: 25, TopK: -2},
+		{Window: 25, AMax: 30},
+		{Window: 600},
+	}
+	for i, cfg := range bad {
+		if _, err := Detect(s, cfg); err == nil {
+			t.Errorf("config %d (%+v) should fail validation", i, cfg)
+		}
+	}
+	if _, err := Detect(timeseries.Series{}, DefaultConfig(10)); err == nil {
+		t.Error("empty series should error")
+	}
+}
+
+func TestDetectSmallEnsemble(t *testing.T) {
+	s := noisyPeriodic(1000, 40, 500, 3)
+	cfg := DefaultConfig(40)
+	cfg.Size = 1
+	cfg.Tau = 1
+	if _, err := Detect(s, cfg); err != nil {
+		t.Fatalf("size-1 ensemble should work: %v", err)
+	}
+}
+
+func TestDetectCombinersAndNormalizersRun(t *testing.T) {
+	s := noisyPeriodic(1000, 40, 500, 3)
+	for _, comb := range []Combiner{CombineMedian, CombineMean} {
+		for _, norm := range []Normalizer{NormalizeMax, NormalizeMinMax} {
+			cfg := DefaultConfig(40)
+			cfg.Size = 10
+			cfg.Combine = comb
+			cfg.Normalize = norm
+			res, err := Detect(s, cfg)
+			if err != nil {
+				t.Fatalf("combiner %v normalizer %v: %v", comb, norm, err)
+			}
+			for i, v := range res.Curve {
+				if v < 0 || v > 1 {
+					t.Fatalf("combiner %v normalizer %v: curve[%d]=%v outside [0,1]",
+						comb, norm, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestEnsembleBeatsWorstSingleRun(t *testing.T) {
+	// The motivating claim (Fig. 1): single parameter choices vary wildly;
+	// the ensemble should locate the anomaly at least as well as a bad
+	// single choice. We verify the ensemble finds the planted anomaly in a
+	// series where at least one single (w,a) run misses it.
+	period := 64
+	pos := 2000
+	s := noisyPeriodic(4000, period, pos, 21)
+	cfg := DefaultConfig(period)
+	cfg.Seed = 99
+	res, err := Detect(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := false
+	for _, c := range res.Candidates {
+		if c.Pos < pos+period && pos < c.Pos+c.Length {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("ensemble missed the planted anomaly at %d: %+v", pos, res.Candidates)
+	}
+}

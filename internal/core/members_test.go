@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"egi/internal/timeseries"
+)
+
+func TestComputeMembersMatchesDetect(t *testing.T) {
+	s := noisyPeriodic(1500, 50, 700, 31)
+	cfg := DefaultConfig(50)
+	cfg.Size = 15
+	cfg.Seed = 9
+
+	direct, err := Detect(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := timeseries.NewFeatures(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, err := ComputeMembers(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := CombineMembers(members, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct.Curve) != len(combined.Curve) {
+		t.Fatal("curve lengths differ")
+	}
+	for i := range direct.Curve {
+		if direct.Curve[i] != combined.Curve[i] {
+			t.Fatalf("split pipeline diverges from Detect at %d", i)
+		}
+	}
+	for i := range direct.Candidates {
+		if direct.Candidates[i] != combined.Candidates[i] {
+			t.Fatalf("candidate %d differs", i)
+		}
+	}
+}
+
+func TestComputeMembersProperties(t *testing.T) {
+	s := noisyPeriodic(1200, 40, 600, 8)
+	f, _ := timeseries.NewFeatures(s)
+	cfg := DefaultConfig(40)
+	cfg.Size = 12
+	members, err := ComputeMembers(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 12 {
+		t.Fatalf("got %d members, want 12", len(members))
+	}
+	seen := map[string]bool{}
+	for _, m := range members {
+		if len(m.Curve) != len(s) {
+			t.Errorf("member %v curve length %d", m.Params, len(m.Curve))
+		}
+		if m.Std < 0 || math.IsNaN(m.Std) {
+			t.Errorf("member %v std %v", m.Params, m.Std)
+		}
+		for _, v := range m.Curve {
+			if v < 0 {
+				t.Fatalf("member %v has negative density", m.Params)
+			}
+		}
+		key := m.Params.String()
+		if seen[key] {
+			t.Errorf("duplicate member params %v", m.Params)
+		}
+		seen[key] = true
+	}
+}
+
+func TestCombineMembersSubsetsBehaveLikeSmallerEnsembles(t *testing.T) {
+	// A prefix subset of the shuffled member list is a valid random
+	// ensemble of that size: combining must succeed for every N.
+	s := noisyPeriodic(1500, 50, 700, 12)
+	f, _ := timeseries.NewFeatures(s)
+	cfg := DefaultConfig(50)
+	cfg.Size = 30
+	members, err := ComputeMembers(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 5, 10, 30} {
+		res, err := CombineMembers(members[:n], cfg)
+		if err != nil {
+			t.Fatalf("N=%d: %v", n, err)
+		}
+		for _, v := range res.Curve {
+			if v < 0 || v > 1 {
+				t.Fatalf("N=%d: curve value %v outside [0,1]", n, v)
+			}
+		}
+	}
+	if _, err := CombineMembers(nil, cfg); err == nil {
+		t.Error("no members should error")
+	}
+}
+
+func TestCombineMembersTauExtremes(t *testing.T) {
+	s := noisyPeriodic(1000, 40, 500, 3)
+	f, _ := timeseries.NewFeatures(s)
+	cfg := DefaultConfig(40)
+	cfg.Size = 20
+	members, err := ComputeMembers(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tau so small that only one curve survives.
+	small := cfg
+	small.Tau = 0.01
+	res, err := CombineMembers(members, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := 0
+	for _, m := range res.Members {
+		if m.Kept {
+			kept++
+		}
+	}
+	if kept != 1 {
+		t.Errorf("tau=0.01 kept %d members, want 1", kept)
+	}
+	// tau = 1 keeps every non-degenerate curve.
+	full := cfg
+	full.Tau = 1
+	res, err = CombineMembers(members, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept = 0
+	for _, m := range res.Members {
+		if m.Kept {
+			kept++
+		}
+	}
+	if kept < len(members)/2 {
+		t.Errorf("tau=1 kept only %d of %d members", kept, len(members))
+	}
+}

@@ -1,0 +1,211 @@
+package eval
+
+import (
+	"math/rand"
+
+	"egi/internal/core"
+	"egi/internal/grammar"
+	"egi/internal/hotsax"
+	"egi/internal/matrixprofile"
+	"egi/internal/paramselect"
+	"egi/internal/rra"
+	"egi/internal/sax"
+	"egi/internal/timeseries"
+)
+
+// Detector is one anomaly detection method under evaluation: given a
+// series, a sliding window length and the number of candidates wanted, it
+// returns ranked candidate start positions (best first). The rng carries
+// per-series randomness for stochastic methods (GI-Random's parameter
+// draw, the ensemble's parameter sampling); deterministic methods ignore
+// it.
+type Detector struct {
+	Name   string
+	Detect func(s timeseries.Series, window, topK int, rng *rand.Rand) ([]int, error)
+}
+
+// candidatePositions projects grammar candidates to their start positions.
+func candidatePositions(cands []grammar.Candidate) []int {
+	out := make([]int, len(cands))
+	for i, c := range cands {
+		out[i] = c.Pos
+	}
+	return out
+}
+
+// EnsembleOptions tunes the proposed-method detector; zero values select
+// the paper's defaults (N=50, wmax=amax=10, tau=40%).
+type EnsembleOptions struct {
+	Size       int
+	WMax, AMax int
+	Tau        float64
+	Combine    core.Combiner
+	Normalize  core.Normalizer
+}
+
+// Ensemble returns the proposed ensemble grammar induction detector
+// ("Proposed Approach" in Tables 4–6).
+func Ensemble(opts EnsembleOptions) Detector {
+	return Detector{
+		Name: "Ensemble",
+		Detect: func(s timeseries.Series, window, topK int, rng *rand.Rand) ([]int, error) {
+			cfg := core.DefaultConfig(window)
+			if opts.Size != 0 {
+				cfg.Size = opts.Size
+			}
+			if opts.WMax != 0 {
+				cfg.WMax = opts.WMax
+			}
+			if opts.AMax != 0 {
+				cfg.AMax = opts.AMax
+			}
+			if opts.Tau != 0 {
+				cfg.Tau = opts.Tau
+			}
+			cfg.Combine = opts.Combine
+			cfg.Normalize = opts.Normalize
+			cfg.TopK = topK
+			cfg.Seed = rng.Int63()
+			res, err := core.Detect(s, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return candidatePositions(res.Candidates), nil
+		},
+	}
+}
+
+// GIRandom returns the GI-Random baseline: a single grammar-induction run
+// with (w, a) drawn uniformly from the same ranges the ensemble samples
+// (§7.1.3).
+func GIRandom(wmax, amax int) Detector {
+	if wmax == 0 {
+		wmax = core.DefaultWMax
+	}
+	if amax == 0 {
+		amax = core.DefaultAMax
+	}
+	return Detector{
+		Name: "GI-Random",
+		Detect: func(s timeseries.Series, window, topK int, rng *rand.Rand) ([]int, error) {
+			w := wmax
+			if w > window {
+				w = window
+			}
+			p := sax.Params{W: 2 + rng.Intn(w-1), A: 2 + rng.Intn(amax-1)}
+			res, err := grammar.Detect(s, window, p, nil, topK)
+			if err != nil {
+				return nil, err
+			}
+			return candidatePositions(res.Candidates), nil
+		},
+	}
+}
+
+// GIFix returns the GI-Fix baseline: a single run with the fixed generic
+// parameter values w=4, a=4 reported as the popular choice in [20].
+func GIFix() Detector {
+	return Detector{
+		Name: "GI-Fix",
+		Detect: func(s timeseries.Series, window, topK int, rng *rand.Rand) ([]int, error) {
+			p := sax.Params{W: 4, A: 4}
+			if p.W > window {
+				p.W = window
+			}
+			res, err := grammar.Detect(s, window, p, nil, topK)
+			if err != nil {
+				return nil, err
+			}
+			return candidatePositions(res.Candidates), nil
+		},
+	}
+}
+
+// GISelect returns the GI-Select baseline: a single run with (w, a) chosen
+// by the optimization procedure of internal/paramselect on the first 10%
+// of the series (normal data under the planting protocol).
+func GISelect(wmax, amax int) Detector {
+	if wmax == 0 {
+		wmax = core.DefaultWMax
+	}
+	if amax == 0 {
+		amax = core.DefaultAMax
+	}
+	return Detector{
+		Name: "GI-Select",
+		Detect: func(s timeseries.Series, window, topK int, rng *rand.Rand) ([]int, error) {
+			sel, err := paramselect.Select(s, paramselect.Config{
+				Window: window, WMax: wmax, AMax: amax,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := grammar.Detect(s, window, sel.Params, nil, topK)
+			if err != nil {
+				return nil, err
+			}
+			return candidatePositions(res.Candidates), nil
+		},
+	}
+}
+
+// HotSAX returns the original discord discovery algorithm of Keogh et al.
+// [9] as an additional baseline; the paper benchmarks STOMP but cites
+// HOTSAX as the reference discord method. Not part of the default Tables
+// 4–6 method set, available for cross-checks.
+func HotSAX() Detector {
+	return Detector{
+		Name: "HOTSAX",
+		Detect: func(s timeseries.Series, window, topK int, rng *rand.Rand) ([]int, error) {
+			ds, err := hotsax.TopK(s, window, topK, hotsax.Options{Seed: rng.Int63()})
+			if err != nil {
+				return nil, err
+			}
+			out := make([]int, len(ds))
+			for i, d := range ds {
+				out[i] = d.Pos
+			}
+			return out, nil
+		},
+	}
+}
+
+// RRA returns the Rare Rule Anomaly detector of Senin et al. [18] — the
+// paper's predecessor method with variable-length output — as an
+// additional baseline.
+func RRA() Detector {
+	return Detector{
+		Name: "RRA",
+		Detect: func(s timeseries.Series, window, topK int, rng *rand.Rand) ([]int, error) {
+			as, err := rra.Detect(s, rra.Config{Window: window, TopK: topK})
+			if err != nil {
+				return nil, err
+			}
+			out := make([]int, len(as))
+			for i, a := range as {
+				out[i] = a.Pos
+			}
+			return out, nil
+		},
+	}
+}
+
+// Discord returns the distance-based state-of-the-art baseline: top-k
+// discords from the STOMP matrix profile [23] (§7.1.3).
+func Discord() Detector {
+	return Detector{
+		Name: "Discord",
+		Detect: func(s timeseries.Series, window, topK int, rng *rand.Rand) ([]int, error) {
+			p, err := matrixprofile.STOMP(s, window, 0)
+			if err != nil {
+				return nil, err
+			}
+			ds := p.TopDiscords(topK)
+			out := make([]int, len(ds))
+			for i, d := range ds {
+				out[i] = d.Pos
+			}
+			return out, nil
+		},
+	}
+}

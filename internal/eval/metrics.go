@@ -1,0 +1,92 @@
+// Package eval implements the paper's evaluation protocol (§7.1): the
+// Score measure of Eq. (5), HitRate, win/tie/loss counting, the five
+// compared methods wrapped behind a common Detector interface, and the
+// harness that generates planted test series and scores every method on
+// them — the machinery behind Tables 4–14 and Figs. 1, 8 and 10.
+package eval
+
+import (
+	"errors"
+	"math"
+
+	"egi/internal/stat"
+)
+
+// Score implements Eq. (5) of the paper:
+//
+//	Score = 1 - min(1, |PredictLocation - GTLocation| / GTLength)
+//
+// It is 1 when the predicted anomaly location matches the ground truth
+// exactly and 0 when the two are at least one ground-truth-length apart.
+func Score(predictPos, gtPos, gtLen int) float64 {
+	if gtLen <= 0 {
+		return 0
+	}
+	d := float64(abs(predictPos-gtPos)) / float64(gtLen)
+	if d > 1 {
+		d = 1
+	}
+	return 1 - d
+}
+
+// BestScore returns the maximum Eq. (5) Score over a method's ranked
+// candidate positions — the per-series quantity the paper averages
+// (§7.1.2 uses the best of the top-3 candidates).
+func BestScore(candidates []int, gtPos, gtLen int) float64 {
+	best := 0.0
+	for _, p := range candidates {
+		if s := Score(p, gtPos, gtLen); s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// HitRate returns the fraction of per-series scores that are positive,
+// i.e. the fraction of series where some candidate overlapped the ground
+// truth (Table 5's measure).
+func HitRate(scores []float64) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, s := range scores {
+		if s > 0 {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(scores))
+}
+
+// WTL counts wins, ties and losses of method a over method b from paired
+// per-series scores (Table 6's measure). Scores within tieTol count as
+// ties; the paper treats exactly-equal scores as ties, so pass 0 to match.
+func WTL(a, b []float64, tieTol float64) (wins, ties, losses int, err error) {
+	if len(a) != len(b) {
+		return 0, 0, 0, errors.New("eval: paired score slices must have equal length")
+	}
+	for i := range a {
+		switch {
+		case math.Abs(a[i]-b[i]) <= tieTol:
+			ties++
+		case a[i] > b[i]:
+			wins++
+		default:
+			losses++
+		}
+	}
+	return wins, ties, losses, nil
+}
+
+// MeanStd returns the mean and sample standard deviation of xs — used for
+// the Table 12 repeated-evaluation summary.
+func MeanStd(xs []float64) (mean, std float64) {
+	return stat.Mean(xs), stat.Std(xs)
+}

@@ -1,0 +1,130 @@
+package eval
+
+import (
+	"testing"
+
+	"egi/internal/ucrsim"
+)
+
+func TestNewSeriesSet(t *testing.T) {
+	d, _ := ucrsim.ByName("Wafer")
+	ss, err := NewSeriesSet(d, 3, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss.Planted) != 3 {
+		t.Fatalf("got %d series", len(ss.Planted))
+	}
+	if ss.Window != d.SegmentLength {
+		t.Errorf("window %d, want %d", ss.Window, d.SegmentLength)
+	}
+	// Window fraction scales the window but not the data.
+	ss2, err := NewSeriesSet(d, 3, 0.6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss2.Window != 90 {
+		t.Errorf("fractional window %d, want 90", ss2.Window)
+	}
+	for i := range ss.Planted {
+		if ss.Planted[i].Anomalies[0] != ss2.Planted[i].Anomalies[0] {
+			t.Error("same seed must generate identical series regardless of window fraction")
+		}
+	}
+	if _, err := NewSeriesSet(d, 0, 1, 7); err == nil {
+		t.Error("numSeries=0 should error")
+	}
+}
+
+func TestSeriesSetRunMatchesRunDataset(t *testing.T) {
+	// The two evaluation paths must agree on deterministic detectors run
+	// over the same seed and series.
+	d, _ := ucrsim.ByName("GunPoint")
+	det := GIFix()
+	ss, err := NewSeriesSet(d, 3, 1, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := ss.Run(det, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms.Scores) != 3 {
+		t.Fatalf("got %d scores", len(ms.Scores))
+	}
+	for _, s := range ms.Scores {
+		if s < 0 || s > 1 {
+			t.Errorf("score %v outside [0,1]", s)
+		}
+	}
+	// Determinism.
+	ms2, err := ss.Run(det, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ms.Scores {
+		if ms.Scores[i] != ms2.Scores[i] {
+			t.Fatal("SeriesSet.Run not deterministic")
+		}
+	}
+}
+
+func TestSweepSizeTau(t *testing.T) {
+	d, _ := ucrsim.ByName("Trace")
+	ss, err := NewSeriesSet(d, 3, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{2, 5, 10}
+	taus := []float64{0.2, 1.0}
+	bySize, byTau, err := ss.SweepSizeTau(10, 10, 10, sizes, taus, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bySize) != 3 || len(byTau) != 2 {
+		t.Fatalf("got %d sizes, %d taus", len(bySize), len(byTau))
+	}
+	for _, n := range sizes {
+		ms := bySize[n]
+		if len(ms.Scores) != 3 {
+			t.Fatalf("N=%d has %d scores", n, len(ms.Scores))
+		}
+		for _, s := range ms.Scores {
+			if s < 0 || s > 1 {
+				t.Errorf("N=%d score %v outside [0,1]", n, s)
+			}
+		}
+	}
+	for _, tau := range taus {
+		for _, s := range byTau[tau].Scores {
+			if s < 0 || s > 1 {
+				t.Errorf("tau=%g score %v outside [0,1]", tau, s)
+			}
+		}
+	}
+}
+
+func TestSweepSizeTauFullSizeMatchesEnsembleRun(t *testing.T) {
+	// The N = maxSize entry of the sweep is an ordinary ensemble run, so
+	// it must agree with the Ensemble detector given identical seeds.
+	d, _ := ucrsim.ByName("Wafer")
+	ss, err := NewSeriesSet(d, 2, 1, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySize, _, err := ss.SweepSizeTau(10, 10, 12, []int{12}, nil, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := Ensemble(EnsembleOptions{Size: 12})
+	direct, err := ss.Run(det, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct.Scores {
+		if bySize[12].Scores[i] != direct.Scores[i] {
+			t.Errorf("series %d: sweep %v vs direct %v",
+				i, bySize[12].Scores[i], direct.Scores[i])
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package fft provides an iterative radix-2 complex fast Fourier transform
+// and the real-valued convolution built on it. It exists as the substrate
+// for the MASS sliding-dot-product used by the STAMP matrix profile
+// baseline (§2 of the paper); the stdlib has no FFT.
+package fft
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+)
+
+// ErrNotPowerOfTwo is returned by Transform for unsupported lengths.
+var ErrNotPowerOfTwo = errors.New("fft: length must be a power of two")
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPowerOfTwo returns the smallest power of two >= n (n must be >= 1).
+func NextPowerOfTwo(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// Transform computes the in-place forward FFT of x, whose length must be a
+// power of two. The convention is X[k] = sum_j x[j] * exp(-2πi jk/n).
+func Transform(x []complex128) error {
+	return transform(x, false)
+}
+
+// Inverse computes the in-place inverse FFT of x (including the 1/n
+// scaling), whose length must be a power of two.
+func Inverse(x []complex128) error {
+	if err := transform(x, true); err != nil {
+		return err
+	}
+	inv := complex(1/float64(len(x)), 0)
+	for i := range x {
+		x[i] *= inv
+	}
+	return nil
+}
+
+func transform(x []complex128, inverse bool) error {
+	n := len(x)
+	if !IsPowerOfTwo(n) {
+		return ErrNotPowerOfTwo
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	if n == 1 {
+		return nil
+	}
+	for i := 1; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Cooley-Tukey butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		ang := 2 * math.Pi / float64(size)
+		if !inverse {
+			ang = -ang
+		}
+		wStep := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	return nil
+}
+
+// Convolve returns the full linear convolution of a and b
+// (length len(a)+len(b)-1) computed via FFT in O((n+m) log(n+m)).
+func Convolve(a, b []float64) ([]float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return nil, errors.New("fft: empty input to Convolve")
+	}
+	outLen := len(a) + len(b) - 1
+	n := NextPowerOfTwo(outLen)
+	fa := make([]complex128, n)
+	fb := make([]complex128, n)
+	for i, v := range a {
+		fa[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		fb[i] = complex(v, 0)
+	}
+	if err := Transform(fa); err != nil {
+		return nil, err
+	}
+	if err := Transform(fb); err != nil {
+		return nil, err
+	}
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	if err := Inverse(fa); err != nil {
+		return nil, err
+	}
+	out := make([]float64, outLen)
+	for i := range out {
+		out[i] = real(fa[i])
+	}
+	return out, nil
+}
+
+// SlidingDotProducts returns, for every alignment i in [0, len(t)-len(q)],
+// the dot product of q with t[i:i+len(q)] — the core of the MASS algorithm.
+// It reverses q and convolves, costing O(n log n) independent of len(q).
+func SlidingDotProducts(q, t []float64) ([]float64, error) {
+	m, n := len(q), len(t)
+	if m == 0 || n == 0 || m > n {
+		return nil, errors.New("fft: query must be non-empty and no longer than the series")
+	}
+	rq := make([]float64, m)
+	for i, v := range q {
+		rq[m-1-i] = v
+	}
+	conv, err := Convolve(rq, t)
+	if err != nil {
+		return nil, err
+	}
+	// conv[m-1+i] = sum_j q[j]*t[i+j].
+	out := make([]float64, n-m+1)
+	copy(out, conv[m-1:m-1+len(out)])
+	return out, nil
+}

@@ -1,0 +1,209 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestIsPowerOfTwo(t *testing.T) {
+	cases := map[int]bool{
+		-4: false, 0: false, 1: true, 2: true, 3: false,
+		4: true, 6: false, 1024: true, 1023: false,
+	}
+	for n, want := range cases {
+		if got := IsPowerOfTwo(n); got != want {
+			t.Errorf("IsPowerOfTwo(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestNextPowerOfTwo(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 8: 8, 9: 16, 1000: 1024}
+	for n, want := range cases {
+		if got := NextPowerOfTwo(n); got != want {
+			t.Errorf("NextPowerOfTwo(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestTransformRejectsNonPowerOfTwo(t *testing.T) {
+	if err := Transform(make([]complex128, 3)); err == nil {
+		t.Error("length 3 should error")
+	}
+	if err := Inverse(make([]complex128, 6)); err == nil {
+		t.Error("length 6 should error")
+	}
+}
+
+func TestTransformKnownDFT(t *testing.T) {
+	// DFT of [1,0,0,0] is all ones; DFT of constant is an impulse.
+	x := []complex128{1, 0, 0, 0}
+	if err := Transform(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("impulse DFT[%d] = %v, want 1", i, v)
+		}
+	}
+	c := []complex128{2, 2, 2, 2}
+	if err := Transform(c); err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(c[0]-8) > 1e-12 {
+		t.Errorf("constant DFT[0] = %v, want 8", c[0])
+	}
+	for i := 1; i < 4; i++ {
+		if cmplx.Abs(c[i]) > 1e-12 {
+			t.Errorf("constant DFT[%d] = %v, want 0", i, c[i])
+		}
+	}
+}
+
+func TestTransformMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{1, 2, 4, 8, 16, 64} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := make([]complex128, n)
+		for k := 0; k < n; k++ {
+			var s complex128
+			for j := 0; j < n; j++ {
+				ang := -2 * math.Pi * float64(j*k) / float64(n)
+				s += x[j] * cmplx.Exp(complex(0, ang))
+			}
+			want[k] = s
+		}
+		got := append([]complex128(nil), x...)
+		if err := Transform(got); err != nil {
+			t.Fatal(err)
+		}
+		for k := range want {
+			if cmplx.Abs(got[k]-want[k]) > 1e-9*float64(n) {
+				t.Fatalf("n=%d: FFT[%d] = %v, naive %v", n, k, got[k], want[k])
+			}
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{1, 2, 8, 256, 1024} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		y := append([]complex128(nil), x...)
+		if err := Transform(y); err != nil {
+			t.Fatal(err)
+		}
+		if err := Inverse(y); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if cmplx.Abs(y[i]-x[i]) > 1e-9 {
+				t.Fatalf("n=%d round trip [%d] = %v, want %v", n, i, y[i], x[i])
+			}
+		}
+	}
+}
+
+func TestConvolveMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		na := 1 + rng.Intn(40)
+		nb := 1 + rng.Intn(40)
+		a := make([]float64, na)
+		b := make([]float64, nb)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		got, err := Convolve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]float64, na+nb-1)
+		for i := range a {
+			for j := range b {
+				want[i+j] += a[i] * b[j]
+			}
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("trial %d: conv[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestConvolveErrors(t *testing.T) {
+	if _, err := Convolve(nil, []float64{1}); err == nil {
+		t.Error("empty a should error")
+	}
+	if _, err := Convolve([]float64{1}, nil); err == nil {
+		t.Error("empty b should error")
+	}
+}
+
+func TestSlidingDotProducts(t *testing.T) {
+	q := []float64{1, 2}
+	s := []float64{1, 0, 2, 3}
+	got, err := SlidingDotProducts(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 4, 8} // [1*1+2*0, 1*0+2*2, 1*2+2*3]
+	if len(got) != 3 {
+		t.Fatalf("got %d products, want 3", len(got))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("sliding dot = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSlidingDotProductsMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.Intn(30)
+		n := m + rng.Intn(200)
+		q := make([]float64, m)
+		s := make([]float64, n)
+		for i := range q {
+			q[i] = rng.NormFloat64()
+		}
+		for i := range s {
+			s[i] = rng.NormFloat64()
+		}
+		got, err := SlidingDotProducts(q, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i <= n-m; i++ {
+			var want float64
+			for j := 0; j < m; j++ {
+				want += q[j] * s[i+j]
+			}
+			if math.Abs(got[i]-want) > 1e-8 {
+				t.Fatalf("trial %d offset %d: %v, want %v", trial, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestSlidingDotProductsErrors(t *testing.T) {
+	if _, err := SlidingDotProducts(nil, []float64{1}); err == nil {
+		t.Error("empty query should error")
+	}
+	if _, err := SlidingDotProducts([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("query longer than series should error")
+	}
+}

@@ -1,0 +1,171 @@
+package gen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandomWalk(t *testing.T) {
+	s, err := RandomWalk(10000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 10000 {
+		t.Fatalf("length %d", len(s))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Steps are standard normal increments.
+	var ss float64
+	for i := 1; i < len(s); i++ {
+		d := s[i] - s[i-1]
+		ss += d * d
+	}
+	stepVar := ss / float64(len(s)-1)
+	if stepVar < 0.8 || stepVar > 1.2 {
+		t.Errorf("step variance %v, want ~1", stepVar)
+	}
+	// Determinism.
+	s2, _ := RandomWalk(10000, 1)
+	for i := range s {
+		if s[i] != s2[i] {
+			t.Fatal("random walk not deterministic per seed")
+		}
+	}
+	if _, err := RandomWalk(0, 1); err == nil {
+		t.Error("length 0 should error")
+	}
+}
+
+func TestECG(t *testing.T) {
+	s, err := ECG(20000, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Quasi-periodic: autocorrelation near the beat period must clearly
+	// exceed autocorrelation at half the period.
+	ac := func(lag int) float64 {
+		var num float64
+		for i := 0; i+lag < len(s); i++ {
+			num += s[i] * s[i+lag]
+		}
+		return num / float64(len(s)-lag)
+	}
+	if ac(200) < ac(100)+0.005 {
+		t.Errorf("ECG not periodic at the beat length: ac(200)=%v ac(100)=%v", ac(200), ac(100))
+	}
+	if _, err := ECG(100, 5, 1); err == nil {
+		t.Error("tiny period should error")
+	}
+	if _, err := ECG(0, 200, 1); err == nil {
+		t.Error("length 0 should error")
+	}
+}
+
+func TestEEG(t *testing.T) {
+	s, err := EEG(20000, 256, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mean near zero, bounded amplitude.
+	var mu float64
+	for _, v := range s {
+		mu += v
+	}
+	mu /= float64(len(s))
+	if math.Abs(mu) > 0.3 {
+		t.Errorf("EEG mean %v, want ~0", mu)
+	}
+	if _, err := EEG(100, 0, 1); err == nil {
+		t.Error("zero sample rate should error")
+	}
+	if _, err := EEG(-1, 256, 1); err == nil {
+		t.Error("negative length should error")
+	}
+}
+
+func TestFridgeFreezer(t *testing.T) {
+	fs, err := FridgeFreezer(100000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Series) != 100000 {
+		t.Fatalf("length %d", len(fs.Series))
+	}
+	if err := fs.Series.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Anomalies) != 2 {
+		t.Fatalf("%d anomalies, want 2", len(fs.Anomalies))
+	}
+	a1, a2 := fs.Anomalies[0], fs.Anomalies[1]
+	if a1.Kind != "distorted-cycle" || a2.Kind != "spike-episode" {
+		t.Errorf("anomaly kinds %q %q", a1.Kind, a2.Kind)
+	}
+	if a1.Pos+a1.Length > len(fs.Series) || a2.Pos+a2.Length > len(fs.Series) {
+		t.Error("anomalies out of range")
+	}
+	if a2.Pos < a1.Pos+a1.Length {
+		t.Error("anomalies overlap")
+	}
+	// The spike episode must actually contain values well above the
+	// compressor's on-power.
+	maxIn := 0.0
+	for i := a2.Pos; i < a2.Pos+a2.Length; i++ {
+		if fs.Series[i] > maxIn {
+			maxIn = fs.Series[i]
+		}
+	}
+	if maxIn < 150 {
+		t.Errorf("spike episode max %v, want > 150", maxIn)
+	}
+	if _, err := FridgeFreezer(1000, 1); err == nil {
+		t.Error("too-short series should error")
+	}
+}
+
+func TestDishwasher(t *testing.T) {
+	ds, err := Dishwasher(12, 200, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Series) != 12*200 {
+		t.Fatalf("length %d", len(ds.Series))
+	}
+	if err := ds.Series.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a := ds.Anomaly
+	if a.Length != 200 || a.Pos%200 != 0 {
+		t.Errorf("anomaly %+v not cycle-aligned", a)
+	}
+	// The anomalous cycle's high-power duration must be much shorter than
+	// a normal cycle's.
+	countHigh := func(pos int) int {
+		c := 0
+		for j := 0; j < 200; j++ {
+			if ds.Series[pos+j] > 1000 {
+				c++
+			}
+		}
+		return c
+	}
+	anomHigh := countHigh(a.Pos)
+	normHigh := countHigh(0)
+	if anomHigh*2 >= normHigh {
+		t.Errorf("anomalous cycle high samples %d not well below normal %d", anomHigh, normHigh)
+	}
+	if _, err := Dishwasher(2, 200, 1); err == nil {
+		t.Error("too few cycles should error")
+	}
+	if _, err := Dishwasher(10, 10, 1); err == nil {
+		t.Error("too-short cycle should error")
+	}
+}

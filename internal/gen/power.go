@@ -1,0 +1,143 @@
+package gen
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"egi/internal/timeseries"
+)
+
+// FridgeAnomaly locates one planted anomaly in a FridgeFreezer series.
+type FridgeAnomaly struct {
+	Pos, Length int
+	Kind        string // "distorted-cycle" or "spike-episode"
+}
+
+// FridgeSeries is the §7.4 case-study series with its ground truth.
+type FridgeSeries struct {
+	Series    timeseries.Series
+	Anomalies []FridgeAnomaly
+	CycleLen  int // nominal compressor cycle length in samples
+}
+
+// FridgeFreezer synthesizes a fridge-freezer power usage trace in the
+// spirit of the REFIT data used in §7.4: a compressor duty cycle
+// (rectangular on/off pulses with on-power around 85 W), periodic
+// defrost-heater events, sensor noise — and two planted anomalies matching
+// Fig. 9's findings: one cycle with a distorted shape (top-1) and one
+// episode of normal cycles overlaid with short spikes (top-2). The paper
+// runs with a ~900-sample window, one nominal cycle.
+func FridgeFreezer(length int, seed int64) (*FridgeSeries, error) {
+	const cycle = 900 // nominal compressor cycle (on + off), in samples
+	if length < 20*cycle {
+		return nil, errors.New("gen: fridge-freezer series must be at least 20 cycles long")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := make(timeseries.Series, length)
+
+	// Base duty cycle: ~40% on at ~85 W, off at ~2 W standby, with
+	// per-cycle jitter in both duration and power.
+	i := 0
+	for i < length {
+		onLen := int(float64(cycle) * (0.35 + 0.1*rng.Float64()))
+		offLen := int(float64(cycle) * (0.55 + 0.1*rng.Float64()))
+		onPower := 82 + 6*rng.Float64()
+		for j := 0; j < onLen && i < length; j, i = j+1, i+1 {
+			// Compressor start transient decaying to steady state.
+			tr := 25 * math.Exp(-float64(j)/12)
+			s[i] = onPower + tr + 1.5*rng.NormFloat64()
+		}
+		for j := 0; j < offLen && i < length; j, i = j+1, i+1 {
+			s[i] = 2 + 0.4*rng.NormFloat64()
+		}
+	}
+	// Defrost heater: a ~15-minute high-power event every ~12000 samples.
+	for start := 11000; start+450 < length; start += 12000 + rng.Intn(2000) {
+		for j := 0; j < 450; j++ {
+			s[start+j] = 160 + 8*rng.NormFloat64()
+		}
+	}
+
+	// Planted anomaly 1: a distorted cycle — power sags mid-cycle and the
+	// cycle runs long (a failing compressor), around 35% of the series.
+	a1 := int(0.35 * float64(length))
+	for j := 0; j < cycle; j++ {
+		x := float64(j) / float64(cycle)
+		v := 55 + 30*math.Sin(3*math.Pi*x) // slow irregular hump, unlike the crisp duty cycle
+		if v < 2 {
+			v = 2
+		}
+		s[a1+j] = v + 1.5*rng.NormFloat64()
+	}
+
+	// Planted anomaly 2: an episode of otherwise-normal cycles overlaid
+	// with short high spikes, around 65% of the series. Spikes are ~30
+	// samples — short relative to the 900-sample cycle but wide enough to
+	// survive PAA averaging at the coarsest ensemble resolutions.
+	a2 := int(0.65 * float64(length))
+	episode := 2 * cycle
+	for k := 0; k < 15; k++ {
+		p := a2 + rng.Intn(episode-40)
+		for j := 0; j < 30; j++ {
+			s[p+j] += 200 + 30*rng.Float64()
+		}
+	}
+
+	return &FridgeSeries{
+		Series: s,
+		Anomalies: []FridgeAnomaly{
+			{Pos: a1, Length: cycle, Kind: "distorted-cycle"},
+			{Pos: a2, Length: episode, Kind: "spike-episode"},
+		},
+		CycleLen: cycle,
+	}, nil
+}
+
+// DishwasherAnomaly locates the planted anomaly in a Dishwasher series.
+type DishwasherAnomaly struct {
+	Pos, Length int
+}
+
+// DishwasherSeries is the Fig. 1 motivating-example series: dishwasher
+// electricity usage cycles with one anomalous cycle that has an unusually
+// short high-power period.
+type DishwasherSeries struct {
+	Series   timeseries.Series
+	Anomaly  DishwasherAnomaly
+	CycleLen int
+}
+
+// Dishwasher synthesizes the Fig. 1 snippet: numCycles wash cycles, each a
+// two-phase high-power pattern, with the anomalous cycle's heating phase
+// cut unusually short. cycleLen is the cycle length in samples.
+func Dishwasher(numCycles, cycleLen int, seed int64) (*DishwasherSeries, error) {
+	if numCycles < 3 || cycleLen < 40 {
+		return nil, errors.New("gen: need >= 3 cycles of >= 40 samples")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	anomCycle := numCycles/2 + rng.Intn(numCycles/4) // mid-series
+	s := make(timeseries.Series, 0, numCycles*cycleLen)
+	var anomaly DishwasherAnomaly
+	for c := 0; c < numCycles; c++ {
+		heatFrac := 0.45 + 0.05*rng.Float64()
+		if c == anomCycle {
+			heatFrac = 0.12 // the unusually short power-usage period
+			anomaly = DishwasherAnomaly{Pos: len(s), Length: cycleLen}
+		}
+		for j := 0; j < cycleLen; j++ {
+			x := float64(j) / float64(cycleLen)
+			var v float64
+			switch {
+			case x < heatFrac: // heating phase, high power
+				v = 2000 + 40*rng.NormFloat64()
+			case x < heatFrac+0.25: // wash/rinse phase, medium
+				v = 300 + 25*rng.NormFloat64()
+			default: // drain/idle
+				v = 10 + 4*rng.NormFloat64()
+			}
+			s = append(s, v)
+		}
+	}
+	return &DishwasherSeries{Series: s, Anomaly: anomaly, CycleLen: cycleLen}, nil
+}

@@ -1,0 +1,295 @@
+// Package hotsax implements the HOTSAX discord discovery algorithm of
+// Keogh, Lin & Fu (ICDM 2005), reference [9] of the paper. It finds the
+// time series discord — the subsequence with the largest 1-NN z-normalized
+// Euclidean distance to any non-self match — using the SAX-based outer/
+// inner loop heuristics with early abandoning, which keeps the average
+// cost far below the brute-force O(n²m).
+//
+// The paper uses STOMP as its Discord baseline but cites HOTSAX as the
+// original discord algorithm and compares against it for robustness; this
+// package completes that substrate and provides an independent
+// implementation to cross-check the matrix profile discords.
+package hotsax
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"egi/internal/sax"
+	"egi/internal/stat"
+	"egi/internal/timeseries"
+)
+
+// Errors reported by the search.
+var (
+	ErrBadSubLen = errors.New("hotsax: subsequence length out of range")
+	ErrTooShort  = errors.New("hotsax: series too short for any non-self match")
+)
+
+// Discord mirrors matrixprofile.Discord: a subsequence and its 1-NN
+// distance among non-self matches.
+type Discord struct {
+	Pos    int
+	Length int
+	Dist   float64
+}
+
+// Options tunes the search. The zero value selects the classic defaults.
+type Options struct {
+	// W and A are the SAX parameters used for the outer/inner heuristics
+	// (not for the distances, which are exact). Defaults: W=3, A=3, the
+	// values recommended in the HOTSAX paper.
+	W, A int
+	// Seed drives the randomized visit order of the inner loop.
+	Seed int64
+}
+
+func (o Options) normalized() Options {
+	if o.W == 0 {
+		o.W = 3
+	}
+	if o.A == 0 {
+		o.A = 3
+	}
+	return o
+}
+
+// Top1 returns the top discord of the series with subsequence length m.
+func Top1(series timeseries.Series, m int, opts Options) (Discord, error) {
+	ds, err := TopK(series, m, 1, opts)
+	if err != nil {
+		return Discord{}, err
+	}
+	return ds[0], nil
+}
+
+// TopK returns up to k non-overlapping discords in descending distance
+// order. Subsequent discords are found by re-running the search with the
+// already-found regions excluded, as in the original formulation of the
+// k-th discord.
+func TopK(series timeseries.Series, m, k int, opts Options) ([]Discord, error) {
+	if err := series.Validate(); err != nil {
+		return nil, err
+	}
+	if m < 2 || m > len(series) {
+		return nil, fmt.Errorf("%w: m=%d n=%d", ErrBadSubLen, m, len(series))
+	}
+	numSub := len(series) - m + 1
+	if numSub <= m {
+		return nil, fmt.Errorf("%w: %d subsequences for window %d", ErrTooShort, numSub, m)
+	}
+	if k < 1 {
+		return nil, errors.New("hotsax: k must be >= 1")
+	}
+	opts = opts.normalized()
+	if err := (sax.Params{W: opts.W, A: opts.A}).Validate(m); err != nil {
+		return nil, err
+	}
+
+	s := newSearch(series, m, opts)
+	excluded := make([]bool, numSub)
+	var out []Discord
+	for len(out) < k {
+		d, ok := s.search(excluded)
+		if !ok {
+			break
+		}
+		out = append(out, d)
+		for p := d.Pos - m + 1; p < d.Pos+m; p++ {
+			if p >= 0 && p < numSub {
+				excluded[p] = true
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("hotsax: no discord found")
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Dist > out[j].Dist })
+	return out, nil
+}
+
+// search holds the per-series state reused across the k iterations.
+type search struct {
+	series  timeseries.Series
+	m       int
+	numSub  int
+	words   []string         // SAX word per subsequence
+	buckets map[string][]int // word -> subsequence positions
+	means   []float64
+	stds    []float64
+	rng     *rand.Rand
+}
+
+func newSearch(series timeseries.Series, m int, opts Options) *search {
+	numSub := len(series) - m + 1
+	f, _ := timeseries.NewFeatures(series) // series validated by caller
+	means, stds, _ := f.MovingMeansStds(m)
+	words := make([]string, numSub)
+	buckets := make(map[string][]int)
+	coeffs := make([]float64, opts.W)
+	mr, _ := sax.NewMultiResolver(opts.A)
+	buf := make([]byte, opts.W)
+	for i := 0; i < numSub; i++ {
+		_ = sax.FastPAA(f, i, m, opts.W, coeffs)
+		_ = mr.EncodeWord(coeffs, opts.A, buf)
+		words[i] = string(buf)
+		buckets[words[i]] = append(buckets[words[i]], i)
+	}
+	return &search{
+		series:  series,
+		m:       m,
+		numSub:  numSub,
+		words:   words,
+		buckets: buckets,
+		means:   means,
+		stds:    stds,
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+// dist computes the exact z-normalized Euclidean distance between
+// subsequences p and q, abandoning early once it exceeds bound (returning
+// +Inf in that case).
+func (s *search) dist(p, q int, bound float64) float64 {
+	mp, sp := s.means[p], s.stds[p]
+	mq, sq := s.means[q], s.stds[q]
+	flatP, flatQ := sp < sax.Eps, sq < sax.Eps
+	switch {
+	case flatP && flatQ:
+		return 0
+	case flatP || flatQ:
+		return math.Sqrt(float64(s.m))
+	}
+	bound2 := bound * bound
+	var acc float64
+	ip, iq := p, q
+	for k := 0; k < s.m; k++ {
+		d := (s.series[ip+k]-mp)/sp - (s.series[iq+k]-mq)/sq
+		acc += d * d
+		if acc > bound2 {
+			return math.Inf(1)
+		}
+	}
+	return math.Sqrt(acc)
+}
+
+// search runs one HOTSAX outer/inner loop pass over the non-excluded
+// subsequences and returns the best discord.
+func (s *search) search(excluded []bool) (Discord, bool) {
+	// Outer loop order: subsequences whose SAX word is rarest first
+	// (they are the most promising discord candidates), then the rest in
+	// random order — the HOTSAX heuristic.
+	type cand struct {
+		pos  int
+		freq int
+	}
+	cands := make([]cand, 0, s.numSub)
+	for i := 0; i < s.numSub; i++ {
+		if !excluded[i] {
+			cands = append(cands, cand{pos: i, freq: len(s.buckets[s.words[i]])})
+		}
+	}
+	if len(cands) == 0 {
+		return Discord{}, false
+	}
+	s.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].freq < cands[j].freq })
+
+	best := Discord{Pos: -1, Dist: -1}
+	randOrder := s.rng.Perm(s.numSub)
+	for _, c := range cands {
+		p := c.pos
+		nn := math.Inf(1)
+		// Inner loop phase 1: same-word bucket first — likeliest to give a
+		// small distance quickly, enabling early abandoning.
+		abandoned := false
+		for _, q := range s.buckets[s.words[p]] {
+			if absInt(p-q) < s.m {
+				continue
+			}
+			if d := s.dist(p, q, math.Min(nn, math.Inf(1))); d < nn {
+				nn = d
+			}
+			if nn < best.Dist {
+				abandoned = true
+				break
+			}
+		}
+		if !abandoned {
+			// Phase 2: everything else in random order.
+			for _, q := range randOrder {
+				if absInt(p-q) < s.m {
+					continue
+				}
+				if d := s.dist(p, q, nn); d < nn {
+					nn = d
+				}
+				if nn < best.Dist {
+					abandoned = true
+					break
+				}
+			}
+		}
+		if !abandoned && !math.IsInf(nn, 1) && nn > best.Dist {
+			best = Discord{Pos: p, Length: s.m, Dist: nn}
+		}
+	}
+	if best.Pos < 0 {
+		return Discord{}, false
+	}
+	return best, true
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// BruteForceTop1 computes the top discord by exhaustive search. Reference
+// implementation for tests; exported so the benchmark harness can quantify
+// HOTSAX's pruning on the paper's workloads.
+func BruteForceTop1(series timeseries.Series, m int) (Discord, error) {
+	if err := series.Validate(); err != nil {
+		return Discord{}, err
+	}
+	if m < 2 || m > len(series) {
+		return Discord{}, fmt.Errorf("%w: m=%d n=%d", ErrBadSubLen, m, len(series))
+	}
+	numSub := len(series) - m + 1
+	if numSub <= m {
+		return Discord{}, fmt.Errorf("%w: %d subsequences for window %d", ErrTooShort, numSub, m)
+	}
+	zs := make([][]float64, numSub)
+	for i := range zs {
+		zs[i] = stat.ZNormalize(series[i:i+m], sax.Eps)
+	}
+	best := Discord{Pos: -1, Dist: -1}
+	for p := 0; p < numSub; p++ {
+		nn := math.Inf(1)
+		for q := 0; q < numSub; q++ {
+			if absInt(p-q) < m {
+				continue
+			}
+			var acc float64
+			for k := 0; k < m; k++ {
+				d := zs[p][k] - zs[q][k]
+				acc += d * d
+			}
+			if d := math.Sqrt(acc); d < nn {
+				nn = d
+			}
+		}
+		if !math.IsInf(nn, 1) && nn > best.Dist {
+			best = Discord{Pos: p, Length: m, Dist: nn}
+		}
+	}
+	if best.Pos < 0 {
+		return Discord{}, errors.New("hotsax: no discord found")
+	}
+	return best, nil
+}

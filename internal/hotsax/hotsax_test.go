@@ -1,0 +1,154 @@
+package hotsax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"egi/internal/matrixprofile"
+	"egi/internal/timeseries"
+)
+
+func sineWithAnomaly(length, period, pos int, seed int64) timeseries.Series {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(timeseries.Series, length)
+	for i := range s {
+		s[i] = math.Sin(2*math.Pi*float64(i)/float64(period)) + 0.03*rng.NormFloat64()
+	}
+	for i := pos; i < pos+period && i < length; i++ {
+		s[i] = -1.5 + 3*math.Abs(float64(i-pos)/float64(period)-0.5) + 0.03*rng.NormFloat64()
+	}
+	return s
+}
+
+func TestTop1MatchesBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		s := sineWithAnomaly(400, 40, 200, seed)
+		want, err := BruteForceTop1(s, 40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Top1(s, 40, Options{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Pos != want.Pos {
+			t.Errorf("seed %d: HOTSAX discord at %d, brute force at %d", seed, got.Pos, want.Pos)
+		}
+		if math.Abs(got.Dist-want.Dist) > 1e-6 {
+			t.Errorf("seed %d: HOTSAX dist %v, brute force %v", seed, got.Dist, want.Dist)
+		}
+	}
+}
+
+func TestTop1AgreesWithMatrixProfile(t *testing.T) {
+	s := sineWithAnomaly(800, 50, 350, 7)
+	d, err := Top1(s, 50, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := matrixprofile.STOMP(s, 50, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := p.TopDiscords(1)[0]
+	if d.Pos != mp.Pos {
+		t.Errorf("HOTSAX discord at %d, STOMP discord at %d", d.Pos, mp.Pos)
+	}
+	if math.Abs(d.Dist-mp.Dist) > 1e-5 {
+		t.Errorf("HOTSAX dist %v, STOMP dist %v", d.Dist, mp.Dist)
+	}
+}
+
+func TestTopKNonOverlappingDescending(t *testing.T) {
+	s := sineWithAnomaly(1000, 40, 300, 9)
+	// Plant a second, different anomaly.
+	for i := 700; i < 740; i++ {
+		s[i] += 2.5
+	}
+	ds, err := TopK(s, 40, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 3 {
+		t.Fatalf("got %d discords, want 3", len(ds))
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i].Dist > ds[i-1].Dist+1e-9 {
+			t.Errorf("discords not descending: %+v", ds)
+		}
+	}
+	for i := range ds {
+		for j := i + 1; j < len(ds); j++ {
+			if ds[i].Pos < ds[j].Pos+ds[j].Length && ds[j].Pos < ds[i].Pos+ds[i].Length {
+				t.Errorf("discords %d and %d overlap: %+v %+v", i, j, ds[i], ds[j])
+			}
+		}
+	}
+	// The two planted anomalies should be among the top discords.
+	found300, found700 := false, false
+	for _, d := range ds {
+		if d.Pos > 260 && d.Pos < 340 {
+			found300 = true
+		}
+		if d.Pos > 660 && d.Pos < 740 {
+			found700 = true
+		}
+	}
+	if !found300 || !found700 {
+		t.Errorf("planted anomalies not both found: %+v", ds)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := sineWithAnomaly(200, 20, 100, 1)
+	if _, err := Top1(s, 1, Options{}); err == nil {
+		t.Error("m=1 should error")
+	}
+	if _, err := Top1(s, 300, Options{}); err == nil {
+		t.Error("m>n should error")
+	}
+	if _, err := Top1(s, 150, Options{}); err == nil {
+		t.Error("too few non-self matches should error")
+	}
+	if _, err := TopK(s, 20, 0, Options{}); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := Top1(timeseries.Series{}, 10, Options{}); err == nil {
+		t.Error("empty series should error")
+	}
+	if _, err := BruteForceTop1(s, 1); err == nil {
+		t.Error("brute force m=1 should error")
+	}
+}
+
+func TestFlatSeriesRegions(t *testing.T) {
+	// Flat regions must not produce NaNs or crash; distances follow the
+	// flat conventions.
+	s := make(timeseries.Series, 400)
+	rng := rand.New(rand.NewSource(3))
+	for i := range s {
+		if i >= 100 && i < 200 {
+			s[i] = 1
+		} else {
+			s[i] = math.Sin(float64(i)/8) + 0.05*rng.NormFloat64()
+		}
+	}
+	d, err := Top1(s, 30, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(d.Dist) || d.Dist < 0 {
+		t.Errorf("bad discord distance %v", d.Dist)
+	}
+}
+
+func BenchmarkHOTSAX2k(b *testing.B) {
+	s := sineWithAnomaly(2000, 50, 1000, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Top1(s, 50, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

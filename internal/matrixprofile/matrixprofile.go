@@ -1,0 +1,329 @@
+// Package matrixprofile implements the distance-based discord discovery
+// baseline of the paper (§2, §7.1.3, §7.3): the matrix profile — the
+// 1-nearest-neighbor z-normalized Euclidean distance of every subsequence —
+// computed three ways:
+//
+//   - BruteForce: the O(n² m) reference used to validate the fast paths;
+//   - STAMP [21]: one MASS (FFT) distance profile per row, O(n² log n);
+//   - STOMP [23]: the O(n²) dot-product-recurrence algorithm the paper
+//     benchmarks against (its Discord baseline and Fig. 8 competitor).
+//
+// The time series discord (Keogh et al. [9]) is then the subsequence with
+// the largest profile value; TopDiscords extracts the top-k non-overlapping
+// ones.
+//
+// Conventions shared by all three implementations (and asserted equal in
+// the tests): subsequences are z-normalized with the flat-window rule of
+// package stat (σ≈0 ⇒ the zero vector), so the distance between two flat
+// windows is 0 and between a flat and a non-flat window is √m. The
+// exclusion zone around each subsequence defaults to the full window length
+// m, the non-self-match requirement of the discord definition.
+package matrixprofile
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"egi/internal/fft"
+	"egi/internal/timeseries"
+)
+
+// Eps is the flat-window standard deviation threshold.
+const Eps = 1e-9
+
+// Errors reported by the profile computations.
+var (
+	ErrBadSubLen    = errors.New("matrixprofile: subsequence length out of range")
+	ErrTooFewSubseq = errors.New("matrixprofile: series too short for any non-self match")
+)
+
+// Profile is a matrix profile: for every subsequence start i, P[i] is the
+// z-normalized Euclidean distance to its nearest non-self match and I[i]
+// that match's start index (-1 if none exists).
+type Profile struct {
+	P []float64
+	I []int
+	M int // subsequence length the profile was computed with
+}
+
+// Discord is one extracted anomaly: the subsequence at Pos whose nearest
+// non-self match is Dist away.
+type Discord struct {
+	Pos    int
+	Length int
+	Dist   float64
+	NN     int // nearest neighbor position
+}
+
+// checkArgs validates and returns the number of subsequences and the
+// effective exclusion zone (excl <= 0 selects the default m).
+func checkArgs(n, m, excl int) (numSub, exclOut int, err error) {
+	if m < 2 || m > n {
+		return 0, 0, fmt.Errorf("%w: m=%d n=%d", ErrBadSubLen, m, n)
+	}
+	numSub = n - m + 1
+	if excl <= 0 {
+		excl = m
+	}
+	if numSub <= excl {
+		return 0, 0, fmt.Errorf("%w: %d subsequences, exclusion zone %d", ErrTooFewSubseq, numSub, excl)
+	}
+	return numSub, excl, nil
+}
+
+// zdist computes the z-normalized distance between subsequences i and j
+// from their dot product qt and precomputed moments, applying the flat
+// conventions. m is the subsequence length. Flatness flags are computed
+// exactly (all window values equal) rather than from a σ threshold, because
+// prefix-sum cancellation can leave a tiny nonzero σ on flat windows.
+func zdist(qt float64, m int, mi, si float64, flatI bool, mj, sj float64, flatJ bool) float64 {
+	fm := float64(m)
+	flatI = flatI || si < Eps
+	flatJ = flatJ || sj < Eps
+	switch {
+	case flatI && flatJ:
+		return 0
+	case flatI || flatJ:
+		return math.Sqrt(fm)
+	}
+	corr := (qt - fm*mi*mj) / (fm * si * sj)
+	if corr > 1 {
+		corr = 1
+	}
+	if corr < -1 {
+		corr = -1
+	}
+	return math.Sqrt(2 * fm * (1 - corr))
+}
+
+// flatWindows reports, for every window start, whether all m values of the
+// window are identical. Computed in O(n) from run lengths of equal values.
+func flatWindows(s timeseries.Series, m int) []bool {
+	n := len(s)
+	run := make([]int, n) // run[i] = length of the equal-value run starting at i
+	for i := n - 1; i >= 0; i-- {
+		if i == n-1 || s[i] != s[i+1] {
+			run[i] = 1
+		} else {
+			run[i] = run[i+1] + 1
+		}
+	}
+	out := make([]bool, n-m+1)
+	for i := range out {
+		out[i] = run[i] >= m
+	}
+	return out
+}
+
+// BruteForce computes the matrix profile by explicit pairwise z-normalized
+// distances. O(n²m) time; the reference implementation for tests.
+func BruteForce(series timeseries.Series, m, excl int) (*Profile, error) {
+	if err := series.Validate(); err != nil {
+		return nil, err
+	}
+	numSub, excl, err := checkArgs(len(series), m, excl)
+	if err != nil {
+		return nil, err
+	}
+	f, err := timeseries.NewFeatures(series)
+	if err != nil {
+		return nil, err
+	}
+	means, stds, err := f.MovingMeansStds(m)
+	if err != nil {
+		return nil, err
+	}
+	flats := flatWindows(series, m)
+	p := newProfile(numSub, m)
+	for i := 0; i < numSub; i++ {
+		for j := i + excl; j < numSub; j++ {
+			var qt float64
+			for k := 0; k < m; k++ {
+				qt += series[i+k] * series[j+k]
+			}
+			d := zdist(qt, m, means[i], stds[i], flats[i], means[j], stds[j], flats[j])
+			p.update(i, j, d)
+		}
+	}
+	return p, nil
+}
+
+func newProfile(numSub, m int) *Profile {
+	p := &Profile{P: make([]float64, numSub), I: make([]int, numSub), M: m}
+	for i := range p.P {
+		p.P[i] = math.Inf(1)
+		p.I[i] = -1
+	}
+	return p
+}
+
+func (p *Profile) update(i, j int, d float64) {
+	if d < p.P[i] {
+		p.P[i] = d
+		p.I[i] = j
+	}
+	if d < p.P[j] {
+		p.P[j] = d
+		p.I[j] = i
+	}
+}
+
+// MASS computes the distance profile of query against every subsequence of
+// series of the query's length, using the FFT sliding dot product
+// (Mueen's Algorithm for Similarity Search). The query is z-normalized
+// internally; flat conventions as in the package comment.
+func MASS(query []float64, series timeseries.Series) ([]float64, error) {
+	m := len(query)
+	if m < 2 || m > len(series) {
+		return nil, fmt.Errorf("%w: m=%d n=%d", ErrBadSubLen, m, len(series))
+	}
+	f, err := timeseries.NewFeatures(series)
+	if err != nil {
+		return nil, err
+	}
+	means, stds, err := f.MovingMeansStds(m)
+	if err != nil {
+		return nil, err
+	}
+	qf, err := timeseries.NewFeatures(query)
+	if err != nil {
+		return nil, err
+	}
+	qm, qs := qf.RangeMeanStd(0, m)
+	qFlat := true
+	for _, v := range query[1:] {
+		if v != query[0] {
+			qFlat = false
+			break
+		}
+	}
+	flats := flatWindows(series, m)
+	qt, err := fft.SlidingDotProducts(query, series)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(qt))
+	for i := range out {
+		out[i] = zdist(qt[i], m, qm, qs, qFlat, means[i], stds[i], flats[i])
+	}
+	return out, nil
+}
+
+// STAMP computes the matrix profile using one MASS pass per subsequence.
+// O(n² log n) total; kept both as a second fast implementation to
+// cross-check STOMP and because the paper discusses it alongside STOMP.
+func STAMP(series timeseries.Series, m, excl int) (*Profile, error) {
+	if err := series.Validate(); err != nil {
+		return nil, err
+	}
+	numSub, excl, err := checkArgs(len(series), m, excl)
+	if err != nil {
+		return nil, err
+	}
+	f, err := timeseries.NewFeatures(series)
+	if err != nil {
+		return nil, err
+	}
+	means, stds, err := f.MovingMeansStds(m)
+	if err != nil {
+		return nil, err
+	}
+	flats := flatWindows(series, m)
+	p := newProfile(numSub, m)
+	for i := 0; i < numSub; i++ {
+		qt, err := fft.SlidingDotProducts(series[i:i+m], series)
+		if err != nil {
+			return nil, err
+		}
+		for j := i + excl; j < numSub; j++ {
+			d := zdist(qt[j], m, means[i], stds[i], flats[i], means[j], stds[j], flats[j])
+			p.update(i, j, d)
+		}
+	}
+	return p, nil
+}
+
+// STOMP computes the matrix profile with the O(n²) dot-product recurrence
+// of Zhu et al. [23]:
+//
+//	QT(i,j) = QT(i-1,j-1) - t[i-1]·t[j-1] + t[i+m-1]·t[j+m-1]
+//
+// seeded by one FFT sliding-dot-product row. This is the paper's Discord
+// baseline and the quadratic competitor of the Fig. 8 scalability study.
+func STOMP(series timeseries.Series, m, excl int) (*Profile, error) {
+	if err := series.Validate(); err != nil {
+		return nil, err
+	}
+	numSub, excl, err := checkArgs(len(series), m, excl)
+	if err != nil {
+		return nil, err
+	}
+	f, err := timeseries.NewFeatures(series)
+	if err != nil {
+		return nil, err
+	}
+	means, stds, err := f.MovingMeansStds(m)
+	if err != nil {
+		return nil, err
+	}
+	// Row 0: QT(0, j) for all j.
+	row0, err := fft.SlidingDotProducts(series[0:m], series)
+	if err != nil {
+		return nil, err
+	}
+	flats := flatWindows(series, m)
+	p := newProfile(numSub, m)
+	qt := append([]float64(nil), row0...)
+	for i := 0; i < numSub; i++ {
+		if i > 0 {
+			// Update in place right-to-left so QT(i-1, j-1) is still
+			// available when computing QT(i, j).
+			for j := numSub - 1; j >= 1; j-- {
+				qt[j] = qt[j-1] - series[i-1]*series[j-1] + series[i+m-1]*series[j+m-1]
+			}
+			qt[0] = row0[i] // QT(i, 0) = QT(0, i) by symmetry
+		}
+		for j := i + excl; j < numSub; j++ {
+			d := zdist(qt[j], m, means[i], stds[i], flats[i], means[j], stds[j], flats[j])
+			p.update(i, j, d)
+		}
+	}
+	return p, nil
+}
+
+// TopDiscords returns up to k discords: subsequences ranked by descending
+// profile value, skipping any that overlaps an already selected one and any
+// without a valid non-self match.
+func (p *Profile) TopDiscords(k int) []Discord {
+	if k < 1 {
+		return nil
+	}
+	order := make([]int, len(p.P))
+	for i := range order {
+		order[i] = i
+	}
+	// Descending by profile value; stable, so ties resolve to the leftmost.
+	sort.SliceStable(order, func(a, b int) bool { return p.P[order[a]] > p.P[order[b]] })
+	var out []Discord
+	for _, i := range order {
+		if len(out) == k {
+			break
+		}
+		if p.I[i] < 0 || math.IsInf(p.P[i], 1) {
+			continue
+		}
+		overlaps := false
+		for _, d := range out {
+			if i < d.Pos+d.Length && d.Pos < i+p.M {
+				overlaps = true
+				break
+			}
+		}
+		if !overlaps {
+			out = append(out, Discord{Pos: i, Length: p.M, Dist: p.P[i], NN: p.I[i]})
+		}
+	}
+	return out
+}

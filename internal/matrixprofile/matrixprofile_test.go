@@ -1,0 +1,301 @@
+package matrixprofile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"egi/internal/timeseries"
+)
+
+func sineWithAnomaly(length, period, pos int, seed int64) timeseries.Series {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(timeseries.Series, length)
+	for i := range s {
+		s[i] = math.Sin(2*math.Pi*float64(i)/float64(period)) + 0.03*rng.NormFloat64()
+	}
+	for i := pos; i < pos+period && i < length; i++ {
+		s[i] = -1.5 + 3*math.Abs(float64(i-pos)/float64(period)-0.5) + 0.03*rng.NormFloat64()
+	}
+	return s
+}
+
+func profilesEqual(t *testing.T, name string, a, b *Profile, tol float64) {
+	t.Helper()
+	if len(a.P) != len(b.P) {
+		t.Fatalf("%s: profile lengths %d vs %d", name, len(a.P), len(b.P))
+	}
+	for i := range a.P {
+		if math.Abs(a.P[i]-b.P[i]) > tol {
+			t.Fatalf("%s: P[%d] = %v vs %v", name, i, a.P[i], b.P[i])
+		}
+	}
+}
+
+func TestSTOMPAndSTAMPMatchBruteForce(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		s := sineWithAnomaly(400, 40, 200, seed)
+		bf, err := BruteForce(s, 40, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := STOMP(s, 40, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, err := STAMP(s, 40, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profilesEqual(t, "STOMP vs brute", st, bf, 1e-6)
+		profilesEqual(t, "STAMP vs brute", sa, bf, 1e-6)
+	}
+}
+
+func TestSTOMPMatchesBruteForceRandomWalks(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 5; trial++ {
+		n := 150 + rng.Intn(200)
+		m := 10 + rng.Intn(30)
+		s := make(timeseries.Series, n)
+		v := 0.0
+		for i := range s {
+			v += rng.NormFloat64()
+			s[i] = v
+		}
+		bf, err := BruteForce(s, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := STOMP(s, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profilesEqual(t, "STOMP vs brute (rw)", st, bf, 1e-5)
+	}
+}
+
+func TestSTOMPWithFlatRegions(t *testing.T) {
+	// Series containing perfectly flat stretches exercises the σ=0
+	// conventions; all three implementations must agree.
+	s := make(timeseries.Series, 300)
+	rng := rand.New(rand.NewSource(5))
+	for i := range s {
+		switch {
+		case i >= 50 && i < 120:
+			s[i] = 2 // flat block
+		case i >= 200 && i < 240:
+			s[i] = -1 // second flat block
+		default:
+			s[i] = rng.NormFloat64()
+		}
+	}
+	m := 20
+	bf, err := BruteForce(s, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := STOMP(s, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := STAMP(s, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profilesEqual(t, "STOMP vs brute (flat)", st, bf, 1e-5)
+	profilesEqual(t, "STAMP vs brute (flat)", sa, bf, 1e-5)
+	// Two flat windows must be each other's zero-distance matches.
+	if bf.P[60] != 0 {
+		t.Errorf("flat window should have a zero-distance match, got %v", bf.P[60])
+	}
+}
+
+func TestMASSMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := make(timeseries.Series, 300)
+	for i := range s {
+		s[i] = rng.NormFloat64() + math.Sin(float64(i)/9)
+	}
+	m := 25
+	q := append([]float64(nil), s[40:40+m]...)
+	got, err := MASS(q, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Naive z-normalized distances.
+	znorm := func(x []float64) []float64 {
+		mu, sd := 0.0, 0.0
+		for _, v := range x {
+			mu += v
+		}
+		mu /= float64(len(x))
+		for _, v := range x {
+			sd += (v - mu) * (v - mu)
+		}
+		sd = math.Sqrt(sd / float64(len(x)))
+		out := make([]float64, len(x))
+		if sd < Eps {
+			return out
+		}
+		for i, v := range x {
+			out[i] = (v - mu) / sd
+		}
+		return out
+	}
+	zq := znorm(q)
+	for i := 0; i+m <= len(s); i++ {
+		zi := znorm(s[i : i+m])
+		var d float64
+		for k := 0; k < m; k++ {
+			d += (zq[k] - zi[k]) * (zq[k] - zi[k])
+		}
+		d = math.Sqrt(d)
+		if math.Abs(got[i]-d) > 1e-6 {
+			t.Fatalf("MASS[%d] = %v, naive %v", i, got[i], d)
+		}
+	}
+	// The self-match at 40 must be ~0.
+	if got[40] > 1e-6 {
+		t.Errorf("self match distance %v, want ~0", got[40])
+	}
+}
+
+func TestTopDiscordsFindPlantedAnomaly(t *testing.T) {
+	period := 50
+	pos := 600
+	s := sineWithAnomaly(1200, period, pos, 4)
+	p, err := STOMP(s, period, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	discords := p.TopDiscords(3)
+	if len(discords) == 0 {
+		t.Fatal("no discords")
+	}
+	if d := math.Abs(float64(discords[0].Pos - pos)); d > float64(period) {
+		t.Errorf("top discord at %d, planted anomaly at %d", discords[0].Pos, pos)
+	}
+	// Ranked descending, non-overlapping.
+	for i := 1; i < len(discords); i++ {
+		if discords[i].Dist > discords[i-1].Dist {
+			t.Errorf("discords not sorted by distance: %+v", discords)
+		}
+	}
+	for i := range discords {
+		for j := i + 1; j < len(discords); j++ {
+			a, b := discords[i], discords[j]
+			if a.Pos < b.Pos+b.Length && b.Pos < a.Pos+a.Length {
+				t.Errorf("discords overlap: %+v %+v", a, b)
+			}
+		}
+	}
+}
+
+func TestExclusionZoneDefaultIsM(t *testing.T) {
+	s := sineWithAnomaly(300, 30, 150, 8)
+	p, err := STOMP(s, 30, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, nn := range p.I {
+		if nn >= 0 && abs(i-nn) < 30 {
+			t.Errorf("subsequence %d matched %d inside default exclusion zone", i, nn)
+		}
+	}
+	// Custom (smaller) exclusion zone allows closer matches and can only
+	// lower profile values.
+	p2, err := STOMP(s, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p.P {
+		if p2.P[i] > p.P[i]+1e-9 {
+			t.Errorf("smaller exclusion zone increased P[%d]: %v > %v", i, p2.P[i], p.P[i])
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestArgumentValidation(t *testing.T) {
+	s := sineWithAnomaly(100, 20, 50, 2)
+	for _, fn := range []func(timeseries.Series, int, int) (*Profile, error){BruteForce, STAMP, STOMP} {
+		if _, err := fn(s, 1, 0); err == nil {
+			t.Error("m=1 should error")
+		}
+		if _, err := fn(s, 101, 0); err == nil {
+			t.Error("m>n should error")
+		}
+		if _, err := fn(s, 95, 0); err == nil {
+			t.Error("too few subsequences for exclusion zone should error")
+		}
+		if _, err := fn(timeseries.Series{}, 10, 0); err == nil {
+			t.Error("empty series should error")
+		}
+	}
+	if _, err := MASS([]float64{1}, s); err == nil {
+		t.Error("m=1 MASS should error")
+	}
+	if _, err := MASS(make([]float64, 200), s); err == nil {
+		t.Error("query longer than series should error")
+	}
+}
+
+func TestTopDiscordsEdgeCases(t *testing.T) {
+	s := sineWithAnomaly(400, 40, 200, 6)
+	p, err := STOMP(s, 40, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.TopDiscords(0); got != nil {
+		t.Errorf("k=0 should return nil, got %v", got)
+	}
+	// Asking for more discords than fit returns fewer, without panic.
+	many := p.TopDiscords(1000)
+	if len(many) == 0 || len(many) > len(p.P) {
+		t.Errorf("got %d discords", len(many))
+	}
+}
+
+func TestProfileSymmetricUpdate(t *testing.T) {
+	// Every nearest-neighbor distance must itself be witnessed: if I[i]=j
+	// then P[j] <= P[i] + tolerance is not generally true, but P[i] must
+	// equal the distance d(i, I[i]) which is also a candidate for P[I[i]],
+	// so P[I[i]] <= P[i].
+	s := sineWithAnomaly(500, 25, 250, 10)
+	p, err := STOMP(s, 25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range p.I {
+		if j >= 0 && p.P[j] > p.P[i]+1e-9 {
+			t.Errorf("P[%d]=%v has NN %d with larger P=%v", i, p.P[i], j, p.P[j])
+		}
+	}
+}
+
+func BenchmarkSTOMP4k(b *testing.B) {
+	s := sineWithAnomaly(4000, 100, 2000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := STOMP(s, 100, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBruteForce1k(b *testing.B) {
+	s := sineWithAnomaly(1000, 50, 500, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BruteForce(s, 50, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package matrixprofile
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"egi/internal/fft"
+	"egi/internal/timeseries"
+)
+
+// STOMPParallel computes the same matrix profile as STOMP using multiple
+// workers. The row range is split into contiguous blocks; each block seeds
+// its own QT row with one FFT sliding-dot-product and then runs the O(1)
+// per-cell recurrence privately, writing into a worker-local profile.
+// Local profiles are merged by pointwise minimum at the end, so there is
+// no locking on the hot path.
+//
+// workers <= 0 selects GOMAXPROCS. With one worker the computation is
+// exactly STOMP (plus one extra FFT).
+func STOMPParallel(series timeseries.Series, m, excl, workers int) (*Profile, error) {
+	if err := series.Validate(); err != nil {
+		return nil, err
+	}
+	numSub, excl, err := checkArgs(len(series), m, excl)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numSub {
+		workers = numSub
+	}
+	f, err := timeseries.NewFeatures(series)
+	if err != nil {
+		return nil, err
+	}
+	means, stds, err := f.MovingMeansStds(m)
+	if err != nil {
+		return nil, err
+	}
+	flats := flatWindows(series, m)
+	row0, err := fft.SlidingDotProducts(series[0:m], series)
+	if err != nil {
+		return nil, err
+	}
+
+	locals := make([]*Profile, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for wkr := 0; wkr < workers; wkr++ {
+		lo := wkr * numSub / workers
+		hi := (wkr + 1) * numSub / workers
+		wg.Add(1)
+		go func(wkr, lo, hi int) {
+			defer wg.Done()
+			local := newProfile(numSub, m)
+			locals[wkr] = local
+			if lo >= hi {
+				return
+			}
+			// Seed the block with QT(lo, ·).
+			var qt []float64
+			if lo == 0 {
+				qt = append([]float64(nil), row0...)
+			} else {
+				seeded, err := fft.SlidingDotProducts(series[lo:lo+m], series)
+				if err != nil {
+					errs[wkr] = err
+					return
+				}
+				qt = seeded
+			}
+			for i := lo; i < hi; i++ {
+				if i > lo {
+					for j := numSub - 1; j >= 1; j-- {
+						qt[j] = qt[j-1] - series[i-1]*series[j-1] + series[i+m-1]*series[j+m-1]
+					}
+					qt[0] = row0[i]
+				}
+				for j := i + excl; j < numSub; j++ {
+					d := zdist(qt[j], m, means[i], stds[i], flats[i], means[j], stds[j], flats[j])
+					local.update(i, j, d)
+				}
+			}
+		}(wkr, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	merged := newProfile(numSub, m)
+	for _, local := range locals {
+		for i := range merged.P {
+			if local.P[i] < merged.P[i] {
+				merged.P[i] = local.P[i]
+				merged.I[i] = local.I[i]
+			}
+		}
+	}
+	// Positions with no valid pair stay at +Inf / -1, same as STOMP.
+	for i := range merged.P {
+		if math.IsInf(merged.P[i], 1) {
+			merged.I[i] = -1
+		}
+	}
+	return merged, nil
+}

@@ -1,0 +1,86 @@
+package matrixprofile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"egi/internal/timeseries"
+)
+
+func TestSTOMPParallelMatchesSequential(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7} {
+		for seed := int64(1); seed <= 2; seed++ {
+			s := sineWithAnomaly(500, 40, 250, seed)
+			seq, err := STOMP(s, 40, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := STOMPParallel(s, 40, 0, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par.P) != len(seq.P) {
+				t.Fatalf("workers=%d: profile lengths differ", workers)
+			}
+			for i := range seq.P {
+				if math.Abs(par.P[i]-seq.P[i]) > 1e-6 {
+					t.Fatalf("workers=%d seed=%d: P[%d] = %v vs %v",
+						workers, seed, i, par.P[i], seq.P[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSTOMPParallelRandomWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := make(timeseries.Series, 600)
+	v := 0.0
+	for i := range s {
+		v += rng.NormFloat64()
+		s[i] = v
+	}
+	seq, err := STOMP(s, 25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := STOMPParallel(s, 25, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profilesEqual(t, "parallel vs sequential (rw)", par, seq, 1e-5)
+	// Discords must agree too.
+	ds, dp := seq.TopDiscords(3), par.TopDiscords(3)
+	if len(ds) != len(dp) {
+		t.Fatalf("discord counts differ: %d vs %d", len(ds), len(dp))
+	}
+	for i := range ds {
+		if ds[i].Pos != dp[i].Pos {
+			t.Errorf("discord %d at %d vs %d", i, ds[i].Pos, dp[i].Pos)
+		}
+	}
+}
+
+func TestSTOMPParallelMoreWorkersThanRows(t *testing.T) {
+	s := sineWithAnomaly(80, 10, 40, 5)
+	par, err := STOMPParallel(s, 10, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := STOMP(s, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profilesEqual(t, "many workers", par, seq, 1e-6)
+}
+
+func TestSTOMPParallelValidation(t *testing.T) {
+	s := sineWithAnomaly(100, 20, 50, 2)
+	if _, err := STOMPParallel(s, 1, 0, 2); err == nil {
+		t.Error("m=1 should error")
+	}
+	if _, err := STOMPParallel(timeseries.Series{}, 10, 0, 2); err == nil {
+		t.Error("empty series should error")
+	}
+}

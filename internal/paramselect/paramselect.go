@@ -1,0 +1,154 @@
+// Package paramselect implements the GI-Select baseline of §7.1.3: choosing
+// a single (PAA size, alphabet size) combination via an optimization
+// procedure on a prefix of the series assumed to be normal, following the
+// parameter-selection idea of GrammarViz 3.0 (Senin et al. 2018, reference
+// [19] of the paper).
+//
+// The objective mirrors what that procedure optimizes: a good
+// discretization should (a) compress the normal data well — repeated
+// structure collapses into grammar rules — while (b) not collapsing
+// everything into one token (over-coarse parameters) or leaving everything
+// unique (over-fine parameters). We grid-search the same parameter ranges
+// the ensemble samples from and score each combination on the sample by
+//
+//	score = cover · (1 - |R|/|tokens|)
+//
+// where cover is the fraction of sample points covered by at least one
+// grammar rule and |R|/|tokens| is the grammar size relative to the token
+// count (small for compressible discretizations). Degenerate runs (fewer
+// than 2 tokens) score zero. This is a documented substitution — see
+// DESIGN.md §2 — preserving the baseline's role: a plausible data-driven
+// single parameter choice obtained without access to the anomaly.
+package paramselect
+
+import (
+	"errors"
+	"fmt"
+
+	"egi/internal/grammar"
+	"egi/internal/sax"
+	"egi/internal/timeseries"
+)
+
+// DefaultSampleFraction is the fraction of the series used for selection;
+// §7.1.3 uses 10% of the normal time series.
+const DefaultSampleFraction = 0.1
+
+// Config controls the grid search.
+type Config struct {
+	// Window is the sliding window length n. Required.
+	Window int
+	// WMax and AMax bound the grid [2, WMax] × [2, AMax]; defaults 10.
+	WMax, AMax int
+	// SampleFraction is the prefix fraction used for scoring; default 10%.
+	SampleFraction float64
+}
+
+func (c Config) normalized() (Config, error) {
+	if c.WMax == 0 {
+		c.WMax = 10
+	}
+	if c.AMax == 0 {
+		c.AMax = 10
+	}
+	if c.SampleFraction == 0 {
+		c.SampleFraction = DefaultSampleFraction
+	}
+	switch {
+	case c.Window < 2:
+		return c, fmt.Errorf("paramselect: window must be >= 2, got %d", c.Window)
+	case c.WMax < 2 || c.AMax < 2 || c.AMax > sax.MaxAlphabet:
+		return c, fmt.Errorf("paramselect: invalid grid bounds w<=%d a<=%d", c.WMax, c.AMax)
+	case c.SampleFraction <= 0 || c.SampleFraction > 1:
+		return c, fmt.Errorf("paramselect: sample fraction %v outside (0,1]", c.SampleFraction)
+	}
+	return c, nil
+}
+
+// Selection is the result of the grid search.
+type Selection struct {
+	Params sax.Params
+	Score  float64
+	// Grid records the score of every evaluated combination, for
+	// diagnostics and the Fig. 1-style sensitivity sweeps.
+	Grid map[sax.Params]float64
+}
+
+// ErrSampleTooShort is returned when the scoring prefix is shorter than
+// the window.
+var ErrSampleTooShort = errors.New("paramselect: sample prefix shorter than window")
+
+// Select grid-searches the parameter ranges on the series prefix and
+// returns the best-scoring combination.
+func Select(series timeseries.Series, cfg Config) (*Selection, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if err := series.Validate(); err != nil {
+		return nil, err
+	}
+	sampleLen := int(cfg.SampleFraction * float64(len(series)))
+	if sampleLen < cfg.Window+1 {
+		sampleLen = cfg.Window + 1
+	}
+	if sampleLen > len(series) {
+		return nil, fmt.Errorf("%w: need %d points, have %d", ErrSampleTooShort, sampleLen, len(series))
+	}
+	sample := series[:sampleLen]
+	f, err := timeseries.NewFeatures(sample)
+	if err != nil {
+		return nil, err
+	}
+	wmax := cfg.WMax
+	if wmax > cfg.Window {
+		wmax = cfg.Window
+	}
+	mr, err := sax.NewMultiResolver(cfg.AMax)
+	if err != nil {
+		return nil, err
+	}
+
+	sel := &Selection{Grid: make(map[sax.Params]float64)}
+	best := -1.0
+	for w := 2; w <= wmax; w++ {
+		for a := 2; a <= cfg.AMax; a++ {
+			p := sax.Params{W: w, A: a}
+			score := scoreParams(f, cfg.Window, p, mr)
+			sel.Grid[p] = score
+			if score > best {
+				best = score
+				sel.Params = p
+				sel.Score = score
+			}
+		}
+	}
+	if best < 0 {
+		return nil, errors.New("paramselect: no parameter combination evaluated")
+	}
+	return sel, nil
+}
+
+// scoreParams evaluates one combination on the sample; see the package
+// comment for the objective.
+func scoreParams(f *timeseries.Features, window int, p sax.Params, mr *sax.MultiResolver) float64 {
+	res, err := grammar.DetectWithFeatures(f, window, p, mr, 1)
+	if err != nil {
+		return 0
+	}
+	if res.NumTokens < 2 {
+		return 0 // everything collapsed into one token: no information
+	}
+	covered := 0
+	for _, v := range res.Curve {
+		if v > 0 {
+			covered++
+		}
+	}
+	cover := float64(covered) / float64(len(res.Curve))
+	compression := 1 - float64(res.NumRules)/float64(res.NumTokens)
+	if compression < 0 {
+		compression = 0
+	}
+	return cover * compression
+}

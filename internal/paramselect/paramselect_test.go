@@ -1,0 +1,128 @@
+package paramselect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"egi/internal/timeseries"
+)
+
+func periodic(length, period int, seed int64) timeseries.Series {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(timeseries.Series, length)
+	for i := range s {
+		s[i] = math.Sin(2*math.Pi*float64(i)/float64(period)) + 0.05*rng.NormFloat64()
+	}
+	return s
+}
+
+func TestSelectReturnsValidParams(t *testing.T) {
+	s := periodic(4000, 50, 1)
+	sel, err := Select(s, Config{Window: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Params.W < 2 || sel.Params.W > 10 || sel.Params.A < 2 || sel.Params.A > 10 {
+		t.Errorf("selected params %v outside grid", sel.Params)
+	}
+	if sel.Score <= 0 {
+		t.Errorf("selected score %v, want > 0 on periodic data", sel.Score)
+	}
+	if len(sel.Grid) != 9*9 {
+		t.Errorf("grid has %d entries, want 81", len(sel.Grid))
+	}
+	// The selected combination must hold the grid maximum.
+	for p, sc := range sel.Grid {
+		if sc > sel.Score {
+			t.Errorf("grid entry %v score %v exceeds selected %v", p, sc, sel.Score)
+		}
+	}
+}
+
+func TestSelectGridRespectsWindow(t *testing.T) {
+	s := periodic(2000, 8, 2)
+	sel, err := Select(s, Config{Window: 8, WMax: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range sel.Grid {
+		if p.W > 8 {
+			t.Errorf("grid contains w=%d > window", p.W)
+		}
+	}
+}
+
+func TestSelectValidation(t *testing.T) {
+	s := periodic(1000, 20, 3)
+	if _, err := Select(s, Config{Window: 1}); err == nil {
+		t.Error("window=1 should error")
+	}
+	if _, err := Select(s, Config{Window: 20, SampleFraction: 2}); err == nil {
+		t.Error("fraction > 1 should error")
+	}
+	if _, err := Select(s, Config{Window: 20, AMax: 40}); err == nil {
+		t.Error("amax > 26 should error")
+	}
+	if _, err := Select(timeseries.Series{1, 2}, Config{Window: 20}); err == nil {
+		t.Error("series shorter than window should error")
+	}
+	if _, err := Select(timeseries.Series{}, Config{Window: 5}); err == nil {
+		t.Error("empty series should error")
+	}
+}
+
+func TestSelectUsesOnlyPrefix(t *testing.T) {
+	// Corrupting the tail of the series must not change the selection when
+	// the sample fraction confines scoring to the prefix.
+	s := periodic(5000, 40, 4)
+	sel1, err := Select(s, Config{Window: 40, SampleFraction: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := s.Clone()
+	for i := 4000; i < 5000; i++ {
+		s2[i] = 100
+	}
+	sel2, err := Select(s2, Config{Window: 40, SampleFraction: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel1.Params != sel2.Params || sel1.Score != sel2.Score {
+		t.Errorf("selection changed when only the tail changed: %+v vs %+v",
+			sel1.Params, sel2.Params)
+	}
+}
+
+func TestSelectConstantSeries(t *testing.T) {
+	s := make(timeseries.Series, 1000)
+	for i := range s {
+		s[i] = 5
+	}
+	sel, err := Select(s, Config{Window: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every combination scores zero on constant data; selection still
+	// returns some combination with score 0 rather than failing.
+	if sel.Score != 0 {
+		t.Errorf("constant series score %v, want 0", sel.Score)
+	}
+}
+
+func TestScoreDiscriminates(t *testing.T) {
+	// On strongly periodic data, very coarse discretizations (w=2, a=2)
+	// should not beat every finer one: the grid must contain variation.
+	s := periodic(4000, 64, 5)
+	sel, err := Select(s, Config{Window: 64, SampleFraction: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[float64]bool{}
+	for _, sc := range sel.Grid {
+		distinct[sc] = true
+	}
+	if len(distinct) < 5 {
+		t.Errorf("grid scores show almost no variation: %v distinct values", len(distinct))
+	}
+}

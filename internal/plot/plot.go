@@ -1,0 +1,133 @@
+// Package plot renders small ASCII/Unicode charts of time series and rule
+// density curves for the command-line tools — a terminal-sized nod to the
+// GrammarViz visualization lineage of the paper.
+package plot
+
+import (
+	"errors"
+	"math"
+	"strings"
+)
+
+// blocks are the eighth-height bar glyphs used by Sparkline.
+var blocks = []rune("▁▂▃▄▅▆▇█")
+
+// ErrBadSize is returned for non-positive chart dimensions.
+var ErrBadSize = errors.New("plot: width and height must be positive")
+
+// downsample reduces values to exactly width buckets by averaging; when
+// len(values) < width every value becomes one bucket (width shrinks).
+func downsample(values []float64, width int) []float64 {
+	if len(values) <= width {
+		out := make([]float64, len(values))
+		copy(out, values)
+		return out
+	}
+	out := make([]float64, width)
+	for b := range out {
+		lo := b * len(values) / width
+		hi := (b + 1) * len(values) / width
+		if hi == lo {
+			hi = lo + 1
+		}
+		var s float64
+		for _, v := range values[lo:hi] {
+			s += v
+		}
+		out[b] = s / float64(hi-lo)
+	}
+	return out
+}
+
+// Sparkline renders values as one line of block glyphs, at most width
+// characters wide. A constant series renders as mid-height bars.
+func Sparkline(values []float64, width int) (string, error) {
+	if width < 1 {
+		return "", ErrBadSize
+	}
+	if len(values) == 0 {
+		return "", errors.New("plot: no values")
+	}
+	ds := downsample(values, width)
+	min, max := ds[0], ds[0]
+	for _, v := range ds[1:] {
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	var sb strings.Builder
+	for _, v := range ds {
+		idx := len(blocks) / 2
+		if max > min {
+			idx = int((v - min) / (max - min) * float64(len(blocks)-1))
+		}
+		sb.WriteRune(blocks[idx])
+	}
+	return sb.String(), nil
+}
+
+// Span marks an interval of the original series, e.g. an anomaly.
+type Span struct {
+	Start, End int // [Start, End) in series coordinates
+}
+
+// MarkerLine renders a width-character line with '^' under every bucket
+// that intersects one of the spans, for printing beneath a Sparkline of a
+// series with the given length.
+func MarkerLine(spans []Span, seriesLen, width int) (string, error) {
+	if width < 1 || seriesLen < 1 {
+		return "", ErrBadSize
+	}
+	if seriesLen < width {
+		width = seriesLen
+	}
+	line := make([]rune, width)
+	for i := range line {
+		line[i] = ' '
+	}
+	for _, sp := range spans {
+		if sp.Start >= sp.End {
+			continue
+		}
+		lo := sp.Start * width / seriesLen
+		hi := (sp.End - 1) * width / seriesLen
+		for b := lo; b <= hi && b < width; b++ {
+			if b >= 0 {
+				line[b] = '^'
+			}
+		}
+	}
+	return string(line), nil
+}
+
+// Chart renders values as a height-row ASCII chart (rows top to bottom),
+// at most width characters wide, using '*' for the curve.
+func Chart(values []float64, width, height int) ([]string, error) {
+	if width < 1 || height < 1 {
+		return nil, ErrBadSize
+	}
+	if len(values) == 0 {
+		return nil, errors.New("plot: no values")
+	}
+	ds := downsample(values, width)
+	min, max := ds[0], ds[0]
+	for _, v := range ds[1:] {
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	rows := make([][]rune, height)
+	for r := range rows {
+		rows[r] = []rune(strings.Repeat(" ", len(ds)))
+	}
+	for c, v := range ds {
+		level := 0
+		if max > min {
+			level = int((v - min) / (max - min) * float64(height-1))
+		}
+		rows[height-1-level][c] = '*'
+	}
+	out := make([]string, height)
+	for r := range rows {
+		out[r] = string(rows[r])
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	s, err := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("sparkline %q has %d runes, want 8", s, utf8.RuneCountInString(s))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("monotone ramp should start low and end high: %q", s)
+	}
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("ramp sparkline not monotone: %q", s)
+		}
+	}
+}
+
+func TestSparklineDownsamples(t *testing.T) {
+	values := make([]float64, 1000)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	s, err := Sparkline(values, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if utf8.RuneCountInString(s) != 20 {
+		t.Fatalf("got %d runes, want 20", utf8.RuneCountInString(s))
+	}
+}
+
+func TestSparklineConstantAndErrors(t *testing.T) {
+	s, err := Sparkline([]float64{5, 5, 5}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if utf8.RuneCountInString(s) != 3 {
+		t.Errorf("short input should shrink width: %q", s)
+	}
+	if _, err := Sparkline(nil, 10); err == nil {
+		t.Error("empty values should error")
+	}
+	if _, err := Sparkline([]float64{1}, 0); err == nil {
+		t.Error("zero width should error")
+	}
+}
+
+func TestMarkerLine(t *testing.T) {
+	line, err := MarkerLine([]Span{{Start: 50, End: 60}}, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(line) != 10 {
+		t.Fatalf("marker line %q has length %d", line, len(line))
+	}
+	if line[5] != '^' {
+		t.Errorf("expected marker at bucket 5: %q", line)
+	}
+	if strings.Count(line, "^") == 0 {
+		t.Error("no markers rendered")
+	}
+	// Degenerate span ignored.
+	empty, err := MarkerLine([]Span{{Start: 5, End: 5}}, 100, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(empty, "^") {
+		t.Error("empty span should render no markers")
+	}
+	if _, err := MarkerLine(nil, 0, 10); err == nil {
+		t.Error("zero series length should error")
+	}
+}
+
+func TestChart(t *testing.T) {
+	rows, err := Chart([]float64{0, 1, 0, 1, 0, 1}, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	// Every column must contain exactly one '*'.
+	for c := 0; c < 6; c++ {
+		count := 0
+		for r := 0; r < 3; r++ {
+			if rows[r][c] == '*' {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Errorf("column %d has %d stars", c, count)
+		}
+	}
+	if _, err := Chart(nil, 5, 5); err == nil {
+		t.Error("empty values should error")
+	}
+	if _, err := Chart([]float64{1}, 0, 5); err == nil {
+		t.Error("zero width should error")
+	}
+}

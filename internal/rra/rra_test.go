@@ -1,0 +1,161 @@
+package rra
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"egi/internal/sax"
+	"egi/internal/timeseries"
+)
+
+func periodicWithAnomaly(length, period, pos int, seed int64) timeseries.Series {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(timeseries.Series, length)
+	for i := range s {
+		s[i] = math.Sin(2*math.Pi*float64(i)/float64(period)) + 0.05*rng.NormFloat64()
+	}
+	for i := pos; i < pos+period && i < length; i++ {
+		s[i] = 1.3 - 2.6*math.Abs(float64(i-pos)/float64(period)-0.5) + 0.05*rng.NormFloat64()
+	}
+	return s
+}
+
+func TestDetectFindsPlantedAnomaly(t *testing.T) {
+	period := 50
+	pos := 1000
+	s := periodicWithAnomaly(2000, period, pos, 1)
+	anomalies, err := Detect(s, Config{Window: period})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anomalies) == 0 {
+		t.Fatal("no anomalies")
+	}
+	hit := false
+	for _, a := range anomalies {
+		if a.Pos < pos+period && pos < a.Pos+a.Length {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("no RRA anomaly overlaps the planted one at %d: %+v", pos, anomalies)
+	}
+}
+
+func TestDetectRanksByDistanceNonOverlapping(t *testing.T) {
+	s := periodicWithAnomaly(2500, 40, 1200, 3)
+	anomalies, err := Detect(s, Config{Window: 40, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(anomalies); i++ {
+		if anomalies[i].Dist > anomalies[i-1].Dist+1e-12 {
+			t.Errorf("anomalies not sorted by distance: %+v", anomalies)
+		}
+	}
+	for i := range anomalies {
+		for j := i + 1; j < len(anomalies); j++ {
+			a, b := anomalies[i], anomalies[j]
+			if a.Pos < b.Pos+b.Length && b.Pos < a.Pos+a.Length {
+				t.Errorf("anomalies overlap: %+v %+v", a, b)
+			}
+		}
+	}
+}
+
+func TestVariableLengthOutput(t *testing.T) {
+	// RRA reports intervals whose length comes from the grammar rules, so
+	// lengths can differ from the window.
+	s := periodicWithAnomaly(3000, 60, 1500, 7)
+	anomalies, err := Detect(s, Config{Window: 60, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range anomalies {
+		if a.Length < 2 {
+			t.Errorf("anomaly with degenerate length: %+v", a)
+		}
+		if a.Pos < 0 || a.Pos+a.Length > len(s) {
+			t.Errorf("anomaly out of range: %+v", a)
+		}
+		if a.RuleFreq < 0 {
+			t.Errorf("negative rule frequency: %+v", a)
+		}
+		if a.Dist < 0 || math.IsNaN(a.Dist) {
+			t.Errorf("bad distance: %+v", a)
+		}
+	}
+}
+
+func TestDetectValidation(t *testing.T) {
+	s := periodicWithAnomaly(500, 25, 250, 2)
+	if _, err := Detect(s, Config{Window: 1}); err == nil {
+		t.Error("window=1 should error")
+	}
+	if _, err := Detect(s, Config{Window: 25, TopK: -1}); err == nil {
+		t.Error("negative topK should error")
+	}
+	if _, err := Detect(s, Config{Window: 600}); err == nil {
+		t.Error("window beyond series should error")
+	}
+	if _, err := Detect(timeseries.Series{}, Config{Window: 10}); err == nil {
+		t.Error("empty series should error")
+	}
+	if _, err := Detect(s, Config{Window: 25, Params: sax.Params{W: 40, A: 4}}); err == nil {
+		t.Error("w > window should error")
+	}
+}
+
+func TestNearestNeighborDistMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := make(timeseries.Series, 300)
+	for i := range s {
+		s[i] = rng.NormFloat64() + math.Sin(float64(i)/7)
+	}
+	m := 20
+	for _, pos := range []int{0, 50, 280} {
+		got := nearestNeighborDist(s, pos, m)
+		// Naive reference without early abandoning.
+		zq := znormRef(s[pos : pos+m])
+		want := math.Inf(1)
+		for q := 0; q+m <= len(s); q++ {
+			if q < pos+m && pos < q+m {
+				continue
+			}
+			z := znormRef(s[q : q+m])
+			var acc float64
+			for k := 0; k < m; k++ {
+				d := zq[k] - z[k]
+				acc += d * d
+			}
+			if d := math.Sqrt(acc); d < want {
+				want = d
+			}
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("pos %d: nn dist %v, naive %v", pos, got, want)
+		}
+	}
+}
+
+func znormRef(x []float64) []float64 {
+	var mu float64
+	for _, v := range x {
+		mu += v
+	}
+	mu /= float64(len(x))
+	var ss float64
+	for _, v := range x {
+		ss += (v - mu) * (v - mu)
+	}
+	sd := math.Sqrt(ss / float64(len(x)))
+	out := make([]float64, len(x))
+	if sd < 1e-9 {
+		return out
+	}
+	for i, v := range x {
+		out[i] = (v - mu) / sd
+	}
+	return out
+}

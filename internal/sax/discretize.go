@@ -1,0 +1,192 @@
+package sax
+
+import (
+	"fmt"
+	"sort"
+
+	"egi/internal/stat"
+	"egi/internal/timeseries"
+)
+
+// Token is one entry of a numerosity-reduced token sequence: a SAX word and
+// the start offset, in the original time series, of the first sliding
+// window that produced it (the subscripts of Eq. (3) in the paper).
+type Token struct {
+	Word string
+	Pos  int
+}
+
+// NumerosityReduce compresses a raw word-per-window sequence by keeping
+// only the first of each run of consecutive identical words, together with
+// its window offset (§4.2). The result is lossless given the total window
+// count: the run for token i extends to the position of token i+1.
+func NumerosityReduce(words []string) []Token {
+	out := make([]Token, 0, len(words))
+	prev := ""
+	for i, w := range words {
+		if i == 0 || w != prev {
+			out = append(out, Token{Word: w, Pos: i})
+			prev = w
+		}
+	}
+	return out
+}
+
+// ExpandNumerosity reconstructs the raw word-per-window sequence from a
+// numerosity-reduced token sequence and the total number of windows. It is
+// the inverse of NumerosityReduce and exists chiefly to state (and test)
+// the losslessness property.
+func ExpandNumerosity(tokens []Token, numWindows int) ([]string, error) {
+	if numWindows < 0 {
+		return nil, fmt.Errorf("sax: negative window count %d", numWindows)
+	}
+	out := make([]string, numWindows)
+	for i, tok := range tokens {
+		end := numWindows
+		if i+1 < len(tokens) {
+			end = tokens[i+1].Pos
+		}
+		if tok.Pos < 0 || tok.Pos >= end || end > numWindows {
+			return nil, fmt.Errorf("sax: token %d has inconsistent position %d", i, tok.Pos)
+		}
+		for j := tok.Pos; j < end; j++ {
+			out[j] = tok.Word
+		}
+	}
+	return out, nil
+}
+
+// Discretize converts the whole series (represented by its prefix-sum
+// features) into a numerosity-reduced token sequence using sliding windows
+// of length n and SAX parameters p. It is the discretization front end of
+// the single-run grammar-induction detector.
+func Discretize(f *timeseries.Features, n int, p Params, mr *MultiResolver) ([]Token, error) {
+	if n <= 0 || n > f.SeriesLen() {
+		return nil, fmt.Errorf("%w: n=%d, len=%d", ErrBadWindow, n, f.SeriesLen())
+	}
+	if err := p.Validate(n); err != nil {
+		return nil, err
+	}
+	if mr == nil || p.A > mr.AMax() {
+		return nil, fmt.Errorf("%w: resolver missing or too small for a=%d", ErrBadAlphabet, p.A)
+	}
+	numWin := f.SeriesLen() - n + 1
+	coeffs := make([]float64, p.W)
+	wordBuf := make([]byte, p.W)
+	tokens := make([]Token, 0, numWin/4+1)
+	prev := ""
+	for i := 0; i < numWin; i++ {
+		if err := FastPAA(f, i, n, p.W, coeffs); err != nil {
+			return nil, err
+		}
+		if err := mr.EncodeWord(coeffs, p.A, wordBuf); err != nil {
+			return nil, err
+		}
+		if i == 0 || string(wordBuf) != prev {
+			w := string(wordBuf)
+			tokens = append(tokens, Token{Word: w, Pos: i})
+			prev = w
+		}
+	}
+	return tokens, nil
+}
+
+// DiscretizeMany produces one numerosity-reduced token sequence per
+// parameter combination, sharing work across members: for every window the
+// PAA coefficients are computed once per *distinct* w (O(w) each via
+// FastPAA) and then resolved into words for every alphabet size through the
+// multi-resolution symbol matrix. This is the §6.2 fast path that makes the
+// ensemble's discretization cost comparable to a single resolution.
+//
+// The i-th returned sequence corresponds to params[i].
+func DiscretizeMany(f *timeseries.Features, n int, params []Params, mr *MultiResolver) ([][]Token, error) {
+	if n <= 0 || n > f.SeriesLen() {
+		return nil, fmt.Errorf("%w: n=%d, len=%d", ErrBadWindow, n, f.SeriesLen())
+	}
+	if len(params) == 0 {
+		return nil, fmt.Errorf("sax: no parameter combinations")
+	}
+	for _, p := range params {
+		if err := p.Validate(n); err != nil {
+			return nil, err
+		}
+		if mr == nil || p.A > mr.AMax() {
+			return nil, fmt.Errorf("%w: resolver missing or too small for a=%d", ErrBadAlphabet, p.A)
+		}
+	}
+
+	// Group member indices by w so each distinct w costs one FastPAA pass.
+	byW := make(map[int][]int)
+	for i, p := range params {
+		byW[p.W] = append(byW[p.W], i)
+	}
+	ws := make([]int, 0, len(byW))
+	for w := range byW {
+		ws = append(ws, w)
+	}
+	sort.Ints(ws)
+
+	numWin := f.SeriesLen() - n + 1
+	out := make([][]Token, len(params))
+	prev := make([]string, len(params))
+	for i := range out {
+		out[i] = make([]Token, 0, numWin/4+1)
+	}
+	coeffs := make([]float64, 0, 64)
+	wordBuf := make([]byte, 0, 64)
+	for i := 0; i < numWin; i++ {
+		for _, w := range ws {
+			coeffs = coeffs[:w]
+			if err := FastPAA(f, i, n, w, coeffs); err != nil {
+				return nil, err
+			}
+			// One interval lookup per coefficient serves every member with
+			// this w regardless of its alphabet size.
+			for _, mi := range byW[w] {
+				a := params[mi].A
+				wordBuf = wordBuf[:w]
+				if err := mr.EncodeWord(coeffs, a, wordBuf); err != nil {
+					return nil, err
+				}
+				if i == 0 || string(wordBuf) != prev[mi] {
+					word := string(wordBuf)
+					out[mi] = append(out[mi], Token{Word: word, Pos: i})
+					prev[mi] = word
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// NaiveDiscretize is the unaccelerated reference discretizer: it
+// z-normalizes every window from scratch and encodes it with the plain
+// breakpoint table. It exists to test the fast path against and to measure
+// the §6.2.3 speedup in the ablation benchmarks.
+func NaiveDiscretize(series timeseries.Series, n int, p Params) ([]Token, error) {
+	if err := series.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 || n > len(series) {
+		return nil, fmt.Errorf("%w: n=%d, len=%d", ErrBadWindow, n, len(series))
+	}
+	if err := p.Validate(n); err != nil {
+		return nil, err
+	}
+	numWin := len(series) - n + 1
+	z := make([]float64, n)
+	tokens := make([]Token, 0, numWin/4+1)
+	prev := ""
+	for i := 0; i < numWin; i++ {
+		stat.ZNormalizeInto(z, series[i:i+n], Eps)
+		word, err := Encode(z, p.W, p.A)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 || word != prev {
+			tokens = append(tokens, Token{Word: word, Pos: i})
+			prev = word
+		}
+	}
+	return tokens, nil
+}

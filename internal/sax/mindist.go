@@ -1,0 +1,81 @@
+package sax
+
+import (
+	"fmt"
+	"math"
+)
+
+// DistTable is the pairwise symbol distance lookup table of the SAX
+// MINDIST function (Lin et al. 2007): cell(r, c) is zero when the symbols
+// are adjacent or equal, and the breakpoint gap otherwise. MINDIST lower
+// bounds the true z-normalized Euclidean distance between the original
+// subsequences, which is what makes SAX admissible for pruning in discord
+// and similarity search.
+type DistTable struct {
+	a     int
+	cells [][]float64
+}
+
+// NewDistTable builds the table for alphabet size a.
+func NewDistTable(a int) (*DistTable, error) {
+	bps, err := Breakpoints(a)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([][]float64, a)
+	for r := 0; r < a; r++ {
+		cells[r] = make([]float64, a)
+		for c := 0; c < a; c++ {
+			if absInt(r-c) <= 1 {
+				continue // adjacent or equal symbols: distance 0
+			}
+			hi, lo := r, c
+			if lo > hi {
+				hi, lo = lo, hi
+			}
+			cells[r][c] = bps[hi-1] - bps[lo]
+		}
+	}
+	return &DistTable{a: a, cells: cells}, nil
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Cell returns the symbol distance between symbol indices r and c.
+func (t *DistTable) Cell(r, c int) (float64, error) {
+	if r < 0 || r >= t.a || c < 0 || c >= t.a {
+		return 0, fmt.Errorf("sax: symbol index out of range for alphabet %d", t.a)
+	}
+	return t.cells[r][c], nil
+}
+
+// MinDist returns the MINDIST lower bound between two SAX words of equal
+// length w produced from subsequences of length n:
+//
+//	MINDIST = sqrt(n/w) * sqrt(sum_i cell(q_i, c_i)^2)
+func (t *DistTable) MinDist(q, c string, n int) (float64, error) {
+	if len(q) != len(c) {
+		return 0, fmt.Errorf("sax: word lengths differ: %d vs %d", len(q), len(c))
+	}
+	if len(q) == 0 {
+		return 0, fmt.Errorf("sax: empty words")
+	}
+	if n < len(q) {
+		return 0, fmt.Errorf("sax: subsequence length %d shorter than word length %d", n, len(q))
+	}
+	var ss float64
+	for i := 0; i < len(q); i++ {
+		qs, cs := int(q[i]-'a'), int(c[i]-'a')
+		d, err := t.Cell(qs, cs)
+		if err != nil {
+			return 0, err
+		}
+		ss += d * d
+	}
+	return math.Sqrt(float64(n)/float64(len(q))) * math.Sqrt(ss), nil
+}

@@ -1,0 +1,136 @@
+package sax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"egi/internal/stat"
+)
+
+func TestDistTableProperties(t *testing.T) {
+	for a := 2; a <= 12; a++ {
+		tab, err := NewDistTable(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < a; r++ {
+			for c := 0; c < a; c++ {
+				d, err := tab.Cell(r, c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Symmetric, non-negative, zero on/next to the diagonal.
+				d2, _ := tab.Cell(c, r)
+				if d != d2 {
+					t.Fatalf("a=%d: table not symmetric at (%d,%d)", a, r, c)
+				}
+				if d < 0 {
+					t.Fatalf("a=%d: negative cell (%d,%d)", a, r, c)
+				}
+				if absInt(r-c) <= 1 && d != 0 {
+					t.Fatalf("a=%d: adjacent symbols (%d,%d) have distance %v", a, r, c, d)
+				}
+				if absInt(r-c) > 1 && d == 0 {
+					t.Fatalf("a=%d: distant symbols (%d,%d) have zero distance", a, r, c)
+				}
+			}
+		}
+	}
+	if _, err := NewDistTable(1); err == nil {
+		t.Error("a=1 should error")
+	}
+}
+
+func TestDistTableKnownValues(t *testing.T) {
+	// For a=4, breakpoints are {-0.67, 0, 0.67}; dist(a, c) = bps[1]-bps[0]
+	// = 0.67, dist(a, d) = bps[2]-bps[0] = 1.34 (Lin et al. 2007's table).
+	tab, err := NewDistTable(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := tab.Cell(0, 2)
+	if math.Abs(d-0.67) > 0.01 {
+		t.Errorf("dist(a,c) = %v, want ~0.67", d)
+	}
+	d, _ = tab.Cell(0, 3)
+	if math.Abs(d-1.34) > 0.01 {
+		t.Errorf("dist(a,d) = %v, want ~1.34", d)
+	}
+}
+
+func TestMinDistLowerBoundsTrueDistance(t *testing.T) {
+	// The defining property: MINDIST(q̂, ĉ) <= d(q, c) for z-normalized
+	// subsequences q, c and their SAX words.
+	rng := rand.New(rand.NewSource(3))
+	for _, a := range []int{3, 4, 6, 10} {
+		tab, err := NewDistTable(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 200; trial++ {
+			n := 16 + rng.Intn(64)
+			w := 2 + rng.Intn(8)
+			q := make([]float64, n)
+			c := make([]float64, n)
+			for i := 0; i < n; i++ {
+				q[i] = rng.NormFloat64() + math.Sin(float64(i)/3)
+				c[i] = rng.NormFloat64()*1.5 - math.Cos(float64(i)/5)
+			}
+			zq := stat.ZNormalize(q, Eps)
+			zc := stat.ZNormalize(c, Eps)
+			var trueDist float64
+			for i := 0; i < n; i++ {
+				d := zq[i] - zc[i]
+				trueDist += d * d
+			}
+			trueDist = math.Sqrt(trueDist)
+			wq, err := Encode(zq, w, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wc, err := Encode(zc, w, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lb, err := tab.MinDist(wq, wc, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lb > trueDist+1e-9 {
+				t.Fatalf("a=%d n=%d w=%d: MINDIST %v exceeds true distance %v (words %q %q)",
+					a, n, w, lb, trueDist, wq, wc)
+			}
+		}
+	}
+}
+
+func TestMinDistIdenticalWordsIsZero(t *testing.T) {
+	tab, _ := NewDistTable(5)
+	d, err := tab.MinDist("abcde", "abcde", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Errorf("MINDIST of identical words = %v, want 0", d)
+	}
+}
+
+func TestMinDistErrors(t *testing.T) {
+	tab, _ := NewDistTable(4)
+	if _, err := tab.MinDist("ab", "abc", 10); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := tab.MinDist("", "", 10); err == nil {
+		t.Error("empty words should error")
+	}
+	if _, err := tab.MinDist("abcd", "abcd", 2); err == nil {
+		t.Error("n < w should error")
+	}
+	if _, err := tab.Cell(-1, 0); err == nil {
+		t.Error("negative symbol should error")
+	}
+	if _, err := tab.Cell(0, 4); err == nil {
+		t.Error("symbol beyond alphabet should error")
+	}
+}

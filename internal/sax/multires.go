@@ -1,0 +1,128 @@
+package sax
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MultiResolver implements the fast multi-resolution SAX word computation
+// of §6.2.2. It merges the breakpoint tables of every alphabet size from 2
+// to amax into a single sorted "summary" line; each interval between two
+// consecutive merged breakpoints stores the symbol the interval maps to
+// under every alphabet size. Resolving a PAA coefficient then costs one
+// binary search over the merged breakpoints (O(log amax) comparisons, the
+// paper's "at most 3 comparisons" for amax in the tens) and yields its
+// symbol for *all* alphabet sizes at once.
+type MultiResolver struct {
+	amax    int
+	merged  []float64 // distinct breakpoints of all alphabets 2..amax, sorted
+	symbols [][]byte  // symbols[k][a-2] = symbol byte of interval k under alphabet a
+}
+
+// mergeTolerance treats breakpoints closer than this as identical when
+// building the summary line. Breakpoints are analytic quantiles of N(0,1),
+// so genuinely distinct ones are far apart compared to this.
+const mergeTolerance = 1e-9
+
+// NewMultiResolver builds the resolver for alphabet sizes 2..amax.
+func NewMultiResolver(amax int) (*MultiResolver, error) {
+	if amax < 2 || amax > MaxAlphabet {
+		return nil, fmt.Errorf("%w: amax=%d", ErrBadAlphabet, amax)
+	}
+	var all []float64
+	tables := make([][]float64, amax+1) // tables[a] for a in 2..amax
+	for a := 2; a <= amax; a++ {
+		bps, err := Breakpoints(a)
+		if err != nil {
+			return nil, err
+		}
+		tables[a] = bps
+		all = append(all, bps...)
+	}
+	sort.Float64s(all)
+	merged := all[:0]
+	for _, b := range all {
+		if len(merged) == 0 || b-merged[len(merged)-1] > mergeTolerance {
+			merged = append(merged, b)
+		}
+	}
+	merged = append([]float64(nil), merged...)
+
+	// Interval k holds coefficients in [merged[k-1], merged[k]) with the
+	// convention that a coefficient equal to a breakpoint belongs to the
+	// interval above it. The representative of interval k>=1 is its
+	// inclusive lower bound merged[k-1]; interval 0 is (-inf, merged[0]).
+	symbols := make([][]byte, len(merged)+1)
+	for k := range symbols {
+		row := make([]byte, amax-1)
+		for a := 2; a <= amax; a++ {
+			var sym int
+			if k == 0 {
+				sym = 0
+			} else {
+				lower := merged[k-1]
+				bps := tables[a]
+				// Count breakpoints <= lower (with tolerance: the identical
+				// breakpoint may differ by < mergeTolerance across tables).
+				sym = sort.Search(len(bps), func(i int) bool {
+					return bps[i] > lower+mergeTolerance
+				})
+			}
+			row[a-2] = byte('a' + sym)
+		}
+		symbols[k] = row
+	}
+	return &MultiResolver{amax: amax, merged: merged, symbols: symbols}, nil
+}
+
+// AMax returns the largest alphabet size the resolver supports.
+func (m *MultiResolver) AMax() int { return m.amax }
+
+// Interval returns the summary-line interval index for coefficient c.
+func (m *MultiResolver) Interval(c float64) int {
+	return sort.Search(len(m.merged), func(i int) bool { return m.merged[i] > c })
+}
+
+// Symbol returns the symbol byte for coefficient c under alphabet size a.
+func (m *MultiResolver) Symbol(c float64, a int) (byte, error) {
+	if a < 2 || a > m.amax {
+		return 0, fmt.Errorf("%w: a=%d (resolver amax=%d)", ErrBadAlphabet, a, m.amax)
+	}
+	return m.symbols[m.Interval(c)][a-2], nil
+}
+
+// EncodeWord maps PAA coefficients to the SAX word under alphabet size a
+// using the precomputed symbol matrix, writing into dst (len(coeffs) bytes).
+func (m *MultiResolver) EncodeWord(coeffs []float64, a int, dst []byte) error {
+	if a < 2 || a > m.amax {
+		return fmt.Errorf("%w: a=%d (resolver amax=%d)", ErrBadAlphabet, a, m.amax)
+	}
+	if len(dst) != len(coeffs) {
+		return fmt.Errorf("sax: dst length %d, want %d", len(dst), len(coeffs))
+	}
+	col := a - 2
+	for i, c := range coeffs {
+		dst[i] = m.symbols[m.Interval(c)][col]
+	}
+	return nil
+}
+
+// WordMatrix returns, for one vector of PAA coefficients, the SAX words for
+// every alphabet size from 2 to amax — the "symbol matrix" of Figure 6.
+// Row i of the result is the word under alphabet size i+2.
+func (m *MultiResolver) WordMatrix(coeffs []float64) []string {
+	intervals := make([]int, len(coeffs))
+	for i, c := range coeffs {
+		intervals[i] = m.Interval(c)
+	}
+	out := make([]string, m.amax-1)
+	buf := make([]byte, len(coeffs))
+	for a := 2; a <= m.amax; a++ {
+		col := a - 2
+		for i, k := range intervals {
+			buf[i] = m.symbols[k][col]
+		}
+		out[col] = string(buf)
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package sax
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMultiResolverFigure6(t *testing.T) {
+	// Figure 6 of the paper: with alphabets 2..4 the summary line has the
+	// distinct breakpoints of a=2 {0}, a=3 {-0.43,0.43}, a=4 {-0.67,0,0.67},
+	// i.e. 5 points and 6 intervals, and the quoted coefficients map to the
+	// symbol sequences aaa, abb and bcd (rows a=2,3,4).
+	mr, err := NewMultiResolver(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.merged) != 5 {
+		t.Fatalf("merged breakpoints = %v, want 5 points", mr.merged)
+	}
+	cases := []struct {
+		coeff float64
+		want  string // symbols for a=2,3,4 concatenated
+	}{
+		{-1.0, "aaa"}, // (-inf, -0.67)
+		{-0.2, "abb"}, // [-0.43, 0)
+		{1.0, "bcd"},  // [0.67, +inf)
+		{-0.5, "aab"}, // [-0.67, -0.43)
+		{0.2, "bbc"},  // [0, 0.43)
+		{0.5, "bcc"},  // [0.43, 0.67)
+	}
+	for _, c := range cases {
+		got := make([]byte, 3)
+		for a := 2; a <= 4; a++ {
+			sym, err := mr.Symbol(c.coeff, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[a-2] = sym
+		}
+		if string(got) != c.want {
+			t.Errorf("coeff %v -> %q, want %q", c.coeff, got, c.want)
+		}
+	}
+}
+
+func TestMultiResolverMatchesDirectSAX(t *testing.T) {
+	mr, err := NewMultiResolver(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 2000; trial++ {
+		c := rng.NormFloat64() * 1.5
+		a := 2 + rng.Intn(19)
+		bps, _ := Breakpoints(a)
+		want := byte('a' + SymbolFor(c, bps))
+		got, err := mr.Symbol(c, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("coeff=%v a=%d: multires %q, direct %q", c, a, got, want)
+		}
+	}
+}
+
+func TestMultiResolverExactBreakpoints(t *testing.T) {
+	// A coefficient exactly on a breakpoint belongs to the region above it
+	// under both the direct and the multi-resolution path.
+	mr, _ := NewMultiResolver(10)
+	for a := 2; a <= 10; a++ {
+		bps, _ := Breakpoints(a)
+		for _, b := range bps {
+			want := byte('a' + SymbolFor(b, bps))
+			got, err := mr.Symbol(b, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("a=%d breakpoint %v: multires %q, direct %q", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestWordMatrix(t *testing.T) {
+	mr, _ := NewMultiResolver(4)
+	coeffs := []float64{-1.0, -0.2, 1.0}
+	matrix := mr.WordMatrix(coeffs)
+	// Rows correspond to a=2,3,4; columns to the coefficients. Transposing
+	// the Figure 6 case table gives these rows.
+	want := []string{"aab", "abc", "abd"}
+	if len(matrix) != 3 {
+		t.Fatalf("matrix has %d rows, want 3", len(matrix))
+	}
+	for i := range want {
+		if matrix[i] != want[i] {
+			t.Errorf("matrix row %d = %q, want %q", i, matrix[i], want[i])
+		}
+	}
+}
+
+func TestWordMatrixAgreesWithEncodeWord(t *testing.T) {
+	mr, _ := NewMultiResolver(12)
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		w := 1 + rng.Intn(10)
+		coeffs := make([]float64, w)
+		for i := range coeffs {
+			coeffs[i] = rng.NormFloat64()
+		}
+		matrix := mr.WordMatrix(coeffs)
+		for a := 2; a <= 12; a++ {
+			dst := make([]byte, w)
+			if err := mr.EncodeWord(coeffs, a, dst); err != nil {
+				t.Fatal(err)
+			}
+			if matrix[a-2] != string(dst) {
+				t.Fatalf("a=%d: matrix %q vs EncodeWord %q", a, matrix[a-2], dst)
+			}
+		}
+	}
+}
+
+func TestMultiResolverErrors(t *testing.T) {
+	if _, err := NewMultiResolver(1); err == nil {
+		t.Error("amax=1 should error")
+	}
+	if _, err := NewMultiResolver(27); err == nil {
+		t.Error("amax=27 should error")
+	}
+	mr, _ := NewMultiResolver(5)
+	if _, err := mr.Symbol(0, 1); err == nil {
+		t.Error("a=1 should error")
+	}
+	if _, err := mr.Symbol(0, 6); err == nil {
+		t.Error("a beyond amax should error")
+	}
+	if err := mr.EncodeWord([]float64{0, 0}, 3, make([]byte, 3)); err == nil {
+		t.Error("mismatched dst should error")
+	}
+	if err := mr.EncodeWord([]float64{0}, 9, make([]byte, 1)); err == nil {
+		t.Error("a beyond amax should error in EncodeWord")
+	}
+}
+
+func TestMergedBreakpointsSortedDistinct(t *testing.T) {
+	for amax := 2; amax <= 26; amax++ {
+		mr, err := NewMultiResolver(amax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(mr.merged); i++ {
+			if mr.merged[i]-mr.merged[i-1] <= mergeTolerance {
+				t.Fatalf("amax=%d: merged breakpoints not distinct ascending: %v",
+					amax, mr.merged)
+			}
+		}
+		// Symbols must be monotonically non-decreasing along the summary
+		// line for every alphabet size.
+		for a := 2; a <= amax; a++ {
+			prev := byte(0)
+			for k := range mr.symbols {
+				s := mr.symbols[k][a-2]
+				if s < prev {
+					t.Fatalf("amax=%d a=%d: symbols not monotone", amax, a)
+				}
+				prev = s
+			}
+			first := mr.symbols[0][a-2]
+			last := mr.symbols[len(mr.symbols)-1][a-2]
+			if first != 'a' {
+				t.Fatalf("amax=%d a=%d: leftmost interval symbol %q, want 'a'", amax, a, first)
+			}
+			if int(last-'a') != a-1 {
+				t.Fatalf("amax=%d a=%d: rightmost interval symbol %q, want %q",
+					amax, a, last, byte('a'+a-1))
+			}
+		}
+	}
+	_ = math.Pi
+}

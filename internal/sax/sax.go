@@ -1,0 +1,168 @@
+// Package sax implements Symbolic Aggregate approXimation (§4.1 of the
+// paper): Piecewise Aggregate Approximation (PAA), the Gaussian breakpoint
+// alphabet, the FastPAA algorithm (Algorithm 2) built on prefix sums, the
+// multi-resolution SAX word computation of §6.2, and the numerosity
+// reduction of §4.2.
+//
+// Conventions:
+//
+//   - A SAX word is a string of w bytes; symbol i is 'a'+i.
+//   - Breakpoint regions are (-inf, b1), [b1, b2), ..., [b_{a-1}, +inf):
+//     a coefficient equal to a breakpoint belongs to the region above it.
+//   - A window whose standard deviation is below Eps is treated as flat:
+//     its z-normalized form is all zeros (and hence its word is uniform).
+package sax
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"egi/internal/stat"
+	"egi/internal/timeseries"
+)
+
+// Eps is the standard-deviation threshold below which a subsequence is
+// considered constant for z-normalization purposes.
+const Eps = 1e-9
+
+// MaxAlphabet is the largest supported alphabet size. 26 keeps every symbol
+// a lowercase letter; the paper never goes beyond 20.
+const MaxAlphabet = 26
+
+// Errors reported by discretization.
+var (
+	ErrBadPAASize  = errors.New("sax: PAA size must be >= 1 and <= window length")
+	ErrBadAlphabet = fmt.Errorf("sax: alphabet size must be in [2, %d]", MaxAlphabet)
+	ErrBadWindow   = errors.New("sax: window length out of range")
+)
+
+// Params is one discretization parameter combination: PAA size w and
+// alphabet size a. Ensemble members are identified by their Params.
+type Params struct {
+	W int // PAA size (word length)
+	A int // alphabet size
+}
+
+func (p Params) String() string { return fmt.Sprintf("w=%d,a=%d", p.W, p.A) }
+
+// Validate checks the combination against a window of length n.
+func (p Params) Validate(n int) error {
+	if p.W < 1 || p.W > n {
+		return fmt.Errorf("%w: w=%d, n=%d", ErrBadPAASize, p.W, n)
+	}
+	if p.A < 2 || p.A > MaxAlphabet {
+		return fmt.Errorf("%w: a=%d", ErrBadAlphabet, p.A)
+	}
+	return nil
+}
+
+var breakpointCache sync.Map // int -> []float64
+
+// Breakpoints returns the SAX breakpoint table row for alphabet size a:
+// the a-1 values that split N(0,1) into equiprobable regions. Results are
+// cached; callers must not modify the returned slice.
+func Breakpoints(a int) ([]float64, error) {
+	if a < 2 || a > MaxAlphabet {
+		return nil, fmt.Errorf("%w: a=%d", ErrBadAlphabet, a)
+	}
+	if v, ok := breakpointCache.Load(a); ok {
+		return v.([]float64), nil
+	}
+	bps, err := stat.GaussianBreakpoints(a)
+	if err != nil {
+		return nil, err
+	}
+	breakpointCache.Store(a, bps)
+	return bps, nil
+}
+
+// SymbolFor maps a single z-normalized PAA coefficient to its symbol index
+// under alphabet size a: the number of breakpoints <= c.
+func SymbolFor(c float64, bps []float64) int {
+	// sort.Search finds the first i with bps[i] > c, which equals the count
+	// of breakpoints <= c and therefore the region index.
+	return sort.Search(len(bps), func(i int) bool { return bps[i] > c })
+}
+
+// PAA computes the Piecewise Aggregate Approximation of a z-normalized
+// subsequence: w segment means over near-equal integer segments
+// [i*n/w, (i+1)*n/w). The same integer segmentation is used by FastPAA so
+// the two agree exactly.
+func PAA(znormed []float64, w int) ([]float64, error) {
+	n := len(znormed)
+	if w < 1 || w > n {
+		return nil, fmt.Errorf("%w: w=%d, n=%d", ErrBadPAASize, w, n)
+	}
+	out := make([]float64, w)
+	for i := 0; i < w; i++ {
+		lo := i * n / w
+		hi := (i + 1) * n / w
+		var s float64
+		for _, v := range znormed[lo:hi] {
+			s += v
+		}
+		out[i] = s / float64(hi-lo)
+	}
+	return out, nil
+}
+
+// Encode converts a z-normalized subsequence into a SAX word with PAA size
+// w and alphabet size a, the naive (non-accelerated) path of §4.1. It is
+// retained as the reference implementation and ablation baseline.
+func Encode(znormed []float64, w, a int) (string, error) {
+	coeffs, err := PAA(znormed, w)
+	if err != nil {
+		return "", err
+	}
+	bps, err := Breakpoints(a)
+	if err != nil {
+		return "", err
+	}
+	word := make([]byte, w)
+	for i, c := range coeffs {
+		word[i] = byte('a' + SymbolFor(c, bps))
+	}
+	return string(word), nil
+}
+
+// EncodeSubsequence z-normalizes raw and encodes it. Convenience wrapper
+// used by tests and by HOTSAX.
+func EncodeSubsequence(raw []float64, w, a int) (string, error) {
+	z := stat.ZNormalize(raw, Eps)
+	return Encode(z, w, a)
+}
+
+// FastPAA implements Algorithm 2 of the paper: the PAA coefficients of the
+// z-normalized window [p, p+n) computed in O(w) from the prefix-sum
+// features, instead of O(n) for the naive path. dst must have length w.
+//
+// For a (numerically) constant window all coefficients are zero, matching
+// the z-normalization convention.
+func FastPAA(f *timeseries.Features, p, n, w int, dst []float64) error {
+	if n <= 0 || p < 0 || p+n > f.SeriesLen() {
+		return fmt.Errorf("%w: p=%d n=%d len=%d", ErrBadWindow, p, n, f.SeriesLen())
+	}
+	if w < 1 || w > n {
+		return fmt.Errorf("%w: w=%d, n=%d", ErrBadPAASize, w, n)
+	}
+	if len(dst) != w {
+		return fmt.Errorf("sax: dst length %d, want %d", len(dst), w)
+	}
+	mu, sigma := f.RangeMeanStd(p, p+n)
+	if sigma < Eps {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return nil
+	}
+	inv := 1 / sigma
+	for i := 0; i < w; i++ {
+		lo := p + i*n/w
+		hi := p + (i+1)*n/w
+		segMean := f.RangeSum(lo, hi) / float64(hi-lo)
+		dst[i] = (segMean - mu) * inv
+	}
+	return nil
+}

@@ -1,0 +1,306 @@
+package sequitur
+
+import "sort"
+
+// This file contains the mutable induction engine: an intrusive circular
+// doubly-linked list per rule (with a guard node), and a digram index that
+// maps a pair of adjacent symbol values to the leftmost live occurrence.
+// The structure follows the reference Sequitur implementation; the triple
+// fix-ups in join keep the digram index correct for runs like "aaa" where
+// consecutive digrams overlap.
+
+// node is one symbol in a rule's RHS during induction. val encodes the
+// symbol identity: terminal word ids are >= 0, rule references are encoded
+// as -(id+1) so that equal values mean equal symbols across the grammar.
+type node struct {
+	prev, next *node
+	val        int
+	rule       *irule // referenced rule (non-terminal) or owner (guard)
+	guard      bool
+}
+
+// irule is a rule under construction.
+type irule struct {
+	id    int
+	guard *node // guard.next = first RHS symbol, guard.prev = last
+	uses  int
+}
+
+func (r *irule) first() *node { return r.guard.next }
+func (r *irule) last() *node  { return r.guard.prev }
+
+func ruleVal(id int) int { return -(id + 1) }
+
+type digram [2]int
+
+type builder struct {
+	digrams map[digram]*node
+	rules   map[int]*irule // live rules by id
+	nextID  int
+	start   *irule
+	wordIDs map[string]int
+	words   []string
+	lastTop *node // last symbol of the start rule (fast append)
+}
+
+func newBuilder() *builder {
+	b := &builder{
+		digrams: make(map[digram]*node),
+		rules:   make(map[int]*irule),
+		wordIDs: make(map[string]int),
+	}
+	b.start = b.newRule()
+	return b
+}
+
+func (b *builder) newRule() *irule {
+	r := &irule{id: b.nextID}
+	b.nextID++
+	g := &node{guard: true, rule: r}
+	g.next, g.prev = g, g
+	r.guard = g
+	b.rules[r.id] = r
+	return r
+}
+
+func (b *builder) internWord(w string) int {
+	if id, ok := b.wordIDs[w]; ok {
+		return id
+	}
+	id := len(b.words)
+	b.words = append(b.words, w)
+	b.wordIDs[w] = id
+	return id
+}
+
+// push appends one terminal token to the start rule and restores the
+// grammar invariants.
+func (b *builder) push(tok string) {
+	n := &node{val: b.internWord(tok)}
+	last := b.start.last()
+	b.insertAfter(last, n)
+	if !last.guard {
+		b.check(last)
+	}
+}
+
+// properDigram reports whether (a, a.next) is a digram of two real symbols.
+func properDigram(a *node) bool {
+	return a != nil && !a.guard && a.next != nil && !a.next.guard
+}
+
+func keyOf(a *node) digram { return digram{a.val, a.next.val} }
+
+// deleteDigram removes the index entry for the digram starting at a, but
+// only if the index currently points at a (the same key may have been
+// re-registered by a different occurrence).
+func (b *builder) deleteDigram(a *node) {
+	if !properDigram(a) {
+		return
+	}
+	k := keyOf(a)
+	if b.digrams[k] == a {
+		delete(b.digrams, k)
+	}
+}
+
+// join links l -> r, keeping the digram index consistent. When l already
+// had a successor, the digram starting at l dies; the triple fix-ups
+// re-point the index for overlapping runs such as "aaa", where removing a
+// middle symbol changes which occurrence of the (a,a) digram is canonical.
+func (b *builder) join(l, r *node) {
+	if l.next != nil {
+		b.deleteDigram(l)
+		if !r.guard && r.prev != nil && r.next != nil && !r.prev.guard && !r.next.guard &&
+			r.val == r.prev.val && r.val == r.next.val {
+			b.digrams[keyOf(r)] = r
+		}
+		if !l.guard && l.prev != nil && l.next != nil && !l.prev.guard && !l.next.guard &&
+			l.val == l.prev.val && l.val == l.next.val {
+			b.digrams[keyOf(l.prev)] = l.prev
+		}
+	}
+	l.next = r
+	r.prev = l
+}
+
+// insertAfter places n immediately after pos.
+func (b *builder) insertAfter(pos, n *node) {
+	b.join(n, pos.next)
+	b.join(pos, n)
+}
+
+// unlink removes n from its list, cleaning up index entries for the two
+// digrams that die with it and releasing its rule reference.
+func (b *builder) unlink(n *node) {
+	p, nx := n.prev, n.next
+	b.join(p, nx)
+	// The digram (n, old next) may still be indexed at n.
+	if !n.guard && !nx.guard {
+		k := digram{n.val, nx.val}
+		if b.digrams[k] == n {
+			delete(b.digrams, k)
+		}
+	}
+	if !n.guard && n.rule != nil {
+		n.rule.uses--
+	}
+}
+
+// check enforces digram uniqueness for the digram starting at n. It returns
+// true when a substitution took place (and n is no longer live).
+func (b *builder) check(n *node) bool {
+	if !properDigram(n) {
+		return false
+	}
+	k := keyOf(n)
+	m, ok := b.digrams[k]
+	if !ok {
+		b.digrams[k] = n
+		return false
+	}
+	if m == n || m.next == n || n.next == m {
+		// The same or an overlapping occurrence: nothing to do.
+		return false
+	}
+	b.match(n, m)
+	return true
+}
+
+// match resolves a repeated digram: n is the new occurrence, m the indexed
+// one. Either the indexed occurrence is exactly the whole RHS of an
+// existing rule (reuse it), or a fresh rule is created from the digram and
+// both occurrences are substituted.
+func (b *builder) match(n, m *node) {
+	var r *irule
+	if m.prev.guard && m.next.next.guard {
+		r = m.prev.rule
+		b.substitute(n, r)
+	} else {
+		r = b.newRule()
+		// Build the rule body from copies of the matched digram.
+		c1 := &node{val: m.val, rule: m.rule}
+		c2 := &node{val: m.next.val, rule: m.next.rule}
+		if c1.rule != nil {
+			c1.rule.uses++
+		}
+		if c2.rule != nil {
+			c2.rule.uses++
+		}
+		b.insertAfter(r.guard, c1)
+		b.insertAfter(c1, c2)
+		b.substitute(m, r)
+		b.substitute(n, r)
+		b.digrams[keyOf(r.first())] = r.first()
+	}
+	// Rule utility: the two collapsed occurrences may leave a rule
+	// referenced from the new rule's body with only one remaining use;
+	// inline it. The reference implementation checks only the first
+	// symbol; the last symbol is symmetric, so we check it as well.
+	f := r.first()
+	if !f.guard && f.rule != nil && !f.rule.isStart(b) && f.rule.uses == 1 {
+		b.expand(f)
+	}
+	l := r.last()
+	if !l.guard && l != f && l.rule != nil && !l.rule.isStart(b) && l.rule.uses == 1 {
+		b.expand(l)
+	}
+}
+
+func (r *irule) isStart(b *builder) bool { return r == b.start }
+
+// substitute replaces the digram starting at n with a reference to rule r.
+func (b *builder) substitute(n *node, r *irule) {
+	q := n.prev
+	b.unlink(q.next) // n itself
+	b.unlink(q.next) // what used to be n.next
+	nt := &node{val: ruleVal(r.id), rule: r}
+	r.uses++
+	b.insertAfter(q, nt)
+	if !b.check(q) {
+		b.check(nt)
+	}
+}
+
+// expand inlines the rule referenced by n (which must have uses == 1) into
+// n's position and deletes the rule — the rule-utility constraint.
+func (b *builder) expand(n *node) {
+	r := n.rule
+	left, right := n.prev, n.next
+	f, l := r.first(), r.last()
+
+	// Digrams (left, n) and (n, right) die with n.
+	b.deleteDigram(left)
+	b.deleteDigram(n)
+	// Splice the rule body in place of n.
+	left.next = f
+	f.prev = left
+	l.next = right
+	right.prev = l
+	// The junction digram (l, right) becomes live; register it. (left, f)
+	// is registered by the caller's subsequent checks when applicable; the
+	// reference implementation registers only the right junction here.
+	if properDigram(l) {
+		b.digrams[keyOf(l)] = l
+	}
+	delete(b.rules, r.id)
+}
+
+// freeze snapshots the mutable state into an immutable Grammar with dense
+// rule ids (start rule first, then in ascending original id order), and
+// computes expansion lengths.
+func (b *builder) freeze() *Grammar {
+	// Dense renumbering.
+	ids := make([]int, 0, len(b.rules))
+	for id := range b.rules {
+		ids = append(ids, id)
+	}
+	// The start rule has the smallest id (0); keep ascending order.
+	sort.Ints(ids)
+	remap := make(map[int]int, len(ids))
+	for dense, id := range ids {
+		remap[id] = dense
+	}
+
+	g := &Grammar{Words: append([]string(nil), b.words...)}
+	g.Rules = make([]Rule, len(ids))
+	for dense, id := range ids {
+		r := b.rules[id]
+		var rhs []Symbol
+		for n := r.first(); !n.guard; n = n.next {
+			if n.rule != nil {
+				rhs = append(rhs, Symbol{Rule: remap[n.rule.id], Term: -1})
+			} else {
+				rhs = append(rhs, Symbol{Rule: -1, Term: n.val})
+			}
+		}
+		g.Rules[dense] = Rule{RHS: rhs, Uses: r.uses}
+	}
+	// Expansion lengths bottom-up: referenced rules always have a higher
+	// original id than... not guaranteed after reuse; do a memoized DFS.
+	memo := make([]int, len(g.Rules))
+	for i := range memo {
+		memo[i] = -1
+	}
+	var expLen func(int) int
+	expLen = func(id int) int {
+		if memo[id] >= 0 {
+			return memo[id]
+		}
+		memo[id] = 0 // guards against cycles, which a correct grammar never has
+		total := 0
+		for _, s := range g.Rules[id].RHS {
+			if s.IsRule() {
+				total += expLen(s.Rule)
+			} else {
+				total++
+			}
+		}
+		memo[id] = total
+		return total
+	}
+	for i := range g.Rules {
+		g.Rules[i].expLen = expLen(i)
+	}
+	return g
+}

@@ -1,0 +1,387 @@
+package sequitur
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// expansionEquals asserts that the grammar's start-rule expansion
+// reproduces the input exactly — Sequitur is lossless.
+func expansionEquals(t *testing.T, g *Grammar, input []string) {
+	t.Helper()
+	got := g.Expansion()
+	if len(got) != len(input) {
+		t.Fatalf("expansion has %d tokens, want %d\ngrammar:\n%s", len(got), len(input), g)
+	}
+	for i := range input {
+		if got[i] != input[i] {
+			t.Fatalf("expansion[%d] = %q, want %q\ngrammar:\n%s", i, got[i], input[i], g)
+		}
+	}
+}
+
+// checkInvariants verifies digram uniqueness (no digram appears twice
+// without overlap across all rule bodies) and rule utility (every non-start
+// rule used at least twice, and Uses matches the actual reference count).
+func checkInvariants(t *testing.T, g *Grammar) {
+	t.Helper()
+	type loc struct{ rule, pos int }
+	seen := map[string]loc{}
+	for ri, r := range g.Rules {
+		for i := 0; i+1 < len(r.RHS); i++ {
+			a, b := r.RHS[i], r.RHS[i+1]
+			key := fmt.Sprintf("%d.%d|%d.%d", a.Rule, a.Term, b.Rule, b.Term)
+			if prev, ok := seen[key]; ok {
+				// Overlapping occurrences in a run like "aaa" are legal.
+				if prev.rule == ri && i-prev.pos == 1 && a == b {
+					continue
+				}
+				t.Errorf("digram %s appears at R%d:%d and R%d:%d\ngrammar:\n%s",
+					key, prev.rule, prev.pos, ri, i, g)
+			} else {
+				seen[key] = loc{ri, i}
+			}
+		}
+	}
+	refs := make([]int, len(g.Rules))
+	for _, r := range g.Rules {
+		for _, s := range r.RHS {
+			if s.IsRule() {
+				refs[s.Rule]++
+			}
+		}
+	}
+	if refs[0] != 0 {
+		t.Errorf("start rule is referenced %d times", refs[0])
+	}
+	for ri := 1; ri < len(g.Rules); ri++ {
+		if refs[ri] < 2 {
+			t.Errorf("rule R%d used %d times, rule utility requires >= 2\ngrammar:\n%s",
+				ri, refs[ri], g)
+		}
+		if g.Rules[ri].Uses != refs[ri] {
+			t.Errorf("rule R%d Uses=%d but actual references=%d", ri, g.Rules[ri].Uses, refs[ri])
+		}
+		if len(g.Rules[ri].RHS) < 2 {
+			t.Errorf("rule R%d has a %d-symbol body", ri, len(g.Rules[ri].RHS))
+		}
+	}
+}
+
+func TestInduceEmpty(t *testing.T) {
+	if _, err := Induce(nil); err == nil {
+		t.Fatal("empty input should error")
+	}
+}
+
+func TestInduceSingleToken(t *testing.T) {
+	g, err := Induce([]string{"aa"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expansionEquals(t, g, []string{"aa"})
+	if g.NumRules() != 1 {
+		t.Errorf("single token grammar has %d rules, want 1", g.NumRules())
+	}
+}
+
+func TestInduceTable1Example(t *testing.T) {
+	// §3.2, Table 1: S = aa,bb,cc,xx,aa,bb,cc induces
+	//   R0 -> R1 xx R1 ;  R1 -> aa bb cc
+	in := []string{"aa", "bb", "cc", "xx", "aa", "bb", "cc"}
+	g, err := Induce(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expansionEquals(t, g, in)
+	checkInvariants(t, g)
+	if g.NumRules() != 2 {
+		t.Fatalf("grammar has %d rules, want 2:\n%s", g.NumRules(), g)
+	}
+	r0 := g.Rules[0]
+	if len(r0.RHS) != 3 || !r0.RHS[0].IsRule() || r0.RHS[1].IsRule() || !r0.RHS[2].IsRule() {
+		t.Fatalf("R0 structure wrong:\n%s", g)
+	}
+	if g.Words[r0.RHS[1].Term] != "xx" {
+		t.Errorf("middle terminal = %q, want xx", g.Words[r0.RHS[1].Term])
+	}
+	exp := g.ExpandRule(1)
+	if strings.Join(exp, ",") != "aa,bb,cc" {
+		t.Errorf("R1 expands to %v, want aa,bb,cc", exp)
+	}
+	if g.Rules[1].Uses != 2 {
+		t.Errorf("R1 uses = %d, want 2", g.Rules[1].Uses)
+	}
+}
+
+func TestInduceTable2Example(t *testing.T) {
+	// §5.1, Table 2: SNR = ab,bc,aa,cc,ca,ab,bc,aa ends as
+	//   R0 -> R2 cc ca R2 ;  R2 -> ab bc aa
+	// (the intermediate R1 -> ab bc is removed by rule utility).
+	in := []string{"ab", "bc", "aa", "cc", "ca", "ab", "bc", "aa"}
+	g, err := Induce(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expansionEquals(t, g, in)
+	checkInvariants(t, g)
+	if g.NumRules() != 2 {
+		t.Fatalf("grammar has %d rules, want 2:\n%s", g.NumRules(), g)
+	}
+	r0 := g.Rules[0]
+	if len(r0.RHS) != 4 {
+		t.Fatalf("R0 has %d symbols, want 4:\n%s", len(r0.RHS), g)
+	}
+	if !r0.RHS[0].IsRule() || !r0.RHS[3].IsRule() || r0.RHS[0].Rule != r0.RHS[3].Rule {
+		t.Fatalf("R0 should start and end with the same rule:\n%s", g)
+	}
+	if g.Words[r0.RHS[1].Term] != "cc" || g.Words[r0.RHS[2].Term] != "ca" {
+		t.Fatalf("uncompressed middle should be cc,ca:\n%s", g)
+	}
+	body := g.ExpandRule(r0.RHS[0].Rule)
+	if strings.Join(body, ",") != "ab,bc,aa" {
+		t.Errorf("repeated rule expands to %v, want ab,bc,aa", body)
+	}
+}
+
+func TestInduceRepeats(t *testing.T) {
+	// A fully periodic sequence compresses into a hierarchy; expansion
+	// must still round-trip and invariants must hold.
+	var in []string
+	for i := 0; i < 64; i++ {
+		in = append(in, "x", "y")
+	}
+	g, err := Induce(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expansionEquals(t, g, in)
+	checkInvariants(t, g)
+	if len(g.Rules[0].RHS) >= len(in)/2 {
+		t.Errorf("periodic input barely compressed: |R0| = %d", len(g.Rules[0].RHS))
+	}
+}
+
+func TestInduceTripleRun(t *testing.T) {
+	// Runs of one symbol exercise the overlapping-digram handling.
+	for n := 2; n <= 40; n++ {
+		in := make([]string, n)
+		for i := range in {
+			in[i] = "a"
+		}
+		g, err := Induce(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expansionEquals(t, g, in)
+		checkInvariants(t, g)
+	}
+}
+
+func TestInduceNoRepeats(t *testing.T) {
+	in := []string{"a", "b", "c", "d", "e", "f", "g"}
+	g, err := Induce(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expansionEquals(t, g, in)
+	checkInvariants(t, g)
+	if g.NumRules() != 1 {
+		t.Errorf("unique tokens should induce no rules, got:\n%s", g)
+	}
+}
+
+func TestInduceRandomRoundTrip(t *testing.T) {
+	alphabets := [][]string{
+		{"a", "b"},
+		{"aa", "ab", "ba", "bb"},
+		{"u", "v", "w", "x", "y", "z"},
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		alpha := alphabets[trial%len(alphabets)]
+		n := 1 + rng.Intn(200)
+		in := make([]string, n)
+		for i := range in {
+			in[i] = alpha[rng.Intn(len(alpha))]
+		}
+		g, err := Induce(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		expansionEquals(t, g, in)
+		checkInvariants(t, g)
+	}
+}
+
+func TestInduceQuickProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		in := make([]string, len(raw))
+		for i, b := range raw {
+			in[i] = string(rune('a' + int(b)%5))
+		}
+		g, err := Induce(in)
+		if err != nil {
+			return false
+		}
+		got := g.Expansion()
+		if len(got) != len(in) {
+			return false
+		}
+		for i := range in {
+			if got[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpansionLen(t *testing.T) {
+	in := []string{"aa", "bb", "cc", "xx", "aa", "bb", "cc"}
+	g, _ := Induce(in)
+	if g.ExpansionLen(0) != len(in) {
+		t.Errorf("R0 expansion length %d, want %d", g.ExpansionLen(0), len(in))
+	}
+	for ri := 1; ri < g.NumRules(); ri++ {
+		if g.ExpansionLen(ri) != len(g.ExpandRule(ri)) {
+			t.Errorf("R%d expansion length %d != |expansion| %d",
+				ri, g.ExpansionLen(ri), len(g.ExpandRule(ri)))
+		}
+	}
+}
+
+func TestVisitOccurrences(t *testing.T) {
+	in := []string{"aa", "bb", "cc", "xx", "aa", "bb", "cc"}
+	g, _ := Induce(in)
+	type occ struct{ rule, start, end int }
+	var occs []occ
+	g.VisitOccurrences(func(rule, start, end int) {
+		occs = append(occs, occ{rule, start, end})
+	})
+	// R1 -> aa bb cc occurs at token spans [0,3) and [4,7).
+	if len(occs) != 2 {
+		t.Fatalf("got %d occurrences, want 2: %v\n%s", len(occs), occs, g)
+	}
+	if occs[0] != (occ{1, 0, 3}) || occs[1] != (occ{1, 4, 7}) {
+		t.Errorf("occurrences = %v, want [{1 0 3} {1 4 7}]", occs)
+	}
+}
+
+func TestVisitOccurrencesNested(t *testing.T) {
+	// Build a sequence with nested structure: (xy xy z) repeated.
+	var in []string
+	for i := 0; i < 8; i++ {
+		in = append(in, "x", "y", "x", "y", "z")
+	}
+	g, _ := Induce(in)
+	expansionEquals(t, g, in)
+	// Every reported occurrence must expand to the right tokens.
+	g.VisitOccurrences(func(rule, start, end int) {
+		want := g.ExpandRule(rule)
+		if end-start != len(want) {
+			t.Fatalf("R%d occurrence [%d,%d) length %d != expansion %d",
+				rule, start, end, end-start, len(want))
+		}
+		for i := start; i < end; i++ {
+			if in[i] != want[i-start] {
+				t.Fatalf("R%d occurrence [%d,%d): token %d is %q, want %q",
+					rule, start, end, i, in[i], want[i-start])
+			}
+		}
+	})
+}
+
+func TestVisitOccurrencesCountsMatchUses(t *testing.T) {
+	// Top-level occurrence counting: a rule referenced k times from bodies
+	// that expand m times in total must appear exactly sum(m) times.
+	rng := rand.New(rand.NewSource(3))
+	in := make([]string, 400)
+	alpha := []string{"p", "q", "r"}
+	for i := range in {
+		in[i] = alpha[rng.Intn(3)]
+	}
+	g, _ := Induce(in)
+	counts := make(map[int]int)
+	g.VisitOccurrences(func(rule, start, end int) {
+		counts[rule]++
+		if start < 0 || end > len(in) || start >= end {
+			t.Fatalf("R%d occurrence [%d,%d) out of bounds", rule, start, end)
+		}
+	})
+	for ri := 1; ri < g.NumRules(); ri++ {
+		if counts[ri] < g.Rules[ri].Uses {
+			t.Errorf("R%d visited %d times, but has %d direct uses",
+				ri, counts[ri], g.Rules[ri].Uses)
+		}
+	}
+}
+
+func TestRuleStringAndString(t *testing.T) {
+	in := []string{"aa", "bb", "cc", "xx", "aa", "bb", "cc"}
+	g, _ := Induce(in)
+	s0 := g.RuleString(0)
+	if !strings.HasPrefix(s0, "R0 ->") || !strings.Contains(s0, "xx") {
+		t.Errorf("RuleString(0) = %q", s0)
+	}
+	full := g.String()
+	if !strings.Contains(full, "R0 ->") || !strings.Contains(full, "R1 ->") {
+		t.Errorf("String() = %q", full)
+	}
+}
+
+func TestCompressionOnStructuredInput(t *testing.T) {
+	// Grammar size on a highly repetitive sequence must be logarithmic-ish,
+	// definitely far below the input length (this is what makes anomalies,
+	// which stay uncompressed, stand out).
+	var in []string
+	for i := 0; i < 256; i++ {
+		in = append(in, "m")
+		in = append(in, "n")
+	}
+	g, _ := Induce(in)
+	total := 0
+	for _, r := range g.Rules {
+		total += len(r.RHS)
+	}
+	if total > len(in)/4 {
+		t.Errorf("grammar size %d too large for input %d", total, len(in))
+	}
+}
+
+func BenchmarkInduceRandom(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	alpha := []string{"aa", "ab", "ba", "bb", "ca", "cb"}
+	in := make([]string, 10000)
+	for i := range in {
+		in[i] = alpha[rng.Intn(len(alpha))]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Induce(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInducePeriodic(b *testing.B) {
+	in := make([]string, 10000)
+	for i := range in {
+		in[i] = string(rune('a' + i%7))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Induce(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,360 @@
+package stat
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.in); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestVarAndStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Population variance of this classic example is 4.
+	if got := PopStd(xs); !almostEq(got, 2, 1e-12) {
+		t.Errorf("PopStd = %v, want 2", got)
+	}
+	wantVar := 32.0 / 7.0
+	if got := Var(xs); !almostEq(got, wantVar, 1e-12) {
+		t.Errorf("Var = %v, want %v", got, wantVar)
+	}
+	if got := Std(xs); !almostEq(got, math.Sqrt(wantVar), 1e-12) {
+		t.Errorf("Std = %v, want %v", got, math.Sqrt(wantVar))
+	}
+	if got := Var([]float64{3}); got != 0 {
+		t.Errorf("Var of singleton = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, _, err := MinMax(nil); err == nil {
+		t.Fatal("MinMax(nil) should error")
+	}
+	min, max, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || min != -1 || max != 7 {
+		t.Errorf("MinMax = (%v,%v,%v), want (-1,7,nil)", min, max, err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if _, err := Median(nil); err == nil {
+		t.Fatal("Median(nil) should error")
+	}
+	odd := []float64{9, 1, 5}
+	m, err := Median(odd)
+	if err != nil || m != 5 {
+		t.Errorf("Median(odd) = %v, want 5", m)
+	}
+	// Median must not reorder its input.
+	if odd[0] != 9 || odd[1] != 1 || odd[2] != 5 {
+		t.Errorf("Median modified its input: %v", odd)
+	}
+	even := []float64{4, 1, 3, 2}
+	m, _ = Median(even)
+	if m != 2.5 {
+		t.Errorf("Median(even) = %v, want 2.5", m)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	for _, c := range []struct{ q, want float64 }{
+		{0, 0}, {1, 4}, {0.5, 2}, {0.25, 1}, {0.125, 0.5},
+	} {
+		got, err := Quantile(xs, c.q)
+		if err != nil || !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if _, err := Quantile(xs, -0.1); err == nil {
+		t.Error("Quantile(-0.1) should error")
+	}
+	if _, err := Quantile(xs, 1.1); err == nil {
+		t.Error("Quantile(1.1) should error")
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("Quantile(empty) should error")
+	}
+}
+
+func TestArgSort(t *testing.T) {
+	xs := []float64{0.3, 0.9, 0.1, 0.9}
+	desc := ArgSortDesc(xs)
+	want := []int{1, 3, 0, 2} // stable: the first 0.9 comes first
+	for i := range want {
+		if desc[i] != want[i] {
+			t.Fatalf("ArgSortDesc = %v, want %v", desc, want)
+		}
+	}
+	asc := ArgSortAsc(xs)
+	wantAsc := []int{2, 0, 1, 3}
+	for i := range wantAsc {
+		if asc[i] != wantAsc[i] {
+			t.Fatalf("ArgSortAsc = %v, want %v", asc, wantAsc)
+		}
+	}
+}
+
+func TestArgSortPropertySorted(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) {
+				xs[i] = 0
+			}
+		}
+		idx := ArgSortDesc(xs)
+		if len(idx) != len(xs) {
+			return false
+		}
+		seen := make(map[int]bool, len(idx))
+		for i := 1; i < len(idx); i++ {
+			if xs[idx[i-1]] < xs[idx[i]] {
+				return false
+			}
+		}
+		for _, i := range idx {
+			if seen[i] {
+				return false
+			}
+			seen[i] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZNormalize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	z := ZNormalize(xs, 1e-9)
+	if !almostEq(Mean(z), 0, 1e-12) {
+		t.Errorf("mean after znorm = %v", Mean(z))
+	}
+	if !almostEq(PopStd(z), 1, 1e-12) {
+		t.Errorf("popstd after znorm = %v", PopStd(z))
+	}
+	// Constant input maps to zeros, not NaNs.
+	flat := ZNormalize([]float64{7, 7, 7}, 1e-9)
+	for _, v := range flat {
+		if v != 0 {
+			t.Errorf("constant znorm = %v, want zeros", flat)
+		}
+	}
+}
+
+func TestZNormalizeIntoMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	ZNormalizeInto(make([]float64, 2), make([]float64, 3), 1e-9)
+}
+
+func TestZNormalizeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		z := ZNormalize(xs, 1e-9)
+		if PopStd(xs) < 1e-9 {
+			for _, v := range z {
+				if v != 0 {
+					return false
+				}
+			}
+			return true
+		}
+		return almostEq(Mean(z), 0, 1e-6) && almostEq(PopStd(z), 1, 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGaussianBreakpoints(t *testing.T) {
+	if _, err := GaussianBreakpoints(1); err == nil {
+		t.Fatal("a=1 should error")
+	}
+	// Classic SAX table values (Lin et al. 2007).
+	want := map[int][]float64{
+		2: {0},
+		3: {-0.43, 0.43},
+		4: {-0.67, 0, 0.67},
+		5: {-0.84, -0.25, 0.25, 0.84},
+	}
+	for a, bps := range want {
+		got, err := GaussianBreakpoints(a)
+		if err != nil {
+			t.Fatalf("a=%d: %v", a, err)
+		}
+		if len(got) != a-1 {
+			t.Fatalf("a=%d: %d breakpoints, want %d", a, len(got), a-1)
+		}
+		for i := range bps {
+			if !almostEq(got[i], bps[i], 0.005) {
+				t.Errorf("a=%d breakpoint %d = %v, want %v", a, i, got[i], bps[i])
+			}
+		}
+	}
+}
+
+func TestGaussianBreakpointsProperties(t *testing.T) {
+	for a := 2; a <= 30; a++ {
+		bps, err := GaussianBreakpoints(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sort.Float64sAreSorted(bps) {
+			t.Fatalf("a=%d: breakpoints not sorted: %v", a, bps)
+		}
+		// Symmetry of the standard normal: bps[i] == -bps[a-2-i].
+		for i := range bps {
+			if !almostEq(bps[i], -bps[len(bps)-1-i], 1e-9) {
+				t.Fatalf("a=%d: breakpoints not symmetric: %v", a, bps)
+			}
+		}
+	}
+}
+
+func TestNormalizeByMax(t *testing.T) {
+	xs := []float64{0, 2, 4}
+	got := NormalizeByMax(xs)
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-12) {
+			t.Fatalf("NormalizeByMax = %v, want %v", got, want)
+		}
+	}
+	// Zeros stay exactly zero.
+	if got[0] != 0 {
+		t.Error("zero not preserved")
+	}
+	// All-zero curve unchanged.
+	z := NormalizeByMax([]float64{0, 0})
+	if z[0] != 0 || z[1] != 0 {
+		t.Errorf("all-zero curve changed: %v", z)
+	}
+	// Input not modified.
+	if xs[1] != 2 {
+		t.Error("input modified")
+	}
+}
+
+func TestMinMaxNormalize(t *testing.T) {
+	got := MinMaxNormalize([]float64{1, 2, 3})
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if !almostEq(got[i], want[i], 1e-12) {
+			t.Fatalf("MinMaxNormalize = %v, want %v", got, want)
+		}
+	}
+	flat := MinMaxNormalize([]float64{4, 4})
+	if flat[0] != 0 || flat[1] != 0 {
+		t.Errorf("constant minmax = %v, want zeros", flat)
+	}
+	// The property the paper cares about: min-max moves a nonzero minimum to
+	// zero, i.e. it does NOT preserve the meaning of zero density.
+	shifted := MinMaxNormalize([]float64{1, 2})
+	if shifted[0] != 0 {
+		t.Errorf("expected min-max to map min to 0, got %v", shifted)
+	}
+}
+
+func TestColumnMedians(t *testing.T) {
+	rows := [][]float64{
+		{1, 10, 0},
+		{2, 20, 5},
+		{3, 30, 100},
+	}
+	got, err := ColumnMedians(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 20, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ColumnMedians = %v, want %v", got, want)
+		}
+	}
+	if _, err := ColumnMedians(nil); err == nil {
+		t.Error("empty rows should error")
+	}
+	if _, err := ColumnMedians([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("ragged rows should error")
+	}
+}
+
+func TestColumnMeans(t *testing.T) {
+	rows := [][]float64{{1, 2}, {3, 4}}
+	got, err := ColumnMeans(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 || got[1] != 3 {
+		t.Fatalf("ColumnMeans = %v, want [2 3]", got)
+	}
+	if _, err := ColumnMeans(nil); err == nil {
+		t.Error("empty rows should error")
+	}
+	if _, err := ColumnMeans([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("ragged rows should error")
+	}
+}
+
+func TestColumnMediansProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		nRows := 1 + rng.Intn(9)
+		width := 1 + rng.Intn(20)
+		rows := make([][]float64, nRows)
+		for r := range rows {
+			rows[r] = make([]float64, width)
+			for c := range rows[r] {
+				rows[r][c] = rng.NormFloat64()
+			}
+		}
+		med, err := ColumnMedians(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < width; c++ {
+			col := make([]float64, nRows)
+			for r := range rows {
+				col[r] = rows[r][c]
+			}
+			want, _ := Median(col)
+			if !almostEq(med[c], want, 1e-12) {
+				t.Fatalf("column %d median = %v, want %v", c, med[c], want)
+			}
+		}
+	}
+}

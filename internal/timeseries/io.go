@@ -1,0 +1,73 @@
+package timeseries
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV reads a univariate time series from r. Accepted layouts:
+//
+//   - one value per line;
+//   - CSV rows, in which case column col (0-based) is used;
+//   - an optional header row, detected when the first row's chosen column
+//     does not parse as a number.
+//
+// Blank lines are skipped. Any other parse failure is an error, so silent
+// data corruption cannot slip into an experiment.
+func ReadCSV(r io.Reader, col int) (Series, error) {
+	if col < 0 {
+		return nil, fmt.Errorf("timeseries: negative column %d", col)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // allow ragged rows; we validate per row below
+	cr.TrimLeadingSpace = true
+	var out Series
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: reading CSV: %w", err)
+		}
+		row++
+		if len(rec) == 1 && strings.TrimSpace(rec[0]) == "" {
+			continue
+		}
+		if col >= len(rec) {
+			return nil, fmt.Errorf("timeseries: row %d has %d columns, need column %d", row, len(rec), col)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rec[col]), 64)
+		if err != nil {
+			if row == 1 && len(out) == 0 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("timeseries: row %d column %d: %w", row, col, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, ErrEmptySeries
+	}
+	return out, nil
+}
+
+// WriteCSV writes the series to w, one value per line, in a round-trippable
+// full-precision format.
+func WriteCSV(w io.Writer, s Series) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range s {
+		if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

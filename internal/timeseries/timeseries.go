@@ -1,0 +1,145 @@
+// Package timeseries provides the time series primitives the rest of the
+// library builds on: the Series type, subsequence extraction, the
+// prefix-sum feature vectors ESumx/ESumxx of §6.2.1 that power FastPAA
+// (Algorithm 2 in the paper), and CSV input/output.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Series is a univariate time series: observations ordered by time.
+type Series []float64
+
+// Errors returned by subsequence and feature operations.
+var (
+	ErrEmptySeries  = errors.New("timeseries: empty series")
+	ErrBadWindow    = errors.New("timeseries: window length out of range")
+	ErrBadSubseq    = errors.New("timeseries: subsequence bounds out of range")
+	ErrNonFinite    = errors.New("timeseries: series contains NaN or Inf")
+	ErrShortSeries  = errors.New("timeseries: series shorter than window")
+	ErrConstantData = errors.New("timeseries: constant series carries no shape information")
+)
+
+// Len returns the number of observations.
+func (s Series) Len() int { return len(s) }
+
+// Clone returns a deep copy of the series.
+func (s Series) Clone() Series { return append(Series(nil), s...) }
+
+// Validate checks that the series is non-empty and contains only finite
+// values. All public entry points of the library validate their input once
+// up front so internal code can assume clean data.
+func (s Series) Validate() error {
+	if len(s) == 0 {
+		return ErrEmptySeries
+	}
+	for i, v := range s {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w (index %d)", ErrNonFinite, i)
+		}
+	}
+	return nil
+}
+
+// Subsequence returns s[p:p+n] (the paper's T_{p,q} with q = p+n-1) without
+// copying. The caller must not modify the result.
+func (s Series) Subsequence(p, n int) (Series, error) {
+	if n <= 0 || p < 0 || p+n > len(s) {
+		return nil, fmt.Errorf("%w: p=%d n=%d len=%d", ErrBadSubseq, p, n, len(s))
+	}
+	return s[p : p+n], nil
+}
+
+// NumWindows returns the number of sliding windows of length n, i.e.
+// len(s)-n+1, or 0 when the series is shorter than the window.
+func (s Series) NumWindows(n int) int {
+	if n <= 0 || n > len(s) {
+		return 0
+	}
+	return len(s) - n + 1
+}
+
+// Features holds the two prefix-sum vectors of §6.2.1:
+//
+//	ESumx(x)  = sum_{i=1..x} t_i
+//	ESumxx(x) = sum_{i=1..x} t_i^2
+//
+// Both use the convention ESum(0) = 0 so that the sum over the half-open
+// range [p, q) is ESum(q) - ESum(p). With these, the mean and standard
+// deviation of any subsequence — and every PAA segment mean — come out in
+// constant time, which is what makes the multi-resolution ensemble
+// discretization cheap (§6.2.3).
+type Features struct {
+	sum  []float64 // sum[i] = s[0] + ... + s[i-1]
+	sum2 []float64 // sum2[i] = s[0]^2 + ... + s[i-1]^2
+	n    int
+}
+
+// NewFeatures computes the prefix sums for s in one pass.
+func NewFeatures(s Series) (*Features, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	f := &Features{
+		sum:  make([]float64, len(s)+1),
+		sum2: make([]float64, len(s)+1),
+		n:    len(s),
+	}
+	for i, v := range s {
+		f.sum[i+1] = f.sum[i] + v
+		f.sum2[i+1] = f.sum2[i] + v*v
+	}
+	return f, nil
+}
+
+// SeriesLen returns the length of the series the features were built from.
+func (f *Features) SeriesLen() int { return f.n }
+
+// RangeSum returns the sum of s[p:q] (half-open) in constant time.
+func (f *Features) RangeSum(p, q int) float64 { return f.sum[q] - f.sum[p] }
+
+// RangeSum2 returns the sum of squares of s[p:q] in constant time.
+func (f *Features) RangeSum2(p, q int) float64 { return f.sum2[q] - f.sum2[p] }
+
+// RangeMean returns the mean of s[p:q] in constant time.
+func (f *Features) RangeMean(p, q int) float64 {
+	return f.RangeSum(p, q) / float64(q-p)
+}
+
+// RangeMeanStd returns the mean and population standard deviation of s[p:q]
+// in constant time (lines 3–5 of Algorithm 2). Numerical cancellation can
+// push the variance slightly negative for near-constant data; it is clamped
+// to zero.
+func (f *Features) RangeMeanStd(p, q int) (mean, std float64) {
+	if q-p == 1 {
+		return f.RangeSum(p, q), 0
+	}
+	n := float64(q - p)
+	ex := f.RangeSum(p, q)
+	exx := f.RangeSum2(p, q)
+	mean = ex / n
+	v := exx/n - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return mean, math.Sqrt(v)
+}
+
+// MovingMeansStds returns the mean and population standard deviation of
+// every window of length m, computed from the prefix sums. It is the
+// precomputation step shared by the matrix profile algorithms.
+func (f *Features) MovingMeansStds(m int) (means, stds []float64, err error) {
+	if m <= 0 || m > f.n {
+		return nil, nil, ErrBadWindow
+	}
+	k := f.n - m + 1
+	means = make([]float64, k)
+	stds = make([]float64, k)
+	for i := 0; i < k; i++ {
+		means[i], stds[i] = f.RangeMeanStd(i, i+m)
+	}
+	return means, stds, nil
+}

@@ -1,0 +1,218 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"egi/internal/stat"
+)
+
+func TestValidate(t *testing.T) {
+	if err := (Series{}).Validate(); err == nil {
+		t.Error("empty series should fail validation")
+	}
+	if err := (Series{1, math.NaN()}).Validate(); err == nil {
+		t.Error("NaN should fail validation")
+	}
+	if err := (Series{1, math.Inf(1)}).Validate(); err == nil {
+		t.Error("+Inf should fail validation")
+	}
+	if err := (Series{1, 2, 3}).Validate(); err != nil {
+		t.Errorf("clean series failed validation: %v", err)
+	}
+}
+
+func TestSubsequence(t *testing.T) {
+	s := Series{0, 1, 2, 3, 4}
+	sub, err := s.Subsequence(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 3 || sub[0] != 1 || sub[2] != 3 {
+		t.Errorf("Subsequence = %v", sub)
+	}
+	for _, c := range []struct{ p, n int }{{-1, 2}, {0, 0}, {3, 3}, {0, 6}} {
+		if _, err := s.Subsequence(c.p, c.n); err == nil {
+			t.Errorf("Subsequence(%d,%d) should error", c.p, c.n)
+		}
+	}
+}
+
+func TestNumWindows(t *testing.T) {
+	s := make(Series, 10)
+	if got := s.NumWindows(3); got != 8 {
+		t.Errorf("NumWindows(3) = %d, want 8", got)
+	}
+	if got := s.NumWindows(10); got != 1 {
+		t.Errorf("NumWindows(10) = %d, want 1", got)
+	}
+	if got := s.NumWindows(11); got != 0 {
+		t.Errorf("NumWindows(11) = %d, want 0", got)
+	}
+	if got := s.NumWindows(0); got != 0 {
+		t.Errorf("NumWindows(0) = %d, want 0", got)
+	}
+}
+
+func TestFeaturesRangeStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := make(Series, 200)
+	for i := range s {
+		s[i] = rng.NormFloat64()*3 + 1
+	}
+	f, err := NewFeatures(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 100; trial++ {
+		p := rng.Intn(len(s) - 1)
+		q := p + 1 + rng.Intn(len(s)-p-1)
+		wantMean := stat.Mean(s[p:q])
+		wantStd := stat.PopStd(s[p:q])
+		mean, std := f.RangeMeanStd(p, q)
+		if math.Abs(mean-wantMean) > 1e-9 {
+			t.Fatalf("RangeMean(%d,%d) = %v, want %v", p, q, mean, wantMean)
+		}
+		if math.Abs(std-wantStd) > 1e-9 {
+			t.Fatalf("RangeStd(%d,%d) = %v, want %v", p, q, std, wantStd)
+		}
+	}
+}
+
+func TestFeaturesConstantSeries(t *testing.T) {
+	s := Series{5, 5, 5, 5}
+	f, err := NewFeatures(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, std := f.RangeMeanStd(0, 4)
+	if mean != 5 {
+		t.Errorf("mean = %v, want 5", mean)
+	}
+	if std != 0 || math.IsNaN(std) {
+		t.Errorf("std = %v, want 0 (and not NaN)", std)
+	}
+}
+
+func TestFeaturesRejectBadInput(t *testing.T) {
+	if _, err := NewFeatures(Series{}); err == nil {
+		t.Error("empty series should error")
+	}
+	if _, err := NewFeatures(Series{1, math.NaN()}); err == nil {
+		t.Error("NaN series should error")
+	}
+}
+
+func TestMovingMeansStds(t *testing.T) {
+	s := Series{1, 2, 3, 4, 5, 6}
+	f, _ := NewFeatures(s)
+	means, stds, err := f.MovingMeansStds(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(means) != 4 || len(stds) != 4 {
+		t.Fatalf("got %d windows, want 4", len(means))
+	}
+	for i := 0; i < 4; i++ {
+		if math.Abs(means[i]-stat.Mean(s[i:i+3])) > 1e-12 {
+			t.Errorf("means[%d] = %v", i, means[i])
+		}
+		if math.Abs(stds[i]-stat.PopStd(s[i:i+3])) > 1e-12 {
+			t.Errorf("stds[%d] = %v", i, stds[i])
+		}
+	}
+	if _, _, err := f.MovingMeansStds(0); err == nil {
+		t.Error("m=0 should error")
+	}
+	if _, _, err := f.MovingMeansStds(7); err == nil {
+		t.Error("m>len should error")
+	}
+}
+
+func TestFeaturesPropertyMatchesNaive(t *testing.T) {
+	f := func(raw []float64) bool {
+		s := make(Series, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e5 {
+				s = append(s, v)
+			}
+		}
+		if len(s) < 2 {
+			return true
+		}
+		feat, err := NewFeatures(s)
+		if err != nil {
+			return false
+		}
+		mean, _ := feat.RangeMeanStd(0, len(s))
+		return math.Abs(mean-stat.Mean(s)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadCSVSingleColumn(t *testing.T) {
+	in := "1.5\n2.5\n\n3.5\n"
+	s, err := ReadCSV(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Series{1.5, 2.5, 3.5}
+	if len(s) != 3 || s[0] != want[0] || s[2] != want[2] {
+		t.Errorf("ReadCSV = %v, want %v", s, want)
+	}
+}
+
+func TestReadCSVWithHeaderAndColumns(t *testing.T) {
+	in := "time,value\n0,10\n1,20\n2,30\n"
+	s, err := ReadCSV(strings.NewReader(in), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 3 || s[0] != 10 || s[2] != 30 {
+		t.Errorf("ReadCSV = %v", s)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), 0); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1\nnot-a-number\n"), 0); err == nil {
+		t.Error("mid-file garbage should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n"), 1); err == nil {
+		t.Error("missing column should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("1\n2\n"), -1); err == nil {
+		t.Error("negative column should error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := make(Series, 100)
+	for i := range s {
+		s[i] = rng.NormFloat64() * 100
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(sb.String()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(s) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(s))
+	}
+	for i := range s {
+		if got[i] != s[i] {
+			t.Fatalf("round trip [%d] = %v, want %v", i, got[i], s[i])
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package ucrsim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// This file defines the per-dataset shape families. Each generator writes
+// one raw (pre-z-normalization) instance into out. Classes differ in
+// *shape*, not just amplitude, so that z-normalization does not erase the
+// distinction; within-class variation comes from phase jitter, width and
+// amplitude perturbations, and additive noise — mirroring what makes the
+// real UCR instances of one class similar but not identical.
+
+// gauss evaluates a Gaussian bump centered at c with width w.
+func gauss(x, c, w float64) float64 {
+	d := (x - c) / w
+	return math.Exp(-0.5 * d * d)
+}
+
+// twoLeadECG: ECG beats of length 82. Class 0 is a normal lead-II-like
+// beat (small P, sharp R, modest T); class 1 has a widened, partially
+// inverted QRS complex — the morphology difference that distinguishes the
+// two leads in the original data.
+func twoLeadECG() *Dataset {
+	d := &Dataset{Name: "TwoLeadECG", SegmentLength: 82, NumClasses: 2, Domain: "ECG"}
+	d.shape = func(rng *rand.Rand, class int, out []float64) {
+		n := len(out)
+		jit := rng.Float64()*0.06 - 0.03 // phase jitter
+		amp := 0.9 + 0.2*rng.Float64()
+		noise := 0.04
+		for i := range out {
+			x := float64(i)/float64(n) + jit
+			var v float64
+			switch class {
+			case 0:
+				v = 0.15*gauss(x, 0.25, 0.04) + // P wave
+					1.4*gauss(x, 0.45, 0.015) - // R peak
+					0.25*gauss(x, 0.49, 0.012) + // S dip
+					0.35*gauss(x, 0.72, 0.06) // T wave
+			default:
+				v = 0.15*gauss(x, 0.25, 0.04) -
+					0.8*gauss(x, 0.42, 0.03) + // inverted, widened Q/R
+					0.9*gauss(x, 0.50, 0.035) +
+					0.25*gauss(x, 0.75, 0.08)
+			}
+			out[i] = amp*v + noise*rng.NormFloat64()
+		}
+	}
+	return d
+}
+
+// ecgFiveDay: beats of length 132 recorded days apart; class 1 shifts the
+// T wave and adds baseline drift, a realistic day-to-day change.
+func ecgFiveDay() *Dataset {
+	d := &Dataset{Name: "ECGFiveDay", SegmentLength: 132, NumClasses: 2, Domain: "ECG"}
+	d.shape = func(rng *rand.Rand, class int, out []float64) {
+		n := len(out)
+		jit := rng.Float64()*0.05 - 0.025
+		amp := 0.9 + 0.2*rng.Float64()
+		drift := rng.Float64()*0.2 - 0.1
+		for i := range out {
+			x := float64(i)/float64(n) + jit
+			var v float64
+			switch class {
+			case 0:
+				v = 0.2*gauss(x, 0.2, 0.05) +
+					1.3*gauss(x, 0.4, 0.018) -
+					0.2*gauss(x, 0.44, 0.015) +
+					0.45*gauss(x, 0.62, 0.05)
+			default:
+				v = 0.2*gauss(x, 0.2, 0.05) +
+					1.3*gauss(x, 0.4, 0.018) -
+					0.2*gauss(x, 0.44, 0.015) -
+					0.35*gauss(x, 0.7, 0.07) + // inverted, late T
+					drift*x
+			}
+			out[i] = amp*v + 0.05*rng.NormFloat64()
+		}
+	}
+	return d
+}
+
+// gunPoint: hand-motion traces of length 150. Class 0 ("point") is a
+// smooth raise-hold-lower bell; class 1 ("gun") adds the characteristic
+// dip from drawing and re-holstering.
+func gunPoint() *Dataset {
+	d := &Dataset{Name: "GunPoint", SegmentLength: 150, NumClasses: 2, Domain: "Motion"}
+	d.shape = func(rng *rand.Rand, class int, out []float64) {
+		n := len(out)
+		jit := rng.Float64()*0.04 - 0.02
+		width := 0.16 + 0.04*rng.Float64()
+		for i := range out {
+			x := float64(i)/float64(n) + jit
+			plateau := 1 / (1 + math.Exp(-(x-0.3)/0.04)) * (1 - 1/(1+math.Exp(-(x-0.7)/0.04)))
+			var v float64
+			switch class {
+			case 0:
+				v = plateau
+			default:
+				v = plateau - 0.5*gauss(x, 0.32, width*0.35) - 0.4*gauss(x, 0.68, width*0.3)
+			}
+			out[i] = v + 0.03*rng.NormFloat64()
+		}
+	}
+	return d
+}
+
+// wafer: semiconductor process sensor traces of length 150: a staircase of
+// process steps. Class 1 instances carry the classic wafer defects — a
+// transient spike and a shifted step edge.
+func wafer() *Dataset {
+	d := &Dataset{Name: "Wafer", SegmentLength: 150, NumClasses: 2, Domain: "Sensor"}
+	d.shape = func(rng *rand.Rand, class int, out []float64) {
+		n := len(out)
+		e1 := 0.2 + 0.01*rng.NormFloat64()
+		e2 := 0.5 + 0.01*rng.NormFloat64()
+		e3 := 0.8 + 0.01*rng.NormFloat64()
+		spikePos := 0.35 + 0.2*rng.Float64()
+		for i := range out {
+			x := float64(i) / float64(n)
+			var v float64
+			step := func(edge float64) float64 { return 1 / (1 + math.Exp(-(x-edge)/0.01)) }
+			switch class {
+			case 0:
+				v = step(e1) + step(e2) - 2*step(e3)
+			default:
+				// Shifted middle step plus a tall narrow spike.
+				v = step(e1) + step(e2-0.2) - 2*step(e3) + 3.0*gauss(x, spikePos, 0.012)
+			}
+			out[i] = v + 0.03*rng.NormFloat64()
+		}
+	}
+	return d
+}
+
+// trace: the synthetic nuclear-plant transients of length 275. Class 0 is
+// a flat run followed by a damped oscillation; the other three classes
+// change where the transient starts and whether a step offset occurs —
+// Trace is a 4-class dataset in the archive.
+func trace() *Dataset {
+	d := &Dataset{Name: "Trace", SegmentLength: 275, NumClasses: 4, Domain: "Sensor"}
+	d.shape = func(rng *rand.Rand, class int, out []float64) {
+		n := len(out)
+		onset := 0.35 + 0.06*rng.Float64()
+		freq := 5.0 + rng.Float64()
+		for i := range out {
+			x := float64(i) / float64(n)
+			var v float64
+			switch class {
+			case 0: // flat, then damped oscillation
+				if x > onset {
+					u := x - onset
+					v = math.Exp(-3*u) * math.Sin(2*math.Pi*freq*u)
+				}
+			case 1: // step up, no oscillation
+				if x > onset {
+					v = 1
+				}
+			case 2: // early oscillation, then step down
+				u := x
+				v = math.Exp(-2*u) * math.Sin(2*math.Pi*freq*u)
+				if x > onset+0.3 {
+					v -= 1
+				}
+			default: // ramp with oscillation
+				v = x
+				if x > onset {
+					u := x - onset
+					v += 0.7 * math.Sin(2*math.Pi*freq*u)
+				}
+			}
+			out[i] = v + 0.02*rng.NormFloat64()
+		}
+	}
+	return d
+}
+
+// starLightCurve: periodic stellar brightness curves of length 1024. The
+// three classes mimic the archive's variable-star types: a smooth
+// sinusoidal pulsator, an asymmetric sawtooth-like Cepheid, and an
+// eclipsing binary with two dips per period.
+func starLightCurve() *Dataset {
+	d := &Dataset{Name: "StarLightCurve", SegmentLength: 1024, NumClasses: 3, Domain: "Sensor"}
+	d.shape = func(rng *rand.Rand, class int, out []float64) {
+		// The archive's light curves are phase-aligned (folded on the
+		// star's period), so within-class variation is small jitter, not
+		// arbitrary phase.
+		n := len(out)
+		phase := 0.05 * rng.NormFloat64()
+		cycles := 2.0 + 0.1*rng.Float64()
+		for i := range out {
+			x := float64(i)/float64(n)*cycles + phase
+			frac := x - math.Floor(x)
+			var v float64
+			switch class {
+			case 0: // smooth pulsator
+				v = math.Sin(2*math.Pi*x) + 0.15*math.Sin(4*math.Pi*x)
+			case 1: // asymmetric rise/fall (Cepheid-like)
+				if frac < 0.3 {
+					v = frac / 0.3
+				} else {
+					v = 1 - (frac-0.3)/0.7
+				}
+				v = 2*v - 1
+			default: // eclipsing binary: baseline with two dips
+				v = 0.3 * math.Sin(2*math.Pi*x)
+				v -= 1.3 * gauss(frac, 0.25, 0.04)
+				v -= 0.7 * gauss(frac, 0.75, 0.04)
+			}
+			out[i] = v + 0.05*rng.NormFloat64()
+		}
+	}
+	return d
+}

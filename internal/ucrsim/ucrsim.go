@@ -1,0 +1,197 @@
+// Package ucrsim provides self-contained, seedable simulators of the six
+// UCR-archive datasets used in the paper's evaluation (Table 3):
+// TwoLeadECG, ECGFiveDay, GunPoint, Wafer, Trace, and StarLightCurve. The
+// real archive is third-party data this repository cannot ship; these
+// generators reproduce what the experiments actually rely on — labeled
+// instances with a fixed segment length whose classes are *structurally*
+// distinct shapes with within-class variation — per the substitution policy
+// in DESIGN.md §2.
+//
+// It also implements the §7.1.1 test-series construction protocol:
+// concatenate 20 randomly drawn normal (class-0) instances and insert one
+// instance of a different class at a random position between 40% and 80%
+// of the series.
+package ucrsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"egi/internal/timeseries"
+)
+
+// Dataset describes one simulated UCR dataset.
+type Dataset struct {
+	// Name matches the paper's Table 3 entry.
+	Name string
+	// SegmentLength is the instance length (Table 3, "Segment Length").
+	SegmentLength int
+	// NumClasses counts the labeled classes; class 0 is "normal" per the
+	// paper's protocol, all others are anomalous.
+	NumClasses int
+	// Domain is a short human-readable data-type tag (Table 3).
+	Domain string
+
+	shape func(rng *rand.Rand, class int, out []float64)
+}
+
+// NumNormalInstances is the number of class-0 instances concatenated into
+// each generated test series (§7.1.1).
+const NumNormalInstances = 20
+
+// Errors reported by the generators.
+var (
+	ErrUnknownDataset = errors.New("ucrsim: unknown dataset")
+	ErrBadClass       = errors.New("ucrsim: class out of range")
+)
+
+// All returns the six datasets in the paper's Table 3 order.
+func All() []*Dataset {
+	return []*Dataset{
+		twoLeadECG(), ecgFiveDay(), gunPoint(), wafer(), trace(), starLightCurve(),
+	}
+}
+
+// ByName looks a dataset up by its Table 3 name (case-sensitive).
+func ByName(name string) (*Dataset, error) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+}
+
+// Instance draws one labeled instance of the given class. Instances are
+// z-normalized like the UCR archive's.
+func (d *Dataset) Instance(rng *rand.Rand, class int) (timeseries.Series, error) {
+	if class < 0 || class >= d.NumClasses {
+		return nil, fmt.Errorf("%w: %d of %d", ErrBadClass, class, d.NumClasses)
+	}
+	out := make([]float64, d.SegmentLength)
+	d.shape(rng, class, out)
+	znormInPlace(out)
+	return out, nil
+}
+
+func znormInPlace(x []float64) {
+	var mu float64
+	for _, v := range x {
+		mu += v
+	}
+	mu /= float64(len(x))
+	var ss float64
+	for _, v := range x {
+		ss += (v - mu) * (v - mu)
+	}
+	sd := math.Sqrt(ss / float64(len(x)))
+	if sd < 1e-12 {
+		for i := range x {
+			x[i] = 0
+		}
+		return
+	}
+	for i := range x {
+		x[i] = (x[i] - mu) / sd
+	}
+}
+
+// Planted is a generated test series with ground truth.
+type Planted struct {
+	Series timeseries.Series
+	// Anomalies records every planted anomalous instance as [pos, pos+len).
+	Anomalies []GroundTruth
+}
+
+// GroundTruth locates one planted anomaly.
+type GroundTruth struct {
+	Pos, Length int
+	Class       int
+}
+
+// Generate builds one test series per the §7.1.1 protocol: 20 random
+// normal instances concatenated, with one anomalous instance (random
+// non-zero class) inserted at a position drawn uniformly from 40–80% of
+// the normal series length.
+func (d *Dataset) Generate(rng *rand.Rand) (*Planted, error) {
+	return d.GenerateMulti(rng, NumNormalInstances, 1)
+}
+
+// GenerateMulti generalizes Generate: numNormal normal instances with
+// numAnomalies anomalous instances inserted at random non-overlapping
+// positions in the 40–80% band (§7.5 uses 2 anomalies in longer series).
+func (d *Dataset) GenerateMulti(rng *rand.Rand, numNormal, numAnomalies int) (*Planted, error) {
+	if numNormal < 1 || numAnomalies < 0 {
+		return nil, errors.New("ucrsim: instance counts must be positive")
+	}
+	L := d.SegmentLength
+	base := make(timeseries.Series, 0, numNormal*L)
+	for i := 0; i < numNormal; i++ {
+		inst, err := d.Instance(rng, 0)
+		if err != nil {
+			return nil, err
+		}
+		base = append(base, inst...)
+	}
+	if numAnomalies == 0 {
+		return &Planted{Series: base}, nil
+	}
+
+	// Draw insertion points in the 40–80% band of the normal series,
+	// spaced at least one segment apart so planted anomalies don't abut.
+	lo, hi := int(0.4*float64(len(base))), int(0.8*float64(len(base)))
+	positions := make([]int, 0, numAnomalies)
+	const maxTries = 10000
+	for tries := 0; len(positions) < numAnomalies; tries++ {
+		if tries > maxTries {
+			return nil, errors.New("ucrsim: cannot place anomalies without overlap; series too short")
+		}
+		p := lo + rng.Intn(hi-lo+1)
+		ok := true
+		for _, q := range positions {
+			if abs(p-q) < L {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			positions = append(positions, p)
+		}
+	}
+	// Insert left-to-right, tracking the offset shift each insertion adds.
+	sortInts(positions)
+	out := make(timeseries.Series, 0, len(base)+numAnomalies*L)
+	gts := make([]GroundTruth, 0, numAnomalies)
+	prev := 0
+	for i, p := range positions {
+		class := 1 + rng.Intn(d.NumClasses-1)
+		inst, err := d.Instance(rng, class)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, base[prev:p]...)
+		gts = append(gts, GroundTruth{Pos: len(out), Length: L, Class: class})
+		out = append(out, inst...)
+		prev = p
+		_ = i
+	}
+	out = append(out, base[prev:]...)
+	return &Planted{Series: out, Anomalies: gts}, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package ucrsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAllMatchesTable3(t *testing.T) {
+	want := []struct {
+		name   string
+		segLen int
+	}{
+		{"TwoLeadECG", 82},
+		{"ECGFiveDay", 132},
+		{"GunPoint", 150},
+		{"Wafer", 150},
+		{"Trace", 275},
+		{"StarLightCurve", 1024},
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("All() returned %d datasets, want %d", len(all), len(want))
+	}
+	for i, w := range want {
+		if all[i].Name != w.name {
+			t.Errorf("dataset %d = %s, want %s", i, all[i].Name, w.name)
+		}
+		if all[i].SegmentLength != w.segLen {
+			t.Errorf("%s segment length %d, want %d", w.name, all[i].SegmentLength, w.segLen)
+		}
+		if all[i].NumClasses < 2 {
+			t.Errorf("%s has %d classes, want >= 2", w.name, all[i].NumClasses)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	d, err := ByName("Trace")
+	if err != nil || d.Name != "Trace" {
+		t.Errorf("ByName(Trace) = %v, %v", d, err)
+	}
+	if _, err := ByName("NoSuchDataset"); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+func TestInstanceNormalizedAndSeedable(t *testing.T) {
+	for _, d := range All() {
+		rng := rand.New(rand.NewSource(1))
+		inst, err := d.Instance(rng, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if len(inst) != d.SegmentLength {
+			t.Errorf("%s instance length %d, want %d", d.Name, len(inst), d.SegmentLength)
+		}
+		var mu, ss float64
+		for _, v := range inst {
+			mu += v
+		}
+		mu /= float64(len(inst))
+		for _, v := range inst {
+			ss += (v - mu) * (v - mu)
+		}
+		sd := math.Sqrt(ss / float64(len(inst)))
+		if math.Abs(mu) > 1e-9 || math.Abs(sd-1) > 1e-9 {
+			t.Errorf("%s instance not z-normalized: mean %v std %v", d.Name, mu, sd)
+		}
+		// Determinism under equal seeds.
+		rng2 := rand.New(rand.NewSource(1))
+		inst2, _ := d.Instance(rng2, 0)
+		for i := range inst {
+			if inst[i] != inst2[i] {
+				t.Fatalf("%s instance not deterministic at %d", d.Name, i)
+			}
+		}
+		// Bad class errors.
+		if _, err := d.Instance(rng, -1); err == nil {
+			t.Errorf("%s: class -1 should error", d.Name)
+		}
+		if _, err := d.Instance(rng, d.NumClasses); err == nil {
+			t.Errorf("%s: class %d should error", d.Name, d.NumClasses)
+		}
+	}
+}
+
+func TestClassesAreStructurallyDistinct(t *testing.T) {
+	// Average within-class distance must be clearly below cross-class
+	// distance — otherwise the planted "anomaly" would not be anomalous.
+	for _, d := range All() {
+		rng := rand.New(rand.NewSource(42))
+		const reps = 10
+		sameDist, crossDist := 0.0, 0.0
+		for r := 0; r < reps; r++ {
+			a0, _ := d.Instance(rng, 0)
+			b0, _ := d.Instance(rng, 0)
+			c1, _ := d.Instance(rng, 1)
+			var ds, dc float64
+			for i := range a0 {
+				ds += (a0[i] - b0[i]) * (a0[i] - b0[i])
+				dc += (a0[i] - c1[i]) * (a0[i] - c1[i])
+			}
+			sameDist += math.Sqrt(ds)
+			crossDist += math.Sqrt(dc)
+		}
+		if crossDist < 1.5*sameDist {
+			t.Errorf("%s: cross-class distance %.2f not well above within-class %.2f",
+				d.Name, crossDist/reps, sameDist/reps)
+		}
+	}
+}
+
+func TestGenerateProtocol(t *testing.T) {
+	for _, d := range All() {
+		rng := rand.New(rand.NewSource(7))
+		p, err := d.Generate(rng)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		wantLen := (NumNormalInstances + 1) * d.SegmentLength
+		if len(p.Series) != wantLen {
+			t.Errorf("%s series length %d, want %d", d.Name, len(p.Series), wantLen)
+		}
+		if len(p.Anomalies) != 1 {
+			t.Fatalf("%s: %d anomalies, want 1", d.Name, len(p.Anomalies))
+		}
+		gt := p.Anomalies[0]
+		if gt.Length != d.SegmentLength {
+			t.Errorf("%s anomaly length %d, want %d", d.Name, gt.Length, d.SegmentLength)
+		}
+		if gt.Class < 1 || gt.Class >= d.NumClasses {
+			t.Errorf("%s anomaly class %d invalid", d.Name, gt.Class)
+		}
+		// Insertion point within the 40–80% band of the normal length.
+		base := NumNormalInstances * d.SegmentLength
+		lo, hi := int(0.4*float64(base)), int(0.8*float64(base))+1
+		if gt.Pos < lo || gt.Pos > hi {
+			t.Errorf("%s anomaly at %d outside band [%d,%d]", d.Name, gt.Pos, lo, hi)
+		}
+		if err := p.Series.Validate(); err != nil {
+			t.Errorf("%s generated series invalid: %v", d.Name, err)
+		}
+	}
+}
+
+func TestGenerateMulti(t *testing.T) {
+	d, _ := ByName("StarLightCurve")
+	rng := rand.New(rand.NewSource(3))
+	// §7.5: longer series (more normals) with 2 planted anomalies.
+	p, err := d.GenerateMulti(rng, 40, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Anomalies) != 2 {
+		t.Fatalf("got %d anomalies, want 2", len(p.Anomalies))
+	}
+	if len(p.Series) != 42*d.SegmentLength {
+		t.Errorf("series length %d, want %d", len(p.Series), 42*d.SegmentLength)
+	}
+	a, b := p.Anomalies[0], p.Anomalies[1]
+	if a.Pos >= b.Pos {
+		t.Errorf("anomalies not ordered: %+v", p.Anomalies)
+	}
+	if b.Pos < a.Pos+a.Length {
+		t.Errorf("anomalies overlap: %+v", p.Anomalies)
+	}
+	// Ground truth really points at the planted instance: the recorded
+	// spans must not exceed the series.
+	for _, gt := range p.Anomalies {
+		if gt.Pos < 0 || gt.Pos+gt.Length > len(p.Series) {
+			t.Errorf("ground truth out of range: %+v", gt)
+		}
+	}
+}
+
+func TestGenerateMultiValidation(t *testing.T) {
+	d, _ := ByName("Wafer")
+	rng := rand.New(rand.NewSource(1))
+	if _, err := d.GenerateMulti(rng, 0, 1); err == nil {
+		t.Error("numNormal=0 should error")
+	}
+	if _, err := d.GenerateMulti(rng, 2, -1); err == nil {
+		t.Error("negative anomalies should error")
+	}
+	// Too many anomalies to place without overlap must error, not hang.
+	if _, err := d.GenerateMulti(rng, 2, 50); err == nil {
+		t.Error("unplaceable anomalies should error")
+	}
+	// Zero anomalies is legal (pure normal series).
+	p, err := d.GenerateMulti(rng, 3, 0)
+	if err != nil || len(p.Anomalies) != 0 {
+		t.Errorf("GenerateMulti(3,0) = %v, %v", p, err)
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	d, _ := ByName("GunPoint")
+	p1, err := d.Generate(rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := d.Generate(rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Anomalies[0] != p2.Anomalies[0] {
+		t.Errorf("ground truth differs across equal seeds")
+	}
+	for i := range p1.Series {
+		if p1.Series[i] != p2.Series[i] {
+			t.Fatalf("series differ at %d", i)
+		}
+	}
+}
