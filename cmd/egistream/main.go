@@ -1,0 +1,224 @@
+// Command egistream detects anomalies in a continuously arriving series:
+// it reads points from stdin (CSV or NDJSON, one point per line), pushes
+// them through the streaming ensemble detector, and prints anomaly events
+// as they confirm — memory stays bounded by the ring buffer no matter how
+// long the stream runs.
+//
+// Usage:
+//
+//	egistream -window 900 [-buflen 9000] [-hop 0] [-threshold 0.2] \
+//	          [-format csv|ndjson] [-col 0] [-field value] [-json]
+//
+// Input formats:
+//
+//	csv     one value per line, or CSV rows with the value in -col
+//	ndjson  one JSON document per line: either a bare number or an
+//	        object whose -field member holds the value
+//
+// Output: one line per confirmed event, "event pos length density"
+// (tab-separated), followed after EOF by the final top-K ranking within
+// the detector's retained horizon, "top rank pos length density". With
+// -json both become NDJSON documents instead.
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"egi"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "egistream:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("egistream", flag.ContinueOnError)
+	var (
+		window    = fs.Int("window", 0, "sliding window length n (required)")
+		bufLen    = fs.Int("buflen", 0, "ring buffer capacity (default 10x window)")
+		hop       = fs.Int("hop", 0, "points between re-inductions (default buflen-window+1)")
+		threshold = fs.Float64("threshold", 0, "event threshold on the [0,1] density score (default 0.2)")
+		format    = fs.String("format", "csv", "input format: csv | ndjson")
+		col       = fs.Int("col", 0, "CSV column holding the values (0-based)")
+		field     = fs.String("field", "value", "NDJSON object member holding the value")
+		jsonOut   = fs.Bool("json", false, "emit NDJSON instead of tab-separated lines")
+		size      = fs.Int("size", 0, "ensemble size N (default 50)")
+		wmax      = fs.Int("wmax", 0, "maximum PAA size (default 10)")
+		amax      = fs.Int("amax", 0, "maximum alphabet size (default 10)")
+		tau       = fs.Float64("tau", 0, "ensemble selectivity in (0,1] (default 0.4)")
+		topK      = fs.Int("topk", 0, "size of the final ranking (default 3)")
+		seed      = fs.Int64("seed", 0, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *window < 2 {
+		return fmt.Errorf("-window is required and must be >= 2")
+	}
+	if *format != "csv" && *format != "ndjson" {
+		return fmt.Errorf("unknown -format %q (want csv or ndjson)", *format)
+	}
+
+	out := bufio.NewWriter(stdout)
+	defer out.Flush()
+	emit := func(kind string, rank int, a egi.Anomaly) {
+		if *jsonOut {
+			doc := map[string]any{"type": kind, "pos": a.Pos, "length": a.Length, "density": a.Density}
+			if kind == "top" {
+				doc["rank"] = rank
+			}
+			b, _ := json.Marshal(doc)
+			fmt.Fprintf(out, "%s\n", b)
+			return
+		}
+		if kind == "top" {
+			fmt.Fprintf(out, "top\t%d\t%d\t%d\t%.6f\n", rank, a.Pos, a.Length, a.Density)
+			return
+		}
+		fmt.Fprintf(out, "event\t%d\t%d\t%.6f\n", a.Pos, a.Length, a.Density)
+	}
+
+	s, err := egi.Stream(egi.StreamOptions{
+		Window:       *window,
+		BufLen:       *bufLen,
+		Hop:          *hop,
+		Threshold:    *threshold,
+		EnsembleSize: *size,
+		WMax:         *wmax,
+		AMax:         *amax,
+		Tau:          *tau,
+		TopK:         *topK,
+		Seed:         *seed,
+		OnAnomaly: func(a egi.Anomaly) {
+			emit("event", 0, a)
+			// Events should reach a live consumer promptly, not sit in
+			// the write buffer until EOF.
+			out.Flush()
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	if err := feed(s, stdin, *format, *col, *field); err != nil {
+		return err
+	}
+	if err := s.Flush(); err != nil {
+		return err
+	}
+
+	tops, err := s.Anomalies()
+	if err != nil {
+		return fmt.Errorf("stream too short for a ranking (%d points): %w", s.Total(), err)
+	}
+	for i, a := range tops {
+		emit("top", i+1, a)
+	}
+	return nil
+}
+
+// feed parses points and pushes them into the stream as they are read.
+func feed(s *egi.Streamer, r io.Reader, format string, col int, field string) error {
+	if format == "ndjson" {
+		return feedNDJSON(s, r, field)
+	}
+	return feedCSV(s, r, col)
+}
+
+// feedCSV streams CSV rows with the same dialect and header heuristic as
+// timeseries.ReadCSV (which reads whole files; this pushes row by row).
+func feedCSV(s *egi.Streamer, r io.Reader, col int) error {
+	if col < 0 {
+		return fmt.Errorf("negative column %d", col)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.TrimLeadingSpace = true
+	row, pushed := 0, 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("reading CSV: %w", err)
+		}
+		row++
+		if len(rec) == 1 && strings.TrimSpace(rec[0]) == "" {
+			continue
+		}
+		if col >= len(rec) {
+			return fmt.Errorf("row %d has %d columns, need column %d", row, len(rec), col)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rec[col]), 64)
+		if err != nil {
+			if row == 1 && pushed == 0 {
+				continue // header row
+			}
+			return fmt.Errorf("row %d column %d: %w", row, col, err)
+		}
+		if err := s.Push(v); err != nil {
+			return fmt.Errorf("row %d: %w", row, err)
+		}
+		pushed++
+	}
+}
+
+func feedNDJSON(s *egi.Streamer, r io.Reader, field string) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		v, err := parseNDJSONPoint(text, field)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		if err := s.Push(v); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	return sc.Err()
+}
+
+func parseNDJSONPoint(text, field string) (float64, error) {
+	// json.Unmarshal of null into a float64 is a silent no-op; reject it
+	// explicitly so missing readings error instead of injecting 0.
+	if text == "null" {
+		return 0, fmt.Errorf("point is JSON null")
+	}
+	var num float64
+	if err := json.Unmarshal([]byte(text), &num); err == nil {
+		return num, nil
+	}
+	var obj map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(text), &obj); err != nil {
+		return 0, fmt.Errorf("not a JSON number or object: %q", text)
+	}
+	raw, ok := obj[field]
+	if !ok {
+		return 0, fmt.Errorf("object has no %q member: %q", field, text)
+	}
+	if string(raw) == "null" {
+		return 0, fmt.Errorf("member %q is JSON null: %q", field, text)
+	}
+	if err := json.Unmarshal(raw, &num); err != nil {
+		return 0, fmt.Errorf("member %q is not a number: %q", field, text)
+	}
+	return num, nil
+}

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// testSeries renders a periodic series with one planted anomaly in the
+// given textual format.
+func testSeries(t *testing.T, format string, length, period, anomalyPos int) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var sb strings.Builder
+	for i := 0; i < length; i++ {
+		v := math.Sin(2*math.Pi*float64(i)/float64(period)) + 0.05*rng.NormFloat64()
+		if i >= anomalyPos && i < anomalyPos+period {
+			v = 1.2 - 2.4*math.Abs(float64(i-anomalyPos)/float64(period)-0.5)
+		}
+		switch format {
+		case "csv":
+			sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		case "ndjson":
+			fmt.Fprintf(&sb, `{"ts":%d,"value":%s}`, i, strconv.FormatFloat(v, 'g', -1, 64))
+		case "ndjson-bare":
+			sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+type row struct {
+	kind    string
+	pos     int
+	length  int
+	density float64
+}
+
+func parseRows(t *testing.T, out string) []row {
+	t.Helper()
+	var rows []row
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		f := strings.Split(sc.Text(), "\t")
+		var r row
+		var err error
+		switch {
+		case f[0] == "event" && len(f) == 4:
+			r.kind = "event"
+			r.pos, err = strconv.Atoi(f[1])
+			if err == nil {
+				r.length, err = strconv.Atoi(f[2])
+			}
+			if err == nil {
+				r.density, err = strconv.ParseFloat(f[3], 64)
+			}
+		case f[0] == "top" && len(f) == 5:
+			r.kind = "top"
+			r.pos, err = strconv.Atoi(f[2])
+			if err == nil {
+				r.length, err = strconv.Atoi(f[3])
+			}
+			if err == nil {
+				r.density, err = strconv.ParseFloat(f[4], 64)
+			}
+		default:
+			t.Fatalf("bad output line %q", sc.Text())
+		}
+		if err != nil {
+			t.Fatalf("parsing %q: %v", sc.Text(), err)
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+func hasKindNear(rows []row, kind string, pos, slack int) bool {
+	for _, r := range rows {
+		if r.kind == kind && r.pos >= pos-slack && r.pos <= pos+slack {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRunEmitsEventForScrolledOutAnomaly: an anomaly that left the ring
+// buffer long before EOF must be reported as an event line.
+func TestRunEmitsEventForScrolledOutAnomaly(t *testing.T) {
+	const length, period, anomalyPos = 6000, 50, 1000
+	in := testSeries(t, "csv", length, period, anomalyPos)
+	var out strings.Builder
+	err := run([]string{"-window", "50", "-buflen", "500", "-seed", "3", "-size", "10"},
+		strings.NewReader(in), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseRows(t, out.String())
+	if !hasKindNear(rows, "event", anomalyPos, period) {
+		t.Errorf("no event near the planted anomaly at %d:\n%s", anomalyPos, out.String())
+	}
+	var tops int
+	for _, r := range rows {
+		if r.kind == "top" {
+			tops++
+		}
+	}
+	if tops == 0 {
+		t.Error("no final top ranking printed")
+	}
+}
+
+// TestRunShortStreamTopMatchesAnomaly: a stream that fits in the buffer
+// ranks the planted anomaly first.
+func TestRunShortStreamTopMatchesAnomaly(t *testing.T) {
+	const length, period, anomalyPos = 2000, 50, 1000
+	for _, tc := range []struct {
+		format string
+		args   []string
+	}{
+		{"csv", []string{"-window", "50", "-seed", "3", "-size", "10", "-buflen", "2000"}},
+		{"ndjson", []string{"-window", "50", "-seed", "3", "-size", "10", "-buflen", "2000", "-format", "ndjson"}},
+		{"ndjson-bare", []string{"-window", "50", "-seed", "3", "-size", "10", "-buflen", "2000", "-format", "ndjson"}},
+	} {
+		in := testSeries(t, tc.format, length, period, anomalyPos)
+		var out strings.Builder
+		if err := run(tc.args, strings.NewReader(in), &out); err != nil {
+			t.Fatalf("%s: %v", tc.format, err)
+		}
+		rows := parseRows(t, out.String())
+		var top *row
+		for i := range rows {
+			if rows[i].kind == "top" {
+				top = &rows[i]
+				break
+			}
+		}
+		if top == nil {
+			t.Fatalf("%s: no top rows:\n%s", tc.format, out.String())
+		}
+		if d := top.pos - anomalyPos; d < -period || d > period {
+			t.Errorf("%s: top anomaly at %d, planted at %d", tc.format, top.pos, anomalyPos)
+		}
+	}
+}
+
+// TestRunJSONOutput: -json turns every line into an NDJSON document.
+func TestRunJSONOutput(t *testing.T) {
+	in := testSeries(t, "csv", 2000, 50, 1000)
+	var out strings.Builder
+	err := run([]string{"-window", "50", "-seed", "3", "-size", "10", "-buflen", "2000", "-json"},
+		strings.NewReader(in), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(out.String()))
+	lines := 0
+	for sc.Scan() {
+		lines++
+		text := sc.Text()
+		if !strings.HasPrefix(text, `{"`) || !strings.Contains(text, `"pos"`) {
+			t.Errorf("line %d is not an event/top document: %q", lines, text)
+		}
+	}
+	if lines == 0 {
+		t.Error("no JSON output")
+	}
+}
+
+// TestRunQuotedCSV: the CSV path speaks real CSV — quoted fields with
+// embedded commas in earlier columns don't shift the value column.
+func TestRunQuotedCSV(t *testing.T) {
+	plain := testSeries(t, "csv", 2000, 50, 1000)
+	var in strings.Builder
+	in.WriteString("label,value\n")
+	for _, line := range strings.Split(strings.TrimSpace(plain), "\n") {
+		fmt.Fprintf(&in, "\"sensor, rack 3\",%s\n", line)
+	}
+	var out strings.Builder
+	err := run([]string{"-window", "50", "-col", "1", "-seed", "3", "-size", "10", "-buflen", "2000"},
+		strings.NewReader(in.String()), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := parseRows(t, out.String())
+	if !hasKindNear(rows, "top", 1000, 50) {
+		t.Errorf("quoted CSV: no top anomaly near 1000:\n%s", out.String())
+	}
+}
+
+// TestRunSkipsCSVHeader: a non-numeric first line is tolerated as a header.
+func TestRunSkipsCSVHeader(t *testing.T) {
+	in := "value\n" + testSeries(t, "csv", 2000, 50, 1000)
+	var out strings.Builder
+	err := run([]string{"-window", "50", "-seed", "3", "-size", "10", "-buflen", "2000"},
+		strings.NewReader(in), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parseRows(t, out.String())) == 0 {
+		t.Error("no output after header skip")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	good := testSeries(t, "csv", 400, 50, 200)
+	cases := []struct {
+		name string
+		args []string
+		in   string
+	}{
+		{"missing window", []string{}, good},
+		{"window too small", []string{"-window", "1"}, good},
+		{"bad format", []string{"-window", "50", "-format", "xml"}, good},
+		{"buffer too small", []string{"-window", "50", "-buflen", "100"}, good},
+		{"hop too large", []string{"-window", "50", "-buflen", "200", "-hop", "600"}, good},
+		{"bad threshold", []string{"-window", "50", "-threshold", "7"}, good},
+		{"non-numeric line", []string{"-window", "50"}, "1\n2\nnope\n"},
+		{"non-finite point", []string{"-window", "50"}, "1\n2\nNaN\n"},
+		{"missing ndjson field", []string{"-window", "50", "-format", "ndjson"}, `{"other":1}` + "\n"},
+		{"ndjson null member", []string{"-window", "50", "-format", "ndjson"}, `{"value":null}` + "\n"},
+		{"ndjson bare null", []string{"-window", "50", "-format", "ndjson"}, "1\n2\nnull\n"},
+		{"stream too short", []string{"-window", "50"}, "1\n2\n3\n"},
+	}
+	for _, tc := range cases {
+		var out strings.Builder
+		if err := run(tc.args, strings.NewReader(tc.in), &out); err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+}

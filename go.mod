@@ -1,0 +1,3 @@
+module egi
+
+go 1.24

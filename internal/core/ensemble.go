@@ -98,6 +98,12 @@ func DefaultConfig(window int) Config {
 	}
 }
 
+// Normalized returns the config with defaults filled in, or an error if a
+// field is out of range. Callers that build long-lived detectors on top of
+// Config (e.g. internal/stream) use it to surface configuration errors at
+// construction time rather than on the first detection run.
+func (c Config) Normalized() (Config, error) { return c.normalized() }
+
 // normalized fills in defaults and validates.
 func (c Config) normalized() (Config, error) {
 	if c.Size == 0 {

@@ -1,0 +1,42 @@
+package sequitur
+
+import (
+	"testing"
+)
+
+// FuzzSequitur feeds arbitrary token sequences through induction and
+// asserts the two load-bearing properties on every input: the grammar's
+// start-rule expansion reproduces the input exactly (losslessness), and
+// the digram-uniqueness / rule-utility invariants hold. Each input byte
+// becomes one token; alpha narrows the alphabet so the fuzzer explores
+// repeat-heavy sequences (where rules actually form) as well as noise.
+func FuzzSequitur(f *testing.F) {
+	f.Add([]byte("abcdbcabcd"), uint8(26))
+	f.Add([]byte("aaaaaaaa"), uint8(1))
+	f.Add([]byte("abababab"), uint8(2))
+	f.Add([]byte("xyxy zxyxy z"), uint8(4))
+	f.Add([]byte{0, 1, 2, 0, 1, 2, 0, 1}, uint8(3))
+	f.Add([]byte{}, uint8(5))
+	f.Fuzz(func(t *testing.T, data []byte, alpha uint8) {
+		k := int(alpha%26) + 1
+		tokens := make([]string, len(data))
+		for i, b := range data {
+			tokens[i] = string(rune('a' + int(b)%k))
+		}
+		g, err := Induce(tokens)
+		if len(tokens) == 0 {
+			if err != ErrEmptyInput {
+				t.Fatalf("empty input: got %v, want ErrEmptyInput", err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("Induce(%q): %v", tokens, err)
+		}
+		expansionEquals(t, g, tokens)
+		checkInvariants(t, g)
+		if got := g.ExpansionLen(0); got != len(tokens) {
+			t.Fatalf("ExpansionLen(0) = %d, want %d", got, len(tokens))
+		}
+	})
+}

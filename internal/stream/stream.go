@@ -1,0 +1,448 @@
+// Package stream is the online face of the ensemble detector: points are
+// pushed one at a time (or in batches), memory stays bounded by the ring
+// buffer, and anomaly events are emitted as the ensemble rule density
+// curve confirms new minima.
+//
+// The detector is an incremental core.DetectChunked. It keeps the most
+// recent BufLen points in a ring buffer and, every Hop points, re-runs the
+// shared-discretization ensemble pipeline over the buffer — one "hop run"
+// per chunk, seeded exactly like DetectChunked seeds its chunks. The
+// per-run ensemble curves (each already normalized onto [0,1]) are
+// stitched by averaging in overlap regions. A stream position is *final*
+// once no future hop run can cover it, i.e. once the buffer has slid past
+// it; only then are its window scores computed and events decided, so an
+// emitted Event never changes retroactively.
+//
+// With the default Hop (BufLen - Window + 1, the DetectChunked stride) the
+// stitched curve is byte-identical to core.DetectChunked over the same
+// points, and a stream whose buffer never overflows (BufLen >= stream
+// length) reproduces core.Detect exactly at Flush. Smaller hops trade
+// extra recomputation for lower detection latency and smoother stitching.
+//
+// Amortized cost per pushed point is the ensemble cost of one buffer
+// divided by Hop — independent of the stream length, and, at the default
+// hop, independent of BufLen too.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"egi/internal/core"
+	"egi/internal/grammar"
+	"egi/internal/timeseries"
+)
+
+// Defaults for the streaming-specific knobs. The ensemble knobs default in
+// core (paper §7 values).
+const (
+	// DefaultBufFactor sets BufLen = DefaultBufFactor * Window when
+	// BufLen is not given.
+	DefaultBufFactor = 10
+	// DefaultThreshold is the event threshold on the stitched window
+	// score: a dip of the score curve to or below it emits one Event.
+	// Scores live in [0,1] (normalized ensemble rule density; lower =
+	// more anomalous).
+	DefaultThreshold = 0.2
+)
+
+// seedStride separates per-run seeds; identical to the per-chunk seed
+// stride of core.DetectChunked, which is what makes the default-hop
+// stream bit-compatible with the chunked batch detector.
+const seedStride = 1000003
+
+// Errors reported by the detector.
+var (
+	ErrFlushed      = errors.New("stream: detector already flushed")
+	ErrNonFinite    = errors.New("stream: non-finite point")
+	ErrNotReady     = errors.New("stream: not enough covered points yet")
+	ErrBadBufLen    = errors.New("stream: buffer length must be at least 4x the window")
+	ErrBadHop       = errors.New("stream: hop must be in [1, buflen-window+1]")
+	ErrBadThreshold = errors.New("stream: threshold must be in (0, 1] (zero selects the default)")
+)
+
+// Event is one confirmed anomaly: a window of Length points starting at
+// stream position Pos (counting from the first point ever pushed) whose
+// mean stitched ensemble density is Density. Events are emitted when the
+// window-score curve rises back above the threshold after a dip, or at
+// Flush; each dip yields exactly one Event, its deepest window.
+type Event struct {
+	Pos     int
+	Length  int
+	Density float64
+}
+
+// Config parameterizes a streaming detector. Only Window is required;
+// zero values select defaults.
+type Config struct {
+	// Window is the sliding window length n, the scale of the anomalies
+	// sought. Required.
+	Window int
+	// BufLen is the ring buffer capacity: each hop run sees exactly the
+	// last BufLen points. Default 10x Window; must be >= 4x Window (the
+	// core.DetectChunked minimum chunk length).
+	BufLen int
+	// Hop is the number of points between ensemble re-inductions.
+	// Default BufLen - Window + 1, the DetectChunked stride — the
+	// largest hop that still leaves no coverage gaps. Smaller hops
+	// lower latency at proportionally higher cost.
+	Hop int
+	// Threshold is the window-score level at or below which a dip of
+	// the stitched curve is reported as an Event, in (0, 1]. The zero
+	// value selects the 0.2 default (so an exact-zero threshold is not
+	// expressible; use a tiny positive value to report only windows of
+	// near-zero density, and set OnEvent to nil to ignore events
+	// entirely).
+	Threshold float64
+	// OnEvent, when non-nil, is called synchronously (from Push,
+	// PushBatch or Flush) for each confirmed Event, in stream order.
+	OnEvent func(Event)
+
+	// Ensemble knobs, passed through to core.Config; zero values take
+	// the paper's defaults (N=50, w,a in [2,10], tau=0.4, topK=3).
+	EnsembleSize int
+	WMax, AMax   int
+	Tau          float64
+	TopK         int
+	Seed         int64
+	Parallelism  int
+}
+
+// normalized fills in defaults and validates the streaming knobs; the
+// ensemble knobs are validated by core on the first run.
+func (c Config) normalized() (Config, error) {
+	if c.Window < 2 {
+		return c, fmt.Errorf("stream: window must be >= 2, got %d", c.Window)
+	}
+	if c.BufLen == 0 {
+		c.BufLen = DefaultBufFactor * c.Window
+	}
+	if c.BufLen < 4*c.Window {
+		return c, fmt.Errorf("%w: buflen=%d window=%d", ErrBadBufLen, c.BufLen, c.Window)
+	}
+	if c.Hop == 0 {
+		c.Hop = c.BufLen - c.Window + 1
+	}
+	if c.Hop < 1 || c.Hop > c.BufLen-c.Window+1 {
+		return c, fmt.Errorf("%w: hop=%d buflen=%d window=%d", ErrBadHop, c.Hop, c.BufLen, c.Window)
+	}
+	if c.Threshold == 0 {
+		c.Threshold = DefaultThreshold
+	}
+	if c.Threshold < 0 || c.Threshold > 1 {
+		return c, fmt.Errorf("%w: got %v", ErrBadThreshold, c.Threshold)
+	}
+	return c, nil
+}
+
+// coreConfig is the per-run ensemble configuration (seed set per run).
+func (c Config) coreConfig() core.Config {
+	return core.Config{
+		Window:      c.Window,
+		Size:        c.EnsembleSize,
+		WMax:        c.WMax,
+		AMax:        c.AMax,
+		Tau:         c.Tau,
+		TopK:        c.TopK,
+		Parallelism: c.Parallelism,
+	}
+}
+
+// Detector is a streaming anomaly detector. It is not safe for concurrent
+// use; wrap it in a mutex or give each goroutine its own.
+type Detector struct {
+	cfg Config
+
+	// Ring buffer of the most recent points.
+	buf   []float64
+	head  int // next write slot
+	blen  int // fill level, <= cfg.BufLen
+	total int // points pushed since creation
+
+	scratch timeseries.Series // contiguous copy handed to core.Detect
+
+	// Hop-run bookkeeping.
+	runIdx    int // runs completed; also the per-run seed index
+	lastStart int // stream position of the last run's first point
+	covered   int // exclusive end of the stitched (covered) region
+
+	// Stitched curve over [pendOff, covered): per-position sums and
+	// coverage counts, averaged on demand. Trimmed after every periodic
+	// run, so its length never exceeds BufLen + Window - 1.
+	pendOff  int
+	sum, cnt []float64
+
+	// Event extraction state: window starts below scorePos have final
+	// scores; a dip below the threshold is open between runs.
+	scorePos int
+	inDip    bool
+	dipPos   int
+	dipMin   float64
+
+	flushed bool
+}
+
+// New creates a streaming detector from cfg.
+func New(cfg Config) (*Detector, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	// Surface ensemble-knob errors at construction, not first hop.
+	if _, err := cfg.coreConfig().Normalized(); err != nil {
+		return nil, err
+	}
+	return &Detector{
+		cfg:       cfg,
+		buf:       make([]float64, cfg.BufLen),
+		scratch:   make(timeseries.Series, 0, cfg.BufLen),
+		lastStart: -1,
+	}, nil
+}
+
+// Total returns the number of points pushed so far.
+func (d *Detector) Total() int { return d.total }
+
+// Push appends one point to the stream. Every Hop points (once the buffer
+// has filled) it triggers an ensemble re-induction over the buffer, which
+// may emit Events through cfg.OnEvent.
+func (d *Detector) Push(x float64) error {
+	if d.flushed {
+		return ErrFlushed
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return fmt.Errorf("%w: %v at position %d", ErrNonFinite, x, d.total)
+	}
+	d.buf[d.head] = x
+	d.head++
+	if d.head == d.cfg.BufLen {
+		d.head = 0
+	}
+	if d.blen < d.cfg.BufLen {
+		d.blen++
+	}
+	d.total++
+	if d.blen == d.cfg.BufLen && d.sinceRun() >= d.cfg.Hop {
+		return d.run(d.nextStart(), true)
+	}
+	return nil
+}
+
+// PushBatch pushes the points in order; it stops at the first error.
+func (d *Detector) PushBatch(xs []float64) error {
+	for _, x := range xs {
+		if err := d.Push(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sinceRun is the number of points pushed after the last run (or all of
+// them before the first run).
+func (d *Detector) sinceRun() int {
+	if d.lastStart < 0 {
+		return d.total
+	}
+	return d.total - (d.lastStart + d.cfg.BufLen)
+}
+
+// nextStart is the first stream position of the next run's span: the
+// DetectChunked chunk grid, anchored at 0.
+func (d *Detector) nextStart() int {
+	if d.lastStart < 0 {
+		return d.total - d.blen
+	}
+	return d.lastStart + d.cfg.Hop
+}
+
+// Flush finishes the stream: it runs the ensemble over the still-uncovered
+// tail (exactly the final partial chunk DetectChunked would process),
+// finalizes every remaining window score, emits any open dip as a last
+// Event, and marks the detector flushed. Curve and Anomalies remain
+// usable; further pushes return ErrFlushed. Flush is idempotent.
+func (d *Detector) Flush() error {
+	if d.flushed {
+		return nil
+	}
+	d.flushed = true
+	start := d.nextStart()
+	if d.total-start >= d.cfg.Window && d.covered < d.total {
+		if err := d.run(start, false); err != nil {
+			return err
+		}
+	}
+	d.finalizeScores(d.covered)
+	if d.inDip {
+		d.emit()
+	}
+	return nil
+}
+
+// run re-induces the ensemble over stream span [start, d.total), stitches
+// the resulting curve, finalizes newly-immutable window scores, and (for
+// periodic runs) trims the stitched region back to its bounded size.
+func (d *Detector) run(start int, trim bool) error {
+	d.scratch = d.scratch[:0]
+	for p := start; p < d.total; p++ {
+		d.scratch = append(d.scratch, d.at(p))
+	}
+	cfg := d.cfg.coreConfig()
+	cfg.Seed = d.cfg.Seed + int64(d.runIdx)*seedStride
+	res, err := core.Detect(d.scratch, cfg)
+	if err != nil && err != core.ErrNoUsableCurves {
+		return fmt.Errorf("stream: run %d [%d,%d): %w", d.runIdx, start, d.total, err)
+	}
+
+	// Extend the stitched region through d.total and accumulate. A
+	// locally-constant span (ErrNoUsableCurves) contributes zero density
+	// but full coverage, as in core.DetectChunked.
+	for d.pendOff+len(d.sum) < d.total {
+		d.sum = append(d.sum, 0)
+		d.cnt = append(d.cnt, 0)
+	}
+	for i := start; i < d.total; i++ {
+		if res != nil {
+			d.sum[i-d.pendOff] += res.Curve[i-start]
+		}
+		d.cnt[i-d.pendOff]++
+	}
+	d.runIdx++
+	d.lastStart = start
+	d.covered = d.total
+
+	// Positions before this run's start can never be covered again:
+	// their stitched values — and the window scores of every window
+	// ending at or before start — are final.
+	d.finalizeScores(start)
+	if trim {
+		d.trimTo(start - d.cfg.Window + 1)
+	}
+	return nil
+}
+
+// at returns the buffered point at stream position p (which must be within
+// the last blen positions).
+func (d *Detector) at(p int) float64 {
+	i := d.head - (d.total - p)
+	if i < 0 {
+		i += d.cfg.BufLen
+	}
+	return d.buf[i]
+}
+
+// finalizeScores computes the stitched window scores for every window that
+// lies entirely inside [0, end) and has not been scored yet, feeding each
+// through the dip state machine.
+func (d *Detector) finalizeScores(end int) {
+	n := d.cfg.Window
+	if end-d.scorePos < n {
+		return
+	}
+	// Sliding mean of the averaged curve over [p, p+n).
+	var winSum float64
+	for i := d.scorePos; i < d.scorePos+n; i++ {
+		winSum += d.avg(i)
+	}
+	inv := 1 / float64(n)
+	for p := d.scorePos; p+n <= end; p++ {
+		d.observe(p, winSum*inv)
+		if p+n < end {
+			winSum += d.avg(p+n) - d.avg(p)
+		}
+	}
+	d.scorePos = end - n + 1
+}
+
+// avg is the stitched curve value at stream position p.
+func (d *Detector) avg(p int) float64 {
+	i := p - d.pendOff
+	if d.cnt[i] == 0 {
+		return 0
+	}
+	return d.sum[i] / d.cnt[i]
+}
+
+// observe advances the dip state machine with the final score of window
+// start p. A maximal run of scores at or below the threshold is one dip;
+// when it closes, its deepest window becomes an Event.
+func (d *Detector) observe(p int, score float64) {
+	if score <= d.cfg.Threshold {
+		if !d.inDip || score < d.dipMin {
+			d.dipPos, d.dipMin = p, score
+		}
+		d.inDip = true
+		return
+	}
+	if d.inDip {
+		d.emit()
+	}
+}
+
+func (d *Detector) emit() {
+	d.inDip = false
+	if d.cfg.OnEvent != nil {
+		d.cfg.OnEvent(Event{Pos: d.dipPos, Length: d.cfg.Window, Density: d.dipMin})
+	}
+}
+
+// trimTo drops stitched-curve entries before stream position p, keeping
+// the region bounded by BufLen + Window - 1 entries.
+func (d *Detector) trimTo(p int) {
+	if p <= d.pendOff {
+		return
+	}
+	k := p - d.pendOff
+	if k > len(d.sum) {
+		k = len(d.sum)
+	}
+	d.sum = d.sum[:copy(d.sum, d.sum[k:])]
+	d.cnt = d.cnt[:copy(d.cnt, d.cnt[k:])]
+	d.pendOff = p
+}
+
+// Curve returns the retained stitched ensemble curve and the stream
+// position of its first value. The retained region spans at most the ring
+// buffer plus the Window-1 points before it; with the default hop it is
+// byte-identical to the corresponding suffix of core.DetectChunked's
+// stitched curve.
+func (d *Detector) Curve() (start int, curve []float64) {
+	start = d.total - d.blen - (d.cfg.Window - 1)
+	if start < d.pendOff {
+		start = d.pendOff
+	}
+	if start >= d.covered {
+		return start, nil
+	}
+	curve = make([]float64, d.covered-start)
+	for i := range curve {
+		curve[i] = d.avg(start + i)
+	}
+	return start, curve
+}
+
+// Anomalies ranks the top-K anomalies over the retained stitched curve —
+// the streaming analogue of Result.Anomalies, scoped to the detector's
+// bounded horizon. Event emission is the mechanism for anomalies that have
+// scrolled out of this horizon. Before the first run completes it returns
+// ErrNotReady.
+func (d *Detector) Anomalies() ([]Event, error) {
+	start, curve := d.Curve()
+	if len(curve) < d.cfg.Window {
+		return nil, fmt.Errorf("%w: %d covered, window %d", ErrNotReady, len(curve), d.cfg.Window)
+	}
+	topK := d.cfg.TopK
+	if topK == 0 {
+		topK = core.DefaultTopK
+	}
+	cands, err := grammar.RankAnomalies(curve, d.cfg.Window, topK)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Event, len(cands))
+	for i, c := range cands {
+		out[i] = Event{Pos: start + c.Pos, Length: c.Length, Density: c.Density}
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+// Property tests for the batch detectors: the chunked detector degenerates
+// to the plain one when a single chunk covers the series, and detection is
+// bit-for-bit deterministic in its seed — across runs and across
+// parallelism settings (run under -race to catch scheduling-dependent
+// nondeterminism).
+package egi_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"egi"
+	"egi/internal/core"
+	"egi/internal/timeseries"
+)
+
+// propSeries builds a noisy periodic series with one planted discontinuity.
+func propSeries(length, period int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	s := make([]float64, length)
+	for i := range s {
+		s[i] = math.Sin(2*math.Pi*float64(i)/float64(period)) + 0.15*rng.NormFloat64()
+	}
+	p := length/2 + rng.Intn(length/4)
+	for i := p; i < p+period && i < length; i++ {
+		s[i] = 1.4 - 2.8*math.Abs(float64(i-p)/float64(period)-0.5)
+	}
+	return s
+}
+
+func resultsEqual(t *testing.T, name string, a, b *egi.Result) {
+	t.Helper()
+	if len(a.Curve) != len(b.Curve) {
+		t.Fatalf("%s: curve lengths differ: %d vs %d", name, len(a.Curve), len(b.Curve))
+	}
+	for i := range a.Curve {
+		if a.Curve[i] != b.Curve[i] {
+			t.Fatalf("%s: curve[%d] differs: %v vs %v", name, i, a.Curve[i], b.Curve[i])
+		}
+	}
+	if len(a.Anomalies) != len(b.Anomalies) {
+		t.Fatalf("%s: anomaly counts differ: %d vs %d", name, len(a.Anomalies), len(b.Anomalies))
+	}
+	for i := range a.Anomalies {
+		if a.Anomalies[i] != b.Anomalies[i] {
+			t.Fatalf("%s: anomaly %d differs: %+v vs %+v", name, i, a.Anomalies[i], b.Anomalies[i])
+		}
+	}
+}
+
+// TestDetectChunkedEqualsDetectWhenChunkCoversSeries: for any chunk length
+// at or beyond the series length, DetectChunked is Detect, byte for byte.
+func TestDetectChunkedEqualsDetectWhenChunkCoversSeries(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		series := propSeries(1200, 60, seed)
+		opts := egi.Options{Window: 60, EnsembleSize: 12, Seed: seed}
+		batch, err := egi.Detect(series, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, chunkLen := range []int{len(series), len(series) + 1, 10 * len(series)} {
+			chunked, err := egi.DetectChunked(series, opts, chunkLen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resultsEqual(t, "chunked", batch, chunked)
+		}
+	}
+}
+
+// TestDetectDeterministicAcrossRuns: equal Seed means byte-identical
+// Result on repeated runs of the public API.
+func TestDetectDeterministicAcrossRuns(t *testing.T) {
+	for _, seed := range []int64{11, 12, 13} {
+		series := propSeries(1000, 50, seed)
+		opts := egi.Options{Window: 50, EnsembleSize: 15, Seed: seed}
+		first, err := egi.Detect(series, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for run := 0; run < 3; run++ {
+			again, err := egi.Detect(series, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resultsEqual(t, "rerun", first, again)
+		}
+	}
+}
+
+// TestDetectDeterministicAcrossParallelism: the concurrency level of the
+// member computations must not leak into the result. Run with -race to
+// catch unsynchronized writes along the way.
+func TestDetectDeterministicAcrossParallelism(t *testing.T) {
+	series := propSeries(1500, 60, 99)
+	cfg := core.Config{Window: 60, Size: 20, Seed: 99}
+	var first *core.Result
+	for _, par := range []int{1, 2, 4, 16} {
+		c := cfg
+		c.Parallelism = par
+		res, err := core.Detect(timeseries.Series(series), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = res
+			continue
+		}
+		for i := range first.Curve {
+			if res.Curve[i] != first.Curve[i] {
+				t.Fatalf("parallelism %d: curve[%d] differs: %v vs %v",
+					par, i, res.Curve[i], first.Curve[i])
+			}
+		}
+		if len(res.Candidates) != len(first.Candidates) {
+			t.Fatalf("parallelism %d: candidate counts differ", par)
+		}
+		for i := range first.Candidates {
+			if res.Candidates[i] != first.Candidates[i] {
+				t.Fatalf("parallelism %d: candidate %d differs: %+v vs %+v",
+					par, i, res.Candidates[i], first.Candidates[i])
+			}
+		}
+		for i := range first.Members {
+			if res.Members[i] != first.Members[i] {
+				t.Fatalf("parallelism %d: member %d differs: %+v vs %+v",
+					par, i, res.Members[i], first.Members[i])
+			}
+		}
+	}
+}

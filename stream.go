@@ -1,0 +1,130 @@
+package egi
+
+import (
+	"egi/internal/stream"
+)
+
+// StreamOptions configures Stream, the online detector. Only Window is
+// required; zero values select defaults. The ensemble fields mean exactly
+// what they mean in Options.
+type StreamOptions struct {
+	// Window is the sliding window length n — the scale of the anomalies
+	// sought. Required.
+	Window int
+	// BufLen is the ring buffer capacity: every re-induction sees exactly
+	// the last BufLen points, which is also the memory bound and the
+	// horizon of Anomalies. Default 10x Window; minimum 4x Window.
+	BufLen int
+	// Hop is the number of points between ensemble re-inductions. The
+	// default, BufLen-Window+1, matches the DetectChunked chunk stride
+	// (amortized cost per point independent of BufLen); smaller hops
+	// lower detection latency at proportionally higher cost.
+	Hop int
+	// Threshold is the stitched window-score level at or below which a
+	// dip is reported through OnAnomaly, in (0, 1]. Scores are
+	// normalized rule densities; lower = more anomalous. The zero value
+	// selects the 0.2 default; use a tiny positive value to report only
+	// near-zero-density windows.
+	Threshold float64
+	// OnAnomaly, when non-nil, receives each confirmed anomaly event
+	// synchronously, in stream order. Pos counts from the first point
+	// pushed. Events are confirmed — an emitted anomaly never changes —
+	// at a delay of roughly BufLen points behind the stream head; use a
+	// smaller Hop and BufLen for tighter latency.
+	OnAnomaly func(Anomaly)
+
+	// Ensemble knobs (see Options): zero values take the paper defaults.
+	EnsembleSize int
+	WMax, AMax   int
+	Tau          float64
+	TopK         int
+	Seed         int64
+}
+
+// Streamer is a push-based anomaly detector over an unbounded series, with
+// memory bounded by its ring buffer. Points go in through Push/PushBatch;
+// confirmed anomalies come out through the OnAnomaly callback, and the
+// current horizon's ranking through Anomalies. It is the online equivalent
+// of DetectChunked: with the default Hop its stitched density curve is
+// identical to DetectChunked's over the same points, and a Streamer whose
+// buffer never overflows reproduces Detect exactly once Flush is called.
+//
+// A Streamer is not safe for concurrent use.
+type Streamer struct {
+	d *stream.Detector
+}
+
+// Stream creates a streaming detector.
+//
+// Quick start:
+//
+//	s, err := egi.Stream(egi.StreamOptions{
+//		Window: 100,
+//		OnAnomaly: func(a egi.Anomaly) {
+//			fmt.Printf("anomaly at %d (len %d), density %.3f\n", a.Pos, a.Length, a.Density)
+//		},
+//	})
+//	if err != nil { ... }
+//	for x := range points {
+//		if err := s.Push(x); err != nil { ... }
+//	}
+//	if err := s.Flush(); err != nil { ... }
+func Stream(opts StreamOptions) (*Streamer, error) {
+	cfg := stream.Config{
+		Window:       opts.Window,
+		BufLen:       opts.BufLen,
+		Hop:          opts.Hop,
+		Threshold:    opts.Threshold,
+		EnsembleSize: opts.EnsembleSize,
+		WMax:         opts.WMax,
+		AMax:         opts.AMax,
+		Tau:          opts.Tau,
+		TopK:         opts.TopK,
+		Seed:         opts.Seed,
+	}
+	if opts.OnAnomaly != nil {
+		cb := opts.OnAnomaly
+		cfg.OnEvent = func(e stream.Event) {
+			cb(Anomaly{Pos: e.Pos, Length: e.Length, Density: e.Density})
+		}
+	}
+	d, err := stream.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Streamer{d: d}, nil
+}
+
+// Push appends one point to the stream, re-inducing the ensemble over the
+// buffer when a hop boundary is crossed (which may invoke OnAnomaly).
+// Non-finite points are rejected.
+func (s *Streamer) Push(x float64) error { return s.d.Push(x) }
+
+// PushBatch pushes the points in order, stopping at the first error.
+func (s *Streamer) PushBatch(xs []float64) error { return s.d.PushBatch(xs) }
+
+// Flush finishes the stream: the not-yet-covered tail is processed, every
+// remaining window score is finalized, and a final OnAnomaly call is made
+// for a dip still open at the end. After Flush, Push returns an error but
+// Anomalies and Total remain usable. Flush is idempotent.
+func (s *Streamer) Flush() error { return s.d.Flush() }
+
+// Total returns the number of points pushed so far.
+func (s *Streamer) Total() int { return s.d.Total() }
+
+// Anomalies returns the current top-K anomalies within the detector's
+// retained horizon (the ring buffer span), ranked most anomalous first —
+// the streaming analogue of Result.Anomalies. Anomalies that scrolled out
+// of the horizon were already reported through OnAnomaly. It returns an
+// error until the first re-induction has covered at least one window.
+func (s *Streamer) Anomalies() ([]Anomaly, error) {
+	evs, err := s.d.Anomalies()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Anomaly, len(evs))
+	for i, e := range evs {
+		out[i] = Anomaly{Pos: e.Pos, Length: e.Length, Density: e.Density}
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package egi_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"egi"
+)
+
+// quickstartSeries reproduces examples/quickstart: a noisy sine with one
+// triangular pulse planted at position 2000.
+func quickstartSeries() []float64 {
+	const (
+		length  = 4000
+		period  = 80
+		planted = 2000
+	)
+	rng := rand.New(rand.NewSource(1))
+	series := make([]float64, length)
+	for i := range series {
+		series[i] = math.Sin(2*math.Pi*float64(i)/period) + 0.1*rng.NormFloat64()
+	}
+	for i := planted; i < planted+period; i++ {
+		x := float64(i-planted) / period
+		series[i] = 1.5 - 3*math.Abs(x-0.5) + 0.1*rng.NormFloat64()
+	}
+	return series
+}
+
+// TestStreamMatchesDetectOnQuickstart: pushing the quickstart series
+// point-by-point through a stream whose buffer holds it finds exactly the
+// same top-3 anomalies as batch Detect — positions, lengths and densities.
+func TestStreamMatchesDetectOnQuickstart(t *testing.T) {
+	series := quickstartSeries()
+	const period = 80
+
+	batch, err := egi.Detect(series, egi.Options{Window: period, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := egi.Stream(egi.StreamOptions{Window: period, BufLen: len(series), Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range series {
+		if err := s.Push(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Anomalies()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(got) != len(batch.Anomalies) {
+		t.Fatalf("stream found %d anomalies, batch %d", len(got), len(batch.Anomalies))
+	}
+	for i := range got {
+		if got[i] != batch.Anomalies[i] {
+			t.Errorf("anomaly %d: stream %+v, batch %+v", i, got[i], batch.Anomalies[i])
+		}
+	}
+	if got[0].Pos >= 2000+period || got[0].Pos+got[0].Length <= 2000 {
+		t.Errorf("top anomaly %+v does not cover the planted pulse at 2000", got[0])
+	}
+}
+
+// TestStreamBoundedBufferReportsScrolledAnomaly: with a buffer a fraction
+// of the stream, the planted anomaly is reported as an event by the time
+// the stream ends even though it left the buffer long before.
+func TestStreamBoundedBufferReportsScrolledAnomaly(t *testing.T) {
+	series := quickstartSeries()
+	const period = 80
+
+	var events []egi.Anomaly
+	s, err := egi.Stream(egi.StreamOptions{
+		Window:    period,
+		BufLen:    800,
+		Seed:      42,
+		OnAnomaly: func(a egi.Anomaly) { events = append(events, a) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PushBatch(series); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range events {
+		if e.Pos < 2000+period && 2000 < e.Pos+e.Length {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("planted anomaly at 2000 not covered by any event: %v", events)
+	}
+}
