@@ -339,6 +339,30 @@ func BenchmarkSec75MultiAnomaly(b *testing.B) {
 	b.ReportMetric(detected, "detected_of_4")
 }
 
+// BenchmarkDetect measures the end-to-end batch detector on one fixed
+// series: the headline "linear in the series length" cost per point. The
+// CI benchmark job tracks it (with -benchmem) alongside BenchmarkStreamPush
+// as the batch/stream pair over the shared engine.
+func BenchmarkDetect(b *testing.B) {
+	const window = 100
+	for _, length := range []int{2000, 8000} {
+		b.Run(fmt.Sprintf("n=%d", length), func(b *testing.B) {
+			series := make([]float64, length)
+			for i := range series {
+				series[i] = math.Sin(2*math.Pi*float64(i)/window) +
+					0.3*math.Sin(float64(i)*0.7391)
+			}
+			opts := egi.Options{Window: window, EnsembleSize: benchSize, Seed: benchSeed}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := egi.Detect(series, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkStreamPush measures the amortized per-point cost of the
 // streaming detector (the time column is ns per pushed point, since each
 // iteration pushes exactly one point). Re-induction runs once per hop —
@@ -368,6 +392,39 @@ func BenchmarkStreamPush(b *testing.B) {
 			// call: a second incommensurate sinusoid.
 			for i := range points {
 				points[i] += 0.3 * math.Sin(float64(i)*0.7391)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Push(points[i%bufLen]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := s.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+	// Small hops re-induce much more often; incremental re-discretization
+	// in the engine keeps the extra cost far below proportional (only the
+	// hop's new suffix windows are re-encoded per run).
+	const bufLen = 2000
+	for _, hop := range []int{500, 100} {
+		b.Run(fmt.Sprintf("buflen=%d/hop=%d", bufLen, hop), func(b *testing.B) {
+			s, err := egi.Stream(egi.StreamOptions{
+				Window:       window,
+				BufLen:       bufLen,
+				Hop:          hop,
+				EnsembleSize: benchSize,
+				Seed:         benchSeed,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			points := make([]float64, bufLen)
+			for i := range points {
+				points[i] = math.Sin(2*math.Pi*float64(i)/window) +
+					0.3*math.Sin(float64(i)*0.7391)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

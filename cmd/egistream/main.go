@@ -7,7 +7,7 @@
 // Usage:
 //
 //	egistream -window 900 [-buflen 9000] [-hop 0] [-threshold 0.2] \
-//	          [-format csv|ndjson] [-col 0] [-field value] [-json]
+//	          [-adaptive 0] [-format csv|ndjson] [-col 0] [-field value] [-json]
 //
 // Input formats:
 //
@@ -49,6 +49,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		bufLen    = fs.Int("buflen", 0, "ring buffer capacity (default 10x window)")
 		hop       = fs.Int("hop", 0, "points between re-inductions (default buflen-window+1)")
 		threshold = fs.Float64("threshold", 0, "event threshold on the [0,1] density score (default 0.2)")
+		adaptive  = fs.Float64("adaptive", 0, "adaptive event threshold: running quantile of the score curve in (0,1), e.g. 0.05; 0 keeps the fixed -threshold")
 		format    = fs.String("format", "csv", "input format: csv | ndjson")
 		col       = fs.Int("col", 0, "CSV column holding the values (0-based)")
 		field     = fs.String("field", "value", "NDJSON object member holding the value")
@@ -90,16 +91,17 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 
 	s, err := egi.Stream(egi.StreamOptions{
-		Window:       *window,
-		BufLen:       *bufLen,
-		Hop:          *hop,
-		Threshold:    *threshold,
-		EnsembleSize: *size,
-		WMax:         *wmax,
-		AMax:         *amax,
-		Tau:          *tau,
-		TopK:         *topK,
-		Seed:         *seed,
+		Window:           *window,
+		BufLen:           *bufLen,
+		Hop:              *hop,
+		Threshold:        *threshold,
+		AdaptiveQuantile: *adaptive,
+		EnsembleSize:     *size,
+		WMax:             *wmax,
+		AMax:             *amax,
+		Tau:              *tau,
+		TopK:             *topK,
+		Seed:             *seed,
 		OnAnomaly: func(a egi.Anomaly) {
 			emit("event", 0, a)
 			// Events should reach a live consumer promptly, not sit in

@@ -1,0 +1,147 @@
+package egi
+
+import (
+	"errors"
+	"sync"
+)
+
+// DefaultEventBuffer is the capacity of a ConcurrentStreamer's event
+// channel when ConcurrentStream is not given one.
+const DefaultEventBuffer = 256
+
+// ErrConcurrentCallback is returned by ConcurrentStream when OnAnomaly is
+// set: the concurrent wrapper delivers events through its channel instead.
+var ErrConcurrentCallback = errors.New("egi: ConcurrentStream delivers events via Events(); OnAnomaly must be nil")
+
+// ConcurrentStreamer is a goroutine-safe Streamer: many producers can Push
+// into one detector concurrently, and confirmed anomalies are delivered
+// through a channel instead of a callback. Internally every mutating call
+// holds one mutex (the underlying detector is strictly sequential — points
+// are totally ordered by whoever wins the lock), so this wrapper is for
+// fan-in convenience, not for parallel speedup of a single stream.
+//
+//	cs, _ := egi.ConcurrentStream(egi.StreamOptions{Window: 100}, 0)
+//	go func() {
+//		for a := range cs.Events() {
+//			log.Printf("anomaly at %d", a.Pos)
+//		}
+//	}()
+//	// ... many goroutines: cs.Push(x) ...
+//	cs.Flush() // closes Events
+//
+// Events are handed to the channel outside the detector lock, so the
+// consumer may freely call Total, Anomalies or any other method from its
+// receive loop. If the channel buffer fills, the producer that generated
+// the surplus events blocks until the consumer catches up (backpressure,
+// never loss) — but other producers and readers are not held up.
+type ConcurrentStreamer struct {
+	mu      sync.Mutex // guards s and pending
+	s       *Streamer
+	pending []Anomaly // events emitted under mu, awaiting delivery
+	spare   []Anomaly // recycled backing array for pending
+
+	sendMu sync.Mutex // serializes channel sends and close
+	events chan Anomaly
+	closed bool // events closed; guarded by sendMu
+}
+
+// ConcurrentStream creates a goroutine-safe streaming detector. eventBuf
+// sets the event channel capacity; <= 0 selects DefaultEventBuffer.
+// opts.OnAnomaly must be nil — events arrive on Events().
+func ConcurrentStream(opts StreamOptions, eventBuf int) (*ConcurrentStreamer, error) {
+	if opts.OnAnomaly != nil {
+		return nil, ErrConcurrentCallback
+	}
+	if eventBuf <= 0 {
+		eventBuf = DefaultEventBuffer
+	}
+	cs := &ConcurrentStreamer{events: make(chan Anomaly, eventBuf)}
+	opts.OnAnomaly = func(a Anomaly) { cs.pending = append(cs.pending, a) }
+	s, err := Stream(opts)
+	if err != nil {
+		return nil, err
+	}
+	cs.s = s
+	return cs, nil
+}
+
+// Events returns the channel on which confirmed anomalies arrive, in
+// stream order. It is closed by Flush.
+func (cs *ConcurrentStreamer) Events() <-chan Anomaly { return cs.events }
+
+// drain moves pending events onto the channel. It runs outside cs.mu (so
+// a full channel never wedges the detector) and under cs.sendMu (so sends
+// from racing producers stay in stream order: each drainer flushes the
+// whole queue, and the queue is FIFO).
+func (cs *ConcurrentStreamer) drain() {
+	cs.sendMu.Lock()
+	defer cs.sendMu.Unlock()
+	for {
+		cs.mu.Lock()
+		batch := cs.pending
+		cs.pending = cs.spare[:0]
+		cs.spare = batch[:0]
+		cs.mu.Unlock()
+		if len(batch) == 0 {
+			return
+		}
+		if cs.closed {
+			return // post-Flush stragglers: nothing may be sent anymore
+		}
+		for _, a := range batch {
+			cs.events <- a
+		}
+	}
+}
+
+// Push appends one point to the stream. Points from concurrent producers
+// are ordered by lock acquisition.
+func (cs *ConcurrentStreamer) Push(x float64) error {
+	cs.mu.Lock()
+	err := cs.s.Push(x)
+	cs.mu.Unlock()
+	cs.drain()
+	return err
+}
+
+// PushBatch pushes the points as one atomic run: no other producer's
+// points interleave with the batch.
+func (cs *ConcurrentStreamer) PushBatch(xs []float64) error {
+	cs.mu.Lock()
+	err := cs.s.PushBatch(xs)
+	cs.mu.Unlock()
+	cs.drain()
+	return err
+}
+
+// Flush finishes the stream (delivering any final events) and closes the
+// event channel. Like Streamer.Flush it is idempotent; pushes after Flush
+// fail.
+func (cs *ConcurrentStreamer) Flush() error {
+	cs.mu.Lock()
+	err := cs.s.Flush()
+	cs.mu.Unlock()
+	cs.drain()
+	cs.sendMu.Lock()
+	if !cs.closed {
+		cs.closed = true
+		close(cs.events)
+	}
+	cs.sendMu.Unlock()
+	return err
+}
+
+// Total returns the number of points pushed so far.
+func (cs *ConcurrentStreamer) Total() int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.s.Total()
+}
+
+// Anomalies returns the current top-K ranking within the detector's
+// retained horizon; see Streamer.Anomalies.
+func (cs *ConcurrentStreamer) Anomalies() ([]Anomaly, error) {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.s.Anomalies()
+}

@@ -1,0 +1,143 @@
+package egi_test
+
+import (
+	"sync"
+	"testing"
+
+	"egi"
+)
+
+// TestConcurrentStreamFanIn: many producers push into one detector; every
+// point lands (Total), events arrive on the channel in stream order, and
+// Flush closes the channel. Run under -race this also proves the locking.
+func TestConcurrentStreamFanIn(t *testing.T) {
+	series := quickstartSeries()
+	const producers = 8
+
+	cs, err := egi.ConcurrentStream(egi.StreamOptions{
+		Window: 80,
+		BufLen: 800,
+		Seed:   42,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var events []egi.Anomaly
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for a := range cs.Events() {
+			events = append(events, a)
+		}
+	}()
+
+	// Each producer pushes a contiguous slice as atomic batches, so the
+	// interleaving across producers is arbitrary but every point arrives.
+	var wg sync.WaitGroup
+	chunk := (len(series) + producers - 1) / producers
+	for p := 0; p < producers; p++ {
+		lo := p * chunk
+		hi := lo + chunk
+		if hi > len(series) {
+			hi = len(series)
+		}
+		wg.Add(1)
+		go func(xs []float64) {
+			defer wg.Done()
+			for len(xs) > 0 {
+				k := 16
+				if k > len(xs) {
+					k = len(xs)
+				}
+				if err := cs.PushBatch(xs[:k]); err != nil {
+					t.Errorf("PushBatch: %v", err)
+					return
+				}
+				xs = xs[k:]
+			}
+		}(series[lo:hi])
+	}
+	wg.Wait()
+	if got := cs.Total(); got != len(series) {
+		t.Fatalf("Total = %d, want %d", got, len(series))
+	}
+	if err := cs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	for i := 1; i < len(events); i++ {
+		if events[i].Pos <= events[i-1].Pos {
+			t.Errorf("events out of stream order: %+v after %+v", events[i], events[i-1])
+		}
+	}
+	// Flush is idempotent; pushes after it fail.
+	if err := cs.Flush(); err != nil {
+		t.Fatalf("second Flush: %v", err)
+	}
+	if err := cs.Push(1); err == nil {
+		t.Error("Push after Flush should error")
+	}
+	if _, err := cs.Anomalies(); err != nil {
+		t.Errorf("Anomalies after Flush: %v", err)
+	}
+}
+
+// TestConcurrentStreamMatchesSequential: a single producer through the
+// concurrent wrapper is bit-identical to a plain Streamer — the wrapper
+// adds locking and a channel, not semantics.
+func TestConcurrentStreamMatchesSequential(t *testing.T) {
+	series := quickstartSeries()
+	opts := egi.StreamOptions{Window: 80, BufLen: 800, Seed: 7}
+
+	cs, err := egi.ConcurrentStream(opts, len(series))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.PushBatch(series); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var concEvents []egi.Anomaly
+	for a := range cs.Events() {
+		concEvents = append(concEvents, a)
+	}
+
+	var seqEvents []egi.Anomaly
+	seqOpts := opts
+	seqOpts.OnAnomaly = func(a egi.Anomaly) { seqEvents = append(seqEvents, a) }
+	s, err := egi.Stream(seqOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PushBatch(series); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(concEvents) != len(seqEvents) {
+		t.Fatalf("%d events concurrent, %d sequential", len(concEvents), len(seqEvents))
+	}
+	for i := range concEvents {
+		if concEvents[i] != seqEvents[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, concEvents[i], seqEvents[i])
+		}
+	}
+}
+
+// TestConcurrentStreamRejectsCallback: OnAnomaly and the channel cannot
+// both be delivery paths.
+func TestConcurrentStreamRejectsCallback(t *testing.T) {
+	_, err := egi.ConcurrentStream(egi.StreamOptions{
+		Window:    80,
+		OnAnomaly: func(egi.Anomaly) {},
+	}, 0)
+	if err == nil {
+		t.Fatal("OnAnomaly should be rejected")
+	}
+}

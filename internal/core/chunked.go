@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"egi/internal/engine"
 	"egi/internal/grammar"
 	"egi/internal/timeseries"
 )
@@ -15,15 +16,29 @@ import (
 // (each already normalized to [0,1]) are averaged. Anomalies are ranked
 // globally on the stitched curve.
 //
+// All chunks run on one shared engine over one set of global prefix-sum
+// features, so discretization work common to overlapping chunks is reused
+// (and the per-chunk scratch is pooled rather than reallocated). The
+// per-chunk results are exactly what internal/stream's hop runs compute
+// for the same spans and seeds — the stream at its default hop is
+// bit-identical to this function by construction, both being views over
+// engine.Engine.DetectSpan.
+//
 // This trades a small amount of context at chunk boundaries (grammar
-// rules cannot span chunks) for O(chunkLen) memory, the practical mode
-// for month-scale sensor data. With chunkLen >= len(series) it reduces
-// to Detect exactly.
+// rules cannot span chunks) for a working set — token sequences, member
+// curves, grammar state — bounded by one chunk instead of the whole
+// series. The prefix-sum features themselves are built once over the full
+// series (O(len) floats, like Detect): since the engine refactor the
+// chunks address the series in global coordinates so discretization can
+// be shared across their overlaps. Callers needing strictly O(chunkLen)
+// residency should drive the streaming detector instead, whose ring
+// retains only the buffer. With chunkLen >= len(series) DetectChunked
+// reduces to Detect exactly.
 //
 // The returned Result has Members == nil: member bookkeeping is
 // per-chunk and is not aggregated.
 func DetectChunked(series timeseries.Series, cfg Config, chunkLen int) (*Result, error) {
-	cfg, err := cfg.normalized()
+	cfg, err := cfg.Normalized()
 	if err != nil {
 		return nil, err
 	}
@@ -39,6 +54,14 @@ func DetectChunked(series timeseries.Series, cfg Config, chunkLen int) (*Result,
 	if chunkLen < 4*cfg.Window {
 		return nil, fmt.Errorf("core: chunk length %d too small; need at least 4x the window (%d)",
 			chunkLen, 4*cfg.Window)
+	}
+	f, err := timeseries.NewFeatures(series)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engine.New(cfg)
+	if err != nil {
+		return nil, err
 	}
 
 	overlap := cfg.Window - 1
@@ -56,9 +79,7 @@ func DetectChunked(series timeseries.Series, cfg Config, chunkLen int) (*Result,
 				break // tail already fully covered by the previous chunk
 			}
 		}
-		chunkCfg := cfg
-		chunkCfg.Seed = cfg.Seed + int64(chunkIdx)*1000003
-		res, err := Detect(series[start:end], chunkCfg)
+		res, err := eng.DetectSpan(f, start, end, cfg.Seed+int64(chunkIdx)*engine.SeedStride)
 		if err != nil {
 			if err == ErrNoUsableCurves {
 				// A locally-constant chunk contributes zero density, which
@@ -78,6 +99,7 @@ func DetectChunked(series timeseries.Series, cfg Config, chunkLen int) (*Result,
 			sum[start+i] += v
 			count[start+i]++
 		}
+		eng.TrimBefore(start + stride)
 		if end == len(series) {
 			break
 		}

@@ -10,80 +10,58 @@
 // pointwise median. Anomalies are then ranked on the combined curve
 // exactly as in the single-run detector.
 //
-// Discretization across members shares work through the multi-resolution
-// SAX fast path of §6.2 (sax.DiscretizeMany); grammar induction and curve
-// construction for the members run concurrently.
+// Since the engine refactor the heavy lifting lives in internal/engine:
+// core is the batch face of the shared detection engine (internal/stream
+// is the online face), delegating member execution, discretization and
+// curve combination to an engine.Engine and keeping only the batch-shaped
+// entry points (whole series in, Result out) and the chunked stitcher.
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
-	"egi/internal/grammar"
+	"egi/internal/engine"
 	"egi/internal/sax"
-	"egi/internal/stat"
 	"egi/internal/timeseries"
 )
 
 // Defaults used by the paper's experiments (§7, first paragraph).
 const (
-	DefaultEnsembleSize = 50
-	DefaultWMax         = 10
-	DefaultAMax         = 10
-	DefaultTau          = 0.4
-	DefaultTopK         = 3
+	DefaultEnsembleSize = engine.DefaultEnsembleSize
+	DefaultWMax         = engine.DefaultWMax
+	DefaultAMax         = engine.DefaultAMax
+	DefaultTau          = engine.DefaultTau
+	DefaultTopK         = engine.DefaultTopK
 )
 
 // Combiner selects how the surviving normalized curves are merged.
-type Combiner int
+type Combiner = engine.Combiner
 
 const (
 	// CombineMedian is the paper's combiner: the pointwise median.
-	CombineMedian Combiner = iota
+	CombineMedian = engine.CombineMedian
 	// CombineMean is the ablation alternative: the pointwise mean.
-	CombineMean
+	CombineMean = engine.CombineMean
 )
 
 // Normalizer selects how each surviving curve is rescaled before merging.
-type Normalizer int
+type Normalizer = engine.Normalizer
 
 const (
 	// NormalizeMax divides by the curve maximum (the paper's choice: zero
 	// densities stay exactly zero).
-	NormalizeMax Normalizer = iota
+	NormalizeMax = engine.NormalizeMax
 	// NormalizeMinMax is the ablation alternative the paper argues
 	// against: (x-min)/(max-min) moves nonzero minima to zero.
-	NormalizeMinMax
+	NormalizeMinMax = engine.NormalizeMinMax
 )
 
-// Config parameterizes the ensemble detector. The zero value is not valid;
-// use DefaultConfig or fill in Window and rely on Normalize() for the rest.
-type Config struct {
-	// Window is the sliding window length n. Required.
-	Window int
-	// Size is the ensemble size N (number of (w,a) combinations).
-	Size int
-	// WMax and AMax bound the random parameter ranges [2, WMax] × [2, AMax].
-	WMax, AMax int
-	// Tau is the ensemble selectivity: the fraction of curves, ranked by
-	// descending standard deviation, kept for combination. (0, 1].
-	Tau float64
-	// TopK is the number of ranked anomaly candidates to return.
-	TopK int
-	// Seed drives the random parameter generation; runs with equal Seed
-	// and otherwise equal inputs are deterministic.
-	Seed int64
-	// Combine selects the curve combiner (median by default).
-	Combine Combiner
-	// Normalize selects the per-curve normalization (max by default).
-	Normalize Normalizer
-	// Parallelism caps the number of concurrent member
-	// induction/density-curve computations; <= 0 means GOMAXPROCS.
-	Parallelism int
-}
+// Config parameterizes the ensemble detector. It is the engine's
+// configuration re-exported under the batch detector's name; the zero
+// value is not valid — use DefaultConfig or fill in Window and rely on
+// Normalized() for the rest.
+type Config = engine.Config
 
 // DefaultConfig returns the paper's experimental configuration for a given
 // sliding window length.
@@ -98,75 +76,28 @@ func DefaultConfig(window int) Config {
 	}
 }
 
-// Normalized returns the config with defaults filled in, or an error if a
-// field is out of range. Callers that build long-lived detectors on top of
-// Config (e.g. internal/stream) use it to surface configuration errors at
-// construction time rather than on the first detection run.
-func (c Config) Normalized() (Config, error) { return c.normalized() }
-
-// normalized fills in defaults and validates.
-func (c Config) normalized() (Config, error) {
-	if c.Size == 0 {
-		c.Size = DefaultEnsembleSize
-	}
-	if c.WMax == 0 {
-		c.WMax = DefaultWMax
-	}
-	if c.AMax == 0 {
-		c.AMax = DefaultAMax
-	}
-	if c.Tau == 0 {
-		c.Tau = DefaultTau
-	}
-	if c.TopK == 0 {
-		c.TopK = DefaultTopK
-	}
-	if c.Parallelism <= 0 {
-		c.Parallelism = runtime.GOMAXPROCS(0)
-	}
-	switch {
-	case c.Window < 2:
-		return c, fmt.Errorf("core: window must be >= 2, got %d", c.Window)
-	case c.Size < 1:
-		return c, fmt.Errorf("core: ensemble size must be >= 1, got %d", c.Size)
-	case c.WMax < 2:
-		return c, fmt.Errorf("core: wmax must be >= 2, got %d", c.WMax)
-	case c.AMax < 2 || c.AMax > sax.MaxAlphabet:
-		return c, fmt.Errorf("core: amax must be in [2, %d], got %d", sax.MaxAlphabet, c.AMax)
-	case c.Tau < 0 || c.Tau > 1:
-		return c, fmt.Errorf("core: tau must be in (0, 1], got %v", c.Tau)
-	case c.TopK < 1:
-		return c, fmt.Errorf("core: topK must be >= 1, got %d", c.TopK)
-	}
-	return c, nil
-}
-
 // Member records one ensemble member's run.
-type Member struct {
-	Params sax.Params // the (w, a) combination
-	Std    float64    // standard deviation of its rule density curve
-	Kept   bool       // survived the selectivity cut
-}
+type Member = engine.Member
+
+// MemberCurve is one ensemble member's full output; see engine.MemberCurve.
+type MemberCurve = engine.MemberCurve
 
 // Result is the outcome of one ensemble detection.
-type Result struct {
-	// Curve is the ensemble rule density curve d_e, each point in [0, 1].
-	Curve []float64
-	// Candidates are the ranked anomaly candidates (ascending density).
-	Candidates []grammar.Candidate
-	// Members documents every ensemble member, in generation order.
-	Members []Member
-}
+type Result = engine.Result
 
 // ErrNoUsableCurves is returned when every member produced a degenerate
 // (zero-variance, zero-max) curve — e.g. on a constant series.
-var ErrNoUsableCurves = errors.New("core: no usable rule density curves (is the series constant?)")
+var ErrNoUsableCurves = engine.ErrNoUsableCurves
 
 // GenerateParams draws size distinct (w, a) combinations uniformly from
 // [2, wmax] × [min(2,..), amax], each combination used at most once (the
 // constraint stated in Algorithm 1, line 5). If fewer than size distinct
 // combinations exist, all of them are returned in random order. Window
 // caps w: combinations with w > window are never usable.
+//
+// The engine draws its members with exactly this procedure (grid built in
+// the same order, shuffled by the same seeded generator), which is what
+// keeps pre- and post-refactor results bit-identical.
 func GenerateParams(rng *rand.Rand, size, wmax, amax, window int) []sax.Params {
 	if wmax > window {
 		wmax = window
@@ -184,17 +115,6 @@ func GenerateParams(rng *rand.Rand, size, wmax, amax, window int) []sax.Params {
 	return all
 }
 
-// MemberCurve is one ensemble member's full output: its parameters, its
-// rule density curve, and the curve's standard deviation (the selection
-// statistic of Algorithm 1). Exposing members separately lets parameter
-// sweeps (ensemble size N, selectivity τ) reuse the expensive induction
-// work across settings.
-type MemberCurve struct {
-	Params sax.Params
-	Curve  []float64
-	Std    float64
-}
-
 // Detect runs Algorithm 1 on the series and returns the ensemble curve and
 // ranked anomaly candidates.
 func Detect(series timeseries.Series, cfg Config) (*Result, error) {
@@ -208,135 +128,45 @@ func Detect(series timeseries.Series, cfg Config) (*Result, error) {
 // DetectWithFeatures is Detect for callers that already computed prefix-sum
 // features (e.g. to run several configurations over one long series).
 func DetectWithFeatures(f *timeseries.Features, cfg Config) (*Result, error) {
-	cfg, err := cfg.normalized()
-	if err != nil {
-		return nil, err
-	}
-	members, err := ComputeMembers(f, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return CombineMembers(members, cfg)
-}
-
-// ComputeMembers runs lines 4–8 of Algorithm 1: draw cfg.Size distinct
-// (w,a) combinations, discretize all of them in one shared multi-resolution
-// pass, and induce one rule density curve per member (concurrently).
-func ComputeMembers(f *timeseries.Features, cfg Config) ([]MemberCurve, error) {
-	cfg, err := cfg.normalized()
+	cfg, err := cfg.Normalized()
 	if err != nil {
 		return nil, err
 	}
 	if cfg.Window > f.SeriesLen() {
 		return nil, fmt.Errorf("core: window %d exceeds series length %d", cfg.Window, f.SeriesLen())
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	params := GenerateParams(rng, cfg.Size, cfg.WMax, cfg.AMax, cfg.Window)
-	if len(params) == 0 {
-		return nil, errors.New("core: no valid parameter combinations")
-	}
-	mr, err := sax.NewMultiResolver(cfg.AMax)
+	eng, err := engine.New(cfg)
 	if err != nil {
 		return nil, err
 	}
+	return eng.DetectSpan(f, 0, f.SeriesLen(), cfg.Seed)
+}
 
-	// Shared multi-resolution discretization pass (§6.2).
-	tokenSeqs, err := sax.DiscretizeMany(f, cfg.Window, params, mr)
+// ComputeMembers runs lines 4–8 of Algorithm 1: draw cfg.Size distinct
+// (w,a) combinations, discretize all of them in one shared multi-resolution
+// pass, and induce one rule density curve per member (concurrently). It is
+// a thin layer over engine.Engine.MemberCurves.
+func ComputeMembers(f *timeseries.Features, cfg Config) ([]MemberCurve, error) {
+	cfg, err := cfg.Normalized()
 	if err != nil {
 		return nil, err
 	}
-
-	// Per-member grammar induction and density curves, concurrently.
-	members := make([]MemberCurve, len(params))
-	errs := make([]error, len(params))
-	sem := make(chan struct{}, cfg.Parallelism)
-	var wg sync.WaitGroup
-	for i := range params {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			res, err := grammar.DetectFromTokens(tokenSeqs[i], f.SeriesLen(), cfg.Window, params[i], 1)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			members[i] = MemberCurve{
-				Params: params[i],
-				Curve:  res.Curve,
-				Std:    stat.PopStd(res.Curve),
-			}
-		}(i)
+	if cfg.Window > f.SeriesLen() {
+		return nil, fmt.Errorf("core: window %d exceeds series length %d", cfg.Window, f.SeriesLen())
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	eng, err := engine.New(cfg)
+	if err != nil {
+		return nil, err
 	}
-	return members, nil
+	return eng.MemberCurves(f, 0, f.SeriesLen(), cfg.Seed)
 }
 
 // CombineMembers performs lines 9–14 of Algorithm 1 on precomputed member
 // curves: rank by standard deviation, keep the top tau fraction, normalize
 // each survivor, merge, and rank anomalies on the combined curve. Only
 // cfg.Tau, cfg.Window, cfg.TopK, cfg.Combine and cfg.Normalize are used,
-// so callers can sweep those cheaply over one set of members.
+// so callers can sweep those cheaply over one set of members. The input
+// curves are not mutated.
 func CombineMembers(memberCurves []MemberCurve, cfg Config) (*Result, error) {
-	cfg, err := cfg.normalized()
-	if err != nil {
-		return nil, err
-	}
-	if len(memberCurves) == 0 {
-		return nil, errors.New("core: no member curves")
-	}
-	members := make([]Member, len(memberCurves))
-	stds := make([]float64, len(memberCurves))
-	for i, m := range memberCurves {
-		members[i] = Member{Params: m.Params, Std: m.Std}
-		stds[i] = m.Std
-	}
-
-	keep := int(cfg.Tau * float64(len(memberCurves)))
-	if keep < 1 {
-		keep = 1
-	}
-	if keep > len(memberCurves) {
-		keep = len(memberCurves)
-	}
-	order := stat.ArgSortDesc(stds)
-	var kept [][]float64
-	for _, idx := range order[:keep] {
-		if stds[idx] <= 0 {
-			// A flat curve carries no anomaly signal; never include it,
-			// even if that leaves fewer than keep survivors.
-			continue
-		}
-		members[idx].Kept = true
-		norm := stat.NormalizeByMax(memberCurves[idx].Curve)
-		if cfg.Normalize == NormalizeMinMax {
-			norm = stat.MinMaxNormalize(memberCurves[idx].Curve)
-		}
-		kept = append(kept, norm)
-	}
-	if len(kept) == 0 {
-		return nil, ErrNoUsableCurves
-	}
-
-	var curve []float64
-	switch cfg.Combine {
-	case CombineMean:
-		curve, err = stat.ColumnMeans(kept)
-	default:
-		curve, err = stat.ColumnMedians(kept)
-	}
-	if err != nil {
-		return nil, err
-	}
-	cands, err := grammar.RankAnomalies(curve, cfg.Window, cfg.TopK)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Curve: curve, Candidates: cands, Members: members}, nil
+	return engine.Combine(memberCurves, cfg)
 }

@@ -1,0 +1,605 @@
+// Package engine is the reusable detection core both faces of the library
+// are thin layers over: the batch detectors (internal/core, egi.Detect /
+// egi.DetectChunked) and the online detector (internal/stream, egi.Stream).
+//
+// An Engine owns one ensemble configuration's long-lived resources — the
+// multi-resolution SAX resolver, the (w,a) parameter grid, per-member
+// incremental discretization pipelines, and pooled hot-path scratch
+// (coefficient/word buffers, per-member token, word and curve arenas) — and
+// runs Algorithm 1 of the paper over *spans* of one logical series:
+//
+//	res, err := eng.DetectSpan(src, start, end, seed)
+//
+// src is any global-coordinate prefix-sum store (timeseries.Features for a
+// series in memory, timeseries.RingFeatures for a bounded stream window).
+// Because every window's SAX word is computed from range sums addressed by
+// global position, a word is the same float-for-float no matter which span
+// asks for it. That makes re-discretization incremental: when a hop shifts
+// the span by H points, each member pipeline keeps the token sequence for
+// the overlapping region and encodes only the H new suffix windows, with
+// numerosity-reduction run state resumed at the seam — and the result is
+// bit-identical to discretizing the new span from scratch (the property
+// tests pin this). Grammar induction and curve combination then run per
+// span exactly as in the batch detector.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"egi/internal/grammar"
+	"egi/internal/sax"
+	"egi/internal/sequitur"
+	"egi/internal/stat"
+)
+
+// Defaults used by the paper's experiments (§7, first paragraph).
+const (
+	DefaultEnsembleSize = 50
+	DefaultWMax         = 10
+	DefaultAMax         = 10
+	DefaultTau          = 0.4
+	DefaultTopK         = 3
+)
+
+// SeedStride separates the parameter-generation seeds of consecutive spans
+// on a chunk/hop grid: span k runs with seed base + k*SeedStride. Batch
+// chunking (core.DetectChunked) and streaming hop runs (internal/stream)
+// share it, which is what makes a default-hop stream bit-compatible with
+// the chunked batch detector.
+const SeedStride = 1000003
+
+// Combiner selects how the surviving normalized curves are merged.
+type Combiner int
+
+const (
+	// CombineMedian is the paper's combiner: the pointwise median.
+	CombineMedian Combiner = iota
+	// CombineMean is the ablation alternative: the pointwise mean.
+	CombineMean
+)
+
+// Normalizer selects how each surviving curve is rescaled before merging.
+type Normalizer int
+
+const (
+	// NormalizeMax divides by the curve maximum (the paper's choice: zero
+	// densities stay exactly zero).
+	NormalizeMax Normalizer = iota
+	// NormalizeMinMax is the ablation alternative the paper argues
+	// against: (x-min)/(max-min) moves nonzero minima to zero.
+	NormalizeMinMax
+)
+
+// Config parameterizes the ensemble detector. The zero value is not valid;
+// fill in Window and rely on Normalized() for the rest.
+type Config struct {
+	// Window is the sliding window length n. Required.
+	Window int
+	// Size is the ensemble size N (number of (w,a) combinations).
+	Size int
+	// WMax and AMax bound the random parameter ranges [2, WMax] × [2, AMax].
+	WMax, AMax int
+	// Tau is the ensemble selectivity: the fraction of curves, ranked by
+	// descending standard deviation, kept for combination. (0, 1].
+	Tau float64
+	// TopK is the number of ranked anomaly candidates to return.
+	TopK int
+	// Seed drives the random parameter generation; runs with equal Seed
+	// and otherwise equal inputs are deterministic.
+	Seed int64
+	// Combine selects the curve combiner (median by default).
+	Combine Combiner
+	// Normalize selects the per-curve normalization (max by default).
+	Normalize Normalizer
+	// Parallelism caps the number of concurrent member
+	// induction/density-curve computations; <= 0 means GOMAXPROCS.
+	Parallelism int
+	// FromScratch disables incremental re-discretization: every span
+	// re-encodes all of its windows. Results are identical either way
+	// (the property tests assert exactly that); the flag exists as the
+	// ablation baseline and for the tests themselves.
+	FromScratch bool
+}
+
+// Normalized returns the config with defaults filled in, or an error if a
+// field is out of range. Callers that build long-lived detectors on top of
+// Config (e.g. internal/stream) use it to surface configuration errors at
+// construction time rather than on the first detection run.
+func (c Config) Normalized() (Config, error) {
+	if c.Size == 0 {
+		c.Size = DefaultEnsembleSize
+	}
+	if c.WMax == 0 {
+		c.WMax = DefaultWMax
+	}
+	if c.AMax == 0 {
+		c.AMax = DefaultAMax
+	}
+	if c.Tau == 0 {
+		c.Tau = DefaultTau
+	}
+	if c.TopK == 0 {
+		c.TopK = DefaultTopK
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.Window < 2:
+		return c, fmt.Errorf("engine: window must be >= 2, got %d", c.Window)
+	case c.Size < 1:
+		return c, fmt.Errorf("engine: ensemble size must be >= 1, got %d", c.Size)
+	case c.WMax < 2:
+		return c, fmt.Errorf("engine: wmax must be >= 2, got %d", c.WMax)
+	case c.AMax < 2 || c.AMax > sax.MaxAlphabet:
+		return c, fmt.Errorf("engine: amax must be in [2, %d], got %d", sax.MaxAlphabet, c.AMax)
+	case c.Tau < 0 || c.Tau > 1:
+		return c, fmt.Errorf("engine: tau must be in (0, 1], got %v", c.Tau)
+	case c.TopK < 1:
+		return c, fmt.Errorf("engine: topK must be >= 1, got %d", c.TopK)
+	}
+	return c, nil
+}
+
+// Member records one ensemble member's run.
+type Member struct {
+	Params sax.Params // the (w, a) combination
+	Std    float64    // standard deviation of its rule density curve
+	Kept   bool       // survived the selectivity cut
+}
+
+// MemberCurve is one ensemble member's full output: its parameters, its
+// rule density curve, and the curve's standard deviation (the selection
+// statistic of Algorithm 1). Exposing members separately lets parameter
+// sweeps (ensemble size N, selectivity τ) reuse the expensive induction
+// work across settings.
+type MemberCurve struct {
+	Params sax.Params
+	Curve  []float64
+	Std    float64
+}
+
+// Result is the outcome of one ensemble detection over a span. Positions
+// (curve indices, candidate starts) are span-local.
+type Result struct {
+	// Curve is the ensemble rule density curve d_e, each point in [0, 1].
+	Curve []float64
+	// Candidates are the ranked anomaly candidates (ascending density).
+	Candidates []grammar.Candidate
+	// Members documents every ensemble member, in generation order.
+	Members []Member
+}
+
+// ErrNoUsableCurves is returned when every member produced a degenerate
+// (zero-variance, zero-max) curve — e.g. on a constant span.
+var ErrNoUsableCurves = errors.New("engine: no usable rule density curves (is the series constant?)")
+
+// Source is the data access an Engine needs: constant-time range sums over
+// a retained span of global positions. timeseries.Features (First()==0,
+// whole series) and timeseries.RingFeatures (rolling window of a stream)
+// both implement it.
+type Source interface {
+	// First is the earliest retained (queryable) position.
+	First() int
+	// End is the exclusive end of the retained positions.
+	End() int
+	RangeSum(p, q int) float64
+	RangeSum2(p, q int) float64
+}
+
+// slot is the pooled per-member scratch: one slot per member index, reused
+// across spans so the steady-state hot path performs no per-span
+// allocations for tokens, words or curves.
+type slot struct {
+	tokens []sax.Token
+	words  []string
+	curve  []float64
+}
+
+// Engine runs the ensemble pipeline over spans of one logical series. It
+// is not safe for concurrent use (its internal parallelism is confined to
+// member execution within a call); give each goroutine its own Engine or
+// serialize access.
+type Engine struct {
+	cfg Config
+	mr  *sax.MultiResolver
+
+	// Parameter generation: the full (w,a) grid in generation order and a
+	// reseedable rng, so drawing a span's members allocates nothing.
+	grid   []sax.Params
+	draw   []sax.Params
+	rng    *rand.Rand
+	seqSel []*sax.IncrementalSeq // members' pipelines for the current span
+
+	// Incremental per-member pipelines, keyed by (w,a), surviving across
+	// spans. Bound source and high-water mark guard against misuse: a new
+	// source or a regressing span end resets every pipeline.
+	pipes   map[sax.Params]*sax.IncrementalSeq
+	src     Source
+	lastEnd int
+
+	// Pooled hot-path scratch.
+	coeffs  []float64               // one PAA coefficient buffer (max w)
+	word    []byte                  // one word buffer (max w)
+	byW     [][]*sax.IncrementalSeq // active extension groups per PAA size
+	ext     []*sax.IncrementalSeq   // extension worklist
+	slots   []slot                  // per-member arenas
+	curves  []MemberCurve           // member outputs for the current span
+	stds    []float64
+	kept    [][]float64
+	errs    []error
+	sem     chan struct{}
+	running sync.WaitGroup
+}
+
+// New builds an engine for the configuration. The returned engine has no
+// bound data yet; the first DetectSpan/MemberCurves call binds it to a
+// Source.
+func New(cfg Config) (*Engine, error) {
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	mr, err := sax.NewMultiResolver(cfg.AMax)
+	if err != nil {
+		return nil, err
+	}
+	wmax := cfg.WMax
+	if wmax > cfg.Window {
+		wmax = cfg.Window
+	}
+	var grid []sax.Params
+	for w := 2; w <= wmax; w++ {
+		for a := 2; a <= cfg.AMax; a++ {
+			grid = append(grid, sax.Params{W: w, A: a})
+		}
+	}
+	return &Engine{
+		cfg:    cfg,
+		mr:     mr,
+		grid:   grid,
+		rng:    rand.New(rand.NewSource(0)),
+		pipes:  make(map[sax.Params]*sax.IncrementalSeq),
+		coeffs: make([]float64, wmax),
+		word:   make([]byte, wmax),
+		byW:    make([][]*sax.IncrementalSeq, wmax+1),
+		sem:    make(chan struct{}, cfg.Parallelism),
+	}, nil
+}
+
+// Config returns the engine's normalized configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// drawParams reproduces core.GenerateParams for this engine's grid without
+// allocating: reseed, copy the pristine grid into the draw scratch,
+// shuffle, truncate to the ensemble size.
+func (e *Engine) drawParams(seed int64) []sax.Params {
+	e.rng.Seed(seed)
+	e.draw = append(e.draw[:0], e.grid...)
+	e.rng.Shuffle(len(e.draw), func(i, j int) { e.draw[i], e.draw[j] = e.draw[j], e.draw[i] })
+	if e.cfg.Size < len(e.draw) {
+		e.draw = e.draw[:e.cfg.Size]
+	}
+	return e.draw
+}
+
+// bind attaches the engine to a source, resetting every pipeline when the
+// source changes or the span end regresses (the incremental invariants
+// hold only along one monotonically advancing series).
+func (e *Engine) bind(src Source, end int) {
+	if src != e.src || end < e.lastEnd {
+		// Drop every pipeline; each is rebuilt from scratch at the next
+		// span that draws its parameters.
+		for p := range e.pipes {
+			delete(e.pipes, p)
+		}
+		e.src = src
+	}
+	e.lastEnd = end
+}
+
+// checkSpan validates a span request against the configuration and source.
+func (e *Engine) checkSpan(src Source, start, end int) error {
+	if src == nil {
+		return errors.New("engine: nil source")
+	}
+	if end-start < e.cfg.Window {
+		return fmt.Errorf("engine: span [%d,%d) shorter than window %d", start, end, e.cfg.Window)
+	}
+	if start < src.First() || end > src.End() {
+		return fmt.Errorf("engine: span [%d,%d) outside retained [%d,%d)", start, end, src.First(), src.End())
+	}
+	if len(e.grid) == 0 {
+		return errors.New("engine: no valid parameter combinations")
+	}
+	return nil
+}
+
+// prepare draws the span's members and brings every member pipeline up to
+// date through the span's last window: stale pipelines are reset to the
+// span start (re-discretizing from scratch), current ones encode only the
+// new suffix windows.
+func (e *Engine) prepare(src Source, start, end int, seed int64) []sax.Params {
+	params := e.drawParams(seed)
+	e.seqSel = e.seqSel[:0]
+	for _, p := range params {
+		seq, ok := e.pipes[p]
+		if !ok {
+			seq = sax.NewIncrementalSeq(p, start)
+			e.pipes[p] = seq
+		}
+		if e.cfg.FromScratch || seq.NextWin() < src.First() {
+			seq.Reset(start)
+		}
+		e.seqSel = append(e.seqSel, seq)
+	}
+	e.extend(src, e.seqSel, start, end)
+	return params
+}
+
+// extend encodes every not-yet-encoded window up to the span's last one
+// for each sequence, sharing one FastPAA evaluation per (window, PAA size)
+// across all members with that PAA size — the §6.2 multi-resolution fast
+// path, restated incrementally.
+func (e *Engine) extend(src Source, seqs []*sax.IncrementalSeq, start, end int) {
+	n := e.cfg.Window
+	lastWin := end - n
+	ext := e.ext[:0]
+	for _, s := range seqs {
+		if s.NextWin() <= lastWin {
+			ext = append(ext, s)
+		}
+	}
+	e.ext = ext
+	if len(ext) == 0 {
+		return
+	}
+	sort.SliceStable(ext, func(i, j int) bool { return ext[i].NextWin() < ext[j].NextWin() })
+	for w := range e.byW {
+		e.byW[w] = e.byW[w][:0]
+	}
+	next := 0
+	for win := ext[0].NextWin(); win <= lastWin; win++ {
+		for next < len(ext) && ext[next].NextWin() == win {
+			w := ext[next].Params().W
+			e.byW[w] = append(e.byW[w], ext[next])
+			next++
+		}
+		for w := 2; w < len(e.byW); w++ {
+			group := e.byW[w]
+			if len(group) == 0 {
+				continue
+			}
+			coeffs := e.coeffs[:w]
+			if err := sax.FastPAAFrom(src, win, n, w, coeffs); err != nil {
+				// Bounds were validated by checkSpan; the only remaining
+				// errors are programming mistakes.
+				panic(err)
+			}
+			word := e.word[:w]
+			for _, s := range group {
+				if err := e.mr.EncodeWord(coeffs, s.Params().A, word); err != nil {
+					panic(err)
+				}
+				s.Append(word)
+			}
+		}
+	}
+}
+
+// runMembers executes grammar induction and density-curve construction for
+// every member of the span, concurrently, into the pooled slots. On return
+// e.curves[i] is member i's output (curve storage owned by slot i).
+func (e *Engine) runMembers(params []sax.Params, start, end int) error {
+	L := end - start
+	n := e.cfg.Window
+	lastWin := end - n
+	for len(e.slots) < len(params) {
+		e.slots = append(e.slots, slot{})
+	}
+	if cap(e.curves) < len(params) {
+		e.curves = make([]MemberCurve, len(params))
+	}
+	e.curves = e.curves[:len(params)]
+	if cap(e.errs) < len(params) {
+		e.errs = make([]error, len(params))
+	}
+	errs := e.errs[:len(params)]
+	for i := range errs {
+		errs[i] = nil
+	}
+	for i := range params {
+		e.running.Add(1)
+		e.sem <- struct{}{}
+		go func(i int) {
+			defer e.running.Done()
+			defer func() { <-e.sem }()
+			sl := &e.slots[i]
+			seq := e.seqSel[i]
+			var err error
+			sl.tokens, err = seq.SpanTokens(sl.tokens[:0], start, lastWin)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sl.words = sl.words[:0]
+			for _, t := range sl.tokens {
+				sl.words = append(sl.words, t.Word)
+			}
+			g, err := sequitur.Induce(sl.words)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			curve, err := grammar.DensityCurveInto(sl.curve, g, sl.tokens, L, n)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			sl.curve = curve
+			e.curves[i] = MemberCurve{Params: params[i], Curve: curve, Std: stat.PopStd(curve)}
+		}(i)
+	}
+	e.running.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DetectSpan runs Algorithm 1 over the span [start, end) of the source,
+// with the given parameter-generation seed, and returns the combined curve
+// (span-local, values in [0,1]), the ranked candidates, and the member
+// bookkeeping. Member curves are normalized in place inside pooled
+// buffers; the returned Result owns fresh memory and survives further
+// engine use.
+func (e *Engine) DetectSpan(src Source, start, end int, seed int64) (*Result, error) {
+	if err := e.checkSpan(src, start, end); err != nil {
+		return nil, err
+	}
+	e.bind(src, end)
+	params := e.prepare(src, start, end, seed)
+	if err := e.runMembers(params, start, end); err != nil {
+		return nil, err
+	}
+	return e.combinePooled(e.curves)
+}
+
+// MemberCurves runs only the member stage of the span (lines 4–8 of
+// Algorithm 1) and returns one MemberCurve per drawn (w,a) combination, in
+// generation order. The curves are fresh copies, safe to retain across
+// further engine use — this is the entry point for parameter sweeps that
+// recombine one member set under many (τ, combiner) settings.
+func (e *Engine) MemberCurves(src Source, start, end int, seed int64) ([]MemberCurve, error) {
+	if err := e.checkSpan(src, start, end); err != nil {
+		return nil, err
+	}
+	e.bind(src, end)
+	params := e.prepare(src, start, end, seed)
+	if err := e.runMembers(params, start, end); err != nil {
+		return nil, err
+	}
+	out := make([]MemberCurve, len(e.curves))
+	for i, m := range e.curves {
+		out[i] = MemberCurve{
+			Params: m.Params,
+			Curve:  append([]float64(nil), m.Curve...),
+			Std:    m.Std,
+		}
+	}
+	return out, nil
+}
+
+// TrimBefore tells every pipeline that no future span will start before
+// stream position pos, letting them drop tokens (and their words) that
+// precede it. Owners with a hop schedule call it after each span.
+func (e *Engine) TrimBefore(pos int) {
+	for _, seq := range e.pipes {
+		seq.TrimBefore(pos)
+	}
+}
+
+// combinePooled performs lines 9–14 of Algorithm 1 on the pooled member
+// curves, normalizing survivors in place (the pooled buffers are reused
+// next span anyway).
+func (e *Engine) combinePooled(memberCurves []MemberCurve) (*Result, error) {
+	return combine(memberCurves, e.cfg, true, e)
+}
+
+// Combine performs lines 9–14 of Algorithm 1 on caller-owned precomputed
+// member curves: rank by standard deviation, keep the top tau fraction,
+// normalize each survivor (into a copy — the inputs are not mutated),
+// merge, and rank anomalies on the combined curve. Only cfg.Tau,
+// cfg.Window, cfg.TopK, cfg.Combine and cfg.Normalize are used, so callers
+// can sweep those cheaply over one set of members.
+func Combine(memberCurves []MemberCurve, cfg Config) (*Result, error) {
+	cfg, err := cfg.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	return combine(memberCurves, cfg, false, nil)
+}
+
+func combine(memberCurves []MemberCurve, cfg Config, inPlace bool, e *Engine) (*Result, error) {
+	if len(memberCurves) == 0 {
+		return nil, errors.New("engine: no member curves")
+	}
+	members := make([]Member, len(memberCurves))
+	var stds []float64
+	if e != nil {
+		stds = e.stds[:0]
+	}
+	for i, m := range memberCurves {
+		members[i] = Member{Params: m.Params, Std: m.Std}
+		stds = append(stds, m.Std)
+	}
+	if e != nil {
+		e.stds = stds
+	}
+
+	keep := int(cfg.Tau * float64(len(memberCurves)))
+	if keep < 1 {
+		keep = 1
+	}
+	if keep > len(memberCurves) {
+		keep = len(memberCurves)
+	}
+	order := stat.ArgSortDesc(stds)
+	var kept [][]float64
+	if e != nil {
+		kept = e.kept[:0]
+	}
+	for _, idx := range order[:keep] {
+		if stds[idx] <= 0 {
+			// A flat curve carries no anomaly signal; never include it,
+			// even if that leaves fewer than keep survivors.
+			continue
+		}
+		members[idx].Kept = true
+		curve := memberCurves[idx].Curve
+		if inPlace {
+			if cfg.Normalize == NormalizeMinMax {
+				stat.MinMaxNormalizeInPlace(curve)
+			} else {
+				stat.NormalizeByMaxInPlace(curve)
+			}
+		} else {
+			if cfg.Normalize == NormalizeMinMax {
+				curve = stat.MinMaxNormalize(curve)
+			} else {
+				curve = stat.NormalizeByMax(curve)
+			}
+		}
+		kept = append(kept, curve)
+	}
+	if e != nil {
+		e.kept = kept
+	}
+	if len(kept) == 0 {
+		return nil, ErrNoUsableCurves
+	}
+
+	var curve []float64
+	var err error
+	switch cfg.Combine {
+	case CombineMean:
+		curve, err = stat.ColumnMeans(kept)
+	default:
+		curve, err = stat.ColumnMedians(kept)
+	}
+	if err != nil {
+		return nil, err
+	}
+	cands, err := grammar.RankAnomalies(curve, cfg.Window, cfg.TopK)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Curve: curve, Candidates: cands, Members: members}, nil
+}

@@ -1,0 +1,284 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"egi/internal/timeseries"
+)
+
+// genSeries builds a noisy periodic series with a planted pulse.
+func genSeries(length, period int, seed int64) timeseries.Series {
+	rng := rand.New(rand.NewSource(seed))
+	s := make(timeseries.Series, length)
+	for i := range s {
+		s[i] = math.Sin(2*math.Pi*float64(i)/float64(period)) + 0.15*rng.NormFloat64()
+	}
+	p := length / 2
+	for i := p; i < p+period && i < length; i++ {
+		s[i] = 1.4 - 2.8*math.Abs(float64(i-p)/float64(period)-0.5)
+	}
+	return s
+}
+
+func resultsEqual(t *testing.T, ctx string, a, b *Result) {
+	t.Helper()
+	if (a == nil) != (b == nil) {
+		t.Fatalf("%s: one result nil", ctx)
+	}
+	if a == nil {
+		return
+	}
+	if len(a.Curve) != len(b.Curve) {
+		t.Fatalf("%s: curve lengths %d vs %d", ctx, len(a.Curve), len(b.Curve))
+	}
+	for i := range a.Curve {
+		if a.Curve[i] != b.Curve[i] {
+			t.Fatalf("%s: curve[%d] %v vs %v", ctx, i, a.Curve[i], b.Curve[i])
+		}
+	}
+	if len(a.Candidates) != len(b.Candidates) {
+		t.Fatalf("%s: candidate counts %d vs %d", ctx, len(a.Candidates), len(b.Candidates))
+	}
+	for i := range a.Candidates {
+		if a.Candidates[i] != b.Candidates[i] {
+			t.Fatalf("%s: candidate %d %+v vs %+v", ctx, i, a.Candidates[i], b.Candidates[i])
+		}
+	}
+	if len(a.Members) != len(b.Members) {
+		t.Fatalf("%s: member counts %d vs %d", ctx, len(a.Members), len(b.Members))
+	}
+	for i := range a.Members {
+		if a.Members[i] != b.Members[i] {
+			t.Fatalf("%s: member %d %+v vs %+v", ctx, i, a.Members[i], b.Members[i])
+		}
+	}
+}
+
+// TestIncrementalMatchesFromScratch is the engine-seam property test: one
+// long-lived engine reusing per-member pipelines across overlapping spans
+// must produce, for every span, exactly the result of a fresh engine (or
+// the same engine in FromScratch mode) discretizing that span from
+// scratch — bit for bit — across random hop sizes, buffer lengths, member
+// counts and seeds.
+func TestIncrementalMatchesFromScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 12; trial++ {
+		window := 10 + rng.Intn(30)
+		bufLen := 4*window + rng.Intn(8*window)
+		hop := 1 + rng.Intn(bufLen-window+1)
+		size := 3 + rng.Intn(18)
+		length := bufLen + hop*(2+rng.Intn(6)) + rng.Intn(window)
+		seed := rng.Int63n(1 << 30)
+
+		series := genSeries(length, window, seed)
+		f, err := timeseries.NewFeatures(series)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Window: window, Size: size, Seed: seed}
+		inc, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratchCfg := cfg
+		scratchCfg.FromScratch = true
+		ref, err := New(scratchCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		runIdx := 0
+		for start := 0; start+window <= length; start += hop {
+			end := start + bufLen
+			if end > length {
+				end = length
+			}
+			if end-start < window {
+				break
+			}
+			spanSeed := seed + int64(runIdx)*SeedStride
+			a, errA := inc.DetectSpan(f, start, end, spanSeed)
+			b, errB := ref.DetectSpan(f, start, end, spanSeed)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("trial %d span [%d,%d): errors differ: %v vs %v", trial, start, end, errA, errB)
+			}
+			if errA != nil {
+				if errA != ErrNoUsableCurves {
+					t.Fatalf("trial %d span [%d,%d): %v", trial, start, end, errA)
+				}
+				continue
+			}
+			resultsEqual(t, "span", a, b)
+			inc.TrimBefore(start + hop)
+			runIdx++
+		}
+	}
+}
+
+// TestRingSourceMatchesFeatures: the rolling prefix-sum ring drives the
+// engine to the same bits as whole-series Features over the same global
+// span — the identity that lets the stream and the batch detector share
+// results.
+func TestRingSourceMatchesFeatures(t *testing.T) {
+	const (
+		window = 25
+		bufLen = 150
+		hop    = 40
+		length = 700
+	)
+	series := genSeries(length, window, 7)
+	f, err := timeseries.NewFeatures(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := timeseries.NewRingFeatures(bufLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Window: window, Size: 10, Seed: 3}
+	viaRing, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaFeat, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	next := bufLen // first span once the buffer is full
+	runIdx := 0
+	for i, x := range series {
+		if err := ring.Append(x); err != nil {
+			t.Fatal(err)
+		}
+		if i+1 == next {
+			start, end := i+1-bufLen, i+1
+			spanSeed := int64(runIdx) * SeedStride
+			a, errA := viaRing.DetectSpan(ring, start, end, spanSeed)
+			b, errB := viaFeat.DetectSpan(f, start, end, spanSeed)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("span [%d,%d): errors differ: %v vs %v", start, end, errA, errB)
+			}
+			if errA == nil {
+				resultsEqual(t, "ring-vs-features", a, b)
+			}
+			viaRing.TrimBefore(start + hop)
+			viaFeat.TrimBefore(start + hop)
+			next += hop
+			runIdx++
+		}
+	}
+}
+
+// TestMemberCurvesMatchDetectSpan: the sweep entry point returns the same
+// members the combined path consumes, and Combine on them reproduces
+// DetectSpan.
+func TestMemberCurvesMatchDetectSpan(t *testing.T) {
+	series := genSeries(900, 30, 11)
+	f, err := timeseries.NewFeatures(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Window: 30, Size: 12, Seed: 5}
+	e1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := e1.DetectSpan(f, 0, len(series), cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, err := e2.MemberCurves(f, 0, len(series), cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := Combine(members, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, "members+combine", full, combined)
+}
+
+// TestCombineDoesNotMutateInputs: the standalone Combine normalizes into
+// copies; sweep callers rely on reusing the member curves.
+func TestCombineDoesNotMutateInputs(t *testing.T) {
+	series := genSeries(600, 20, 13)
+	f, err := timeseries.NewFeatures(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Window: 20, Size: 8, Seed: 2}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, err := e.MemberCurves(f, 0, len(series), cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([][]float64, len(members))
+	for i, m := range members {
+		before[i] = append([]float64(nil), m.Curve...)
+	}
+	if _, err := Combine(members, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range members {
+		for j := range m.Curve {
+			if m.Curve[j] != before[i][j] {
+				t.Fatalf("member %d curve mutated at %d", i, j)
+			}
+		}
+	}
+}
+
+// TestSpanValidation: malformed spans are rejected up front.
+func TestSpanValidation(t *testing.T) {
+	series := genSeries(300, 20, 17)
+	f, err := timeseries.NewFeatures(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Window: 20, Size: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.DetectSpan(f, 0, 10, 0); err == nil {
+		t.Error("sub-window span should error")
+	}
+	if _, err := e.DetectSpan(f, -5, 100, 0); err == nil {
+		t.Error("negative start should error")
+	}
+	if _, err := e.DetectSpan(f, 0, len(series)+1, 0); err == nil {
+		t.Error("overlong span should error")
+	}
+	if _, err := e.DetectSpan(nil, 0, 100, 0); err == nil {
+		t.Error("nil source should error")
+	}
+}
+
+// TestConstantSpan: every member degenerates on a constant span and the
+// engine reports ErrNoUsableCurves, like the batch detector.
+func TestConstantSpan(t *testing.T) {
+	series := make(timeseries.Series, 200)
+	for i := range series {
+		series[i] = 4
+	}
+	f, err := timeseries.NewFeatures(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Window: 20, Size: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.DetectSpan(f, 0, len(series), 1); err != ErrNoUsableCurves {
+		t.Fatalf("got %v, want ErrNoUsableCurves", err)
+	}
+}

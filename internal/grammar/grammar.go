@@ -46,13 +46,29 @@ type Candidate struct {
 // density to every point of that span. Accumulation uses a difference
 // array, so the cost is O(#occurrences + seriesLen).
 func DensityCurve(g *sequitur.Grammar, tokens []sax.Token, seriesLen, n int) ([]float64, error) {
+	return DensityCurveInto(nil, g, tokens, seriesLen, n)
+}
+
+// DensityCurveInto is DensityCurve writing into dst, which is grown as
+// needed and returned re-sliced to seriesLen; pass a retained slice to
+// amortize the allocation across runs (the engine's hot path does). dst's
+// previous contents are discarded.
+func DensityCurveInto(dst []float64, g *sequitur.Grammar, tokens []sax.Token, seriesLen, n int) ([]float64, error) {
 	if len(tokens) == 0 {
 		return nil, ErrNoTokens
 	}
 	if n < 1 || n > seriesLen {
 		return nil, fmt.Errorf("%w: n=%d seriesLen=%d", ErrBadSeries, n, seriesLen)
 	}
-	diff := make([]float64, seriesLen+1)
+	// The first seriesLen+1 slots serve as the difference array; the curve
+	// is then integrated in place over the first seriesLen of them.
+	if cap(dst) < seriesLen+1 {
+		dst = make([]float64, seriesLen+1)
+	}
+	diff := dst[:seriesLen+1]
+	for i := range diff {
+		diff[i] = 0
+	}
 	var visitErr error
 	g.VisitOccurrences(func(rule, s, e int) {
 		if visitErr != nil {
@@ -73,7 +89,7 @@ func DensityCurve(g *sequitur.Grammar, tokens []sax.Token, seriesLen, n int) ([]
 	if visitErr != nil {
 		return nil, visitErr
 	}
-	curve := make([]float64, seriesLen)
+	curve := diff[:seriesLen]
 	acc := 0.0
 	for i := range curve {
 		acc += diff[i]

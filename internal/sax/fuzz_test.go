@@ -1,36 +1,10 @@
 package sax
 
 import (
-	"math"
 	"testing"
 
 	"egi/internal/timeseries"
 )
-
-// anyCoeffNearBreakpoint reports whether any PAA coefficient of any
-// sliding window sits within float noise of a breakpoint of alphabet p.A,
-// where the fast and naive encoders may round to different symbols.
-func anyCoeffNearBreakpoint(t *testing.T, f *timeseries.Features, n int, p Params) bool {
-	t.Helper()
-	bps, err := Breakpoints(p.A)
-	if err != nil {
-		t.Fatalf("Breakpoints(%d): %v", p.A, err)
-	}
-	coeffs := make([]float64, p.W)
-	for i := 0; i+n <= f.SeriesLen(); i++ {
-		if err := FastPAA(f, i, n, p.W, coeffs); err != nil {
-			t.Fatalf("FastPAA: %v", err)
-		}
-		for _, c := range coeffs {
-			for _, b := range bps {
-				if math.Abs(c-b) < 1e-6 {
-					return true
-				}
-			}
-		}
-	}
-	return false
-}
 
 // FuzzSAXDiscretize feeds arbitrary series and parameter choices through
 // the accelerated discretizer and asserts, for every input that validates:
@@ -87,20 +61,19 @@ func FuzzSAXDiscretize(f *testing.F) {
 			t.Fatalf("NaiveDiscretize n=%d p=%v: %v", n, p, err)
 		}
 		// The fast and naive paths compute each PAA coefficient by
-		// different summation orders; a coefficient landing (to within
-		// float error) exactly ON a breakpoint can legitimately encode
-		// one symbol apart (found by this fuzzer: a 16-point window
-		// whose single w=1 coefficient is the 0.0 middle breakpoint of
-		// a=16). Only assert fast==naive when no window grazes a
-		// breakpoint; the structural properties below hold regardless.
-		if !anyCoeffNearBreakpoint(t, f2, n, p) {
-			if len(fast) != len(naive) {
-				t.Fatalf("n=%d p=%v: %d tokens fast vs %d naive", n, p, len(fast), len(naive))
-			}
-			for i := range fast {
-				if fast[i] != naive[i] {
-					t.Fatalf("n=%d p=%v token %d: fast=%v naive=%v", n, p, i, fast[i], naive[i])
-				}
+		// different summation orders, so a coefficient landing exactly ON
+		// a breakpoint arrives at the comparison with different last-ulp
+		// noise (this fuzzer found a 16-point window whose single w=1
+		// coefficient is the 0.0 middle breakpoint of a=16). The shared
+		// BoundaryTol tie-break absorbs that noise, so fast and naive now
+		// agree unconditionally; see TestBreakpointTieRegression for the
+		// promoted finding.
+		if len(fast) != len(naive) {
+			t.Fatalf("n=%d p=%v: %d tokens fast vs %d naive", n, p, len(fast), len(naive))
+		}
+		for i := range fast {
+			if fast[i] != naive[i] {
+				t.Fatalf("n=%d p=%v token %d: fast=%v naive=%v", n, p, i, fast[i], naive[i])
 			}
 		}
 

@@ -1,0 +1,108 @@
+package sax
+
+import (
+	"fmt"
+	"sort"
+)
+
+// IncrementalSeq is a numerosity-reduced token sequence maintained
+// incrementally over a growing stream of sliding windows, in *global*
+// window coordinates: token Pos values are absolute window start positions,
+// not span-relative ones. It is the per-member re-discretization state of
+// the detection engine: when a hop shifts the analysis span by H points,
+// the tokens for the overlapping region are kept and only the H new suffix
+// windows are encoded, with the numerosity-reduction run state resumed at
+// the seam.
+//
+// The incremental invariant (tested property): provided every window's word
+// is computed from span-independent range sums (FastPAAFrom over a global-
+// coordinate FeatureSource), SpanTokens(start, ...) is bit-identical to
+// numerosity-reducing a from-scratch word-per-window pass over the span —
+// the first retained token re-based to the span start stands in for the
+// run it was cut out of, exactly as Discretize would have emitted it.
+type IncrementalSeq struct {
+	params Params
+	tokens []Token // ascending global Pos; tokens[i].Pos < next
+	prev   string  // word of the last appended window (empty before any)
+	next   int     // global index of the next window to encode
+	empty  bool    // no windows appended since the last reset
+}
+
+// NewIncrementalSeq creates an empty sequence for one (w, a) member,
+// positioned to encode global window startWin first.
+func NewIncrementalSeq(p Params, startWin int) *IncrementalSeq {
+	return &IncrementalSeq{params: p, next: startWin, empty: true}
+}
+
+// Params returns the member's discretization parameters.
+func (s *IncrementalSeq) Params() Params { return s.params }
+
+// NextWin returns the global index of the next window to be appended.
+func (s *IncrementalSeq) NextWin() int { return s.next }
+
+// Len returns the number of retained tokens.
+func (s *IncrementalSeq) Len() int { return len(s.tokens) }
+
+// Reset discards all state and positions the sequence at global window
+// startWin, as if freshly constructed. Used when the member fell so far
+// behind the stream that the points needed to extend it are gone.
+func (s *IncrementalSeq) Reset(startWin int) {
+	s.tokens = s.tokens[:0]
+	s.prev = ""
+	s.next = startWin
+	s.empty = true
+}
+
+// Append encodes the next window (global index NextWin) from its word
+// bytes, advancing the sequence by one window and emitting a token only
+// when the word differs from the previous window's — numerosity reduction
+// with its run state carried across spans.
+func (s *IncrementalSeq) Append(word []byte) {
+	if s.empty || string(word) != s.prev {
+		w := string(word)
+		s.tokens = append(s.tokens, Token{Word: w, Pos: s.next})
+		s.prev = w
+		s.empty = false
+	}
+	s.next++
+}
+
+// TrimBefore drops tokens that can no longer be the covering token of any
+// span starting at or after win: every leading token whose successor also
+// starts at or before win. The last token at or before win is always kept —
+// it carries the word of window win itself.
+func (s *IncrementalSeq) TrimBefore(win int) {
+	k := 0
+	for k+1 < len(s.tokens) && s.tokens[k+1].Pos <= win {
+		k++
+	}
+	if k > 0 {
+		s.tokens = s.tokens[:copy(s.tokens, s.tokens[k:])]
+	}
+}
+
+// SpanTokens appends to dst the token sequence for the span whose windows
+// are [startWin, endWin] (global, inclusive), re-based to span-local
+// positions, and returns the extended slice. It is bit-identical to what a
+// from-scratch Discretize over the span would produce. The sequence must
+// already cover the span: its first token at or before startWin, and
+// NextWin() > endWin.
+func (s *IncrementalSeq) SpanTokens(dst []Token, startWin, endWin int) ([]Token, error) {
+	if s.empty || s.next <= endWin {
+		return dst, fmt.Errorf("sax: sequence %v covers windows up to %d, span needs %d", s.params, s.next-1, endWin)
+	}
+	if len(s.tokens) == 0 || s.tokens[0].Pos > startWin {
+		return dst, fmt.Errorf("sax: sequence %v trimmed past span start window %d", s.params, startWin)
+	}
+	// The last token at or before startWin provides the word of the span's
+	// first window; numerosity reduction would have emitted it at local 0.
+	k := sort.Search(len(s.tokens), func(i int) bool { return s.tokens[i].Pos > startWin }) - 1
+	dst = append(dst, Token{Word: s.tokens[k].Word, Pos: 0})
+	for _, t := range s.tokens[k+1:] {
+		if t.Pos > endWin {
+			break
+		}
+		dst = append(dst, Token{Word: t.Word, Pos: t.Pos - startWin})
+	}
+	return dst, nil
+}

@@ -78,9 +78,11 @@ func NewMultiResolver(amax int) (*MultiResolver, error) {
 // AMax returns the largest alphabet size the resolver supports.
 func (m *MultiResolver) AMax() int { return m.amax }
 
-// Interval returns the summary-line interval index for coefficient c.
+// Interval returns the summary-line interval index for coefficient c,
+// using the same BoundaryTol tie-break as SymbolFor so the multi-resolution
+// path and the plain breakpoint-table path agree near breakpoints.
 func (m *MultiResolver) Interval(c float64) int {
-	return sort.Search(len(m.merged), func(i int) bool { return m.merged[i] > c })
+	return sort.Search(len(m.merged), func(i int) bool { return m.merged[i] > c+BoundaryTol })
 }
 
 // Symbol returns the symbol byte for coefficient c under alphabet size a.

@@ -8,7 +8,11 @@
 //
 //   - A SAX word is a string of w bytes; symbol i is 'a'+i.
 //   - Breakpoint regions are (-inf, b1), [b1, b2), ..., [b_{a-1}, +inf):
-//     a coefficient equal to a breakpoint belongs to the region above it.
+//     a coefficient equal to a breakpoint belongs to the region above it,
+//     and "equal" is taken with tolerance BoundaryTol so that the two
+//     coefficient computation orders in use (naive per-window summation and
+//     the prefix-sum fast path) agree on which side of a breakpoint a
+//     coefficient falls even when float rounding puts them an ulp apart.
 //   - A window whose standard deviation is below Eps is treated as flat:
 //     its z-normalized form is all zeros (and hence its word is uniform).
 package sax
@@ -30,6 +34,23 @@ const Eps = 1e-9
 // MaxAlphabet is the largest supported alphabet size. 26 keeps every symbol
 // a lowercase letter; the paper never goes beyond 20.
 const MaxAlphabet = 26
+
+// BoundaryTol is the symbolization tie-break tolerance: a PAA coefficient
+// within BoundaryTol below a breakpoint is treated as lying exactly on it
+// and therefore maps to the region above. Gaussian breakpoints for the
+// supported alphabets are separated by at least ~0.05, so the band only
+// ever captures coefficients that are "on" a breakpoint up to float noise;
+// without it, the naive and prefix-sum coefficient paths — whose results
+// can differ in the last ulp — could encode such a coefficient one symbol
+// apart (found by FuzzSAXDiscretize; see TestBreakpointTieRegression).
+//
+// The tolerance moves the decision boundary from b to b-1e-9 rather than
+// removing it, but unlike b itself the shifted boundary is not an
+// attractor: analytically clean inputs land their coefficients exactly on
+// breakpoints (0 especially), never at an irrational offset 1e-9 below
+// one, so the two paths would have to disagree about a value straddling
+// b-1e-9 to ulp precision — which the fuzzer has not produced.
+const BoundaryTol = 1e-9
 
 // Errors reported by discretization.
 var (
@@ -79,11 +100,13 @@ func Breakpoints(a int) ([]float64, error) {
 }
 
 // SymbolFor maps a single z-normalized PAA coefficient to its symbol index
-// under alphabet size a: the number of breakpoints <= c.
+// under alphabet size a: the number of breakpoints <= c + BoundaryTol (the
+// shared tie-break; see the package comment).
 func SymbolFor(c float64, bps []float64) int {
-	// sort.Search finds the first i with bps[i] > c, which equals the count
-	// of breakpoints <= c and therefore the region index.
-	return sort.Search(len(bps), func(i int) bool { return bps[i] > c })
+	// sort.Search finds the first i with bps[i] > c+BoundaryTol, which
+	// equals the count of breakpoints <= c+BoundaryTol and therefore the
+	// region index.
+	return sort.Search(len(bps), func(i int) bool { return bps[i] > c+BoundaryTol })
 }
 
 // PAA computes the Piecewise Aggregate Approximation of a z-normalized
@@ -134,6 +157,16 @@ func EncodeSubsequence(raw []float64, w, a int) (string, error) {
 	return Encode(z, w, a)
 }
 
+// FeatureSource is the prefix-sum view FastPAAFrom discretizes against: any
+// store that can produce the sum and sum-of-squares of a position range in
+// constant time. timeseries.Features (whole series in memory) and
+// timeseries.RingFeatures (bounded rolling window of an unbounded stream)
+// both satisfy it. Positions are in the coordinates of the source — global
+// stream positions for a ring — which is what makes suffix/incremental
+// discretization bit-identical to a from-scratch pass: the range sums for a
+// given window are fixed floats no matter which span asks for them.
+type FeatureSource = timeseries.SumSource
+
 // FastPAA implements Algorithm 2 of the paper: the PAA coefficients of the
 // z-normalized window [p, p+n) computed in O(w) from the prefix-sum
 // features, instead of O(n) for the naive path. dst must have length w.
@@ -144,13 +177,24 @@ func FastPAA(f *timeseries.Features, p, n, w int, dst []float64) error {
 	if n <= 0 || p < 0 || p+n > f.SeriesLen() {
 		return fmt.Errorf("%w: p=%d n=%d len=%d", ErrBadWindow, p, n, f.SeriesLen())
 	}
+	return FastPAAFrom(f, p, n, w, dst)
+}
+
+// FastPAAFrom is FastPAA over any FeatureSource. The caller is responsible
+// for p and p+n lying inside the source's retained range; mean and standard
+// deviation come from the one shared timeseries.MeanStd implementation, so
+// every entry point produces bit-equal coefficients.
+func FastPAAFrom(src FeatureSource, p, n, w int, dst []float64) error {
+	if n <= 0 {
+		return fmt.Errorf("%w: p=%d n=%d", ErrBadWindow, p, n)
+	}
 	if w < 1 || w > n {
 		return fmt.Errorf("%w: w=%d, n=%d", ErrBadPAASize, w, n)
 	}
 	if len(dst) != w {
 		return fmt.Errorf("sax: dst length %d, want %d", len(dst), w)
 	}
-	mu, sigma := f.RangeMeanStd(p, p+n)
+	mu, sigma := timeseries.MeanStd(src, p, p+n)
 	if sigma < Eps {
 		for i := range dst {
 			dst[i] = 0
@@ -161,7 +205,7 @@ func FastPAA(f *timeseries.Features, p, n, w int, dst []float64) error {
 	for i := 0; i < w; i++ {
 		lo := p + i*n/w
 		hi := p + (i+1)*n/w
-		segMean := f.RangeSum(lo, hi) / float64(hi-lo)
+		segMean := src.RangeSum(lo, hi) / float64(hi-lo)
 		dst[i] = (segMean - mu) * inv
 	}
 	return nil

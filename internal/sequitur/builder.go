@@ -41,13 +41,38 @@ type builder struct {
 	wordIDs map[string]int
 	words   []string
 	lastTop *node // last symbol of the start rule (fast append)
+
+	// Node arena: induction creates roughly one node per input token (plus
+	// a few per rule), and allocating each individually dominated the
+	// allocation profile of the streaming hot path. Nodes are handed out
+	// of fixed-size blocks instead; the blocks stay alive through the
+	// node pointers, and dead nodes are simply abandoned (Sequitur frees
+	// at most O(rules) of them, not worth a free list).
+	block   []node
+	blockAt int
 }
 
-func newBuilder() *builder {
+// nodeBlockSize is the arena granularity: one allocation per this many
+// nodes.
+const nodeBlockSize = 256
+
+func (b *builder) newNode() *node {
+	if b.blockAt == len(b.block) {
+		b.block = make([]node, nodeBlockSize)
+		b.blockAt = 0
+	}
+	n := &b.block[b.blockAt] // zeroed: blocks are fresh, never recycled
+	b.blockAt++
+	return n
+}
+
+// newBuilder creates an induction engine; sizeHint is the expected input
+// length, used to presize the digram and word tables.
+func newBuilder(sizeHint int) *builder {
 	b := &builder{
-		digrams: make(map[digram]*node),
+		digrams: make(map[digram]*node, sizeHint),
 		rules:   make(map[int]*irule),
-		wordIDs: make(map[string]int),
+		wordIDs: make(map[string]int, sizeHint/2+1),
 	}
 	b.start = b.newRule()
 	return b
@@ -56,7 +81,9 @@ func newBuilder() *builder {
 func (b *builder) newRule() *irule {
 	r := &irule{id: b.nextID}
 	b.nextID++
-	g := &node{guard: true, rule: r}
+	g := b.newNode()
+	g.guard = true
+	g.rule = r
 	g.next, g.prev = g, g
 	r.guard = g
 	b.rules[r.id] = r
@@ -76,7 +103,8 @@ func (b *builder) internWord(w string) int {
 // push appends one terminal token to the start rule and restores the
 // grammar invariants.
 func (b *builder) push(tok string) {
-	n := &node{val: b.internWord(tok)}
+	n := b.newNode()
+	n.val = b.internWord(tok)
 	last := b.start.last()
 	b.insertAfter(last, n)
 	if !last.guard {
@@ -179,8 +207,10 @@ func (b *builder) match(n, m *node) {
 	} else {
 		r = b.newRule()
 		// Build the rule body from copies of the matched digram.
-		c1 := &node{val: m.val, rule: m.rule}
-		c2 := &node{val: m.next.val, rule: m.next.rule}
+		c1 := b.newNode()
+		c1.val, c1.rule = m.val, m.rule
+		c2 := b.newNode()
+		c2.val, c2.rule = m.next.val, m.next.rule
 		if c1.rule != nil {
 			c1.rule.uses++
 		}
@@ -214,7 +244,8 @@ func (b *builder) substitute(n *node, r *irule) {
 	q := n.prev
 	b.unlink(q.next) // n itself
 	b.unlink(q.next) // what used to be n.next
-	nt := &node{val: ruleVal(r.id), rule: r}
+	nt := b.newNode()
+	nt.val, nt.rule = ruleVal(r.id), r
 	r.uses++
 	b.insertAfter(q, nt)
 	if !b.check(q) {

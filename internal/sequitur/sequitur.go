@@ -137,7 +137,7 @@ func Induce(tokens []string) (*Grammar, error) {
 	if len(tokens) == 0 {
 		return nil, ErrEmptyInput
 	}
-	b := newBuilder()
+	b := newBuilder(len(tokens))
 	for _, tok := range tokens {
 		b.push(tok)
 	}

@@ -252,17 +252,22 @@ func NormalizeByMaxInPlace(xs []float64) {
 // input maps to all zeros.
 func MinMaxNormalize(xs []float64) []float64 {
 	out := append([]float64(nil), xs...)
-	min, max, err := MinMax(out)
-	if err != nil || max == min {
-		for i := range out {
-			out[i] = 0
-		}
-		return out
-	}
-	for i := range out {
-		out[i] = (out[i] - min) / (max - min)
-	}
+	MinMaxNormalizeInPlace(out)
 	return out
+}
+
+// MinMaxNormalizeInPlace is MinMaxNormalize operating on xs directly.
+func MinMaxNormalizeInPlace(xs []float64) {
+	min, max, err := MinMax(xs)
+	if err != nil || max == min {
+		for i := range xs {
+			xs[i] = 0
+		}
+		return
+	}
+	for i := range xs {
+		xs[i] = (xs[i] - min) / (max - min)
+	}
 }
 
 // ColumnMedians returns, for a set of equal-length rows, the per-column

@@ -1,0 +1,126 @@
+package stream
+
+import "sort"
+
+// p2Quantile is the P² (piecewise-parabolic) running quantile estimator of
+// Jain & Chlamtac (1985): a constant-memory, constant-time-per-observation
+// estimate of the q-quantile of everything observed so far, without storing
+// the observations. The streaming detector's adaptive threshold feeds every
+// finalized window score through one of these; determinism matters (equal
+// streams give equal thresholds give equal events), and P² is exactly
+// deterministic in its input sequence.
+type p2Quantile struct {
+	q     float64    // target quantile in (0, 1)
+	n     int        // observations so far
+	heads [5]float64 // first five observations (before the estimator starts)
+	pos   [5]float64 // marker positions (1-based observation counts)
+	want  [5]float64 // desired marker positions
+	inc   [5]float64 // desired-position increments per observation
+	h     [5]float64 // marker heights
+}
+
+func newP2Quantile(q float64) *p2Quantile {
+	p := &p2Quantile{q: q}
+	p.inc = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+	return p
+}
+
+// Count returns the number of observations so far.
+func (p *p2Quantile) Count() int { return p.n }
+
+// Add feeds one observation.
+func (p *p2Quantile) Add(x float64) {
+	if p.n < 5 {
+		p.heads[p.n] = x
+		p.n++
+		if p.n == 5 {
+			s := p.heads[:]
+			sort.Float64s(s)
+			for i := 0; i < 5; i++ {
+				p.h[i] = s[i]
+				p.pos[i] = float64(i + 1)
+			}
+			p.want = [5]float64{1, 1 + 2*p.q, 1 + 4*p.q, 3 + 2*p.q, 5}
+		}
+		return
+	}
+	p.n++
+
+	// Locate the cell containing x, extending the extremes if needed.
+	var k int
+	switch {
+	case x < p.h[0]:
+		p.h[0] = x
+		k = 0
+	case x >= p.h[4]:
+		p.h[4] = x
+		k = 3
+	default:
+		k = 3
+		for i := 1; i < 4; i++ {
+			if x < p.h[i] {
+				k = i - 1
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		p.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		p.want[i] += p.inc[i]
+	}
+
+	// Nudge the three interior markers toward their desired positions.
+	for i := 1; i < 4; i++ {
+		d := p.want[i] - p.pos[i]
+		if (d >= 1 && p.pos[i+1]-p.pos[i] > 1) || (d <= -1 && p.pos[i-1]-p.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			nh := p.parabolic(i, s)
+			if p.h[i-1] < nh && nh < p.h[i+1] {
+				p.h[i] = nh
+			} else {
+				p.h[i] = p.linear(i, s)
+			}
+			p.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height update for marker i moved
+// by d (±1).
+func (p *p2Quantile) parabolic(i int, d float64) float64 {
+	return p.h[i] + d/(p.pos[i+1]-p.pos[i-1])*
+		((p.pos[i]-p.pos[i-1]+d)*(p.h[i+1]-p.h[i])/(p.pos[i+1]-p.pos[i])+
+			(p.pos[i+1]-p.pos[i]-d)*(p.h[i]-p.h[i-1])/(p.pos[i]-p.pos[i-1]))
+}
+
+// linear is the fallback height update when the parabola overshoots a
+// neighboring marker.
+func (p *p2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return p.h[i] + d*(p.h[j]-p.h[i])/(p.pos[j]-p.pos[i])
+}
+
+// Value returns the current quantile estimate. Before five observations it
+// falls back to the empirical quantile of what has been seen (0 when
+// nothing has).
+func (p *p2Quantile) Value() float64 {
+	if p.n == 0 {
+		return 0
+	}
+	if p.n < 5 {
+		s := make([]float64, p.n)
+		copy(s, p.heads[:p.n])
+		sort.Float64s(s)
+		idx := int(p.q * float64(p.n))
+		if idx >= p.n {
+			idx = p.n - 1
+		}
+		return s[idx]
+	}
+	return p.h[2]
+}

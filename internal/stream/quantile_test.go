@@ -1,0 +1,67 @@
+package stream
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestP2QuantileTracksUniform: on iid samples the P² estimate lands close
+// to the exact empirical quantile.
+func TestP2QuantileTracksUniform(t *testing.T) {
+	for _, q := range []float64{0.05, 0.25, 0.5, 0.9} {
+		rng := rand.New(rand.NewSource(int64(q * 1000)))
+		est := newP2Quantile(q)
+		xs := make([]float64, 0, 5000)
+		for i := 0; i < 5000; i++ {
+			x := rng.Float64()
+			est.Add(x)
+			xs = append(xs, x)
+		}
+		sort.Float64s(xs)
+		exact := xs[int(q*float64(len(xs)))]
+		if diff := est.Value() - exact; diff > 0.03 || diff < -0.03 {
+			t.Errorf("q=%v: estimate %v, exact %v", q, est.Value(), exact)
+		}
+	}
+}
+
+// TestP2QuantileDeterministic: equal inputs, equal estimates — the
+// property the adaptive threshold's reproducibility rests on.
+func TestP2QuantileDeterministic(t *testing.T) {
+	mk := func() []float64 {
+		rng := rand.New(rand.NewSource(9))
+		est := newP2Quantile(0.1)
+		var vals []float64
+		for i := 0; i < 500; i++ {
+			est.Add(rng.NormFloat64())
+			vals = append(vals, est.Value())
+		}
+		return vals
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("estimates diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestP2QuantileWarmup: before five samples the estimator falls back to
+// the small-sample empirical quantile, monotone in its inputs.
+func TestP2QuantileWarmup(t *testing.T) {
+	est := newP2Quantile(0.5)
+	if est.Value() != 0 {
+		t.Fatalf("empty estimator value %v", est.Value())
+	}
+	est.Add(3)
+	if est.Count() != 1 || est.Value() != 3 {
+		t.Fatalf("after one sample: count %d value %v", est.Count(), est.Value())
+	}
+	est.Add(1)
+	est.Add(2)
+	v := est.Value()
+	if v < 1 || v > 3 {
+		t.Fatalf("3-sample median estimate %v outside [1,3]", v)
+	}
+}

@@ -3,21 +3,28 @@
 // buffer, and anomaly events are emitted as the ensemble rule density
 // curve confirms new minima.
 //
-// The detector is an incremental core.DetectChunked. It keeps the most
-// recent BufLen points in a ring buffer and, every Hop points, re-runs the
-// shared-discretization ensemble pipeline over the buffer — one "hop run"
-// per chunk, seeded exactly like DetectChunked seeds its chunks. The
-// per-run ensemble curves (each already normalized onto [0,1]) are
-// stitched by averaging in overlap regions. A stream position is *final*
-// once no future hop run can cover it, i.e. once the buffer has slid past
-// it; only then are its window scores computed and events decided, so an
-// emitted Event never changes retroactively.
+// Since the engine refactor the detector owns no pipeline of its own: it
+// keeps a rolling prefix-sum ring (timeseries.RingFeatures) over the most
+// recent BufLen points and, every Hop points, asks a long-lived
+// engine.Engine for the ensemble result over the buffered span — one "hop
+// run" per chunk, seeded exactly like core.DetectChunked seeds its chunks.
+// The engine reuses each member's discretization across overlapping hops
+// (only the new suffix windows are encoded per run) and pools the hot-path
+// scratch, so steady-state pushes allocate almost nothing; the results are
+// nevertheless bit-identical to from-scratch runs, a property the engine
+// tests pin. The per-run ensemble curves (each already normalized onto
+// [0,1]) are stitched by averaging in overlap regions. A stream position
+// is *final* once no future hop run can cover it, i.e. once the buffer has
+// slid past it; only then are its window scores computed and events
+// decided, so an emitted Event never changes retroactively.
 //
 // With the default Hop (BufLen - Window + 1, the DetectChunked stride) the
 // stitched curve is byte-identical to core.DetectChunked over the same
 // points, and a stream whose buffer never overflows (BufLen >= stream
 // length) reproduces core.Detect exactly at Flush. Smaller hops trade
-// extra recomputation for lower detection latency and smoother stitching.
+// extra recomputation for lower detection latency and smoother stitching —
+// and profit the most from incremental re-discretization, since
+// consecutive spans then overlap almost entirely.
 //
 // Amortized cost per pushed point is the ensemble cost of one buffer
 // divided by Hop — independent of the stream length, and, at the default
@@ -29,13 +36,13 @@ import (
 	"fmt"
 	"math"
 
-	"egi/internal/core"
+	"egi/internal/engine"
 	"egi/internal/grammar"
 	"egi/internal/timeseries"
 )
 
 // Defaults for the streaming-specific knobs. The ensemble knobs default in
-// core (paper §7 values).
+// the engine (paper §7 values).
 const (
 	// DefaultBufFactor sets BufLen = DefaultBufFactor * Window when
 	// BufLen is not given.
@@ -50,7 +57,7 @@ const (
 // seedStride separates per-run seeds; identical to the per-chunk seed
 // stride of core.DetectChunked, which is what makes the default-hop
 // stream bit-compatible with the chunked batch detector.
-const seedStride = 1000003
+const seedStride = engine.SeedStride
 
 // Errors reported by the detector.
 var (
@@ -60,6 +67,7 @@ var (
 	ErrBadBufLen    = errors.New("stream: buffer length must be at least 4x the window")
 	ErrBadHop       = errors.New("stream: hop must be in [1, buflen-window+1]")
 	ErrBadThreshold = errors.New("stream: threshold must be in (0, 1] (zero selects the default)")
+	ErrBadQuantile  = errors.New("stream: adaptive quantile must be in (0, 1)")
 )
 
 // Event is one confirmed anomaly: a window of Length points starting at
@@ -86,7 +94,8 @@ type Config struct {
 	// Hop is the number of points between ensemble re-inductions.
 	// Default BufLen - Window + 1, the DetectChunked stride — the
 	// largest hop that still leaves no coverage gaps. Smaller hops
-	// lower latency at proportionally higher cost.
+	// lower latency at proportionally higher cost (mitigated by the
+	// engine's incremental re-discretization).
 	Hop int
 	// Threshold is the window-score level at or below which a dip of
 	// the stitched curve is reported as an Event, in (0, 1]. The zero
@@ -95,11 +104,19 @@ type Config struct {
 	// near-zero density, and set OnEvent to nil to ignore events
 	// entirely).
 	Threshold float64
+	// AdaptiveQuantile, when nonzero, replaces the fixed Threshold by a
+	// running quantile of the finalized window scores: a window is
+	// anomalous when its score falls at or below the current estimate
+	// of this quantile (e.g. 0.05 tracks the lowest 5% of scores seen
+	// so far). Must be in (0, 1). The fixed Threshold still applies
+	// during the estimator's warm-up — its first max(5, ceil(2/q))
+	// scores, enough for the target quantile to carry real support.
+	AdaptiveQuantile float64
 	// OnEvent, when non-nil, is called synchronously (from Push,
 	// PushBatch or Flush) for each confirmed Event, in stream order.
 	OnEvent func(Event)
 
-	// Ensemble knobs, passed through to core.Config; zero values take
+	// Ensemble knobs, passed through to the engine; zero values take
 	// the paper's defaults (N=50, w,a in [2,10], tau=0.4, topK=3).
 	EnsembleSize int
 	WMax, AMax   int
@@ -107,10 +124,15 @@ type Config struct {
 	TopK         int
 	Seed         int64
 	Parallelism  int
+
+	// fromScratch disables the engine's incremental re-discretization;
+	// the ablation/testing knob behind the incremental==from-scratch
+	// property tests.
+	fromScratch bool
 }
 
 // normalized fills in defaults and validates the streaming knobs; the
-// ensemble knobs are validated by core on the first run.
+// ensemble knobs are validated by the engine at construction.
 func (c Config) normalized() (Config, error) {
 	if c.Window < 2 {
 		return c, fmt.Errorf("stream: window must be >= 2, got %d", c.Window)
@@ -133,12 +155,16 @@ func (c Config) normalized() (Config, error) {
 	if c.Threshold < 0 || c.Threshold > 1 {
 		return c, fmt.Errorf("%w: got %v", ErrBadThreshold, c.Threshold)
 	}
+	if c.AdaptiveQuantile != 0 && (c.AdaptiveQuantile <= 0 || c.AdaptiveQuantile >= 1) {
+		return c, fmt.Errorf("%w: got %v", ErrBadQuantile, c.AdaptiveQuantile)
+	}
 	return c, nil
 }
 
-// coreConfig is the per-run ensemble configuration (seed set per run).
-func (c Config) coreConfig() core.Config {
-	return core.Config{
+// engineConfig is the engine configuration shared by every hop run (the
+// per-run seed is passed per span).
+func (c Config) engineConfig() engine.Config {
+	return engine.Config{
 		Window:      c.Window,
 		Size:        c.EnsembleSize,
 		WMax:        c.WMax,
@@ -146,21 +172,24 @@ func (c Config) coreConfig() core.Config {
 		Tau:         c.Tau,
 		TopK:        c.TopK,
 		Parallelism: c.Parallelism,
+		FromScratch: c.fromScratch,
 	}
 }
 
 // Detector is a streaming anomaly detector. It is not safe for concurrent
-// use; wrap it in a mutex or give each goroutine its own.
+// use; wrap it in a mutex (egi.ConcurrentStream does) or give each
+// goroutine its own.
 type Detector struct {
 	cfg Config
 
-	// Ring buffer of the most recent points.
-	buf   []float64
-	head  int // next write slot
-	blen  int // fill level, <= cfg.BufLen
+	// Rolling prefix sums over the most recent BufLen points — the only
+	// copy of the data the detector keeps.
+	ring  *timeseries.RingFeatures
 	total int // points pushed since creation
 
-	scratch timeseries.Series // contiguous copy handed to core.Detect
+	// The shared detection engine; owns per-member incremental pipelines
+	// and pooled scratch across hop runs.
+	eng *engine.Engine
 
 	// Hop-run bookkeeping.
 	runIdx    int // runs completed; also the per-run seed index
@@ -179,6 +208,8 @@ type Detector struct {
 	inDip    bool
 	dipPos   int
 	dipMin   float64
+	quant    *p2Quantile // running score quantile; nil unless adaptive
+	warmup   int         // scores before the adaptive estimate is trusted
 
 	flushed bool
 }
@@ -190,19 +221,40 @@ func New(cfg Config) (*Detector, error) {
 		return nil, err
 	}
 	// Surface ensemble-knob errors at construction, not first hop.
-	if _, err := cfg.coreConfig().Normalized(); err != nil {
+	eng, err := engine.New(cfg.engineConfig())
+	if err != nil {
 		return nil, err
 	}
-	return &Detector{
+	ring, err := timeseries.NewRingFeatures(cfg.BufLen)
+	if err != nil {
+		return nil, err
+	}
+	d := &Detector{
 		cfg:       cfg,
-		buf:       make([]float64, cfg.BufLen),
-		scratch:   make(timeseries.Series, 0, cfg.BufLen),
+		ring:      ring,
+		eng:       eng,
 		lastStart: -1,
-	}, nil
+	}
+	if cfg.AdaptiveQuantile > 0 {
+		d.quant = newP2Quantile(cfg.AdaptiveQuantile)
+		// Right after its five-sample initialization the P² estimate of a
+		// low quantile is still close to the sample median, which would
+		// over-fire badly; hold the fixed threshold until the estimator
+		// has seen enough scores for the target quantile to have a few
+		// expected samples below it.
+		d.warmup = int(math.Ceil(2 / cfg.AdaptiveQuantile))
+		if d.warmup < 5 {
+			d.warmup = 5
+		}
+	}
+	return d, nil
 }
 
 // Total returns the number of points pushed so far.
 func (d *Detector) Total() int { return d.total }
+
+// buffered is the number of points currently in the ring.
+func (d *Detector) buffered() int { return d.total - d.ring.First() }
 
 // Push appends one point to the stream. Every Hop points (once the buffer
 // has filled) it triggers an ensemble re-induction over the buffer, which
@@ -214,16 +266,11 @@ func (d *Detector) Push(x float64) error {
 	if math.IsNaN(x) || math.IsInf(x, 0) {
 		return fmt.Errorf("%w: %v at position %d", ErrNonFinite, x, d.total)
 	}
-	d.buf[d.head] = x
-	d.head++
-	if d.head == d.cfg.BufLen {
-		d.head = 0
-	}
-	if d.blen < d.cfg.BufLen {
-		d.blen++
+	if err := d.ring.Append(x); err != nil {
+		return err
 	}
 	d.total++
-	if d.blen == d.cfg.BufLen && d.sinceRun() >= d.cfg.Hop {
+	if d.buffered() == d.cfg.BufLen && d.sinceRun() >= d.cfg.Hop {
 		return d.run(d.nextStart(), true)
 	}
 	return nil
@@ -252,7 +299,7 @@ func (d *Detector) sinceRun() int {
 // DetectChunked chunk grid, anchored at 0.
 func (d *Detector) nextStart() int {
 	if d.lastStart < 0 {
-		return d.total - d.blen
+		return d.total - d.buffered()
 	}
 	return d.lastStart + d.cfg.Hop
 }
@@ -280,18 +327,13 @@ func (d *Detector) Flush() error {
 	return nil
 }
 
-// run re-induces the ensemble over stream span [start, d.total), stitches
-// the resulting curve, finalizes newly-immutable window scores, and (for
-// periodic runs) trims the stitched region back to its bounded size.
+// run re-induces the ensemble over stream span [start, d.total) on the
+// shared engine, stitches the resulting curve, finalizes newly-immutable
+// window scores, and (for periodic runs) trims the stitched region and the
+// engine's token pipelines back to their bounded sizes.
 func (d *Detector) run(start int, trim bool) error {
-	d.scratch = d.scratch[:0]
-	for p := start; p < d.total; p++ {
-		d.scratch = append(d.scratch, d.at(p))
-	}
-	cfg := d.cfg.coreConfig()
-	cfg.Seed = d.cfg.Seed + int64(d.runIdx)*seedStride
-	res, err := core.Detect(d.scratch, cfg)
-	if err != nil && err != core.ErrNoUsableCurves {
+	res, err := d.eng.DetectSpan(d.ring, start, d.total, d.cfg.Seed+int64(d.runIdx)*seedStride)
+	if err != nil && err != engine.ErrNoUsableCurves {
 		return fmt.Errorf("stream: run %d [%d,%d): %w", d.runIdx, start, d.total, err)
 	}
 
@@ -318,18 +360,11 @@ func (d *Detector) run(start int, trim bool) error {
 	d.finalizeScores(start)
 	if trim {
 		d.trimTo(start - d.cfg.Window + 1)
+		// No future span starts before the next hop position; the
+		// engine can drop older tokens.
+		d.eng.TrimBefore(start + d.cfg.Hop)
 	}
 	return nil
-}
-
-// at returns the buffered point at stream position p (which must be within
-// the last blen positions).
-func (d *Detector) at(p int) float64 {
-	i := d.head - (d.total - p)
-	if i < 0 {
-		i += d.cfg.BufLen
-	}
-	return d.buf[i]
 }
 
 // finalizeScores computes the stitched window scores for every window that
@@ -364,11 +399,24 @@ func (d *Detector) avg(p int) float64 {
 	return d.sum[i] / d.cnt[i]
 }
 
+// threshold returns the event threshold in effect for the next finalized
+// score: the fixed level, or the running quantile once it has warmed up.
+func (d *Detector) threshold() float64 {
+	if d.quant != nil && d.quant.Count() >= d.warmup {
+		return d.quant.Value()
+	}
+	return d.cfg.Threshold
+}
+
 // observe advances the dip state machine with the final score of window
 // start p. A maximal run of scores at or below the threshold is one dip;
 // when it closes, its deepest window becomes an Event.
 func (d *Detector) observe(p int, score float64) {
-	if score <= d.cfg.Threshold {
+	thr := d.threshold()
+	if d.quant != nil {
+		d.quant.Add(score)
+	}
+	if score <= thr {
 		if !d.inDip || score < d.dipMin {
 			d.dipPos, d.dipMin = p, score
 		}
@@ -408,7 +456,7 @@ func (d *Detector) trimTo(p int) {
 // byte-identical to the corresponding suffix of core.DetectChunked's
 // stitched curve.
 func (d *Detector) Curve() (start int, curve []float64) {
-	start = d.total - d.blen - (d.cfg.Window - 1)
+	start = d.total - d.buffered() - (d.cfg.Window - 1)
 	if start < d.pendOff {
 		start = d.pendOff
 	}
@@ -434,7 +482,7 @@ func (d *Detector) Anomalies() ([]Event, error) {
 	}
 	topK := d.cfg.TopK
 	if topK == 0 {
-		topK = core.DefaultTopK
+		topK = engine.DefaultTopK
 	}
 	cands, err := grammar.RankAnomalies(curve, d.cfg.Window, topK)
 	if err != nil {

@@ -1,0 +1,99 @@
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrEvicted is returned when a range query touches positions that have
+// scrolled out of a RingFeatures' retained horizon.
+var ErrEvicted = errors.New("timeseries: position evicted from ring")
+
+// RingFeatures is the streaming counterpart of Features: the prefix-sum
+// vectors ESumx/ESumxx of §6.2.1 maintained over an unbounded stream in
+// bounded memory. Positions are global (counted from the first point ever
+// appended) and prefix values are accumulated in arrival order, exactly as
+// NewFeatures accumulates them over a whole series — so for any retained
+// range, RangeSum/RangeSum2 return floats bit-identical to a Features
+// built over the entire stream. That identity is what lets the detection
+// engine reuse discretization work across overlapping hops and still match
+// the from-scratch batch detector bit for bit.
+//
+// Only the last `capacity` positions are queryable; the prefix values
+// themselves keep growing, which costs precision on streams whose running
+// sum dwarfs individual window sums — the same conditioning a batch
+// Features has over an equally long series.
+type RingFeatures struct {
+	sum   []float64 // ring of S[p], p in [First(), End()], len cap+1
+	sum2  []float64 // ring of S2[p], same indexing
+	cap   int       // retained positions
+	total int       // points appended so far
+}
+
+// NewRingFeatures creates a ring retaining the last capacity positions.
+func NewRingFeatures(capacity int) (*RingFeatures, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("timeseries: ring capacity must be >= 1, got %d", capacity)
+	}
+	r := &RingFeatures{
+		sum:  make([]float64, capacity+1),
+		sum2: make([]float64, capacity+1),
+		cap:  capacity,
+	}
+	// S[0] = 0 occupies slot 0.
+	return r, nil
+}
+
+// Append accumulates one point. Non-finite values are rejected, mirroring
+// Series.Validate.
+func (r *RingFeatures) Append(x float64) error {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return fmt.Errorf("%w (position %d)", ErrNonFinite, r.total)
+	}
+	prev := r.slot(r.total)
+	next := r.slot(r.total + 1)
+	r.sum[next] = r.sum[prev] + x
+	r.sum2[next] = r.sum2[prev] + x*x
+	r.total++
+	return nil
+}
+
+// Total returns the number of points appended so far.
+func (r *RingFeatures) Total() int { return r.total }
+
+// First returns the earliest retained (queryable) position.
+func (r *RingFeatures) First() int {
+	if r.total <= r.cap {
+		return 0
+	}
+	return r.total - r.cap
+}
+
+// End returns the exclusive end of the retained positions, i.e. Total().
+func (r *RingFeatures) End() int { return r.total }
+
+// slot maps prefix index p (valid for p in [First(), Total()]) to its ring
+// slot.
+func (r *RingFeatures) slot(p int) int { return p % (r.cap + 1) }
+
+// RangeSum returns the sum of the points in [p, q). Both bounds must lie
+// within the retained horizon; out-of-horizon queries panic in the same
+// spirit as out-of-range slice indexing (the engine checks spans up
+// front).
+func (r *RingFeatures) RangeSum(p, q int) float64 {
+	r.check(p, q)
+	return r.sum[r.slot(q)] - r.sum[r.slot(p)]
+}
+
+// RangeSum2 returns the sum of squares of the points in [p, q).
+func (r *RingFeatures) RangeSum2(p, q int) float64 {
+	r.check(p, q)
+	return r.sum2[r.slot(q)] - r.sum2[r.slot(p)]
+}
+
+func (r *RingFeatures) check(p, q int) {
+	if p < r.First() || q > r.total || p > q {
+		panic(fmt.Errorf("%w: [%d,%d) outside retained [%d,%d]", ErrEvicted, p, q, r.First(), r.total))
+	}
+}

@@ -1,0 +1,101 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestRingFeaturesMatchesFeatures: for every retained range, the ring's
+// range sums are bit-identical to a whole-series Features' — the identity
+// incremental re-discretization rests on.
+func TestRingFeaturesMatchesFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	series := make(Series, 500)
+	for i := range series {
+		series[i] = rng.NormFloat64() * 10
+	}
+	f, err := NewFeatures(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const capacity = 64
+	r, err := NewRingFeatures(capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range series {
+		if err := r.Append(x); err != nil {
+			t.Fatal(err)
+		}
+		if r.Total() != i+1 {
+			t.Fatalf("total %d after %d appends", r.Total(), i+1)
+		}
+		first := r.First()
+		if want := maxInt(0, i+1-capacity); first != want {
+			t.Fatalf("First() = %d, want %d", first, want)
+		}
+		// Probe a few retained ranges each step.
+		for k := 0; k < 5; k++ {
+			p := first + rng.Intn(r.End()-first+1)
+			q := p + rng.Intn(r.End()-p+1)
+			if got, want := r.RangeSum(p, q), f.RangeSum(p, q); got != want {
+				t.Fatalf("RangeSum(%d,%d) = %v, features %v", p, q, got, want)
+			}
+			if got, want := r.RangeSum2(p, q), f.RangeSum2(p, q); got != want {
+				t.Fatalf("RangeSum2(%d,%d) = %v, features %v", p, q, got, want)
+			}
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestRingFeaturesRejectsNonFinite: NaN and infinities are rejected like
+// Series.Validate rejects them.
+func TestRingFeaturesRejectsNonFinite(t *testing.T) {
+	r, err := NewRingFeatures(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := r.Append(x); err == nil {
+			t.Errorf("Append(%v) should error", x)
+		}
+	}
+	if r.Total() != 0 {
+		t.Fatalf("rejected appends advanced Total to %d", r.Total())
+	}
+}
+
+// TestRingFeaturesEvictionPanics: touching evicted positions is a
+// programming error and panics.
+func TestRingFeaturesEvictionPanics(t *testing.T) {
+	r, err := NewRingFeatures(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := r.Append(float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("evicted range query should panic")
+		}
+	}()
+	r.RangeSum(0, 4)
+}
+
+// TestRingFeaturesBadCapacity: capacities below 1 are rejected.
+func TestRingFeaturesBadCapacity(t *testing.T) {
+	if _, err := NewRingFeatures(0); err == nil {
+		t.Error("capacity 0 should error")
+	}
+}

@@ -98,6 +98,14 @@ func NewFeatures(s Series) (*Features, error) {
 // SeriesLen returns the length of the series the features were built from.
 func (f *Features) SeriesLen() int { return f.n }
 
+// First returns the earliest queryable position (always 0: a whole-series
+// Features retains everything). Together with End it lets Features and
+// RingFeatures interchangeably back the detection engine.
+func (f *Features) First() int { return 0 }
+
+// End returns the exclusive end of the queryable positions.
+func (f *Features) End() int { return f.n }
+
 // RangeSum returns the sum of s[p:q] (half-open) in constant time.
 func (f *Features) RangeSum(p, q int) float64 { return f.sum[q] - f.sum[p] }
 
@@ -109,23 +117,39 @@ func (f *Features) RangeMean(p, q int) float64 {
 	return f.RangeSum(p, q) / float64(q-p)
 }
 
-// RangeMeanStd returns the mean and population standard deviation of s[p:q]
-// in constant time (lines 3–5 of Algorithm 2). Numerical cancellation can
-// push the variance slightly negative for near-constant data; it is clamped
-// to zero.
-func (f *Features) RangeMeanStd(p, q int) (mean, std float64) {
+// SumSource is any constant-time range-sum store: Features, RingFeatures,
+// or anything else exposing prefix sums. It is the seam the detection
+// engine discretizes through.
+type SumSource interface {
+	RangeSum(p, q int) float64
+	RangeSum2(p, q int) float64
+}
+
+// MeanStd returns the mean and population standard deviation of the points
+// in [p, q) of any SumSource, in constant time (lines 3–5 of Algorithm 2).
+// Numerical cancellation can push the variance slightly negative for
+// near-constant data; it is clamped to zero. This is the single
+// implementation behind every discretization path — the engine's
+// incremental==from-scratch bit-identity depends on there being exactly
+// one.
+func MeanStd(src SumSource, p, q int) (mean, std float64) {
 	if q-p == 1 {
-		return f.RangeSum(p, q), 0
+		return src.RangeSum(p, q), 0
 	}
 	n := float64(q - p)
-	ex := f.RangeSum(p, q)
-	exx := f.RangeSum2(p, q)
+	ex := src.RangeSum(p, q)
+	exx := src.RangeSum2(p, q)
 	mean = ex / n
 	v := exx/n - mean*mean
 	if v < 0 {
 		v = 0
 	}
 	return mean, math.Sqrt(v)
+}
+
+// RangeMeanStd is MeanStd over the features' own prefix sums.
+func (f *Features) RangeMeanStd(p, q int) (mean, std float64) {
+	return MeanStd(f, p, q)
 }
 
 // MovingMeansStds returns the mean and population standard deviation of

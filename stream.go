@@ -26,6 +26,15 @@ type StreamOptions struct {
 	// selects the 0.2 default; use a tiny positive value to report only
 	// near-zero-density windows.
 	Threshold float64
+	// AdaptiveQuantile, when set (in (0, 1)), makes the event threshold
+	// adaptive: instead of the fixed Threshold, a window is reported
+	// when its score falls at or below the running q-quantile of all
+	// finalized window scores so far (e.g. 0.05 reports the lowest ~5%).
+	// This tracks signals whose baseline density drifts, where any fixed
+	// level is either deaf or noisy. The fixed Threshold still applies
+	// while the quantile estimator warms up (its first max(5, ceil(2/q))
+	// scores).
+	AdaptiveQuantile float64
 	// OnAnomaly, when non-nil, receives each confirmed anomaly event
 	// synchronously, in stream order. Pos counts from the first point
 	// pushed. Events are confirmed — an emitted anomaly never changes —
@@ -71,16 +80,17 @@ type Streamer struct {
 //	if err := s.Flush(); err != nil { ... }
 func Stream(opts StreamOptions) (*Streamer, error) {
 	cfg := stream.Config{
-		Window:       opts.Window,
-		BufLen:       opts.BufLen,
-		Hop:          opts.Hop,
-		Threshold:    opts.Threshold,
-		EnsembleSize: opts.EnsembleSize,
-		WMax:         opts.WMax,
-		AMax:         opts.AMax,
-		Tau:          opts.Tau,
-		TopK:         opts.TopK,
-		Seed:         opts.Seed,
+		Window:           opts.Window,
+		BufLen:           opts.BufLen,
+		Hop:              opts.Hop,
+		Threshold:        opts.Threshold,
+		AdaptiveQuantile: opts.AdaptiveQuantile,
+		EnsembleSize:     opts.EnsembleSize,
+		WMax:             opts.WMax,
+		AMax:             opts.AMax,
+		Tau:              opts.Tau,
+		TopK:             opts.TopK,
+		Seed:             opts.Seed,
 	}
 	if opts.OnAnomaly != nil {
 		cb := opts.OnAnomaly
