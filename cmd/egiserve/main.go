@@ -1,0 +1,174 @@
+// Command egiserve is the multi-stream anomaly detection server: a
+// long-lived HTTP service multiplexing many independent streams through
+// one egi.Manager, with per-stream memory accounting, configurable limits
+// and idle-stream eviction. It turns the streaming detector library into
+// the serving layer: points go in over HTTP, confirmed anomaly events
+// come out over a Server-Sent Events firehose, and every stream's memory
+// is bounded and observable.
+//
+// Usage:
+//
+//	egiserve -window 900 [-addr :8080] [-buflen 9000] [-hop 0] \
+//	         [-threshold 0.2] [-adaptive 0] [-field value] \
+//	         [-max-streams 0] [-max-bytes 0] [-idle-after 10m] [-sweep 1m]
+//
+// Endpoints:
+//
+//	POST   /v1/streams/{id}/points  ingest; NDJSON body (one point per
+//	                                line: bare number or object whose
+//	                                -field member holds the value), or a
+//	                                JSON array of numbers with
+//	                                Content-Type: application/json. The
+//	                                stream is created on first use.
+//	GET    /v1/streams              all live streams' stats (points,
+//	                                events, memory) + rolled-up totals
+//	GET    /v1/streams/{id}         one stream's stats + current top-K
+//	DELETE /v1/streams/{id}         flush and close the stream
+//	GET    /v1/events[?stream=id]   SSE firehose of confirmed events
+//	GET    /healthz                 liveness summary
+//
+// Ingest responses are JSON; limit rejections (stream cap reached with
+// nothing idle, memory budget exhausted) are 429, shutdown is 503, and
+// malformed bodies are 400 with a line-precise error.
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: every stream is
+// flushed, the resulting final events are delivered to connected SSE
+// subscribers, and only then do the event streams end.
+//
+// Exit codes: 0 on clean shutdown (or -h), 1 on configuration or listen
+// errors.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"egi"
+)
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	if errors.Is(err, flag.ErrHelp) {
+		return
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "egiserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("egiserve", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address")
+		window     = fs.Int("window", 0, "sliding window length n, the anomaly scale (required)")
+		bufLen     = fs.Int("buflen", 0, "per-stream ring buffer capacity (default 10x window)")
+		hop        = fs.Int("hop", 0, "points between re-inductions (default buflen-window+1)")
+		threshold  = fs.Float64("threshold", 0, "event threshold on the [0,1] density score (default 0.2)")
+		adaptive   = fs.Float64("adaptive", 0, "adaptive event threshold: running quantile of the score curve in (0,1), e.g. 0.05; 0 keeps the fixed -threshold")
+		field      = fs.String("field", "value", "NDJSON object member holding the value")
+		maxStreams = fs.Int("max-streams", 0, "maximum live streams; 0 = unlimited")
+		maxBytes   = fs.Int64("max-bytes", 0, "total memory budget across streams, in bytes; 0 = unlimited")
+		idleAfter  = fs.Duration("idle-after", 10*time.Minute, "idle time before a stream may be evicted; 0 disables eviction")
+		sweepEvery = fs.Duration("sweep", time.Minute, "how often to sweep for idle streams")
+		eventBuf   = fs.Int("event-buffer", 1024, "per-SSE-subscription event channel capacity")
+		maxBody    = fs.Int64("max-body", defaultMaxBody, "maximum ingest request body size, in bytes")
+		size       = fs.Int("size", 0, "ensemble size N (default 50)")
+		wmax       = fs.Int("wmax", 0, "maximum PAA size (default 10)")
+		amax       = fs.Int("amax", 0, "maximum alphabet size (default 10)")
+		tau        = fs.Float64("tau", 0, "ensemble selectivity in (0,1] (default 0.4)")
+		topK       = fs.Int("topk", 0, "size of per-stream rankings (default 3)")
+		seed       = fs.Int64("seed", 0, "random seed shared by every stream's detector")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `egiserve — multi-stream anomaly detection server
+
+Usage: egiserve -window N [flags]
+
+Endpoints:
+  POST   /v1/streams/{id}/points  ingest NDJSON (bare numbers or objects
+                                  with the -field member) or, with
+                                  Content-Type: application/json, a JSON
+                                  array of numbers; creates the stream
+  GET    /v1/streams              live stream stats + rolled-up totals
+  GET    /v1/streams/{id}         one stream's stats + current top-K
+  DELETE /v1/streams/{id}         flush and close the stream
+  GET    /v1/events[?stream=id]   SSE firehose of confirmed events
+  GET    /healthz                 liveness summary
+
+Limit rejections are HTTP 429, shutdown 503, malformed bodies 400.
+Exit codes: 0 clean shutdown or -h, 1 configuration or listen errors.
+
+Flags:
+`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *window < 2 {
+		return errors.New("-window is required and must be >= 2")
+	}
+
+	m, err := egi.NewManager(egi.ManagerOptions{
+		Stream: egi.StreamOptions{
+			Window:           *window,
+			BufLen:           *bufLen,
+			Hop:              *hop,
+			Threshold:        *threshold,
+			AdaptiveQuantile: *adaptive,
+			EnsembleSize:     *size,
+			WMax:             *wmax,
+			AMax:             *amax,
+			Tau:              *tau,
+			TopK:             *topK,
+			Seed:             *seed,
+		},
+		MaxStreams: *maxStreams,
+		MaxBytes:   *maxBytes,
+		IdleAfter:  *idleAfter,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := newServer(m, *field, *eventBuf, *maxBody, limits{MaxStreams: *maxStreams, MaxBytes: *maxBytes})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *idleAfter > 0 && *sweepEvery > 0 {
+		go srv.sweep(ctx, *sweepEvery)
+	}
+
+	listenErr := make(chan error, 1)
+	go func() { listenErr <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(stdout, "egiserve listening on %s (window=%d buflen=%d)\n", *addr, *window, *bufLen)
+
+	select {
+	case err := <-listenErr:
+		m.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: flush every stream first — the final confirmed
+	// events reach SSE subscribers and close their event streams — then
+	// drain the HTTP server.
+	fmt.Fprintln(stdout, "egiserve: shutting down, flushing streams")
+	m.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,519 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"egi"
+)
+
+// sensorSeries synthesizes one stream's data: a noisy sine with a
+// triangular pulse planted per stream.
+func sensorSeries(length, period int, seed int64, planted ...int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	s := make([]float64, length)
+	for i := range s {
+		s[i] = math.Sin(2*math.Pi*float64(i)/float64(period)) + 0.1*rng.NormFloat64()
+	}
+	for _, p := range planted {
+		for i := p; i < p+period && i < length; i++ {
+			x := float64(i-p) / float64(period)
+			s[i] = 1.5 - 3*math.Abs(x-0.5) + 0.1*rng.NormFloat64()
+		}
+	}
+	return s
+}
+
+// testOptions is the per-stream detector template used across the
+// integration test and its direct-detector ground truth.
+func testOptions() egi.StreamOptions {
+	return egi.StreamOptions{Window: 40, BufLen: 320, EnsembleSize: 8, Seed: 17}
+}
+
+// directEvents is the ground truth: a plain egi.Stream over the same
+// points, flushed at the end.
+func directEvents(t *testing.T, series []float64) []egi.Anomaly {
+	t.Helper()
+	var out []egi.Anomaly
+	opts := testOptions()
+	opts.OnAnomaly = func(a egi.Anomaly) { out = append(out, a) }
+	s, err := egi.Stream(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PushBatch(series); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// ndjsonBody renders points one JSON document per line, alternating bare
+// numbers and {"value": x} objects to exercise both forms.
+func ndjsonBody(points []float64) io.Reader {
+	var b bytes.Buffer
+	for i, x := range points {
+		if i%2 == 0 {
+			fmt.Fprintf(&b, "%v\n", x)
+		} else {
+			fmt.Fprintf(&b, "{\"value\": %v}\n", x)
+		}
+	}
+	return &b
+}
+
+// jsonBody renders points as one JSON array.
+func jsonBody(t *testing.T, points []float64) io.Reader {
+	t.Helper()
+	b, err := json.Marshal(points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
+
+func post(t *testing.T, client *http.Client, url string, body io.Reader, contentType string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// sseReader consumes one /v1/events response body, collecting anomaly
+// events per stream until the server ends the stream.
+type sseReader struct {
+	mu     sync.Mutex
+	events map[string][]egi.Anomaly
+	done   chan struct{}
+	err    error
+}
+
+func newSSEReader(body io.Reader) *sseReader {
+	r := &sseReader{events: map[string][]egi.Anomaly{}, done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		sc := bufio.NewScanner(body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var ev eventJSON
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				r.err = err
+				return
+			}
+			r.mu.Lock()
+			r.events[ev.Stream] = append(r.events[ev.Stream], egi.Anomaly{Pos: ev.Pos, Length: ev.Length, Density: ev.Density})
+			r.mu.Unlock()
+		}
+		r.err = sc.Err()
+	}()
+	return r
+}
+
+// listResponse mirrors the GET /v1/streams payload.
+type listResponse struct {
+	Streams    []streamStatsJSON `json:"streams"`
+	TotalBytes int64             `json:"total_bytes"`
+	Evicted    int64             `json:"evicted"`
+	MaxBytes   int64             `json:"max_bytes"`
+}
+
+func getList(t *testing.T, client *http.Client, base string) listResponse {
+	t.Helper()
+	resp, err := client.Get(base + "/v1/streams")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lr listResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	return lr
+}
+
+// TestServeManyStreams is the end-to-end acceptance test: 32 concurrent
+// streams ingest over HTTP (NDJSON and JSON-array bodies), and the SSE
+// firehose must deliver, per stream, exactly the events egi.Stream
+// produces on the same points — while the rolled-up memory stays inside
+// the configured budget and idle streams get swept out.
+func TestServeManyStreams(t *testing.T) {
+	const (
+		nStreams  = 32
+		maxBytes  = 256 << 20
+		idleAfter = 300 * time.Millisecond
+	)
+	m, err := egi.NewManager(egi.ManagerOptions{
+		Stream:     testOptions(),
+		MaxStreams: nStreams,
+		MaxBytes:   maxBytes,
+		IdleAfter:  idleAfter,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv := newServer(m, "value", 4096, 0, limits{MaxStreams: nStreams, MaxBytes: maxBytes})
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Attach the SSE firehose before any ingest so no event can be missed.
+	sseResp, err := client.Get(ts.URL + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sseResp.Body.Close()
+	if ct := sseResp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("SSE Content-Type = %q", ct)
+	}
+	sse := newSSEReader(sseResp.Body)
+
+	// Ground truth and ingest: 32 producers, batched pushes, both body
+	// formats. Series are long enough for several hops plus a flush tail.
+	series := make(map[string][]float64, nStreams)
+	var wg sync.WaitGroup
+	errCh := make(chan error, nStreams)
+	for i := 0; i < nStreams; i++ {
+		id := fmt.Sprintf("sensor-%02d", i)
+		series[id] = sensorSeries(3000, 40, int64(500+i), 800+13*i, 2200)
+		wg.Add(1)
+		go func(i int, id string, data []float64) {
+			defer wg.Done()
+			url := fmt.Sprintf("%s/v1/streams/%s/points", ts.URL, id)
+			for off := 0; off < len(data); off += 250 {
+				batch := data[off : off+250]
+				var resp *http.Response
+				if i%2 == 0 {
+					resp = post(t, client, url, ndjsonBody(batch), "application/x-ndjson")
+				} else {
+					resp = post(t, client, url, jsonBody(t, batch), "application/json")
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("%s: status %d: %s", id, resp.StatusCode, body)
+					return
+				}
+			}
+		}(i, id, series[id])
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// All 32 streams live, memory inside the budget, accounting sane.
+	lr := getList(t, client, ts.URL)
+	if len(lr.Streams) != nStreams {
+		t.Fatalf("%d live streams, want %d", len(lr.Streams), nStreams)
+	}
+	if lr.TotalBytes <= 0 || lr.TotalBytes > maxBytes {
+		t.Fatalf("total_bytes %d outside (0, %d]", lr.TotalBytes, int64(maxBytes))
+	}
+	var sum int64
+	for _, st := range lr.Streams {
+		if st.Points != int64(len(series[st.ID])) {
+			t.Fatalf("%s: %d points, want %d", st.ID, st.Points, len(series[st.ID]))
+		}
+		if st.MemoryBytes <= 0 {
+			t.Fatalf("%s: memory_bytes %d", st.ID, st.MemoryBytes)
+		}
+		sum += st.MemoryBytes
+	}
+	if sum != lr.TotalBytes {
+		t.Fatalf("total_bytes %d != sum of streams %d", lr.TotalBytes, sum)
+	}
+
+	// Idle eviction: start the sweeper exactly as run() does, only now,
+	// so a slow producer goroutine can't lose its stream mid-ingest to
+	// the aggressive test schedule. With ingest stopped it must reclaim
+	// every stream — flushing each, so the final events reach the
+	// firehose.
+	sweepCtx, stopSweep := context.WithCancel(context.Background())
+	defer stopSweep()
+	go srv.sweep(sweepCtx, 50*time.Millisecond)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		lr = getList(t, client, ts.URL)
+		if len(lr.Streams) == 0 && lr.Evicted >= nStreams {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("idle sweep incomplete: %d live, %d evicted", len(lr.Streams), lr.Evicted)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if lr.TotalBytes != 0 {
+		t.Fatalf("total_bytes %d after every stream was evicted", lr.TotalBytes)
+	}
+
+	// Shut down: subscriber channels close, the SSE body ends.
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sse.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("SSE stream did not end after manager close")
+	}
+	if sse.err != nil {
+		t.Fatalf("SSE reader: %v", sse.err)
+	}
+
+	// The acceptance bar: per stream, SSE-delivered events are identical
+	// to egi.Stream over the same points — same positions, lengths,
+	// densities, same order.
+	var total int
+	for id, data := range series {
+		want := directEvents(t, data)
+		got := sse.events[id]
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d SSE events, %d direct events (%v vs %v)", id, len(got), len(want), got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: event %d = %+v, want %+v", id, i, got[i], want[i])
+			}
+		}
+		total += len(want)
+	}
+	if total < nStreams {
+		t.Fatalf("only %d events across %d streams; fixture too quiet", total, nStreams)
+	}
+}
+
+// TestIngestErrors: malformed bodies are 400 with a line-precise message,
+// unknown streams 404, and a stream cap with nothing idle is 429.
+func TestIngestErrors(t *testing.T) {
+	m, err := egi.NewManager(egi.ManagerOptions{Stream: testOptions(), MaxStreams: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(newServer(m, "value", 16, 0, limits{MaxStreams: 1}).handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	// Malformed NDJSON: line number and content in the error.
+	resp := post(t, client, ts.URL+"/v1/streams/a/points", strings.NewReader("1.5\nbogus\n"), "")
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed NDJSON: status %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "line 2") || !strings.Contains(string(body), "bogus") {
+		t.Fatalf("malformed NDJSON error lacks line/content: %s", body)
+	}
+	// The failed parse pushed nothing — not even the valid first line.
+	resp, err = client.Get(ts.URL + "/v1/streams/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("stream created by rejected body: status %d", resp.StatusCode)
+	}
+
+	// NaN is not valid JSON: rejected at parse, again pushing nothing.
+	resp = post(t, client, ts.URL+"/v1/streams/a/points", strings.NewReader("1\nNaN\n"), "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("NaN ingest: status %d", resp.StatusCode)
+	}
+
+	// Empty body.
+	resp = post(t, client, ts.URL+"/v1/streams/a/points", strings.NewReader(""), "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty body: status %d", resp.StatusCode)
+	}
+
+	// Stream cap: create "a" for real; the second stream is then
+	// rejected with 429 (nothing is idle-evictable).
+	resp = post(t, client, ts.URL+"/v1/streams/a/points", strings.NewReader("1\n2\n"), "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid ingest: status %d", resp.StatusCode)
+	}
+	resp = post(t, client, ts.URL+"/v1/streams/b/points", strings.NewReader("1\n2\n"), "")
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit stream: status %d: %s", resp.StatusCode, body)
+	}
+
+	// Trailing content after a JSON array must be rejected, not dropped.
+	resp = post(t, client, ts.URL+"/v1/streams/a/points",
+		strings.NewReader("[1,2][3,4]"), "application/json")
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("concatenated arrays: status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "trailing") {
+		t.Fatalf("concatenated arrays error: %s", body)
+	}
+
+	// Unknown stream stats and delete are 404.
+	resp, err = client.Get(ts.URL + "/v1/streams/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown stats: status %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/streams/nope", nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown delete: status %d", resp.StatusCode)
+	}
+}
+
+// TestDeleteFlushesStream: DELETE closes the stream, returns its final
+// stats, and frees its slot under MaxStreams.
+func TestDeleteFlushesStream(t *testing.T) {
+	m, err := egi.NewManager(egi.ManagerOptions{Stream: testOptions(), MaxStreams: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(newServer(m, "value", 16, 0, limits{MaxStreams: 1}).handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	data := sensorSeries(1000, 40, 1, 500)
+	resp := post(t, client, ts.URL+"/v1/streams/a/points", jsonBody(t, data), "application/json")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/streams/a", nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var closed struct {
+		Closed string          `json:"closed"`
+		Stats  streamStatsJSON `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&closed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if closed.Closed != "a" || closed.Stats.Points != int64(len(data)) {
+		t.Fatalf("close response %+v", closed)
+	}
+
+	// The slot is free again.
+	resp = post(t, client, ts.URL+"/v1/streams/b/points", strings.NewReader("1\n2\n"), "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest after delete: status %d", resp.StatusCode)
+	}
+}
+
+// TestIngestBodyCap: a body over -max-body is rejected with 413 before
+// anything is pushed — one oversized POST can't bypass the memory budget.
+func TestIngestBodyCap(t *testing.T) {
+	m, err := egi.NewManager(egi.ManagerOptions{Stream: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(newServer(m, "value", 16, 1024, limits{}).handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	big := strings.Repeat("1.25\n", 1000) // ~5 KB > 1 KB cap
+	resp := post(t, client, ts.URL+"/v1/streams/a/points", strings.NewReader(big), "")
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d: %s", resp.StatusCode, body)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("oversized body created a stream")
+	}
+
+	// Under the cap still works.
+	resp = post(t, client, ts.URL+"/v1/streams/a/points", strings.NewReader("1\n2\n"), "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small body after cap rejection: status %d", resp.StatusCode)
+	}
+}
+
+// TestHealthz: the liveness endpoint reports stream count and footprint.
+func TestHealthz(t *testing.T) {
+	m, err := egi.NewManager(egi.ManagerOptions{Stream: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(newServer(m, "value", 16, 0, limits{}).handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status  string `json:"status"`
+		Streams int    `json:"streams"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("healthz: %+v", h)
+	}
+}
+
+// TestUsageAndFlags: -h prints usage and exits 0 (ErrHelp), a missing
+// -window is a configuration error.
+func TestUsageAndFlags(t *testing.T) {
+	if err := run([]string{"-h"}, io.Discard); err == nil || !strings.Contains(err.Error(), "help") {
+		t.Fatalf("-h: err = %v, want flag.ErrHelp", err)
+	}
+	if err := run([]string{}, io.Discard); err == nil || !strings.Contains(err.Error(), "-window") {
+		t.Fatalf("missing window: err = %v", err)
+	}
+	if err := run([]string{"-window", "50", "-tau", "7"}, io.Discard); err == nil {
+		t.Fatal("bad tau accepted")
+	}
+}

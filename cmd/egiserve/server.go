@@ -1,0 +1,329 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"egi"
+	"egi/internal/ndjson"
+)
+
+// server wires one egi.Manager to the HTTP surface. All handler state
+// lives in the manager; the server itself only holds configuration.
+type server struct {
+	m        *egi.Manager
+	field    string // NDJSON object member holding the value
+	eventBuf int    // per-SSE-subscription channel capacity
+	maxBody  int64  // ingest request body cap, bytes
+	limits   limits
+}
+
+// sseWriteTimeout bounds each SSE write: a client that stops reading
+// (full TCP window) fails its next write instead of wedging the handler —
+// and with it event delivery and graceful shutdown — forever.
+const sseWriteTimeout = 30 * time.Second
+
+// defaultMaxBody caps ingest bodies when -max-body is unset. Ingest
+// parses the whole body before pushing, so the cap is what keeps a single
+// request from dwarfing the per-stream memory the server accounts for.
+const defaultMaxBody = 32 << 20
+
+// limits echoes the configured bounds in /v1/streams responses so
+// operators can read utilization against capacity from one call.
+type limits struct {
+	MaxStreams int   `json:"max_streams,omitempty"`
+	MaxBytes   int64 `json:"max_bytes,omitempty"`
+}
+
+func newServer(m *egi.Manager, field string, eventBuf int, maxBody int64, lim limits) *server {
+	if field == "" {
+		field = "value"
+	}
+	if eventBuf <= 0 {
+		eventBuf = 1024
+	}
+	if maxBody <= 0 {
+		maxBody = defaultMaxBody
+	}
+	return &server{m: m, field: field, eventBuf: eventBuf, maxBody: maxBody, limits: lim}
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/streams/{id}/points", s.ingest)
+	mux.HandleFunc("GET /v1/streams", s.listStreams)
+	mux.HandleFunc("GET /v1/streams/{id}", s.streamStats)
+	mux.HandleFunc("DELETE /v1/streams/{id}", s.closeStream)
+	mux.HandleFunc("GET /v1/events", s.events)
+	mux.HandleFunc("GET /healthz", s.healthz)
+	return mux
+}
+
+// sweep evicts idle streams every interval until the context ends; run
+// starts it alongside the listener so idle streams are reclaimed even
+// when no limit forces the issue.
+func (s *server) sweep(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			s.m.EvictIdle()
+		}
+	}
+}
+
+// streamStatsJSON is the wire form of egi.StreamStats.
+type streamStatsJSON struct {
+	ID          string    `json:"id"`
+	Points      int64     `json:"points"`
+	Events      int64     `json:"events"`
+	MemoryBytes int64     `json:"memory_bytes"`
+	Created     time.Time `json:"created"`
+	LastPush    time.Time `json:"last_push"`
+}
+
+func toStatsJSON(st egi.StreamStats) streamStatsJSON {
+	return streamStatsJSON{
+		ID:          st.ID,
+		Points:      st.Points,
+		Events:      st.Events,
+		MemoryBytes: st.MemoryBytes,
+		Created:     st.Created,
+		LastPush:    st.LastPush,
+	}
+}
+
+// eventJSON is the wire form of one confirmed anomaly event, both in SSE
+// frames and in ranking responses (where Stream is omitted).
+type eventJSON struct {
+	Stream  string  `json:"stream,omitempty"`
+	Pos     int     `json:"pos"`
+	Length  int     `json:"length"`
+	Density float64 `json:"density"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// errorCode maps manager/detector errors onto HTTP statuses: limit
+// rejections are 429 (back off and retry), shutdown is 503, everything
+// else about the request's content is 400.
+func errorCode(err error) int {
+	switch {
+	case errors.Is(err, egi.ErrTooManyStreams), errors.Is(err, egi.ErrOverBudget):
+		return http.StatusTooManyRequests
+	case errors.Is(err, egi.ErrManagerClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, egi.ErrUnknownStream):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// ingest handles POST /v1/streams/{id}/points: the body is either NDJSON
+// (one point per line: a bare number, or an object whose configured field
+// holds the value) or, with Content-Type application/json, one JSON array
+// of numbers. The stream is created on first use; the response reports the
+// accepted count and the stream's post-push accounting.
+func (s *server) ingest(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	points, err := parsePoints(body, r.Header.Get("Content-Type"), s.field)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes; split the batch", s.maxBody))
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(points) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("no points in request body"))
+		return
+	}
+	if err := s.m.PushBatch(id, points); err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	st, err := s.m.StreamStats(id)
+	if err != nil {
+		// The stream was evicted between push and stats; report the push.
+		writeJSON(w, http.StatusOK, map[string]any{"stream": id, "pushed": len(points)})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"stream": id,
+		"pushed": len(points),
+		"stats":  toStatsJSON(st),
+	})
+}
+
+// parsePoints decodes an ingest body. contentType application/json
+// selects the JSON-array form; anything else is parsed as NDJSON.
+func parsePoints(r io.Reader, contentType, field string) ([]float64, error) {
+	if ct, _, _ := strings.Cut(contentType, ";"); strings.TrimSpace(ct) == "application/json" {
+		var points []float64
+		dec := json.NewDecoder(r)
+		if err := dec.Decode(&points); err != nil {
+			return nil, fmt.Errorf("parsing JSON array body: %w", err)
+		}
+		// Decode stops after the first value; silently dropping trailing
+		// content would acknowledge points that were never pushed.
+		if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+			if err != nil {
+				return nil, fmt.Errorf("reading after JSON array body: %w", err)
+			}
+			return nil, errors.New("trailing data after JSON array body")
+		}
+		return points, nil
+	}
+	var points []float64
+	err := ndjson.ForEach(r, field, func(_ int, v float64) error {
+		points = append(points, v)
+		return nil
+	})
+	return points, err
+}
+
+// listStreams handles GET /v1/streams: every live stream's accounting
+// (sorted by id) plus the rolled-up totals and configured limits.
+func (s *server) listStreams(w http.ResponseWriter, r *http.Request) {
+	st := s.m.Stats()
+	sort.Slice(st.Streams, func(i, j int) bool { return st.Streams[i].ID < st.Streams[j].ID })
+	streams := make([]streamStatsJSON, len(st.Streams))
+	for i, s := range st.Streams {
+		streams[i] = toStatsJSON(s)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"streams":     streams,
+		"total_bytes": st.TotalBytes,
+		"evicted":     st.Evicted,
+		"max_streams": s.limits.MaxStreams,
+		"max_bytes":   s.limits.MaxBytes,
+	})
+}
+
+// streamStats handles GET /v1/streams/{id}: one stream's accounting, plus
+// its current top-K ranking when enough of the stream has been covered.
+func (s *server) streamStats(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := s.m.StreamStats(id)
+	if err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	resp := map[string]any{"stats": toStatsJSON(st)}
+	if anomalies, err := s.m.Anomalies(id); err == nil {
+		ranking := make([]eventJSON, len(anomalies))
+		for i, a := range anomalies {
+			ranking[i] = eventJSON{Pos: a.Pos, Length: a.Length, Density: a.Density}
+		}
+		resp["anomalies"] = ranking
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// closeStream handles DELETE /v1/streams/{id}: flush the stream (its
+// final events reach subscribers first), release its memory, and return
+// its final accounting.
+func (s *server) closeStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := s.m.CloseStream(id)
+	if err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"closed": id, "stats": toStatsJSON(st)})
+}
+
+// events handles GET /v1/events: a Server-Sent Events firehose of
+// confirmed anomalies — every stream's, or one stream's with ?stream=id.
+// Each event is one `data:` frame holding an eventJSON document; comment
+// heartbeats keep idle connections alive. The stream ends when the client
+// disconnects or the server shuts down (after every detector has been
+// flushed, so no confirmed event is lost to shutdown). Every write
+// carries a deadline: a client that stops reading is disconnected — and
+// its subscription canceled, releasing any backpressure it was exerting —
+// rather than wedging delivery and graceful shutdown indefinitely.
+func (s *server) events(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("response writer does not support streaming"))
+		return
+	}
+	rc := http.NewResponseController(w)
+	ch, cancel := s.m.Subscribe(r.URL.Query().Get("stream"), s.eventBuf)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	write := func(format string, args ...any) bool {
+		rc.SetWriteDeadline(time.Now().Add(sseWriteTimeout))
+		if _, err := fmt.Fprintf(w, format, args...); err != nil {
+			return false
+		}
+		return rc.Flush() == nil
+	}
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				return // manager closed: all streams flushed and delivered
+			}
+			b, err := json.Marshal(eventJSON{
+				Stream:  ev.Stream,
+				Pos:     ev.Anomaly.Pos,
+				Length:  ev.Anomaly.Length,
+				Density: ev.Anomaly.Density,
+			})
+			if err != nil {
+				return
+			}
+			if !write("event: anomaly\ndata: %s\n\n", b) {
+				return
+			}
+		case <-heartbeat.C:
+			if !write(": ping\n\n") {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// healthz handles GET /healthz with a liveness summary.
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"streams":     s.m.Len(),
+		"total_bytes": s.m.MemoryFootprint(),
+	})
+}

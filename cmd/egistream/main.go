@@ -19,12 +19,20 @@
 // (tab-separated), followed after EOF by the final top-K ranking within
 // the detector's retained horizon, "top rank pos length density". With
 // -json both become NDJSON documents instead.
+//
+// A malformed input line (unparsable CSV field, invalid JSON, missing or
+// non-numeric -field member, non-finite value) aborts the stream with a
+// line-precise error on stderr and exit code 1; events confirmed before
+// the bad line have already been printed.
+//
+// Exit codes: 0 on success (or -h), 1 on flag, input or detection errors.
 package main
 
 import (
 	"bufio"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -33,10 +41,15 @@ import (
 	"strings"
 
 	"egi"
+	"egi/internal/ndjson"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	err := run(os.Args[1:], os.Stdin, os.Stdout)
+	if errors.Is(err, flag.ErrHelp) {
+		return
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "egistream:", err)
 		os.Exit(1)
 	}
@@ -61,6 +74,26 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		topK      = fs.Int("topk", 0, "size of the final ranking (default 3)")
 		seed      = fs.Int64("seed", 0, "random seed")
 	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `egistream — streaming anomaly detection over stdin
+
+Usage: egistream -window N [flags] < series
+
+Input formats (-format):
+  csv     one value per line, or CSV rows with the value in -col;
+          a non-numeric first row is skipped as a header
+  ndjson  one JSON document per line: a bare number, or an object
+          whose -field member holds the value
+
+Output: "event pos length density" per confirmed event, then after EOF
+"top rank pos length density" for the final ranking; NDJSON with -json.
+A malformed line aborts with a line-precise error on stderr.
+Exit codes: 0 success or -h, 1 flag, input or detection errors.
+
+Flags:
+`)
+		fs.PrintDefaults()
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -178,49 +211,5 @@ func feedCSV(s *egi.Streamer, r io.Reader, col int) error {
 }
 
 func feedNDJSON(s *egi.Streamer, r io.Reader, field string) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
-		v, err := parseNDJSONPoint(text, field)
-		if err != nil {
-			return fmt.Errorf("line %d: %w", line, err)
-		}
-		if err := s.Push(v); err != nil {
-			return fmt.Errorf("line %d: %w", line, err)
-		}
-	}
-	return sc.Err()
-}
-
-func parseNDJSONPoint(text, field string) (float64, error) {
-	// json.Unmarshal of null into a float64 is a silent no-op; reject it
-	// explicitly so missing readings error instead of injecting 0.
-	if text == "null" {
-		return 0, fmt.Errorf("point is JSON null")
-	}
-	var num float64
-	if err := json.Unmarshal([]byte(text), &num); err == nil {
-		return num, nil
-	}
-	var obj map[string]json.RawMessage
-	if err := json.Unmarshal([]byte(text), &obj); err != nil {
-		return 0, fmt.Errorf("not a JSON number or object: %q", text)
-	}
-	raw, ok := obj[field]
-	if !ok {
-		return 0, fmt.Errorf("object has no %q member: %q", field, text)
-	}
-	if string(raw) == "null" {
-		return 0, fmt.Errorf("member %q is JSON null: %q", field, text)
-	}
-	if err := json.Unmarshal(raw, &num); err != nil {
-		return 0, fmt.Errorf("member %q is not a number: %q", field, text)
-	}
-	return num, nil
+	return ndjson.ForEach(r, field, func(_ int, v float64) error { return s.Push(v) })
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bufio"
+	"errors"
+	"flag"
 	"fmt"
 	"math"
 	"math/rand"
@@ -230,6 +232,35 @@ func TestRunErrors(t *testing.T) {
 		var out strings.Builder
 		if err := run(tc.args, strings.NewReader(tc.in), &out); err == nil {
 			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+}
+
+// TestMalformedNDJSONReportsLine: a malformed NDJSON line must surface a
+// line-precise error quoting the offending content — never a silent stop.
+func TestMalformedNDJSONReportsLine(t *testing.T) {
+	var out strings.Builder
+	in := "1\n2.5\n{\"value\": \"broken\"}\n4\n"
+	err := run([]string{"-window", "50", "-format", "ndjson"}, strings.NewReader(in), &out)
+	if err == nil {
+		t.Fatal("malformed NDJSON line accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "line 3") {
+		t.Errorf("error %q does not name the offending line", msg)
+	}
+	if !strings.Contains(msg, "broken") {
+		t.Errorf("error %q does not quote the offending content", msg)
+	}
+}
+
+// TestHelpExitsCleanly: -h and --help surface flag.ErrHelp, which main
+// maps to exit code 0 instead of reporting a phantom error.
+func TestHelpExitsCleanly(t *testing.T) {
+	for _, arg := range []string{"-h", "--help"} {
+		err := run([]string{arg}, strings.NewReader(""), &strings.Builder{})
+		if !errors.Is(err, flag.ErrHelp) {
+			t.Fatalf("%s: err = %v, want flag.ErrHelp", arg, err)
 		}
 	}
 }

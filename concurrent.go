@@ -138,6 +138,14 @@ func (cs *ConcurrentStreamer) Total() int {
 	return cs.s.Total()
 }
 
+// MemoryFootprint is the underlying streamer's retained-memory accounting
+// in bytes; see Streamer.MemoryFootprint.
+func (cs *ConcurrentStreamer) MemoryFootprint() int64 {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return cs.s.MemoryFootprint()
+}
+
 // Anomalies returns the current top-K ranking within the detector's
 // retained horizon; see Streamer.Anomalies.
 func (cs *ConcurrentStreamer) Anomalies() ([]Anomaly, error) {

@@ -1,0 +1,104 @@
+// Multi-stream serving with egi.Manager: forty independent sensors push
+// interleaved batches through one manager under a shared memory budget,
+// a single subscription receives every confirmed anomaly tagged with its
+// stream id, and idle streams are evicted with their memory reclaimed.
+// This is the library-level shape of what cmd/egiserve exposes over HTTP.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"egi"
+)
+
+const (
+	period   = 60
+	nStreams = 40
+	length   = 6000
+)
+
+// sensor synthesizes one stream's data: a noisy sine with an anomaly
+// planted at a per-stream position.
+func sensor(id int) []float64 {
+	rng := rand.New(rand.NewSource(int64(1000 + id)))
+	anomaly := 2000 + 97*id
+	s := make([]float64, length)
+	for i := range s {
+		s[i] = math.Sin(2*math.Pi*float64(i)/period) + 0.05*rng.NormFloat64()
+	}
+	for i := anomaly; i < anomaly+period && i < length; i++ {
+		x := float64(i-anomaly) / period
+		s[i] = 1.2 - 2.4*math.Abs(x-0.5) + 0.05*rng.NormFloat64()
+	}
+	return s
+}
+
+func main() {
+	m, err := egi.NewManager(egi.ManagerOptions{
+		Stream:     egi.StreamOptions{Window: period, BufLen: 8 * period, Seed: 42},
+		MaxStreams: nStreams,
+		MaxBytes:   256 << 20,
+		IdleAfter:  time.Second,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// One subscription sees every stream's confirmed events.
+	events, cancel := m.Subscribe("", 256)
+	defer cancel()
+	detected := make(map[string][]egi.StreamEvent)
+	consumed := make(chan struct{})
+	go func() {
+		defer close(consumed)
+		for ev := range events {
+			detected[ev.Stream] = append(detected[ev.Stream], ev)
+		}
+	}()
+
+	// Forty producers push their sensors' batches concurrently; the
+	// manager serializes per stream and accounts memory across streams.
+	var wg sync.WaitGroup
+	for id := 0; id < nStreams; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			name := fmt.Sprintf("sensor-%02d", id)
+			data := sensor(id)
+			for i := 0; i < len(data); i += 250 {
+				if err := m.PushBatch(name, data[i:i+250]); err != nil {
+					panic(err)
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	st := m.Stats()
+	fmt.Printf("%d streams, %.1f MiB total footprint (budget %.0f MiB)\n",
+		len(st.Streams), float64(st.TotalBytes)/(1<<20), 256.0)
+
+	// Close flushes every stream — the remaining confirmed events arrive
+	// before the subscription channel closes.
+	if err := m.Close(); err != nil {
+		panic(err)
+	}
+	<-consumed
+
+	ids := make([]string, 0, len(detected))
+	for id := range detected {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		for _, ev := range detected[id] {
+			fmt.Printf("%s: anomaly at %d (len %d, density %.3f)\n",
+				id, ev.Anomaly.Pos, ev.Anomaly.Length, ev.Anomaly.Density)
+		}
+	}
+}

@@ -497,6 +497,42 @@ func (e *Engine) MemberCurves(src Source, start, end int, seed int64) ([]MemberC
 	return out, nil
 }
 
+// MemoryFootprint is the engine's retained-memory accounting in bytes: the
+// per-member incremental pipelines (tokens + word bytes) plus the pooled
+// hot-path scratch (per-member slots, parameter grid and draw buffer,
+// coefficient/word buffers, combination scratch). It deliberately counts
+// the deterministic, capacity-based footprint of the buffers the engine
+// owns — the quantities its bounded-memory guarantees are about — rather
+// than chasing Go runtime allocator truth. The dominant terms are the
+// pipelines and slots, both bounded by the span length the owner feeds it,
+// so a streaming owner's engine footprint plateaus once the hop schedule
+// reaches steady state.
+func (e *Engine) MemoryFootprint() int64 {
+	var total int64
+	for _, seq := range e.pipes {
+		total += seq.MemoryBytes()
+	}
+	const tokenSize, stringHeader, memberCurveSize = 24, 16, 48
+	for i := range e.slots {
+		sl := &e.slots[i]
+		// Slot words alias pipeline-owned word bytes; count only headers.
+		total += int64(cap(sl.tokens))*tokenSize +
+			int64(cap(sl.words))*stringHeader +
+			int64(cap(sl.curve))*8
+	}
+	total += int64(cap(e.grid)+cap(e.draw)) * stringHeader // sax.Params: two ints
+	total += int64(cap(e.coeffs))*8 + int64(cap(e.word))
+	total += int64(cap(e.seqSel)+cap(e.ext)) * 8
+	for _, g := range e.byW {
+		total += int64(cap(g)) * 8
+	}
+	total += int64(cap(e.curves)) * memberCurveSize
+	total += int64(cap(e.stds)) * 8
+	total += int64(cap(e.kept)) * tokenSize // slice headers
+	total += int64(cap(e.errs)) * stringHeader
+	return total
+}
+
 // TrimBefore tells every pipeline that no future span will start before
 // stream position pos, letting them drop tokens (and their words) that
 // precede it. Owners with a hop schedule call it after each span.

@@ -1,0 +1,146 @@
+package manager
+
+import (
+	"sync"
+
+	"egi/internal/stream"
+)
+
+// Event is one confirmed anomaly, tagged with the stream that produced it.
+// Within one stream, events are delivered to every subscriber in stream
+// order; across streams the interleaving is arbitrary.
+type Event struct {
+	// Stream is the id of the stream the event belongs to.
+	Stream string
+	// Anomaly is the underlying confirmed anomaly (position, length,
+	// density), with Pos counting from the first point pushed to that
+	// stream.
+	Anomaly stream.Event
+}
+
+// subscription is one subscriber's mailbox. Sends are serialized with the
+// channel close by mu (a send on a closed channel panics); done, closed by
+// cancel or broker shutdown, wakes any sender blocked on a full mailbox.
+type subscription struct {
+	mu       sync.Mutex // serializes sends against close(ch)
+	ch       chan Event
+	done     chan struct{}
+	doneOnce sync.Once
+	stream   string // filter: only this stream's events; "" = all streams
+	cancel   sync.Once
+}
+
+// stop wakes blocked senders and marks the subscription dead; idempotent.
+func (s *subscription) stop() { s.doneOnce.Do(func() { close(s.done) }) }
+
+// deliver sends one event, blocking while the mailbox is full
+// (backpressure) until the subscriber reads, cancels, or the broker
+// closes.
+func (s *subscription) deliver(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-s.done:
+		return
+	default:
+	}
+	select {
+	case s.ch <- ev:
+	case <-s.done:
+	}
+}
+
+// broker fans confirmed events out to subscribers. Delivery applies
+// backpressure, never loss: a publisher blocks on a full subscriber
+// channel until the subscriber reads or cancels. Subscriptions are
+// independent — a stalled subscriber delays only publishers whose events
+// match its filter, never delivery to other subscribers' streams.
+// Per-stream ordering is preserved because each stream's events reach the
+// broker through that stream's serialized drain.
+type broker struct {
+	mu     sync.Mutex // guards subs and closed
+	subs   map[*subscription]struct{}
+	closed bool
+}
+
+func newBroker() *broker {
+	return &broker{subs: make(map[*subscription]struct{})}
+}
+
+// subscribe registers a mailbox of the given capacity for one stream's
+// events ("" for all streams). The returned cancel is idempotent and frees
+// the subscription; the channel itself is closed only when the broker
+// closes (manager shutdown), so a canceled subscriber should stop reading
+// rather than wait for close. Subscribing to a closed broker returns an
+// already-closed channel.
+func (b *broker) subscribe(stream string, buf int) (<-chan Event, func()) {
+	if buf <= 0 {
+		buf = 1
+	}
+	s := &subscription{ch: make(chan Event, buf), done: make(chan struct{}), stream: stream}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		close(s.ch)
+		return s.ch, func() {}
+	}
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	cancel := func() {
+		s.cancel.Do(func() {
+			b.mu.Lock()
+			delete(b.subs, s)
+			b.mu.Unlock()
+			s.stop()
+		})
+	}
+	return s.ch, cancel
+}
+
+// publish delivers the events, in order, to every matching subscriber.
+func (b *broker) publish(evs []Event) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	targets := make([]*subscription, 0, len(b.subs))
+	for s := range b.subs {
+		targets = append(targets, s)
+	}
+	b.mu.Unlock()
+	for _, s := range targets {
+		for _, ev := range evs {
+			if s.stream != "" && s.stream != ev.Stream {
+				continue
+			}
+			s.deliver(ev)
+		}
+	}
+}
+
+// close ends event delivery: every subscriber channel is closed (their
+// receive loops terminate), in-flight blocked deliveries are woken and
+// abandoned, and later publishes are dropped.
+func (b *broker) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	targets := make([]*subscription, 0, len(b.subs))
+	for s := range b.subs {
+		targets = append(targets, s)
+		delete(b.subs, s)
+	}
+	b.mu.Unlock()
+	for _, s := range targets {
+		// Wake any sender blocked on this mailbox first; only then is
+		// it safe to take the send lock and close the channel.
+		s.stop()
+		s.mu.Lock()
+		close(s.ch)
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,546 @@
+// Package manager is the multi-stream serving core: one Manager owns many
+// independent streaming detectors keyed by stream id, each safe for
+// concurrent fan-in, with rolled-up memory accounting, configurable limits
+// (maximum stream count, total byte budget) and idle-stream eviction (LRU
+// on last-push time, plus explicit close). It is the machinery behind the
+// public egi.Manager API and the egiserve HTTP server.
+//
+// Every managed stream is an internal/stream.Detector behind its own
+// mutex, so producers for different streams never contend and producers
+// for one stream serialize exactly like egi.ConcurrentStream. Confirmed
+// anomaly events flow through a broker to subscribers (per-stream or
+// global), with backpressure rather than loss: a full subscriber channel
+// blocks the delivery of every stream matching its filter — only that
+// stream for a per-stream subscription, all of them for a global one —
+// but never drops events, and never holds up streams outside the filter.
+// Subscribers must therefore keep receiving until they cancel; Close
+// likewise blocks delivering final events until stalled subscribers read
+// or cancel (egiserve pairs this with per-write SSE deadlines so a stuck
+// client cancels itself).
+//
+// Memory is governed end to end: each detector's MemoryFootprint (ring +
+// member pipelines + stitch buffers, all bounded) is re-read after every
+// push and summed into the manager total. When the total would exceed
+// MaxBytes the manager first evicts idle streams, least-recently-pushed
+// first; if nothing is evictable the offending push is rejected with
+// ErrOverBudget — limits reject, they do not corrupt. Eviction flushes the
+// stream, so every event that could still be confirmed from buffered data
+// is delivered before the stream's memory is released.
+package manager
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"egi/internal/stream"
+)
+
+// Errors reported by the manager.
+var (
+	// ErrManagerClosed is returned by every operation after Close.
+	ErrManagerClosed = errors.New("manager: manager closed")
+	// ErrTooManyStreams rejects opening a stream when the manager is at
+	// MaxStreams and no idle stream can be evicted.
+	ErrTooManyStreams = errors.New("manager: too many streams")
+	// ErrOverBudget rejects a push while the rolled-up memory footprint
+	// exceeds MaxBytes and no idle stream can be evicted.
+	ErrOverBudget = errors.New("manager: memory budget exceeded")
+	// ErrUnknownStream is returned for lookups of ids that do not exist.
+	ErrUnknownStream = errors.New("manager: unknown stream")
+)
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Stream is the detector configuration every managed stream is
+	// created with. Its OnEvent must be nil: the manager owns event
+	// delivery (events reach subscribers through Subscribe).
+	Stream stream.Config
+	// MaxStreams caps the number of live streams; 0 means unlimited.
+	// At the cap, opening a new stream evicts the least-recently-pushed
+	// idle stream, or fails with ErrTooManyStreams if none is idle.
+	MaxStreams int
+	// MaxBytes caps the rolled-up MemoryFootprint across streams; 0
+	// means unlimited. New streams are admitted against the budget
+	// atomically (concurrent creations serialize and cannot collectively
+	// overshoot); growth of existing streams is checked before each
+	// push, so the total may transiently overshoot by at most one hop's
+	// growth per concurrently pushing stream. In both cases the manager
+	// evicts idle streams first and rejects with ErrOverBudget only if
+	// that does not make room.
+	MaxBytes int64
+	// IdleAfter is how long a stream must go without a push before it is
+	// evictable. Zero disables automatic eviction entirely: streams then
+	// only leave through CloseStream or Close, and the limits above
+	// reject rather than evict.
+	IdleAfter time.Duration
+	// Now is the clock, injectable for tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// StreamStats is a point-in-time snapshot of one managed stream's
+// accounting.
+type StreamStats struct {
+	// ID is the stream's key.
+	ID string
+	// Points is the number of points accepted so far.
+	Points int64
+	// Events is the number of confirmed anomaly events emitted so far.
+	Events int64
+	// MemoryBytes is the stream's current MemoryFootprint.
+	MemoryBytes int64
+	// Created is when the stream was opened.
+	Created time.Time
+	// LastPush is when the stream last accepted a push (Created until
+	// the first push).
+	LastPush time.Time
+}
+
+// Stats is a point-in-time snapshot of the whole manager.
+type Stats struct {
+	// Streams holds one snapshot per live stream, in unspecified order.
+	Streams []StreamStats
+	// TotalBytes is the rolled-up MemoryFootprint across live streams.
+	TotalBytes int64
+	// Evicted counts streams evicted for idleness or budget since the
+	// manager was created (explicit CloseStream calls not included).
+	Evicted int64
+}
+
+// entry is one managed stream: a detector behind its own mutex, its
+// counters, and its pending-event queue (filled under mu by the detector's
+// OnEvent callback, drained to the broker outside mu).
+type entry struct {
+	id      string
+	created time.Time
+
+	mu      sync.Mutex // guards d, pending, spare, closed
+	d       *stream.Detector
+	pending []Event
+	spare   []Event
+	closed  bool
+
+	sendMu sync.Mutex // serializes this stream's broker publishes
+
+	// Accounting, atomically readable without mu (Stats, LRU scans).
+	points    atomic.Int64
+	events    atomic.Int64
+	footprint atomic.Int64
+	lastPush  atomic.Int64 // unix nanos
+}
+
+// Manager multiplexes many streaming detectors behind one surface. All
+// methods are safe for concurrent use.
+type Manager struct {
+	cfg    Config
+	now    func() time.Time
+	broker *broker
+
+	mu      sync.Mutex // guards streams and closed
+	streams map[string]*entry
+	closed  bool
+
+	totalBytes atomic.Int64
+	evicted    atomic.Int64
+}
+
+// New creates a Manager. The stream template is validated eagerly so a bad
+// configuration fails here, not on the first push.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Stream.OnEvent != nil {
+		return nil, errors.New("manager: Stream.OnEvent must be nil (the manager owns event delivery)")
+	}
+	if cfg.MaxStreams < 0 {
+		return nil, fmt.Errorf("manager: MaxStreams must be >= 0, got %d", cfg.MaxStreams)
+	}
+	if cfg.MaxBytes < 0 {
+		return nil, fmt.Errorf("manager: MaxBytes must be >= 0, got %d", cfg.MaxBytes)
+	}
+	if cfg.IdleAfter < 0 {
+		return nil, fmt.Errorf("manager: IdleAfter must be >= 0, got %v", cfg.IdleAfter)
+	}
+	if _, err := stream.New(cfg.Stream); err != nil {
+		return nil, fmt.Errorf("manager: stream template: %w", err)
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &Manager{
+		cfg:     cfg,
+		now:     now,
+		broker:  newBroker(),
+		streams: make(map[string]*entry),
+	}, nil
+}
+
+// Open creates the stream if it does not exist yet, applying the
+// MaxStreams limit (evicting an idle stream if necessary). It is
+// idempotent: opening an existing stream is a no-op.
+func (m *Manager) Open(id string) error {
+	_, evicted, err := m.get(id, true)
+	m.retire(evicted)
+	return err
+}
+
+// get looks up (and under create, makes) the entry for id. It returns any
+// entries evicted to make room; the caller must drain them after m.mu is
+// released — which has already happened by the time get returns.
+func (m *Manager) get(id string, create bool) (*entry, []*entry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, nil, ErrManagerClosed
+	}
+	if e := m.streams[id]; e != nil {
+		return e, nil, nil
+	}
+	if !create {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownStream, id)
+	}
+	var evicted []*entry
+	if m.cfg.MaxStreams > 0 && len(m.streams) >= m.cfg.MaxStreams {
+		ev := m.evictLRULocked()
+		if ev == nil {
+			return nil, nil, fmt.Errorf("%w: %d live, none idle for %v", ErrTooManyStreams, len(m.streams), m.cfg.IdleAfter)
+		}
+		evicted = append(evicted, ev)
+	}
+	e := &entry{id: id, created: m.now()}
+	e.lastPush.Store(e.created.UnixNano())
+	cfg := m.cfg.Stream
+	cfg.OnEvent = func(ev stream.Event) {
+		// Runs synchronously inside d.Push/Flush, which only happen
+		// under e.mu — appending here is race-free.
+		e.pending = append(e.pending, Event{Stream: id, Anomaly: ev})
+		e.events.Add(1)
+	}
+	d, err := stream.New(cfg)
+	if err != nil {
+		// The template was validated in New; this is unreachable short
+		// of a datarace on cfg, but fail cleanly regardless.
+		return nil, evicted, fmt.Errorf("manager: creating stream %q: %w", id, err)
+	}
+	e.d = d
+	fp := d.MemoryFootprint()
+	// Admit the new stream against the byte budget while m.mu is held:
+	// concurrent creations serialize here, so they cannot collectively
+	// overshoot — the budget admits a stream or rejects it, atomically.
+	if m.cfg.MaxBytes > 0 {
+		for m.totalBytes.Load()+fp > m.cfg.MaxBytes {
+			ev := m.evictLRULocked()
+			if ev == nil {
+				return nil, evicted, fmt.Errorf("%w: %d of %d bytes in use, new stream needs %d",
+					ErrOverBudget, m.totalBytes.Load(), m.cfg.MaxBytes, fp)
+			}
+			evicted = append(evicted, ev)
+		}
+	}
+	e.footprint.Store(fp)
+	m.totalBytes.Add(fp)
+	m.streams[id] = e
+	return e, evicted, nil
+}
+
+// Push appends one point to the stream, creating it on first use.
+func (m *Manager) Push(id string, x float64) error {
+	return m.PushBatch(id, []float64{x})
+}
+
+// PushBatch appends the points, in order, to the stream, creating it on
+// first use; no other producer's points interleave with the batch. Limit
+// errors (ErrTooManyStreams, ErrOverBudget) reject the batch without
+// corrupting anything; detector errors (e.g. a non-finite point) reject
+// the remainder of the batch, with everything before the bad point
+// accepted, exactly like Streamer.PushBatch.
+func (m *Manager) PushBatch(id string, xs []float64) error {
+	// A stream can be evicted between lookup and lock; recreating it and
+	// retrying is correct (the eviction already delivered everything the
+	// old incarnation could confirm), and bounded so a pathological
+	// eviction loop degrades to an error instead of spinning.
+	for attempt := 0; ; attempt++ {
+		if err := m.reserveBytes(); err != nil {
+			return err
+		}
+		e, evicted, err := m.get(id, true)
+		m.retire(evicted)
+		if err != nil {
+			return err
+		}
+		pushErr := m.pushLocked(e, xs)
+		m.drain(e)
+		if errors.Is(pushErr, ErrUnknownStream) && attempt < 3 {
+			continue
+		}
+		return pushErr
+	}
+}
+
+// pushLocked performs the push under the entry lock and settles the
+// stream's accounting. An entry evicted between lookup and lock rejects
+// the push with ErrUnknownStream (the caller may simply retry, recreating
+// the stream).
+func (m *Manager) pushLocked(e *entry, xs []float64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("%w: %q (evicted)", ErrUnknownStream, e.id)
+	}
+	before := e.d.Total()
+	err := e.d.PushBatch(xs)
+	if n := int64(e.d.Total() - before); n > 0 {
+		e.points.Add(n)
+		e.lastPush.Store(m.now().UnixNano())
+	}
+	m.settleFootprint(e)
+	return err
+}
+
+// settleFootprint re-reads the entry's footprint and folds the delta into
+// the manager total. Callers hold e.mu.
+func (m *Manager) settleFootprint(e *entry) {
+	fp := e.d.MemoryFootprint()
+	m.totalBytes.Add(fp - e.footprint.Swap(fp))
+}
+
+// reserveBytes enforces MaxBytes before a push: if the rolled-up footprint
+// exceeds the budget it evicts idle streams, least-recently-pushed first,
+// and rejects with ErrOverBudget if the total still does not fit.
+func (m *Manager) reserveBytes() error {
+	if m.cfg.MaxBytes == 0 || m.totalBytes.Load() <= m.cfg.MaxBytes {
+		return nil
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrManagerClosed
+	}
+	var evicted []*entry
+	for m.totalBytes.Load() > m.cfg.MaxBytes {
+		ev := m.evictLRULocked()
+		if ev == nil {
+			break
+		}
+		evicted = append(evicted, ev)
+	}
+	m.mu.Unlock()
+	m.retire(evicted)
+	if m.totalBytes.Load() > m.cfg.MaxBytes {
+		return fmt.Errorf("%w: %d of %d bytes in use", ErrOverBudget, m.totalBytes.Load(), m.cfg.MaxBytes)
+	}
+	return nil
+}
+
+// evictLRULocked detaches the least-recently-pushed evictable stream, if
+// any, and returns its entry; the caller must retire it (flush + drain)
+// once m.mu is released. Callers hold m.mu.
+func (m *Manager) evictLRULocked() *entry {
+	if m.cfg.IdleAfter <= 0 {
+		return nil
+	}
+	cutoff := m.now().Add(-m.cfg.IdleAfter).UnixNano()
+	var victim *entry
+	for _, e := range m.streams {
+		if t := e.lastPush.Load(); t <= cutoff && (victim == nil || t < victim.lastPush.Load()) {
+			victim = e
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	m.detachLocked(victim)
+	m.evicted.Add(1)
+	return victim
+}
+
+// detachLocked closes the entry to further pushes and removes it from the
+// map and the accounting. It is deliberately cheap — the expensive flush
+// happens in retire, outside m.mu, so evicting or closing one stream
+// never stalls the others' ingest. Callers hold m.mu.
+func (m *Manager) detachLocked(e *entry) {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	delete(m.streams, e.id)
+	m.totalBytes.Add(-e.footprint.Load())
+}
+
+// retire finishes detached entries: each is flushed — emitting its
+// still-confirmable tail events into its pending queue — and drained to
+// subscribers. Runs outside m.mu.
+func (m *Manager) retire(entries []*entry) {
+	for _, e := range entries {
+		e.mu.Lock()
+		e.d.Flush() // Flush only fails on detector errors already surfaced by pushes.
+		e.mu.Unlock()
+		m.drain(e)
+	}
+}
+
+// drain publishes the entry's pending events to the broker, preserving
+// stream order (the same swap-under-lock, publish-outside-lock discipline
+// as egi.ConcurrentStream).
+func (m *Manager) drain(e *entry) {
+	e.sendMu.Lock()
+	defer e.sendMu.Unlock()
+	for {
+		e.mu.Lock()
+		batch := e.pending
+		e.pending = e.spare[:0]
+		e.spare = batch[:0]
+		e.mu.Unlock()
+		if len(batch) == 0 {
+			return
+		}
+		m.broker.publish(batch)
+	}
+}
+
+// CloseStream flushes the stream (delivering its final events), releases
+// its memory, and returns its final stats.
+func (m *Manager) CloseStream(id string) (StreamStats, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return StreamStats{}, ErrManagerClosed
+	}
+	e := m.streams[id]
+	if e == nil {
+		m.mu.Unlock()
+		return StreamStats{}, fmt.Errorf("%w: %q", ErrUnknownStream, id)
+	}
+	m.detachLocked(e)
+	m.mu.Unlock()
+	m.retire([]*entry{e})
+	return e.snapshot(), nil
+}
+
+// EvictIdle evicts every stream idle for at least IdleAfter (no-op when
+// IdleAfter is zero), delivering their final events, and returns the final
+// stats of the evicted streams. Serving layers call it on a timer so idle
+// streams are reclaimed even when no limit forces the issue.
+func (m *Manager) EvictIdle() []StreamStats {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	var evicted []*entry
+	for {
+		ev := m.evictLRULocked()
+		if ev == nil {
+			break
+		}
+		evicted = append(evicted, ev)
+	}
+	m.mu.Unlock()
+	m.retire(evicted)
+	stats := make([]StreamStats, len(evicted))
+	for i, e := range evicted {
+		stats[i] = e.snapshot()
+	}
+	return stats
+}
+
+// Subscribe registers for confirmed anomaly events — those of one stream,
+// or all streams with id "". Events arrive in per-stream order on a
+// channel of the given capacity (minimum 1); a full channel blocks the
+// producing stream (backpressure, never loss), so keep receiving until
+// cancel. The channel is closed when the manager closes; cancel is
+// idempotent and only deregisters.
+func (m *Manager) Subscribe(id string, buf int) (<-chan Event, func()) {
+	return m.broker.subscribe(id, buf)
+}
+
+// Anomalies returns the stream's current top-K ranking within its retained
+// horizon (see stream.Detector.Anomalies). The stream must exist.
+func (m *Manager) Anomalies(id string) ([]stream.Event, error) {
+	e, _, err := m.get(id, false)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, fmt.Errorf("%w: %q (evicted)", ErrUnknownStream, e.id)
+	}
+	return e.d.Anomalies()
+}
+
+// snapshot reads the entry's counters. Safe without e.mu: every field is
+// atomic or immutable.
+func (e *entry) snapshot() StreamStats {
+	return StreamStats{
+		ID:          e.id,
+		Points:      e.points.Load(),
+		Events:      e.events.Load(),
+		MemoryBytes: e.footprint.Load(),
+		Created:     e.created,
+		LastPush:    time.Unix(0, e.lastPush.Load()),
+	}
+}
+
+// StreamStats returns one live stream's snapshot.
+func (m *Manager) StreamStats(id string) (StreamStats, error) {
+	e, _, err := m.get(id, false)
+	if err != nil {
+		return StreamStats{}, err
+	}
+	return e.snapshot(), nil
+}
+
+// Stats returns a snapshot of every live stream plus the rolled-up
+// accounting.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	entries := make([]*entry, 0, len(m.streams))
+	for _, e := range m.streams {
+		entries = append(entries, e)
+	}
+	m.mu.Unlock()
+	s := Stats{
+		Streams:    make([]StreamStats, len(entries)),
+		TotalBytes: m.totalBytes.Load(),
+		Evicted:    m.evicted.Load(),
+	}
+	for i, e := range entries {
+		s.Streams[i] = e.snapshot()
+	}
+	return s
+}
+
+// TotalBytes returns the rolled-up MemoryFootprint across live streams.
+func (m *Manager) TotalBytes() int64 { return m.totalBytes.Load() }
+
+// Len returns the number of live streams.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.streams)
+}
+
+// Close shuts the manager down: every stream is flushed (delivering its
+// final events to subscribers), all stream memory is released, and every
+// subscriber channel is closed. Close is idempotent; all later operations
+// return ErrManagerClosed.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	var entries []*entry
+	for _, e := range m.streams {
+		entries = append(entries, e)
+	}
+	for _, e := range entries {
+		m.detachLocked(e)
+	}
+	m.mu.Unlock()
+	m.retire(entries)
+	m.broker.close()
+	return nil
+}

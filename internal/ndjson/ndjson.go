@@ -1,0 +1,82 @@
+// Package ndjson parses newline-delimited JSON point streams — the ingest
+// format shared by cmd/egistream (stdin) and cmd/egiserve (HTTP bodies).
+// One line is one point: either a bare JSON number, or a JSON object
+// whose configured member holds the value. Keeping the parser in one
+// place keeps the two surfaces bit-for-bit compatible, which the serving
+// integration test relies on.
+package ndjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Scanner buffer sizing: lines up to maxLine bytes are accepted.
+const (
+	initialBuf = 64 * 1024
+	maxLine    = 1024 * 1024
+)
+
+// ForEach reads r line by line and calls fn with each point's 1-based
+// line number and value, stopping at the first error. Blank lines are
+// skipped (but still numbered). Parse errors, I/O errors and errors
+// returned by fn all carry the line number; fn errors are returned
+// wrapped, so callers can match the cause with errors.Is/As.
+func ForEach(r io.Reader, field string, fn func(line int, v float64) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, initialBuf), maxLine)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		v, err := ParsePoint(text, field)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		if err := fn(line, v); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		// Without the context a bufio error ("token too long") reads
+		// like an internal failure rather than a bad input line.
+		return fmt.Errorf("reading NDJSON after line %d: %w", line, err)
+	}
+	return nil
+}
+
+// ParsePoint decodes one NDJSON line: a bare JSON number, or an object
+// whose field member is the value. JSON null is rejected explicitly —
+// unmarshalling null into a float64 is a silent no-op that would inject
+// a zero where a reading is missing.
+func ParsePoint(text, field string) (float64, error) {
+	if text == "null" {
+		return 0, errors.New("point is JSON null")
+	}
+	var num float64
+	if err := json.Unmarshal([]byte(text), &num); err == nil {
+		return num, nil
+	}
+	var obj map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(text), &obj); err != nil {
+		return 0, fmt.Errorf("not a JSON number or object: %q", text)
+	}
+	raw, ok := obj[field]
+	if !ok {
+		return 0, fmt.Errorf("object has no %q member: %q", field, text)
+	}
+	if string(raw) == "null" {
+		return 0, fmt.Errorf("member %q is JSON null: %q", field, text)
+	}
+	if err := json.Unmarshal(raw, &num); err != nil {
+		return 0, fmt.Errorf("member %q is not a number: %q", field, text)
+	}
+	return num, nil
+}

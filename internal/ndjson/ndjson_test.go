@@ -1,0 +1,68 @@
+package ndjson
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestForEachParsesBothForms(t *testing.T) {
+	in := "1.5\n\n{\"value\": -2}\n  3e2 \n{\"value\": 4, \"ts\": 9}\n"
+	var got []float64
+	var lines []int
+	err := ForEach(strings.NewReader(in), "value", func(line int, v float64) error {
+		got = append(got, v)
+		lines = append(lines, line)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, -2, 300, 4}
+	wantLines := []int{1, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] || lines[i] != wantLines[i] {
+			t.Fatalf("point %d: (%v, line %d), want (%v, line %d)", i, got[i], lines[i], want[i], wantLines[i])
+		}
+	}
+}
+
+func TestForEachErrorsCarryLineNumbers(t *testing.T) {
+	cases := []struct{ name, in, wantSub string }{
+		{"garbage", "1\nbogus\n", "line 2"},
+		{"bare null", "1\nnull\n", "line 2"},
+		{"null member", "{\"value\": null}\n", "line 1"},
+		{"missing member", "{\"other\": 1}\n", "line 1"},
+		{"string member", "{\"value\": \"x\"}\n", "line 1"},
+	}
+	for _, tc := range cases {
+		err := ForEach(strings.NewReader(tc.in), "value", func(int, float64) error { return nil })
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: err = %v, want mention of %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestForEachWrapsCallbackError(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	err := ForEach(strings.NewReader("1\n2\n3\n"), "value", func(line int, v float64) error {
+		if v == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line 2 context", err)
+	}
+}
+
+func TestForEachOverlongLine(t *testing.T) {
+	in := "1\n" + strings.Repeat("9", maxLine+10) + "\n"
+	err := ForEach(strings.NewReader(in), "value", func(int, float64) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "after line 1") {
+		t.Fatalf("err = %v, want scanner error with line context", err)
+	}
+}

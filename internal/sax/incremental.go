@@ -21,11 +21,12 @@ import (
 // the first retained token re-based to the span start stands in for the
 // run it was cut out of, exactly as Discretize would have emitted it.
 type IncrementalSeq struct {
-	params Params
-	tokens []Token // ascending global Pos; tokens[i].Pos < next
-	prev   string  // word of the last appended window (empty before any)
-	next   int     // global index of the next window to encode
-	empty  bool    // no windows appended since the last reset
+	params    Params
+	tokens    []Token // ascending global Pos; tokens[i].Pos < next
+	prev      string  // word of the last appended window (empty before any)
+	next      int     // global index of the next window to encode
+	empty     bool    // no windows appended since the last reset
+	wordBytes int64   // total len(Word) over retained tokens
 }
 
 // NewIncrementalSeq creates an empty sequence for one (w, a) member,
@@ -51,6 +52,7 @@ func (s *IncrementalSeq) Reset(startWin int) {
 	s.prev = ""
 	s.next = startWin
 	s.empty = true
+	s.wordBytes = 0
 }
 
 // Append encodes the next window (global index NextWin) from its word
@@ -63,8 +65,21 @@ func (s *IncrementalSeq) Append(word []byte) {
 		s.tokens = append(s.tokens, Token{Word: w, Pos: s.next})
 		s.prev = w
 		s.empty = false
+		s.wordBytes += int64(len(w))
 	}
 	s.next++
+}
+
+// tokenSize is the in-memory size of one Token (string header + int),
+// excluding the word bytes it points at.
+const tokenSize = 24
+
+// MemoryBytes is the sequence's retained-memory accounting: the token
+// backing array (at capacity, since trimmed slices keep their storage) plus
+// the word bytes the retained tokens own. Maintained incrementally, so the
+// call is O(1).
+func (s *IncrementalSeq) MemoryBytes() int64 {
+	return int64(cap(s.tokens))*tokenSize + s.wordBytes
 }
 
 // TrimBefore drops tokens that can no longer be the covering token of any
@@ -74,6 +89,7 @@ func (s *IncrementalSeq) Append(word []byte) {
 func (s *IncrementalSeq) TrimBefore(win int) {
 	k := 0
 	for k+1 < len(s.tokens) && s.tokens[k+1].Pos <= win {
+		s.wordBytes -= int64(len(s.tokens[k].Word))
 		k++
 	}
 	if k > 0 {

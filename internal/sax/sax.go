@@ -66,6 +66,7 @@ type Params struct {
 	A int // alphabet size
 }
 
+// String renders the combination as "w=<w>,a=<a>".
 func (p Params) String() string { return fmt.Sprintf("w=%d,a=%d", p.W, p.A) }
 
 // Validate checks the combination against a window of length n.

@@ -1,0 +1,102 @@
+package stream
+
+import (
+	"testing"
+)
+
+// TestMemoryFootprintPlateaus: under sustained pushing the detector's
+// footprint is monotone-bounded — it may only grow while buffers warm up
+// to their steady-state capacities, and once the hop schedule has cycled a
+// few times it never exceeds the plateau again, no matter how long the
+// stream runs. This is the per-stream guarantee the serving layer's byte
+// budget is built on.
+func TestMemoryFootprintPlateaus(t *testing.T) {
+	const (
+		period = 40
+		bufLen = 8 * period
+	)
+	// EnsembleSize exceeds the (w,a) grid (3x3 for WMax=AMax=4), so every
+	// hop draws every combination and the pipeline map is fully populated
+	// from the first run — the plateau then depends only on buffer
+	// capacities, not on how long random draws take to visit the grid.
+	series := sineSeries(60*bufLen, period, 3)
+	d, err := New(Config{Window: period, BufLen: bufLen, EnsembleSize: 16, WMax: 4, AMax: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := d.MemoryFootprint(); got <= 0 {
+		t.Fatalf("fresh detector footprint = %d, want > 0", got)
+	}
+
+	// Structural bound, independent of stream length: every retained
+	// buffer is O(BufLen) — the ring, the stitch region (BufLen+Window-1
+	// averaged values), and per (w,a) combination a token pipeline plus a
+	// member slot, each holding at most one token/word/curve entry per
+	// window of the retained span. The factor 2 covers append's capacity
+	// overshoot. If the footprint ever crossed this, some buffer would
+	// have to be growing with the stream.
+	const gridSize, wMax = 3 * 3, 4
+	perEntry := int64(24 + wMax + 16 + 8) // token + word bytes + string header + curve value
+	bound := int64((bufLen+1)*2*8) +      // ring
+		int64(2*(bufLen+period)*2*8) + // stitch sum+cnt
+		2*int64(gridSize)*int64(bufLen)*perEntry + // pipelines + slots
+		1<<16 // fixed-size engine scratch
+
+	// Push sixty full buffers, tracking the peak footprint of each half.
+	half := len(series) / 2
+	var firstPeak, secondPeak int64
+	for i, x := range series {
+		if err := d.Push(x); err != nil {
+			t.Fatal(err)
+		}
+		got := d.MemoryFootprint()
+		if got <= 0 {
+			t.Fatalf("footprint %d at point %d, want > 0", got, i)
+		}
+		if got > bound {
+			t.Fatalf("footprint %d at point %d exceeds structural bound %d", got, i, bound)
+		}
+		if i < half {
+			if got > firstPeak {
+				firstPeak = got
+			}
+		} else if got > secondPeak {
+			secondPeak = got
+		}
+	}
+
+	// Plateau: capacities ratchet toward their data-dependent maxima, so
+	// the second half may still set small records (a new longest token
+	// sequence), but the growth must be marginal — the footprint has
+	// converged, not merely stayed under the structural bound.
+	if secondPeak > firstPeak+firstPeak/20 {
+		t.Fatalf("footprint still growing: first-half peak %d, second-half peak %d", firstPeak, secondPeak)
+	}
+}
+
+// TestMemoryFootprintCountsComponents: the roll-up is at least the sum of
+// its two precisely-known parts (ring + stitch buffers), and the engine
+// contribution appears once pipelines exist.
+func TestMemoryFootprintCountsComponents(t *testing.T) {
+	const period = 30
+	d, err := New(Config{Window: period, EnsembleSize: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := d.MemoryFootprint()
+	series := sineSeries(25*period, period, 9)
+	for _, x := range series {
+		if err := d.Push(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	warm := d.MemoryFootprint()
+	if warm <= fresh {
+		t.Fatalf("footprint did not grow with pipeline state: fresh %d, warm %d", fresh, warm)
+	}
+	ring := d.ring.MemoryBytes()
+	if warm < ring {
+		t.Fatalf("footprint %d smaller than its ring component %d", warm, ring)
+	}
+}

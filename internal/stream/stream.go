@@ -253,6 +253,19 @@ func New(cfg Config) (*Detector, error) {
 // Total returns the number of points pushed so far.
 func (d *Detector) Total() int { return d.total }
 
+// MemoryFootprint is the detector's retained-memory accounting in bytes:
+// the prefix-sum ring, the engine (member pipelines + pooled scratch), and
+// the stitch buffers. Every component is bounded — the ring by BufLen, the
+// stitch region by BufLen + Window - 1, the engine by its span length — so
+// under sustained pushing the footprint climbs to a plateau and stays
+// there; the stream tests pin that bound. Serving layers roll this number
+// up across streams to enforce byte budgets.
+func (d *Detector) MemoryFootprint() int64 {
+	return d.ring.MemoryBytes() +
+		d.eng.MemoryFootprint() +
+		int64(cap(d.sum)+cap(d.cnt))*8
+}
+
 // buffered is the number of points currently in the ring.
 func (d *Detector) buffered() int { return d.total - d.ring.First() }
 

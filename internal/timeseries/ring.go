@@ -73,6 +73,13 @@ func (r *RingFeatures) First() int {
 // End returns the exclusive end of the retained positions, i.e. Total().
 func (r *RingFeatures) End() int { return r.total }
 
+// MemoryBytes is the ring's retained-memory accounting: the two prefix-sum
+// rings. It is constant for the life of the ring — the memory bound the
+// type exists to provide.
+func (r *RingFeatures) MemoryBytes() int64 {
+	return int64(cap(r.sum)+cap(r.sum2)) * 8
+}
+
 // slot maps prefix index p (valid for p in [First(), Total()]) to its ring
 // slot.
 func (r *RingFeatures) slot(p int) int { return p % (r.cap + 1) }

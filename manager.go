@@ -1,0 +1,319 @@
+package egi
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"egi/internal/manager"
+	"egi/internal/stream"
+)
+
+// ManagerOptions configures NewManager. Only Stream.Window is required;
+// zero values select defaults (unlimited streams and bytes, no automatic
+// eviction).
+type ManagerOptions struct {
+	// Stream is the StreamOptions template every managed stream is
+	// created with. Its OnAnomaly must be nil: the manager owns event
+	// delivery — subscribe with Manager.Subscribe instead.
+	Stream StreamOptions
+	// MaxStreams caps the number of live streams; 0 means unlimited. At
+	// the cap, opening another stream evicts the least-recently-pushed
+	// stream idle for at least IdleAfter, or fails with an error
+	// wrapping ErrTooManyStreams if none is.
+	MaxStreams int
+	// MaxBytes caps the total MemoryFootprint across streams, in bytes;
+	// 0 means unlimited. New streams are admitted against the budget
+	// atomically; growth of existing streams is checked before each
+	// push. Either way the manager evicts idle streams first and fails
+	// with an error wrapping ErrOverBudget only if that does not make
+	// room. Because each stream's footprint is individually bounded,
+	// the total can transiently overshoot the budget by at most one
+	// hop's growth per concurrently pushing stream.
+	MaxBytes int64
+	// IdleAfter is how long a stream must go without a push before the
+	// manager may evict it (LRU first). Zero disables automatic
+	// eviction: streams then leave only through CloseStream or Close,
+	// and the limits above reject instead of evicting.
+	IdleAfter time.Duration
+}
+
+// Errors reported by Manager, re-exported from the serving core so callers
+// can match them with errors.Is.
+var (
+	// ErrManagerClosed is returned by every Manager operation after Close.
+	ErrManagerClosed = manager.ErrManagerClosed
+	// ErrTooManyStreams rejects opening a stream at the MaxStreams cap
+	// when no idle stream can be evicted.
+	ErrTooManyStreams = manager.ErrTooManyStreams
+	// ErrOverBudget rejects a push while the rolled-up memory footprint
+	// exceeds MaxBytes and no idle stream can be evicted.
+	ErrOverBudget = manager.ErrOverBudget
+	// ErrUnknownStream is returned for operations on ids that do not
+	// exist (and have not been implicitly created).
+	ErrUnknownStream = manager.ErrUnknownStream
+)
+
+// ErrManagerCallback is returned by NewManager when the stream template
+// sets OnAnomaly: a Manager owns event delivery, so events arrive through
+// Manager.Subscribe instead of a callback.
+var ErrManagerCallback = errors.New("egi: Manager delivers events via Subscribe; Stream.OnAnomaly must be nil")
+
+// StreamEvent is one confirmed anomaly from a managed stream, tagged with
+// the id of the stream that produced it. Anomaly.Pos counts from the first
+// point pushed to that stream.
+type StreamEvent struct {
+	// Stream is the id of the stream the event belongs to.
+	Stream string
+	// Anomaly is the confirmed anomaly; like Streamer events it never
+	// changes once delivered.
+	Anomaly Anomaly
+}
+
+// StreamStats is a point-in-time snapshot of one managed stream's
+// accounting.
+type StreamStats struct {
+	// ID is the stream's key.
+	ID string
+	// Points is the number of points accepted so far.
+	Points int64
+	// Events is the number of confirmed anomaly events emitted so far.
+	Events int64
+	// MemoryBytes is the stream's current MemoryFootprint.
+	MemoryBytes int64
+	// Created is when the stream was opened.
+	Created time.Time
+	// LastPush is when the stream last accepted a push (Created until
+	// the first push).
+	LastPush time.Time
+}
+
+// ManagerStats is a point-in-time snapshot of a whole Manager.
+type ManagerStats struct {
+	// Streams holds one snapshot per live stream, in unspecified order.
+	Streams []StreamStats
+	// TotalBytes is the rolled-up MemoryFootprint across live streams.
+	TotalBytes int64
+	// Evicted counts streams evicted for idleness or budget since the
+	// manager was created (explicit CloseStream calls not included).
+	Evicted int64
+}
+
+// Manager multiplexes many independent streaming detectors behind one
+// surface, keyed by stream id — the serving layer of the library, and what
+// cmd/egiserve exposes over HTTP. Streams are created implicitly on first
+// push (or explicitly with Open), each behind its own lock, so producers
+// for different streams never contend and producers for one stream
+// serialize exactly like ConcurrentStream. Memory is governed end to end:
+// every stream's MemoryFootprint (ring + member pipelines + stitch
+// buffers, all bounded) is rolled up after each push, and the MaxStreams /
+// MaxBytes limits combined with LRU idle eviction keep the total inside a
+// configured envelope — limits reject cleanly, they never corrupt a
+// stream.
+//
+//	m, err := egi.NewManager(egi.ManagerOptions{
+//		Stream:     egi.StreamOptions{Window: 100},
+//		MaxStreams: 10000,
+//		MaxBytes:   1 << 30,
+//		IdleAfter:  10 * time.Minute,
+//	})
+//	events, cancel := m.Subscribe("", 256) // all streams
+//	go func() {
+//		for ev := range events {
+//			log.Printf("%s: anomaly at %d", ev.Stream, ev.Anomaly.Pos)
+//		}
+//	}()
+//	...
+//	m.PushBatch("sensor-42", points) // creates the stream on first use
+//	...
+//	m.Close() // flushes every stream, then closes subscriber channels
+//
+// All methods are safe for concurrent use.
+type Manager struct {
+	m *manager.Manager
+}
+
+// NewManager creates a stream manager. The stream template is validated
+// here, so a bad configuration fails at construction rather than on the
+// first push.
+func NewManager(opts ManagerOptions) (*Manager, error) {
+	if opts.Stream.OnAnomaly != nil {
+		return nil, ErrManagerCallback
+	}
+	cfg := manager.Config{
+		Stream: stream.Config{
+			Window:           opts.Stream.Window,
+			BufLen:           opts.Stream.BufLen,
+			Hop:              opts.Stream.Hop,
+			Threshold:        opts.Stream.Threshold,
+			AdaptiveQuantile: opts.Stream.AdaptiveQuantile,
+			EnsembleSize:     opts.Stream.EnsembleSize,
+			WMax:             opts.Stream.WMax,
+			AMax:             opts.Stream.AMax,
+			Tau:              opts.Stream.Tau,
+			TopK:             opts.Stream.TopK,
+			Seed:             opts.Stream.Seed,
+		},
+		MaxStreams: opts.MaxStreams,
+		MaxBytes:   opts.MaxBytes,
+		IdleAfter:  opts.IdleAfter,
+	}
+	m, err := manager.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{m: m}, nil
+}
+
+// Open creates the stream if it does not exist yet, applying the
+// MaxStreams limit (evicting an idle stream if necessary). It is
+// idempotent: opening an existing stream is a no-op.
+func (m *Manager) Open(id string) error { return m.m.Open(id) }
+
+// Push appends one point to the stream, creating it on first use.
+func (m *Manager) Push(id string, x float64) error { return m.m.Push(id, x) }
+
+// PushBatch appends the points, in order, to the stream, creating it on
+// first use; no other producer's points interleave with the batch. Limit
+// errors (ErrTooManyStreams, ErrOverBudget) reject the batch outright;
+// detector errors (e.g. a non-finite point) reject the remainder, with
+// everything before the bad point accepted, like Streamer.PushBatch.
+func (m *Manager) PushBatch(id string, xs []float64) error { return m.m.PushBatch(id, xs) }
+
+// Subscribe registers for confirmed anomaly events — one stream's, or
+// every stream's with id "". Events arrive in per-stream order on a
+// channel buffering about buf events (minimum 1; <= 0 selects
+// DefaultEventBuffer). A full channel applies backpressure to every
+// stream matching the subscription's filter — it blocks their delivery
+// rather than dropping events — so keep receiving until you cancel.
+// Other subscriptions and non-matching streams are unaffected. The
+// channel is closed when the manager closes, and also shortly after
+// cancel (which is idempotent); a canceled subscriber should simply stop
+// reading.
+func (m *Manager) Subscribe(id string, buf int) (<-chan StreamEvent, func()) {
+	if buf <= 0 {
+		buf = DefaultEventBuffer
+	}
+	in, cancelIn := m.m.Subscribe(id, buf)
+	// The converter stage adds no meaningful capacity: the documented
+	// buffer lives in the broker subscription.
+	out := make(chan StreamEvent)
+	stop := make(chan struct{})
+	go func() {
+		defer close(out)
+		for {
+			select {
+			case ev, ok := <-in:
+				if !ok {
+					return
+				}
+				se := StreamEvent{
+					Stream:  ev.Stream,
+					Anomaly: Anomaly{Pos: ev.Anomaly.Pos, Length: ev.Anomaly.Length, Density: ev.Anomaly.Density},
+				}
+				select {
+				case out <- se:
+				case <-stop:
+					return
+				}
+			case <-stop:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			cancelIn()
+			close(stop)
+		})
+	}
+	return out, cancel
+}
+
+// Anomalies returns the stream's current top-K ranking within its
+// retained horizon — the multi-stream analogue of Streamer.Anomalies. The
+// stream must exist.
+func (m *Manager) Anomalies(id string) ([]Anomaly, error) {
+	evs, err := m.m.Anomalies(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Anomaly, len(evs))
+	for i, e := range evs {
+		out[i] = Anomaly{Pos: e.Pos, Length: e.Length, Density: e.Density}
+	}
+	return out, nil
+}
+
+// CloseStream flushes the stream (delivering its final events to
+// subscribers), releases its memory, and returns its final stats.
+func (m *Manager) CloseStream(id string) (StreamStats, error) {
+	st, err := m.m.CloseStream(id)
+	if err != nil {
+		return StreamStats{}, err
+	}
+	return fromStats(st), nil
+}
+
+// EvictIdle evicts every stream idle for at least IdleAfter (no-op when
+// IdleAfter is zero), delivering their final events, and returns the
+// final stats of the evicted streams. Long-running servers call it on a
+// timer so idle streams are reclaimed even when no limit forces the
+// issue.
+func (m *Manager) EvictIdle() []StreamStats {
+	evicted := m.m.EvictIdle()
+	out := make([]StreamStats, len(evicted))
+	for i, st := range evicted {
+		out[i] = fromStats(st)
+	}
+	return out
+}
+
+// StreamStats returns one live stream's snapshot.
+func (m *Manager) StreamStats(id string) (StreamStats, error) {
+	st, err := m.m.StreamStats(id)
+	if err != nil {
+		return StreamStats{}, err
+	}
+	return fromStats(st), nil
+}
+
+// Stats returns a snapshot of every live stream plus the rolled-up
+// accounting.
+func (m *Manager) Stats() ManagerStats {
+	st := m.m.Stats()
+	out := ManagerStats{
+		Streams:    make([]StreamStats, len(st.Streams)),
+		TotalBytes: st.TotalBytes,
+		Evicted:    st.Evicted,
+	}
+	for i, s := range st.Streams {
+		out.Streams[i] = fromStats(s)
+	}
+	return out
+}
+
+// MemoryFootprint is the rolled-up retained-memory accounting across live
+// streams, in bytes; the quantity MaxBytes bounds.
+func (m *Manager) MemoryFootprint() int64 { return m.m.TotalBytes() }
+
+// Len returns the number of live streams.
+func (m *Manager) Len() int { return m.m.Len() }
+
+// Close shuts the manager down: every stream is flushed (delivering its
+// final events), all stream memory is released, and every subscriber
+// channel is closed. Close is idempotent; later operations return
+// ErrManagerClosed.
+func (m *Manager) Close() error { return m.m.Close() }
+
+func fromStats(st manager.StreamStats) StreamStats {
+	return StreamStats{
+		ID:          st.ID,
+		Points:      st.Points,
+		Events:      st.Events,
+		MemoryBytes: st.MemoryBytes,
+		Created:     st.Created,
+		LastPush:    st.LastPush,
+	}
+}

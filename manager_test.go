@@ -1,0 +1,213 @@
+package egi_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"egi"
+)
+
+// TestManagerMatchesStreamer: events delivered through a Manager
+// subscription are identical to a plain Streamer fed the same points, per
+// stream, including the flush-on-close tail.
+func TestManagerMatchesStreamer(t *testing.T) {
+	opts := egi.StreamOptions{Window: 50, BufLen: 400, EnsembleSize: 8, Seed: 21}
+	m, err := egi.NewManager(egi.ManagerOptions{Stream: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, cancel := m.Subscribe("", 0)
+	defer cancel()
+	got := map[string][]egi.Anomaly{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range events {
+			got[ev.Stream] = append(got[ev.Stream], ev.Anomaly)
+		}
+	}()
+
+	want := map[string][]egi.Anomaly{}
+	for i := 0; i < 4; i++ {
+		id := fmt.Sprintf("stream-%d", i)
+		series := synthetic(2500, 50, 900+60*i, int64(31+i))
+
+		direct := opts
+		direct.OnAnomaly = func(a egi.Anomaly) { want[id] = append(want[id], a) }
+		s, err := egi.Stream(direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.PushBatch(series); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+
+		if err := m.PushBatch(id, series); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	events2, cancel2 := m.Subscribe("", 0)
+	defer cancel2()
+	if _, ok := <-events2; ok {
+		t.Fatal("subscription to a closed manager delivered an event")
+	}
+
+	var total int
+	for id, w := range want {
+		total += len(w)
+		g := got[id]
+		if len(g) != len(w) {
+			t.Fatalf("%s: %d managed events, %d direct events", id, len(g), len(w))
+		}
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("%s: event %d = %+v, want %+v", id, i, g[i], w[i])
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("fixtures produced no events; test is vacuous")
+	}
+}
+
+// TestManagerLimitsAndAccounting: the public surface enforces MaxStreams,
+// reports footprints, and cleans up on CloseStream.
+func TestManagerLimitsAndAccounting(t *testing.T) {
+	m, err := egi.NewManager(egi.ManagerOptions{
+		Stream:     egi.StreamOptions{Window: 50, EnsembleSize: 6, Seed: 3},
+		MaxStreams: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	series := synthetic(600, 50, 300, 9)
+	if err := m.PushBatch("a", series); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.PushBatch("b", series); err != nil {
+		t.Fatal(err)
+	}
+	// No IdleAfter: nothing is evictable, the third stream is rejected.
+	if err := m.Push("c", 1); !errors.Is(err, egi.ErrTooManyStreams) {
+		t.Fatalf("over-limit open: %v, want ErrTooManyStreams", err)
+	}
+	st := m.Stats()
+	if len(st.Streams) != 2 || m.Len() != 2 {
+		t.Fatalf("stats report %d streams, Len %d, want 2", len(st.Streams), m.Len())
+	}
+	if st.TotalBytes <= 0 || m.MemoryFootprint() != st.TotalBytes {
+		t.Fatalf("accounting: TotalBytes %d, MemoryFootprint %d", st.TotalBytes, m.MemoryFootprint())
+	}
+	for _, s := range st.Streams {
+		if s.Points != int64(len(series)) {
+			t.Fatalf("%s: %d points, want %d", s.ID, s.Points, len(series))
+		}
+		if s.MemoryBytes <= 0 {
+			t.Fatalf("%s: footprint %d", s.ID, s.MemoryBytes)
+		}
+	}
+	final, err := m.CloseStream("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Points != int64(len(series)) {
+		t.Fatalf("final stats: %d points, want %d", final.Points, len(series))
+	}
+	if err := m.Push("c", 1); err != nil {
+		t.Fatalf("open after explicit close: %v", err)
+	}
+	if _, err := m.StreamStats("a"); !errors.Is(err, egi.ErrUnknownStream) {
+		t.Fatalf("closed stream still visible: %v", err)
+	}
+}
+
+// TestManagerIdleEviction: streams idle past IdleAfter are evicted by
+// EvictIdle with their final stats returned; active streams survive.
+func TestManagerIdleEviction(t *testing.T) {
+	m, err := egi.NewManager(egi.ManagerOptions{
+		Stream:    egi.StreamOptions{Window: 50, EnsembleSize: 6, Seed: 3},
+		IdleAfter: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	series := synthetic(600, 50, 300, 9)
+	if err := m.PushBatch("old", series); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	if err := m.PushBatch("fresh", series); err != nil {
+		t.Fatal(err)
+	}
+	evicted := m.EvictIdle()
+	if len(evicted) != 1 || evicted[0].ID != "old" {
+		t.Fatalf("EvictIdle = %+v, want exactly old", evicted)
+	}
+	if _, err := m.StreamStats("fresh"); err != nil {
+		t.Fatalf("active stream evicted: %v", err)
+	}
+	st := m.Stats()
+	if st.Evicted != 1 {
+		t.Fatalf("Evicted = %d, want 1", st.Evicted)
+	}
+}
+
+// TestManagerConcurrent: concurrent producers over shared and disjoint
+// streams with a live subscriber; the race detector is the assertion.
+func TestManagerConcurrent(t *testing.T) {
+	m, err := egi.NewManager(egi.ManagerOptions{Stream: egi.StreamOptions{Window: 50, EnsembleSize: 6, Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, cancel := m.Subscribe("", 512)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range events {
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("s%d", g%3)
+			series := synthetic(1200, 50, 600, int64(g%3))
+			for i := 0; i < len(series); i += 50 {
+				if err := m.PushBatch(id, series[i:i+50]); err != nil {
+					t.Errorf("%s: %v", id, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+// TestManagerRejectsCallbackTemplate: the template's OnAnomaly must be nil.
+func TestManagerRejectsCallbackTemplate(t *testing.T) {
+	_, err := egi.NewManager(egi.ManagerOptions{
+		Stream: egi.StreamOptions{Window: 50, OnAnomaly: func(egi.Anomaly) {}},
+	})
+	if !errors.Is(err, egi.ErrManagerCallback) {
+		t.Fatalf("err = %v, want ErrManagerCallback", err)
+	}
+}

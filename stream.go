@@ -122,6 +122,15 @@ func (s *Streamer) Flush() error { return s.d.Flush() }
 // Total returns the number of points pushed so far.
 func (s *Streamer) Total() int { return s.d.Total() }
 
+// MemoryFootprint is the streamer's retained-memory accounting in bytes:
+// the ring buffer, the detection engine's member pipelines and pooled
+// scratch, and the stitch buffers — every O(BufLen) structure the detector
+// owns. All of them are bounded, so under sustained pushing the footprint
+// climbs to a plateau independent of the stream length. The number is a
+// deterministic accounting of the owned buffers (not Go allocator truth);
+// egi.Manager rolls it up across streams to enforce a byte budget.
+func (s *Streamer) MemoryFootprint() int64 { return s.d.MemoryFootprint() }
+
 // Anomalies returns the current top-K anomalies within the detector's
 // retained horizon (the ring buffer span), ranked most anomalous first —
 // the streaming analogue of Result.Anomalies. Anomalies that scrolled out

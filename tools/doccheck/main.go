@@ -1,0 +1,222 @@
+// Command doccheck is the repository's documentation gate: it fails (exit
+// code 1) when a package is missing its package-level doc comment, or when
+// an exported identifier is missing a doc comment.
+//
+// Usage:
+//
+//	go run ./tools/doccheck [-exported-all] [patterns...]
+//
+// With no patterns it checks ./... . By default every package must carry a
+// package doc comment, and every exported identifier of every non-main,
+// non-internal package (i.e. the public API) must carry a doc comment;
+// -exported-all extends the exported-identifier rule to internal packages
+// too. Test files are exempt, as are struct fields and interface methods
+// (godoc renders those inline with their parent type).
+//
+// Exit codes: 0 all checks pass, 1 findings were reported, 2 the checker
+// itself failed (bad pattern, unparsable file).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	exportedAll := flag.Bool("exported-all", false, "require doc comments on exported identifiers in internal packages too (default: public packages only)")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := expand(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doccheck:", err)
+		os.Exit(2)
+	}
+	var findings []string
+	for _, dir := range dirs {
+		fs, err := checkDir(dir, *exportedAll)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		fmt.Printf("doccheck: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// expand resolves "./..."-style patterns into the set of directories that
+// contain .go files, skipping testdata and hidden directories.
+func expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, p := range patterns {
+		root, recursive := p, false
+		if strings.HasSuffix(p, "/...") {
+			root, recursive = strings.TrimSuffix(p, "/..."), true
+		}
+		if root == "" {
+			root = "."
+		}
+		if !recursive {
+			add(filepath.Clean(root))
+			continue
+		}
+		err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			if info.IsDir() {
+				base := filepath.Base(path)
+				if base == "testdata" || (len(base) > 1 && strings.HasPrefix(base, ".")) {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") {
+				add(filepath.Dir(path))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// checkDir parses one directory's package and reports its findings.
+func checkDir(dir string, exportedAll bool) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	var findings []string
+	for name, pkg := range pkgs {
+		if !hasPackageDoc(pkg) {
+			findings = append(findings, fmt.Sprintf("%s: package %s has no package doc comment", dir, name))
+		}
+		// Exported-identifier docs: the public API always, internal
+		// packages only under -exported-all; main packages never (their
+		// surface is the command, documented by the package comment).
+		if name == "main" {
+			continue
+		}
+		if !exportedAll && strings.Contains(filepath.ToSlash(dir), "internal/") {
+			continue
+		}
+		findings = append(findings, checkExported(fset, pkg)...)
+	}
+	sort.Strings(findings)
+	return findings, nil
+}
+
+// hasPackageDoc reports whether any file of the package carries a package
+// doc comment.
+func hasPackageDoc(pkg *ast.Package) bool {
+	for _, f := range pkg.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// checkExported reports every exported top-level identifier that carries no
+// doc comment. For grouped declarations (var/const blocks, factored type
+// blocks) a doc comment on the group suffices.
+func checkExported(fset *token.FileSet, pkg *ast.Package) []string {
+	var findings []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && receiverExported(d) && d.Doc == nil {
+					kind := "function"
+					if d.Recv != nil {
+						kind = "method"
+					}
+					report(d.Pos(), kind, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				groupDoc := d.Doc != nil
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && !groupDoc && s.Doc == nil && s.Comment == nil {
+							report(s.Pos(), "type", s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						if groupDoc || s.Doc != nil || s.Comment != nil {
+							continue
+						}
+						for _, n := range s.Names {
+							if n.IsExported() {
+								report(s.Pos(), declKind(d.Tok), n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return findings
+}
+
+// receiverExported reports whether a method's receiver type is itself
+// exported (methods on unexported types are not part of the API surface).
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+func declKind(tok token.Token) string {
+	if tok == token.CONST {
+		return "const"
+	}
+	return "var"
+}
