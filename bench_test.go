@@ -406,10 +406,14 @@ func BenchmarkStreamPush(b *testing.B) {
 		})
 	}
 	// Small hops re-induce much more often; incremental re-discretization
-	// in the engine keeps the extra cost far below proportional (only the
-	// hop's new suffix windows are re-encoded per run).
+	// and amortized grammar induction in the engine keep the extra cost
+	// far below proportional (only the hop's new suffix windows are
+	// re-encoded, and only the hop's new tokens re-induced, per run).
+	// hop=1 is the extreme: a full ensemble run per pushed point. The CI
+	// bench job records all of these — hop=1, the default hop above, and
+	// hop=100 — in BENCH_stream.json per PR.
 	const bufLen = 2000
-	for _, hop := range []int{500, 100} {
+	for _, hop := range []int{500, 100, 1} {
 		b.Run(fmt.Sprintf("buflen=%d/hop=%d", bufLen, hop), func(b *testing.B) {
 			s, err := egi.Stream(egi.StreamOptions{
 				Window:       window,
@@ -435,6 +439,50 @@ func BenchmarkStreamPush(b *testing.B) {
 			b.StopTimer()
 			if err := s.Flush(); err != nil {
 				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkManagerPush measures serving-layer throughput: the amortized
+// per-point cost of pushing round-robin across N concurrent streams of one
+// egi.Manager (per-stream locking, footprint roll-up after every push, and
+// the event broker all included). Together with BenchmarkStreamPush it
+// separates detector cost from serving overhead; the CI bench job tracks
+// both in BENCH_stream.json.
+func BenchmarkManagerPush(b *testing.B) {
+	const (
+		window = 100
+		bufLen = 1000
+	)
+	for _, streams := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
+			m, err := egi.NewManager(egi.ManagerOptions{
+				Stream: egi.StreamOptions{
+					Window:       window,
+					BufLen:       bufLen,
+					EnsembleSize: benchSize,
+					Seed:         benchSeed,
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer m.Close()
+			ids := make([]string, streams)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("s%02d", i)
+			}
+			points := make([]float64, bufLen)
+			for i := range points {
+				points[i] = math.Sin(2*math.Pi*float64(i)/window) +
+					0.3*math.Sin(float64(i)*0.7391)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.Push(ids[i%streams], points[(i/streams)%bufLen]); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

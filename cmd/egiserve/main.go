@@ -10,7 +10,8 @@
 //
 //	egiserve -window 900 [-addr :8080] [-buflen 9000] [-hop 0] \
 //	         [-threshold 0.2] [-adaptive 0] [-field value] \
-//	         [-max-streams 0] [-max-bytes 0] [-idle-after 10m] [-sweep 1m]
+//	         [-max-streams 0] [-max-bytes 0] [-idle-after 10m] [-sweep 1m] \
+//	         [-pprof-addr localhost:6060]
 //
 // Endpoints:
 //
@@ -31,6 +32,11 @@
 // nothing idle, memory budget exhausted) are 429, shutdown is 503, and
 // malformed bodies are 400 with a line-precise error.
 //
+// With -pprof-addr set, a second HTTP listener serves the standard
+// net/http/pprof profiling endpoints under /debug/pprof/ on that address
+// only — keep it on localhost or a private interface; it is never mixed
+// into the public API listener. Off by default.
+//
 // On SIGINT/SIGTERM the server shuts down gracefully: every stream is
 // flushed, the resulting final events are delivered to connected SSE
 // subscribers, and only then do the event streams end.
@@ -45,7 +51,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,6 +61,19 @@ import (
 
 	"egi"
 )
+
+// pprofHandler builds the standard net/http/pprof mux on a dedicated
+// handler instead of polluting http.DefaultServeMux, so the profiling
+// endpoints exist only on the -pprof-addr listener.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
 func main() {
 	err := run(os.Args[1:], os.Stdout)
@@ -69,11 +90,13 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("egiserve", flag.ContinueOnError)
 	var (
 		addr       = fs.String("addr", ":8080", "listen address")
+		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 		window     = fs.Int("window", 0, "sliding window length n, the anomaly scale (required)")
 		bufLen     = fs.Int("buflen", 0, "per-stream ring buffer capacity (default 10x window)")
 		hop        = fs.Int("hop", 0, "points between re-inductions (default buflen-window+1)")
 		threshold  = fs.Float64("threshold", 0, "event threshold on the [0,1] density score (default 0.2)")
 		adaptive   = fs.Float64("adaptive", 0, "adaptive event threshold: running quantile of the score curve in (0,1), e.g. 0.05; 0 keeps the fixed -threshold")
+		rebase     = fs.Int("rebase-every", 0, "hop runs between per-stream grammar rebases; 0 = adaptive (per-run at the default hop, amortized at smaller hops), 1 = re-induce every run")
 		field      = fs.String("field", "value", "NDJSON object member holding the value")
 		maxStreams = fs.Int("max-streams", 0, "maximum live streams; 0 = unlimited")
 		maxBytes   = fs.Int64("max-bytes", 0, "total memory budget across streams, in bytes; 0 = unlimited")
@@ -105,6 +128,7 @@ Endpoints:
   GET    /healthz                 liveness summary
 
 Limit rejections are HTTP 429, shutdown 503, malformed bodies 400.
+With -pprof-addr, net/http/pprof is served on that (private) address.
 Exit codes: 0 clean shutdown or -h, 1 configuration or listen errors.
 
 Flags:
@@ -125,6 +149,7 @@ Flags:
 			Hop:              *hop,
 			Threshold:        *threshold,
 			AdaptiveQuantile: *adaptive,
+			RebaseEvery:      *rebase,
 			EnsembleSize:     *size,
 			WMax:             *wmax,
 			AMax:             *amax,
@@ -145,6 +170,22 @@ Flags:
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Optional profiling listener, fully separate from the public API so
+	// the pprof endpoints can stay on a private interface. Bind it before
+	// serving traffic: a bad -pprof-addr is a configuration error.
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		pprofSrv = &http.Server{Addr: *pprofAddr, Handler: pprofHandler()}
+		ln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			m.Close()
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		go func() { _ = pprofSrv.Serve(ln) }()
+		defer pprofSrv.Close()
+		fmt.Fprintf(stdout, "egiserve pprof on http://%s/debug/pprof/\n", ln.Addr())
+	}
 	if *idleAfter > 0 && *sweepEvery > 0 {
 		go srv.sweep(ctx, *sweepEvery)
 	}

@@ -517,3 +517,42 @@ func TestUsageAndFlags(t *testing.T) {
 		t.Fatal("bad tau accepted")
 	}
 }
+
+// TestPprofHandler: the optional profiling mux serves the standard pprof
+// index and is never part of the public API handler.
+func TestPprofHandler(t *testing.T) {
+	ts := httptest.NewServer(pprofHandler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d, want 200", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index does not list profiles: %q", body)
+	}
+
+	// The public API handler must not expose the profiling endpoints.
+	m, err := egi.NewManager(egi.ManagerOptions{Stream: egi.StreamOptions{Window: 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	api := httptest.NewServer(newServer(m, "value", 16, 0, limits{}).handler())
+	defer api.Close()
+	resp2, err := api.Client().Get(api.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode == http.StatusOK {
+		t.Fatal("public API handler serves /debug/pprof/")
+	}
+}

@@ -63,6 +63,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		hop       = fs.Int("hop", 0, "points between re-inductions (default buflen-window+1)")
 		threshold = fs.Float64("threshold", 0, "event threshold on the [0,1] density score (default 0.2)")
 		adaptive  = fs.Float64("adaptive", 0, "adaptive event threshold: running quantile of the score curve in (0,1), e.g. 0.05; 0 keeps the fixed -threshold")
+		rebase    = fs.Int("rebase-every", 0, "hop runs between grammar rebases; 0 = adaptive (per-run at the default hop, amortized at smaller hops), 1 = re-induce every run")
 		format    = fs.String("format", "csv", "input format: csv | ndjson")
 		col       = fs.Int("col", 0, "CSV column holding the values (0-based)")
 		field     = fs.String("field", "value", "NDJSON object member holding the value")
@@ -129,6 +130,7 @@ Flags:
 		Hop:              *hop,
 		Threshold:        *threshold,
 		AdaptiveQuantile: *adaptive,
+		RebaseEvery:      *rebase,
 		EnsembleSize:     *size,
 		WMax:             *wmax,
 		AMax:             *amax,

@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"egi/internal/timeseries"
+)
+
+// TestAmortizedMatchesRebuildEachRun is the amortized-induction property
+// pin, the induction analogue of TestIncrementalMatchesFromScratch: across
+// random hop sizes, buffer lengths, member counts, seeds and rebase
+// intervals (adaptive and every-K), an engine that appends each span's new
+// tokens to its members' resumable grammars must produce, span for span,
+// exactly the result of an engine that rebuilds every member's grammar
+// from scratch over the same epoch token range on every run — bit for bit.
+// A third engine re-discretizing from scratch (FromScratch) must agree
+// too, which exercises the numerosity seam between a reset pipeline and a
+// resumed grammar feed.
+func TestAmortizedMatchesRebuildEachRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 12; trial++ {
+		window := 10 + rng.Intn(30)
+		bufLen := 4*window + rng.Intn(8*window)
+		hop := 1 + rng.Intn(bufLen-window+1)
+		size := 3 + rng.Intn(18)
+		rebaseEvery := rng.Intn(5) // 0 = adaptive, else every K runs
+		length := bufLen + hop*(2+rng.Intn(6)) + rng.Intn(window)
+		seed := rng.Int63n(1 << 30)
+
+		series := genSeries(length, window, seed)
+		f, err := timeseries.NewFeatures(series)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{Window: window, Size: size, Seed: seed, RebaseEvery: rebaseEvery}
+		amortized, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rebuildCfg := cfg
+		rebuildCfg.RebuildEachRun = true
+		rebuilt, err := New(rebuildCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratchCfg := cfg
+		scratchCfg.FromScratch = true
+		scratch, err := New(scratchCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		runIdx := 0
+		for start := 0; start+window <= length; start += hop {
+			end := start + bufLen
+			if end > length {
+				end = length
+			}
+			if end-start < window {
+				break
+			}
+			spanSeed := seed + int64(runIdx)*SeedStride
+			a, errA := amortized.DetectSpan(f, start, end, spanSeed)
+			b, errB := rebuilt.DetectSpan(f, start, end, spanSeed)
+			c, errC := scratch.DetectSpan(f, start, end, spanSeed)
+			if (errA == nil) != (errB == nil) || (errA == nil) != (errC == nil) {
+				t.Fatalf("trial %d (hop=%d buf=%d K=%d) span [%d,%d): errors differ: %v vs %v vs %v",
+					trial, hop, bufLen, rebaseEvery, start, end, errA, errB, errC)
+			}
+			if errA != nil {
+				if errA != ErrNoUsableCurves {
+					t.Fatalf("trial %d span [%d,%d): %v", trial, start, end, errA)
+				}
+				continue
+			}
+			resultsEqual(t, "amortized-vs-rebuilt", a, b)
+			resultsEqual(t, "amortized-vs-fromscratch", a, c)
+			// Production trimming on the amortized engine only: the
+			// rebuild reference needs its epochs' full history.
+			amortized.TrimBefore(start + hop)
+			runIdx++
+		}
+	}
+}
+
+// TestRebaseEveryOneMatchesPerSpan: RebaseEvery=1 is the pre-amortization
+// semantics — every span induces over exactly its own tokens — so at any
+// hop it must agree bit-for-bit with the adaptive engine at the default
+// (non-overlapping) hop grid, where the adaptive schedule also rebases
+// every span.
+func TestRebaseEveryOneMatchesPerSpan(t *testing.T) {
+	const (
+		window = 25
+		bufLen = 160
+		length = 900
+	)
+	hop := bufLen - window + 1 // default grid: spans share no windows
+	series := genSeries(length, window, 23)
+	f, err := timeseries.NewFeatures(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := New(Config{Window: window, Size: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSpan, err := New(Config{Window: window, Size: 8, Seed: 4, RebaseEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runIdx := 0
+	for start := 0; start+window <= length; start += hop {
+		end := start + bufLen
+		if end > length {
+			end = length
+		}
+		if end-start < window {
+			break
+		}
+		spanSeed := int64(runIdx) * SeedStride
+		a, errA := adaptive.DetectSpan(f, start, end, spanSeed)
+		b, errB := perSpan.DetectSpan(f, start, end, spanSeed)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("span [%d,%d): errors differ: %v vs %v", start, end, errA, errB)
+		}
+		if errA == nil {
+			resultsEqual(t, "adaptive-vs-K1", a, b)
+		}
+		runIdx++
+	}
+}
+
+// TestFootprintCountsInductionState: the engine's footprint accounting
+// includes the retained resumable-induction state (builder arenas/tables
+// and fed-position records), so serving-layer byte budgets see it.
+func TestFootprintCountsInductionState(t *testing.T) {
+	series := genSeries(800, 25, 31)
+	f, err := timeseries.NewFeatures(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Window: 25, Size: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.DetectSpan(f, 0, len(series), 0); err != nil {
+		t.Fatal(err)
+	}
+	var induction int64
+	for _, st := range e.induct {
+		induction += st.b.MemoryBytes() + int64(cap(st.pos))*8
+	}
+	if induction <= 0 {
+		t.Fatal("no induction state retained after a span")
+	}
+	total := e.MemoryFootprint()
+	var pipes int64
+	for _, seq := range e.pipes {
+		pipes += seq.MemoryBytes()
+	}
+	if total < pipes+induction {
+		t.Fatalf("footprint %d smaller than pipelines %d + induction state %d", total, pipes, induction)
+	}
+}
+
+// TestRebaseConfigValidation: negative intervals and the incompatible
+// RebuildEachRun+FromScratch pairing are rejected at construction.
+func TestRebaseConfigValidation(t *testing.T) {
+	if _, err := New(Config{Window: 20, RebaseEvery: -1}); err == nil {
+		t.Error("negative RebaseEvery should be rejected")
+	}
+	if _, err := New(Config{Window: 20, RebuildEachRun: true, FromScratch: true}); err == nil {
+		t.Error("RebuildEachRun+FromScratch should be rejected")
+	}
+}

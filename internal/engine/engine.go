@@ -19,8 +19,25 @@
 // the overlapping region and encodes only the H new suffix windows, with
 // numerosity-reduction run state resumed at the seam — and the result is
 // bit-identical to discretizing the new span from scratch (the property
-// tests pin this). Grammar induction and curve combination then run per
-// span exactly as in the batch detector.
+// tests pin this).
+//
+// Grammar induction is amortized the same way: each member holds a
+// resumable sequitur.Builder fed the incremental token suffix its pipeline
+// produces, so a hop appends O(hop) tokens instead of re-inducing the
+// O(span) sequence, and the rule density curve is computed from the live
+// grammar restricted to the span (grammar.WindowedDensityInto). The
+// builder's grammar is anchored at an epoch base at or before the span
+// start; a rebase rebuilds it over exactly the current span — on a
+// member's first run, on seams (token gaps, trimmed history), whenever
+// consecutive spans share no windows (which keeps the default-hop
+// schedule, and with it the stream == DetectChunked identity, bit-exact),
+// and periodically per Config.RebaseEvery so rules anchored in expired
+// tokens don't accumulate. Between rebases the grammar sees the tokens of
+// every span since the epoch base — more context than a per-span
+// induction; the amortized property tests pin that the resumable state is
+// always exactly the grammar a from-scratch induction over the epoch's
+// tokens would build. Curve combination then runs per span exactly as in
+// the batch detector.
 package engine
 
 import (
@@ -35,6 +52,7 @@ import (
 	"egi/internal/sax"
 	"egi/internal/sequitur"
 	"egi/internal/stat"
+	"egi/internal/timeseries"
 )
 
 // Defaults used by the paper's experiments (§7, first paragraph).
@@ -99,10 +117,32 @@ type Config struct {
 	// Parallelism caps the number of concurrent member
 	// induction/density-curve computations; <= 0 means GOMAXPROCS.
 	Parallelism int
+	// RebaseEvery bounds how many spans a member's resumable induction
+	// epoch may cover before its grammar is rebuilt over the current span
+	// alone. 0 (the default) selects the adaptive schedule: rebase when
+	// consecutive spans share no windows, and whenever the epoch's window
+	// extent exceeds twice the span's — which keeps per-span semantics at
+	// non-overlapping hop schedules (stream == DetectChunked stays
+	// bit-exact) and amortized-O(hop) induction at overlapping ones.
+	// K >= 1 rebases each member after K spans it participated in; larger
+	// K retains more grammar context (and more token history in memory)
+	// between rebuilds, K = 1 forces per-span induction everywhere.
+	RebaseEvery int
+	// RebuildEachRun forces every run to rebuild its members' induction
+	// state from scratch over the epoch's full token range instead of
+	// appending the new suffix, following the exact same rebase schedule.
+	// It is the reference semantics of the amortized induction — the
+	// property tests assert the two modes are bit-identical — at O(span)
+	// induction cost per run; leave it off outside tests and ablations.
+	// It needs the full epoch token history, so it cannot be combined
+	// with FromScratch and owners must not TrimBefore positions the
+	// current epoch base still needs.
+	RebuildEachRun bool
 	// FromScratch disables incremental re-discretization: every span
 	// re-encodes all of its windows. Results are identical either way
 	// (the property tests assert exactly that); the flag exists as the
-	// ablation baseline and for the tests themselves.
+	// ablation baseline and for the tests themselves. It does not affect
+	// grammar induction, which consumes the same tokens in both modes.
 	FromScratch bool
 }
 
@@ -142,6 +182,10 @@ func (c Config) Normalized() (Config, error) {
 		return c, fmt.Errorf("engine: tau must be in (0, 1], got %v", c.Tau)
 	case c.TopK < 1:
 		return c, fmt.Errorf("engine: topK must be >= 1, got %d", c.TopK)
+	case c.RebaseEvery < 0:
+		return c, fmt.Errorf("engine: rebase interval must be >= 0, got %d", c.RebaseEvery)
+	case c.RebuildEachRun && c.FromScratch:
+		return c, errors.New("engine: RebuildEachRun needs the incremental token history; it cannot be combined with FromScratch")
 	}
 	return c, nil
 }
@@ -194,11 +238,24 @@ type Source interface {
 
 // slot is the pooled per-member scratch: one slot per member index, reused
 // across spans so the steady-state hot path performs no per-span
-// allocations for tokens, words or curves.
+// allocations for tokens or curves.
 type slot struct {
 	tokens []sax.Token
-	words  []string
 	curve  []float64
+}
+
+// memberState is one (w,a) member's resumable induction state, surviving
+// across spans like its discretization pipeline: the live grammar over the
+// epoch's tokens, the global window position of every token fed (aligned
+// with the builder's token indices — what maps rule occurrences back to
+// stream positions), and the epoch bookkeeping driving the rebase
+// schedule.
+type memberState struct {
+	b     *sequitur.Builder
+	pos   []int // global window start per fed token
+	base  int   // global window position the epoch is anchored at
+	fedTo int   // last global window index fed into the builder
+	runs  int   // spans participated in since the last rebase
 }
 
 // Engine runs the ensemble pipeline over spans of one logical series. It
@@ -223,8 +280,16 @@ type Engine struct {
 	src     Source
 	lastEnd int
 
+	// Amortized per-member induction states, keyed and lifecycled like
+	// pipes; inductSel is the members' states for the current span, in
+	// generation order (selected serially in prepare so the member
+	// goroutines never touch the map).
+	induct    map[sax.Params]*memberState
+	inductSel []*memberState
+
 	// Pooled hot-path scratch.
 	coeffs  []float64               // one PAA coefficient buffer (max w)
+	ivals   []int                   // one breakpoint-interval buffer (max w)
 	word    []byte                  // one word buffer (max w)
 	byW     [][]*sax.IncrementalSeq // active extension groups per PAA size
 	ext     []*sax.IncrementalSeq   // extension worklist
@@ -265,7 +330,9 @@ func New(cfg Config) (*Engine, error) {
 		grid:   grid,
 		rng:    rand.New(rand.NewSource(0)),
 		pipes:  make(map[sax.Params]*sax.IncrementalSeq),
+		induct: make(map[sax.Params]*memberState),
 		coeffs: make([]float64, wmax),
+		ivals:  make([]int, wmax),
 		word:   make([]byte, wmax),
 		byW:    make([][]*sax.IncrementalSeq, wmax+1),
 		sem:    make(chan struct{}, cfg.Parallelism),
@@ -293,10 +360,13 @@ func (e *Engine) drawParams(seed int64) []sax.Params {
 // hold only along one monotonically advancing series).
 func (e *Engine) bind(src Source, end int) {
 	if src != e.src || end < e.lastEnd {
-		// Drop every pipeline; each is rebuilt from scratch at the next
-		// span that draws its parameters.
+		// Drop every pipeline and induction state; each is rebuilt from
+		// scratch at the next span that draws its parameters.
 		for p := range e.pipes {
 			delete(e.pipes, p)
+		}
+		for p := range e.induct {
+			delete(e.induct, p)
 		}
 		e.src = src
 	}
@@ -327,6 +397,7 @@ func (e *Engine) checkSpan(src Source, start, end int) error {
 func (e *Engine) prepare(src Source, start, end int, seed int64) []sax.Params {
 	params := e.drawParams(seed)
 	e.seqSel = e.seqSel[:0]
+	e.inductSel = e.inductSel[:0]
 	for _, p := range params {
 		seq, ok := e.pipes[p]
 		if !ok {
@@ -337,6 +408,12 @@ func (e *Engine) prepare(src Source, start, end int, seed int64) []sax.Params {
 			seq.Reset(start)
 		}
 		e.seqSel = append(e.seqSel, seq)
+		st, ok := e.induct[p]
+		if !ok {
+			st = &memberState{b: sequitur.NewBuilder()}
+			e.induct[p] = st
+		}
+		e.inductSel = append(e.inductSel, st)
 	}
 	e.extend(src, e.seqSel, start, end)
 	return params
@@ -370,20 +447,35 @@ func (e *Engine) extend(src Source, seqs []*sax.IncrementalSeq, start, end int) 
 			e.byW[w] = append(e.byW[w], ext[next])
 			next++
 		}
+		// The window's mean/std depend only on the window, not the PAA
+		// size; compute them once and share across the size groups.
+		statsDone := false
+		var mu, sigma float64
 		for w := 2; w < len(e.byW); w++ {
 			group := e.byW[w]
 			if len(group) == 0 {
 				continue
 			}
+			if !statsDone {
+				mu, sigma = timeseries.MeanStd(src, win, win+n)
+				statsDone = true
+			}
 			coeffs := e.coeffs[:w]
-			if err := sax.FastPAAFrom(src, win, n, w, coeffs); err != nil {
+			if err := sax.FastPAAWith(src, win, n, w, mu, sigma, coeffs); err != nil {
 				// Bounds were validated by checkSpan; the only remaining
 				// errors are programming mistakes.
 				panic(err)
 			}
+			// Breakpoint intervals depend on the coefficients alone, so
+			// the group's members share one resolution and encode only
+			// their alphabet's symbols from it.
+			ivals := e.ivals[:w]
+			if err := e.mr.Intervals(coeffs, ivals); err != nil {
+				panic(err)
+			}
 			word := e.word[:w]
 			for _, s := range group {
-				if err := e.mr.EncodeWord(coeffs, s.Params().A, word); err != nil {
+				if err := e.mr.WordAt(ivals, s.Params().A, word); err != nil {
 					panic(err)
 				}
 				s.Append(word)
@@ -396,7 +488,6 @@ func (e *Engine) extend(src Source, seqs []*sax.IncrementalSeq, start, end int) 
 // every member of the span, concurrently, into the pooled slots. On return
 // e.curves[i] is member i's output (curve storage owned by slot i).
 func (e *Engine) runMembers(params []sax.Params, start, end int) error {
-	L := end - start
 	n := e.cfg.Window
 	lastWin := end - n
 	for len(e.slots) < len(params) {
@@ -420,23 +511,12 @@ func (e *Engine) runMembers(params []sax.Params, start, end int) error {
 			defer e.running.Done()
 			defer func() { <-e.sem }()
 			sl := &e.slots[i]
-			seq := e.seqSel[i]
-			var err error
-			sl.tokens, err = seq.SpanTokens(sl.tokens[:0], start, lastWin)
-			if err != nil {
+			st := e.inductSel[i]
+			if err := e.advanceInduction(st, e.seqSel[i], sl, start, lastWin); err != nil {
 				errs[i] = err
 				return
 			}
-			sl.words = sl.words[:0]
-			for _, t := range sl.tokens {
-				sl.words = append(sl.words, t.Word)
-			}
-			g, err := sequitur.Induce(sl.words)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			curve, err := grammar.DensityCurveInto(sl.curve, g, sl.tokens, L, n)
+			curve, err := grammar.WindowedDensityInto(sl.curve, st.b, st.pos, start, end, n)
 			if err != nil {
 				errs[i] = err
 				return
@@ -450,6 +530,91 @@ func (e *Engine) runMembers(params []sax.Params, start, end int) error {
 		if err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// rebuildInduction re-induces one member's grammar from scratch over the
+// windows [anchor, lastWin]: the builder is reset (storage stays warm) and
+// fed the pipeline's token sequence for that range, with the fed-position
+// record rebuilt in global coordinates.
+func (e *Engine) rebuildInduction(st *memberState, seq *sax.IncrementalSeq, sl *slot, anchor, lastWin int) error {
+	var err error
+	sl.tokens, err = seq.SpanTokens(sl.tokens[:0], anchor, lastWin)
+	if err != nil {
+		return err
+	}
+	st.b.Reset()
+	st.pos = st.pos[:0]
+	for _, tk := range sl.tokens {
+		st.b.Push(tk.Word)
+		st.pos = append(st.pos, anchor+tk.Pos)
+	}
+	return nil
+}
+
+// advanceInduction brings one member's resumable induction state up to
+// date with the span whose windows are [start, lastWin]: either a rebase —
+// reset the builder and re-induce exactly the span's token sequence,
+// re-anchoring the epoch at the span start — or an incremental append of
+// the tokens for the windows fed since the member's last participation.
+// The rebase schedule (see Config.RebaseEvery) depends only on the span
+// grid and the member's participation history, never on discretization
+// mode or timing, which is what keeps FromScratch/incremental and
+// RebuildEachRun/amortized runs bit-identical. It touches only this
+// member's state, so members advance concurrently.
+func (e *Engine) advanceInduction(st *memberState, seq *sax.IncrementalSeq, sl *slot, start, lastWin int) error {
+	spanW := lastWin - start + 1
+	fresh := st.b.Len() == 0
+	// A gap in the fed windows (the span grid jumped past the default
+	// stride, or the member's pipeline lost the history it would need)
+	// forces a rebase: the epoch's token sequence must stay contiguous.
+	rebase := fresh || st.base > start || start > st.fedTo+1 || st.fedTo < seq.TrimmedTo()-1
+	if !rebase {
+		if k := e.cfg.RebaseEvery; k > 0 {
+			rebase = st.runs >= k
+		} else {
+			// Adaptive: per-span semantics when spans don't overlap; with
+			// overlap, rebuild once the epoch extent doubles the span's,
+			// which caps retained history at ~2 spans and amortizes the
+			// O(span) rebuild over at least a span's worth of appends.
+			rebase = start > st.fedTo || lastWin+1-st.base > 2*spanW
+		}
+	}
+	if rebase {
+		if err := e.rebuildInduction(st, seq, sl, start, lastWin); err != nil {
+			return err
+		}
+		st.base, st.fedTo, st.runs = start, lastWin, 1
+		return nil
+	}
+	if e.cfg.RebuildEachRun {
+		// Reference semantics: re-induce the whole epoch from scratch,
+		// keeping the existing anchor.
+		if err := e.rebuildInduction(st, seq, sl, st.base, lastWin); err != nil {
+			return err
+		}
+	} else if lastWin > st.fedTo {
+		suffix, err := seq.Suffix(st.fedTo, lastWin)
+		if err != nil {
+			return err
+		}
+		last, _ := st.b.LastWord()
+		for _, tk := range suffix {
+			if tk.Word == last {
+				// A re-emitted run head at a pipeline reset seam (the
+				// numerosity run restarted mid-word); the canonical
+				// continuation of the epoch's sequence skips it.
+				continue
+			}
+			st.b.Push(tk.Word)
+			st.pos = append(st.pos, tk.Pos)
+			last = tk.Word
+		}
+	}
+	if lastWin > st.fedTo {
+		st.runs++
+		st.fedTo = lastWin
 	}
 	return nil
 }
@@ -498,31 +663,35 @@ func (e *Engine) MemberCurves(src Source, start, end int, seed int64) ([]MemberC
 }
 
 // MemoryFootprint is the engine's retained-memory accounting in bytes: the
-// per-member incremental pipelines (tokens + word bytes) plus the pooled
-// hot-path scratch (per-member slots, parameter grid and draw buffer,
-// coefficient/word buffers, combination scratch). It deliberately counts
-// the deterministic, capacity-based footprint of the buffers the engine
-// owns — the quantities its bounded-memory guarantees are about — rather
-// than chasing Go runtime allocator truth. The dominant terms are the
-// pipelines and slots, both bounded by the span length the owner feeds it,
-// so a streaming owner's engine footprint plateaus once the hop schedule
+// per-member incremental pipelines (tokens + word bytes), the per-member
+// resumable induction states (grammar arena + tables + fed-position
+// records, each bounded by the rebase schedule's epoch extent) plus the
+// pooled hot-path scratch (per-member slots, parameter grid and draw
+// buffer, coefficient/word buffers, combination scratch). It deliberately
+// counts the deterministic, capacity-based footprint of the buffers the
+// engine owns — the quantities its bounded-memory guarantees are about —
+// rather than chasing Go runtime allocator truth. The dominant terms are
+// the pipelines, induction states and slots, all bounded by the span
+// length (times the bounded epoch factor) the owner feeds it, so a
+// streaming owner's engine footprint plateaus once the hop schedule
 // reaches steady state.
 func (e *Engine) MemoryFootprint() int64 {
 	var total int64
 	for _, seq := range e.pipes {
 		total += seq.MemoryBytes()
 	}
+	for _, st := range e.induct {
+		total += st.b.MemoryBytes() + int64(cap(st.pos))*8
+	}
 	const tokenSize, stringHeader, memberCurveSize = 24, 16, 48
 	for i := range e.slots {
 		sl := &e.slots[i]
-		// Slot words alias pipeline-owned word bytes; count only headers.
 		total += int64(cap(sl.tokens))*tokenSize +
-			int64(cap(sl.words))*stringHeader +
 			int64(cap(sl.curve))*8
 	}
 	total += int64(cap(e.grid)+cap(e.draw)) * stringHeader // sax.Params: two ints
-	total += int64(cap(e.coeffs))*8 + int64(cap(e.word))
-	total += int64(cap(e.seqSel)+cap(e.ext)) * 8
+	total += int64(cap(e.coeffs)+cap(e.ivals))*8 + int64(cap(e.word))
+	total += int64(cap(e.seqSel)+cap(e.ext)+cap(e.inductSel)) * 8
 	for _, g := range e.byW {
 		total += int64(cap(g)) * 8
 	}

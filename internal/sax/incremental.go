@@ -27,12 +27,13 @@ type IncrementalSeq struct {
 	next      int     // global index of the next window to encode
 	empty     bool    // no windows appended since the last reset
 	wordBytes int64   // total len(Word) over retained tokens
+	trimmed   int     // positions below this may have incomplete history
 }
 
 // NewIncrementalSeq creates an empty sequence for one (w, a) member,
 // positioned to encode global window startWin first.
 func NewIncrementalSeq(p Params, startWin int) *IncrementalSeq {
-	return &IncrementalSeq{params: p, next: startWin, empty: true}
+	return &IncrementalSeq{params: p, next: startWin, empty: true, trimmed: startWin}
 }
 
 // Params returns the member's discretization parameters.
@@ -53,6 +54,7 @@ func (s *IncrementalSeq) Reset(startWin int) {
 	s.next = startWin
 	s.empty = true
 	s.wordBytes = 0
+	s.trimmed = startWin
 }
 
 // Append encodes the next window (global index NextWin) from its word
@@ -87,6 +89,9 @@ func (s *IncrementalSeq) MemoryBytes() int64 {
 // starts at or before win. The last token at or before win is always kept —
 // it carries the word of window win itself.
 func (s *IncrementalSeq) TrimBefore(win int) {
+	if win > s.trimmed {
+		s.trimmed = win
+	}
 	k := 0
 	for k+1 < len(s.tokens) && s.tokens[k+1].Pos <= win {
 		s.wordBytes -= int64(len(s.tokens[k].Word))
@@ -95,6 +100,29 @@ func (s *IncrementalSeq) TrimBefore(win int) {
 	if k > 0 {
 		s.tokens = s.tokens[:copy(s.tokens, s.tokens[k:])]
 	}
+}
+
+// TrimmedTo returns the trim watermark: every token with
+// Pos >= TrimmedTo() is retained, plus the last token at or before it
+// (the covering token TrimBefore always keeps), while other tokens below
+// the watermark may have been dropped by TrimBefore or discarded by
+// Reset. Consumers resuming an induction feed use it to detect that the
+// tokens they still need are gone.
+func (s *IncrementalSeq) TrimmedTo() int { return s.trimmed }
+
+// Suffix returns the retained tokens with Pos in (afterWin, endWin], the
+// incremental continuation of a feed that has consumed windows up to and
+// including afterWin. The sequence must cover endWin (NextWin() > endWin)
+// and the caller must have established afterWin >= TrimmedTo()-1, so that
+// no token in the range has been trimmed away. The returned slice aliases
+// the sequence's storage and is valid until the next Append or TrimBefore.
+func (s *IncrementalSeq) Suffix(afterWin, endWin int) ([]Token, error) {
+	if s.empty || s.next <= endWin {
+		return nil, fmt.Errorf("sax: sequence %v covers windows up to %d, suffix needs %d", s.params, s.next-1, endWin)
+	}
+	i := sort.Search(len(s.tokens), func(i int) bool { return s.tokens[i].Pos > afterWin })
+	j := i + sort.Search(len(s.tokens)-i, func(k int) bool { return s.tokens[i+k].Pos > endWin })
+	return s.tokens[i:j], nil
 }
 
 // SpanTokens appends to dst the token sequence for the span whose windows

@@ -80,9 +80,22 @@ func (m *MultiResolver) AMax() int { return m.amax }
 
 // Interval returns the summary-line interval index for coefficient c,
 // using the same BoundaryTol tie-break as SymbolFor so the multi-resolution
-// path and the plain breakpoint-table path agree near breakpoints.
+// path and the plain breakpoint-table path agree near breakpoints. The
+// binary search is hand-rolled (same result as sort.Search over
+// merged[i] > c+BoundaryTol): this is the inner loop of every window's
+// encoding, and the closure indirection of sort.Search is measurable there.
 func (m *MultiResolver) Interval(c float64) int {
-	return sort.Search(len(m.merged), func(i int) bool { return m.merged[i] > c+BoundaryTol })
+	t := c + BoundaryTol
+	lo, hi := 0, len(m.merged)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if m.merged[mid] > t {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
 // Symbol returns the symbol byte for coefficient c under alphabet size a.
@@ -105,6 +118,38 @@ func (m *MultiResolver) EncodeWord(coeffs []float64, a int, dst []byte) error {
 	col := a - 2
 	for i, c := range coeffs {
 		dst[i] = m.symbols[m.Interval(c)][col]
+	}
+	return nil
+}
+
+// Intervals resolves every coefficient to its summary-line interval index,
+// writing into dst (len(coeffs) entries). Intervals depend only on the
+// coefficients, not the alphabet, so ensemble members sharing one PAA size
+// resolve once and encode each alphabet with WordAt — the §6.2.2 symbol
+// matrix split into its two halves.
+func (m *MultiResolver) Intervals(coeffs []float64, dst []int) error {
+	if len(dst) != len(coeffs) {
+		return fmt.Errorf("sax: dst length %d, want %d", len(dst), len(coeffs))
+	}
+	for i, c := range coeffs {
+		dst[i] = m.Interval(c)
+	}
+	return nil
+}
+
+// WordAt maps precomputed summary-line intervals (from Intervals) to the
+// SAX word under alphabet size a, writing into dst (len(intervals) bytes).
+// EncodeWord(coeffs, a, dst) == Intervals(coeffs, iv) + WordAt(iv, a, dst).
+func (m *MultiResolver) WordAt(intervals []int, a int, dst []byte) error {
+	if a < 2 || a > m.amax {
+		return fmt.Errorf("%w: a=%d (resolver amax=%d)", ErrBadAlphabet, a, m.amax)
+	}
+	if len(dst) != len(intervals) {
+		return fmt.Errorf("sax: dst length %d, want %d", len(dst), len(intervals))
+	}
+	col := a - 2
+	for i, k := range intervals {
+		dst[i] = m.symbols[k][col]
 	}
 	return nil
 }

@@ -196,6 +196,27 @@ func FastPAAFrom(src FeatureSource, p, n, w int, dst []float64) error {
 		return fmt.Errorf("sax: dst length %d, want %d", len(dst), w)
 	}
 	mu, sigma := timeseries.MeanStd(src, p, p+n)
+	return FastPAAWith(src, p, n, w, mu, sigma, dst)
+}
+
+// FastPAAWith is FastPAAFrom with the window's mean and standard deviation
+// already computed by the caller: mu and sigma must be exactly
+// timeseries.MeanStd(src, p, p+n). The engine's multi-resolution extension
+// shares one MeanStd evaluation across every PAA size of the same window —
+// the statistics depend on the window alone — instead of recomputing it
+// per size group; the float arithmetic is identical either way, so words
+// are bit-equal to FastPAAFrom's. Validation of p, n, w and dst matches
+// FastPAAFrom (callers on the hot path have validated the span already).
+func FastPAAWith(src FeatureSource, p, n, w int, mu, sigma float64, dst []float64) error {
+	if n <= 0 {
+		return fmt.Errorf("%w: p=%d n=%d", ErrBadWindow, p, n)
+	}
+	if w < 1 || w > n {
+		return fmt.Errorf("%w: w=%d, n=%d", ErrBadPAASize, w, n)
+	}
+	if len(dst) != w {
+		return fmt.Errorf("sax: dst length %d, want %d", len(dst), w)
+	}
 	if sigma < Eps {
 		for i := range dst {
 			dst[i] = 0

@@ -31,25 +31,36 @@ func (r *irule) last() *node  { return r.guard.prev }
 
 func ruleVal(id int) int { return -(id + 1) }
 
-type digram [2]int
+// digram packs a pair of adjacent symbol values into one map key. Symbol
+// values are word ids (>= 0, far below 2^31) or encoded rule ids
+// (-(id+1), bounded the same way), so each fits a uint32 half; a single
+// 8-byte key keeps the index on the runtime's fast map path, which matters
+// because the digram index dominates induction cost.
+type digram uint64
+
+func packDigram(a, b int) digram {
+	return digram(uint64(uint32(a))<<32 | uint64(uint32(b)))
+}
 
 type builder struct {
-	digrams map[digram]*node
-	rules   map[int]*irule // live rules by id
-	nextID  int
-	start   *irule
-	wordIDs map[string]int
-	words   []string
-	lastTop *node // last symbol of the start rule (fast append)
+	digrams   map[digram]*node
+	rules     map[int]*irule // live rules by id
+	nextID    int
+	start     *irule
+	wordIDs   map[string]int
+	words     []string
+	wordBytes int64 // total len over interned words (O(1) accounting)
 
 	// Node arena: induction creates roughly one node per input token (plus
 	// a few per rule), and allocating each individually dominated the
 	// allocation profile of the streaming hot path. Nodes are handed out
-	// of fixed-size blocks instead; the blocks stay alive through the
-	// node pointers, and dead nodes are simply abandoned (Sequitur frees
-	// at most O(rules) of them, not worth a free list).
-	block   []node
-	blockAt int
+	// of fixed-size blocks instead; the blocks stay alive in the blocks
+	// list so reset can recycle them, and dead nodes are simply abandoned
+	// between resets (Sequitur frees at most O(rules) of them, not worth a
+	// free list).
+	blocks   [][]node
+	curBlock int
+	blockAt  int
 }
 
 // nodeBlockSize is the arena granularity: one allocation per this many
@@ -57,13 +68,40 @@ type builder struct {
 const nodeBlockSize = 256
 
 func (b *builder) newNode() *node {
-	if b.blockAt == len(b.block) {
-		b.block = make([]node, nodeBlockSize)
+	if b.curBlock == len(b.blocks) {
+		b.blocks = append(b.blocks, make([]node, nodeBlockSize))
+	}
+	n := &b.blocks[b.curBlock][b.blockAt] // zeroed: fresh block or cleared by reset
+	b.blockAt++
+	if b.blockAt == nodeBlockSize {
+		b.curBlock++
 		b.blockAt = 0
 	}
-	n := &b.block[b.blockAt] // zeroed: blocks are fresh, never recycled
-	b.blockAt++
 	return n
+}
+
+// reset returns the builder to its freshly-constructed state while keeping
+// every allocation warm: the digram, rule and word-intern tables are
+// cleared in place (keeping their buckets/storage), and the used prefix of
+// the node arena is zeroed for reuse. Word ids are epoch-local — they only
+// ever compare for equality, and clearing them keeps the retained
+// vocabulary bounded by one epoch's distinct words instead of growing with
+// every word ever seen on the stream.
+func (b *builder) reset() {
+	clear(b.digrams)
+	clear(b.rules)
+	clear(b.wordIDs)
+	b.words = b.words[:0]
+	b.wordBytes = 0
+	b.nextID = 0
+	for i := 0; i < b.curBlock; i++ {
+		clear(b.blocks[i])
+	}
+	if b.curBlock < len(b.blocks) {
+		clear(b.blocks[b.curBlock][:b.blockAt])
+	}
+	b.curBlock, b.blockAt = 0, 0
+	b.start = b.newRule()
 }
 
 // newBuilder creates an induction engine; sizeHint is the expected input
@@ -97,6 +135,7 @@ func (b *builder) internWord(w string) int {
 	id := len(b.words)
 	b.words = append(b.words, w)
 	b.wordIDs[w] = id
+	b.wordBytes += int64(len(w))
 	return id
 }
 
@@ -117,7 +156,7 @@ func properDigram(a *node) bool {
 	return a != nil && !a.guard && a.next != nil && !a.next.guard
 }
 
-func keyOf(a *node) digram { return digram{a.val, a.next.val} }
+func keyOf(a *node) digram { return packDigram(a.val, a.next.val) }
 
 // deleteDigram removes the index entry for the digram starting at a, but
 // only if the index currently points at a (the same key may have been
@@ -165,7 +204,7 @@ func (b *builder) unlink(n *node) {
 	b.join(p, nx)
 	// The digram (n, old next) may still be indexed at n.
 	if !n.guard && !nx.guard {
-		k := digram{n.val, nx.val}
+		k := packDigram(n.val, nx.val)
 		if b.digrams[k] == n {
 			delete(b.digrams, k)
 		}

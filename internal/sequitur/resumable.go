@@ -1,0 +1,160 @@
+package sequitur
+
+// This file exports the induction engine as a resumable Builder: the same
+// greedy Sequitur construction as Induce, but with the mutable state kept
+// alive between calls so a caller can append tokens to a grammar it already
+// holds instead of re-inducing the whole sequence. Sequitur is inherently
+// online — Induce itself is a loop of single-token pushes — so a Builder
+// fed the tokens t1..tk in any grouping holds exactly the grammar that
+// Induce(t1..tk) would return (the resumable property tests pin this).
+//
+// The streaming engine uses one Builder per ensemble member: each hop
+// appends only the hop's new tokens (amortized O(hop) instead of O(span)
+// induction per run), and Reset rebases the grammar onto the live span
+// every K hops so rules anchored in expired tokens don't accumulate. Reset
+// keeps every allocation warm — arena blocks, digram/rule tables, the word
+// intern table — so even a rebase allocates almost nothing in steady state.
+
+// Builder is a resumable Sequitur induction engine. The zero value is not
+// usable; construct with NewBuilder. A Builder is not safe for concurrent
+// use.
+type Builder struct {
+	b     *builder
+	count int    // tokens pushed since the last Reset
+	last  string // word of the most recently pushed token
+	memo  []int  // expansion-length scratch by live rule id; -1 = unset
+}
+
+// NewBuilder creates an empty resumable induction engine.
+func NewBuilder() *Builder {
+	return &Builder{b: newBuilder(64)}
+}
+
+// Push appends one terminal token to the grammar and restores the Sequitur
+// invariants. After pushing tokens t1..tk (across any number of calls since
+// the last Reset) the builder holds exactly the grammar Induce(t1..tk)
+// would produce.
+func (r *Builder) Push(word string) {
+	r.b.push(word)
+	r.count++
+	r.last = word
+}
+
+// Len returns the number of tokens pushed since the last Reset.
+func (r *Builder) Len() int { return r.count }
+
+// LastWord returns the most recently pushed token's word, and whether any
+// token has been pushed since the last Reset. Streaming callers use it to
+// resume numerosity reduction at a feed seam: a candidate token equal to
+// the last pushed word is a re-emitted run head, not a new token.
+func (r *Builder) LastWord() (string, bool) { return r.last, r.count > 0 }
+
+// NumRules returns the number of live rules including the start rule.
+func (r *Builder) NumRules() int { return len(r.b.rules) }
+
+// Reset discards the grammar, re-anchoring the builder on an empty token
+// sequence, while keeping its allocations (node arena, hash tables, word
+// intern storage) warm for reuse. The interned vocabulary is cleared with
+// the grammar — ids are epoch-local — so retained memory is bounded by one
+// epoch's distinct words no matter how long the builder lives.
+func (r *Builder) Reset() {
+	r.b.reset()
+	r.count = 0
+	r.last = ""
+}
+
+// Grammar freezes the current state into an immutable Grammar, exactly as
+// Induce over the tokens pushed since the last Reset would return it. The
+// builder remains usable: freezing is non-destructive and further pushes
+// continue the same grammar.
+func (r *Builder) Grammar() (*Grammar, error) {
+	if r.count == 0 {
+		return nil, ErrEmptyInput
+	}
+	return r.b.freeze(), nil
+}
+
+// VisitOccurrencesAfter enumerates rule occurrences of the live grammar
+// without freezing it: fn(ruleID, start, end) is called for every
+// occurrence of every rule other than the start rule whose token span
+// [start, end) extends past token index cutoff (end > cutoff), with nested
+// occurrences reported per use of the enclosing rule — the same contract as
+// Grammar.VisitOccurrencesAfter, minus the freeze. Rule ids are the live
+// (non-dense) ids; occurrence spans are what density curves consume, and
+// they are identical to the frozen grammar's. Subtrees entirely at or
+// before the cutoff are pruned unwalked.
+func (r *Builder) VisitOccurrencesAfter(cutoff int, fn func(ruleID, start, end int)) {
+	if r.count == 0 {
+		return
+	}
+	// Live rule ids are dense in [0, nextID) within an epoch; a flat memo
+	// beats a map here because expLen is the visitation's inner lookup.
+	if cap(r.memo) < r.b.nextID {
+		r.memo = make([]int, r.b.nextID+r.b.nextID/2+1)
+	}
+	r.memo = r.memo[:r.b.nextID]
+	for i := range r.memo {
+		r.memo[i] = -1
+	}
+	r.visit(r.b.start, 0, cutoff, fn)
+}
+
+// expLen returns the number of terminals rule ru expands to, memoized in
+// r.memo for the current visitation.
+func (r *Builder) expLen(ru *irule) int {
+	if v := r.memo[ru.id]; v >= 0 {
+		return v
+	}
+	r.memo[ru.id] = 0 // cycle guard; a correct grammar never has one
+	total := 0
+	for n := ru.first(); !n.guard; n = n.next {
+		if n.rule != nil {
+			total += r.expLen(n.rule)
+		} else {
+			total++
+		}
+	}
+	r.memo[ru.id] = total
+	return total
+}
+
+func (r *Builder) visit(ru *irule, offset, cutoff int, fn func(ruleID, start, end int)) {
+	for n := ru.first(); !n.guard; n = n.next {
+		if n.rule != nil {
+			l := r.expLen(n.rule)
+			if offset+l > cutoff {
+				fn(n.rule.id, offset, offset+l)
+				r.visit(n.rule, offset, cutoff, fn)
+			}
+			offset += l
+		} else {
+			offset++
+		}
+	}
+}
+
+// Per-entry accounting constants for MemoryBytes: the in-memory size of an
+// arena node, and approximations for one digram-index entry, one rule-table
+// entry (header plus the irule it points at), and one word-intern entry
+// (map header plus the []string slot), map bucket overhead included.
+const (
+	nodeSize        = 40
+	digramEntrySize = 32
+	ruleEntrySize   = 56
+	wordEntrySize   = 48
+)
+
+// MemoryBytes is the builder's retained-memory accounting: the node arena
+// at capacity, the digram and rule tables at their live sizes, the word
+// intern table including the interned bytes, and the visitation scratch.
+// Like the rest of the library's footprint accounting it is a
+// deterministic capacity-based bookkeeping of the structures the builder
+// owns, not Go allocator truth, and it is O(1) per call.
+func (r *Builder) MemoryBytes() int64 {
+	return int64(len(r.b.blocks))*nodeBlockSize*nodeSize +
+		int64(len(r.b.digrams))*digramEntrySize +
+		int64(len(r.b.rules))*ruleEntrySize +
+		int64(len(r.b.words))*wordEntrySize +
+		r.b.wordBytes +
+		int64(cap(r.memo))*8
+}

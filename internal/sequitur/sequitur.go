@@ -115,15 +115,26 @@ func (g *Grammar) String() string {
 // of the enclosing rule, which is exactly what the rule density curve
 // needs: each point's density counts all rules covering it.
 func (g *Grammar) VisitOccurrences(fn func(ruleID, start, end int)) {
-	g.visit(0, 0, fn)
+	g.visit(0, 0, 0, fn)
 }
 
-func (g *Grammar) visit(id, offset int, fn func(ruleID, start, end int)) {
+// VisitOccurrencesAfter is VisitOccurrences restricted to occurrences that
+// extend past token index cutoff: every reported span satisfies end >
+// cutoff. Subtrees that lie entirely at or before the cutoff are pruned
+// without being walked, which is what lets a windowed density computation
+// over a long retained token history skip its expired prefix.
+func (g *Grammar) VisitOccurrencesAfter(cutoff int, fn func(ruleID, start, end int)) {
+	g.visit(0, 0, cutoff, fn)
+}
+
+func (g *Grammar) visit(id, offset, cutoff int, fn func(ruleID, start, end int)) {
 	for _, s := range g.Rules[id].RHS {
 		if s.IsRule() {
 			n := g.Rules[s.Rule].expLen
-			fn(s.Rule, offset, offset+n)
-			g.visit(s.Rule, offset, fn)
+			if offset+n > cutoff {
+				fn(s.Rule, offset, offset+n)
+				g.visit(s.Rule, offset, cutoff, fn)
+			}
 			offset += n
 		} else {
 			offset++

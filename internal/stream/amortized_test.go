@@ -1,0 +1,117 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAmortizedStreamMatchesRebuild is the stream-level amortized-induction
+// pin, with the rigor of TestIncrementalStreamMatchesFromScratch: across
+// random hop sizes, buffer lengths, ensemble sizes and rebase intervals, a
+// detector whose engine appends each hop's new tokens to resumable member
+// grammars emits exactly the events — and retains exactly the stitched
+// curve — of a detector that rebuilds every member grammar from scratch
+// over its epoch's full token range on every run. Bit for bit, adaptive
+// and every-K schedules alike.
+func TestAmortizedStreamMatchesRebuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 8; trial++ {
+		period := 20 + rng.Intn(40)
+		bufLen := 4*period + rng.Intn(6*period)
+		hop := 1 + rng.Intn(bufLen-period+1)
+		size := 4 + rng.Intn(10)
+		rebaseEvery := rng.Intn(5)
+		length := bufLen + hop*(3+rng.Intn(5)) + rng.Intn(period)
+		seed := rng.Int63n(1 << 30)
+		series := sineSeries(length, period, seed, length/2)
+
+		cfg := Config{
+			Window:       period,
+			BufLen:       bufLen,
+			Hop:          hop,
+			EnsembleSize: size,
+			Seed:         seed,
+			RebaseEvery:  rebaseEvery,
+		}
+		rebuild := cfg
+		rebuild.rebuildEachRun = true
+
+		evAm, startAm, curveAm := runStream(t, cfg, series)
+		evRef, startRef, curveRef := runStream(t, rebuild, series)
+
+		if len(evAm) != len(evRef) {
+			t.Fatalf("trial %d (hop=%d buf=%d K=%d): %d events amortized, %d rebuilt",
+				trial, hop, bufLen, rebaseEvery, len(evAm), len(evRef))
+		}
+		for i := range evAm {
+			if evAm[i] != evRef[i] {
+				t.Fatalf("trial %d event %d: %+v vs %+v", trial, i, evAm[i], evRef[i])
+			}
+		}
+		if startAm != startRef || len(curveAm) != len(curveRef) {
+			t.Fatalf("trial %d: curve spans differ: [%d,+%d) vs [%d,+%d)",
+				trial, startAm, len(curveAm), startRef, len(curveRef))
+		}
+		for i := range curveAm {
+			if curveAm[i] != curveRef[i] {
+				t.Fatalf("trial %d curve[%d]: %v vs %v", trial, i, curveAm[i], curveRef[i])
+			}
+		}
+	}
+}
+
+// TestRebaseEveryStreamMatchesFromScratchDiscretization extends the
+// engine-seam stream property to explicit rebase intervals: at any K, the
+// incremental-discretization detector and the from-scratch one agree
+// exactly — induction consumes the same canonical token stream in both
+// modes, including across the numerosity seam a reset pipeline introduces
+// at zero-overlap hop grids.
+func TestRebaseEveryStreamMatchesFromScratchDiscretization(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 6; trial++ {
+		period := 20 + rng.Intn(30)
+		bufLen := 4*period + rng.Intn(5*period)
+		// Include the default (zero-overlap) grid explicitly: it is the
+		// seam case where a reset pipeline re-emits a run head.
+		hop := 1 + rng.Intn(bufLen-period+1)
+		if trial%2 == 0 {
+			hop = bufLen - period + 1
+		}
+		size := 4 + rng.Intn(8)
+		rebaseEvery := 1 + rng.Intn(4)
+		length := bufLen + hop*(3+rng.Intn(4)) + rng.Intn(period)
+		seed := rng.Int63n(1 << 30)
+		series := sineSeries(length, period, seed, length/2)
+
+		cfg := Config{
+			Window:       period,
+			BufLen:       bufLen,
+			Hop:          hop,
+			EnsembleSize: size,
+			Seed:         seed,
+			RebaseEvery:  rebaseEvery,
+		}
+		scratch := cfg
+		scratch.fromScratch = true
+
+		evInc, startInc, curveInc := runStream(t, cfg, series)
+		evRef, startRef, curveRef := runStream(t, scratch, series)
+		if len(evInc) != len(evRef) {
+			t.Fatalf("trial %d (hop=%d buf=%d K=%d): %d events incremental, %d from scratch",
+				trial, hop, bufLen, rebaseEvery, len(evInc), len(evRef))
+		}
+		for i := range evInc {
+			if evInc[i] != evRef[i] {
+				t.Fatalf("trial %d event %d: %+v vs %+v", trial, i, evInc[i], evRef[i])
+			}
+		}
+		if startInc != startRef || len(curveInc) != len(curveRef) {
+			t.Fatalf("trial %d: curve spans differ", trial)
+		}
+		for i := range curveInc {
+			if curveInc[i] != curveRef[i] {
+				t.Fatalf("trial %d curve[%d]: %v vs %v", trial, i, curveInc[i], curveRef[i])
+			}
+		}
+	}
+}

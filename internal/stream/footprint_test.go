@@ -75,9 +75,79 @@ func TestMemoryFootprintPlateaus(t *testing.T) {
 	}
 }
 
+// TestMemoryFootprintPlateausAmortized: the plateau guarantee holds with
+// retained induction state at its largest — an overlapping hop schedule
+// (amortized epochs spanning several runs) under an explicit rebase
+// interval. The resumable builders' arenas, tables and fed-position
+// records all ratchet to epoch-bounded capacities; if any of them grew
+// with the stream instead, the second-half peak would keep climbing.
+func TestMemoryFootprintPlateausAmortized(t *testing.T) {
+	const (
+		period = 40
+		bufLen = 8 * period
+		hop    = bufLen / 8 // overlapping spans: epochs really span runs
+	)
+	series := sineSeries(60*bufLen, period, 7)
+	d, err := New(Config{
+		Window:       period,
+		BufLen:       bufLen,
+		Hop:          hop,
+		RebaseEvery:  3,
+		EnsembleSize: 16,
+		WMax:         4,
+		AMax:         4,
+		Seed:         11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Structural bound: as in TestMemoryFootprintPlateaus, plus the
+	// induction state — per (w,a) combination a resumable grammar over at
+	// most the epoch's tokens (bounded by K+1 spans of windows, ~40 bytes
+	// of arena node and ~90 bytes of table entries per token at the
+	// accounting constants) and the fed-position record (8 bytes per
+	// token). The factor 2 covers capacity overshoot and arena-block
+	// rounding.
+	const gridSize, wMax, rebaseK = 3 * 3, 4, 3
+	perEntry := int64(24 + wMax + 16 + 8)
+	epochTokens := int64((rebaseK + 1) * bufLen)
+	bound := int64((bufLen+1)*2*8) +
+		int64(2*(bufLen+period)*2*8) +
+		2*int64(gridSize)*int64(bufLen)*perEntry +
+		2*int64(gridSize)*epochTokens*(40+90+8) +
+		1<<16
+
+	half := len(series) / 2
+	var firstPeak, secondPeak int64
+	for i, x := range series {
+		if err := d.Push(x); err != nil {
+			t.Fatal(err)
+		}
+		got := d.MemoryFootprint()
+		if got <= 0 {
+			t.Fatalf("footprint %d at point %d, want > 0", got, i)
+		}
+		if got > bound {
+			t.Fatalf("footprint %d at point %d exceeds structural bound %d", got, i, bound)
+		}
+		if i < half {
+			if got > firstPeak {
+				firstPeak = got
+			}
+		} else if got > secondPeak {
+			secondPeak = got
+		}
+	}
+	if secondPeak > firstPeak+firstPeak/20 {
+		t.Fatalf("footprint still growing: first-half peak %d, second-half peak %d", firstPeak, secondPeak)
+	}
+}
+
 // TestMemoryFootprintCountsComponents: the roll-up is at least the sum of
-// its two precisely-known parts (ring + stitch buffers), and the engine
-// contribution appears once pipelines exist.
+// its two precisely-known parts (ring + stitch buffers), the engine
+// contribution appears once pipelines exist, and the resumable induction
+// state is part of the accounting.
 func TestMemoryFootprintCountsComponents(t *testing.T) {
 	const period = 30
 	d, err := New(Config{Window: period, EnsembleSize: 6, Seed: 1})

@@ -9,10 +9,14 @@
 // engine.Engine for the ensemble result over the buffered span — one "hop
 // run" per chunk, seeded exactly like core.DetectChunked seeds its chunks.
 // The engine reuses each member's discretization across overlapping hops
-// (only the new suffix windows are encoded per run) and pools the hot-path
-// scratch, so steady-state pushes allocate almost nothing; the results are
-// nevertheless bit-identical to from-scratch runs, a property the engine
-// tests pin. The per-run ensemble curves (each already normalized onto
+// (only the new suffix windows are encoded per run), amortizes grammar
+// induction the same way — each member's resumable grammar is appended the
+// hop's new tokens and periodically rebased onto the live buffer, see
+// Config.RebaseEvery — and pools the hot-path scratch, so steady-state
+// pushes allocate almost nothing; discretization is bit-identical to
+// from-scratch runs, and the resumable grammar to a from-scratch induction
+// over its epoch's tokens, properties the engine and stream tests pin.
+// The per-run ensemble curves (each already normalized onto
 // [0,1]) are stitched by averaging in overlap regions. A stream position
 // is *final* once no future hop run can cover it, i.e. once the buffer has
 // slid past it; only then are its window scores computed and events
@@ -116,6 +120,16 @@ type Config struct {
 	// PushBatch or Flush) for each confirmed Event, in stream order.
 	OnEvent func(Event)
 
+	// RebaseEvery bounds how many hop runs a member's resumable grammar
+	// may span before it is rebuilt over the live buffer alone (the
+	// engine's induction epoch). 0 selects the adaptive default: per-run
+	// induction at the default hop (keeping the DetectChunked identity),
+	// amortized-O(hop) induction with bounded history at overlapping
+	// hops. K >= 1 rebases every K runs: larger K gives the grammar more
+	// cross-hop context and retains proportionally more token history;
+	// K = 1 forces from-scratch induction every run.
+	RebaseEvery int
+
 	// Ensemble knobs, passed through to the engine; zero values take
 	// the paper's defaults (N=50, w,a in [2,10], tau=0.4, topK=3).
 	EnsembleSize int
@@ -129,6 +143,13 @@ type Config struct {
 	// the ablation/testing knob behind the incremental==from-scratch
 	// property tests.
 	fromScratch bool
+	// rebuildEachRun forces the engine to rebuild every member's
+	// induction state from scratch over its epoch's full token range on
+	// every run, on the same rebase schedule — the reference semantics
+	// the amortized==rebuilt property tests compare against. It needs
+	// the full epoch history, so pipeline trimming is suspended while
+	// set; testing only.
+	rebuildEachRun bool
 }
 
 // normalized fills in defaults and validates the streaming knobs; the
@@ -165,14 +186,16 @@ func (c Config) normalized() (Config, error) {
 // per-run seed is passed per span).
 func (c Config) engineConfig() engine.Config {
 	return engine.Config{
-		Window:      c.Window,
-		Size:        c.EnsembleSize,
-		WMax:        c.WMax,
-		AMax:        c.AMax,
-		Tau:         c.Tau,
-		TopK:        c.TopK,
-		Parallelism: c.Parallelism,
-		FromScratch: c.fromScratch,
+		Window:         c.Window,
+		Size:           c.EnsembleSize,
+		WMax:           c.WMax,
+		AMax:           c.AMax,
+		Tau:            c.Tau,
+		TopK:           c.TopK,
+		Parallelism:    c.Parallelism,
+		RebaseEvery:    c.RebaseEvery,
+		FromScratch:    c.fromScratch,
+		RebuildEachRun: c.rebuildEachRun,
 	}
 }
 
@@ -374,8 +397,12 @@ func (d *Detector) run(start int, trim bool) error {
 	if trim {
 		d.trimTo(start - d.cfg.Window + 1)
 		// No future span starts before the next hop position; the
-		// engine can drop older tokens.
-		d.eng.TrimBefore(start + d.cfg.Hop)
+		// engine can drop older tokens. (The rebuild-each-run reference
+		// mode re-reads its epoch's full history every run, so trimming
+		// is suspended for it.)
+		if !d.cfg.rebuildEachRun {
+			d.eng.TrimBefore(start + d.cfg.Hop)
+		}
 	}
 	return nil
 }

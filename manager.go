@@ -105,11 +105,11 @@ type ManagerStats struct {
 // push (or explicitly with Open), each behind its own lock, so producers
 // for different streams never contend and producers for one stream
 // serialize exactly like ConcurrentStream. Memory is governed end to end:
-// every stream's MemoryFootprint (ring + member pipelines + stitch
-// buffers, all bounded) is rolled up after each push, and the MaxStreams /
-// MaxBytes limits combined with LRU idle eviction keep the total inside a
-// configured envelope — limits reject cleanly, they never corrupt a
-// stream.
+// every stream's MemoryFootprint (ring + member pipelines + resumable
+// grammars + stitch buffers, all bounded) is rolled up after each push,
+// and the MaxStreams / MaxBytes limits combined with LRU idle eviction
+// keep the total inside a configured envelope — limits reject cleanly,
+// they never corrupt a stream.
 //
 //	m, err := egi.NewManager(egi.ManagerOptions{
 //		Stream:     egi.StreamOptions{Window: 100},
@@ -147,6 +147,7 @@ func NewManager(opts ManagerOptions) (*Manager, error) {
 			Hop:              opts.Stream.Hop,
 			Threshold:        opts.Stream.Threshold,
 			AdaptiveQuantile: opts.Stream.AdaptiveQuantile,
+			RebaseEvery:      opts.Stream.RebaseEvery,
 			EnsembleSize:     opts.Stream.EnsembleSize,
 			WMax:             opts.Stream.WMax,
 			AMax:             opts.Stream.AMax,

@@ -42,6 +42,17 @@ type StreamOptions struct {
 	// smaller Hop and BufLen for tighter latency.
 	OnAnomaly func(Anomaly)
 
+	// RebaseEvery bounds how many hop runs a member's resumable grammar
+	// may span before it is rebuilt over the live buffer alone. The zero
+	// value selects the adaptive default — per-run induction at the
+	// default Hop (preserving the DetectChunked identity), amortized
+	// O(hop)-per-run induction with history capped at about two buffers
+	// at smaller hops. K >= 1 rebases every K runs instead: larger K
+	// keeps more cross-hop grammar context (rules may span up to K hops)
+	// at proportionally more retained memory; K = 1 re-induces every run
+	// from scratch, the pre-amortization behavior.
+	RebaseEvery int
+
 	// Ensemble knobs (see Options): zero values take the paper defaults.
 	EnsembleSize int
 	WMax, AMax   int
@@ -85,6 +96,7 @@ func Stream(opts StreamOptions) (*Streamer, error) {
 		Hop:              opts.Hop,
 		Threshold:        opts.Threshold,
 		AdaptiveQuantile: opts.AdaptiveQuantile,
+		RebaseEvery:      opts.RebaseEvery,
 		EnsembleSize:     opts.EnsembleSize,
 		WMax:             opts.WMax,
 		AMax:             opts.AMax,
@@ -123,10 +135,10 @@ func (s *Streamer) Flush() error { return s.d.Flush() }
 func (s *Streamer) Total() int { return s.d.Total() }
 
 // MemoryFootprint is the streamer's retained-memory accounting in bytes:
-// the ring buffer, the detection engine's member pipelines and pooled
-// scratch, and the stitch buffers — every O(BufLen) structure the detector
-// owns. All of them are bounded, so under sustained pushing the footprint
-// climbs to a plateau independent of the stream length. The number is a
+// the ring buffer, the detection engine's member pipelines, resumable
+// induction state and pooled scratch, and the stitch buffers — every
+// bounded structure the detector owns, so under sustained pushing the
+// footprint climbs to a plateau independent of the stream length. The number is a
 // deterministic accounting of the owned buffers (not Go allocator truth);
 // egi.Manager rolls it up across streams to enforce a byte budget.
 func (s *Streamer) MemoryFootprint() int64 { return s.d.MemoryFootprint() }

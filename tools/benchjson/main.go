@@ -1,0 +1,119 @@
+// Command benchjson converts `go test -bench` output into the repo's
+// benchmark-trajectory JSON (BENCH_stream.json): a JSON array with one
+// object per benchmark result line, carrying the benchmark name (with the
+// machine-dependent -GOMAXPROCS suffix stripped so files diff cleanly
+// across machines), iteration count, ns/op, and — when -benchmem or
+// b.ReportMetric emitted them — bytes/op, allocs/op and any custom
+// metrics.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=... -benchmem . | go run ./tools/benchjson > BENCH_stream.json
+//
+// It reads stdin and writes JSON to stdout. If the input contains no
+// benchmark result lines at all it exits nonzero instead of emitting an
+// empty array, so a misconfigured CI bench job fails loudly rather than
+// committing an empty trajectory point.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark line's parsed measurements.
+type result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// stripProcs removes the trailing -GOMAXPROCS suffix go test appends to
+// benchmark names (e.g. "BenchmarkFoo/case-8" -> "BenchmarkFoo/case").
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 || i+1 == len(name) {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// parse extracts every benchmark result line from r, in input order.
+func parse(r io.Reader) ([]result, error) {
+	var out []result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := result{Name: stripProcs(f[0]), Iterations: iters}
+		sawNs := false
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in line %q", f[i], sc.Text())
+			}
+			switch unit := f[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+				sawNs = true
+			case "B/op":
+				b := v
+				res.BytesPerOp = &b
+			case "allocs/op":
+				a := v
+				res.AllocsPerOp = &a
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		if !sawNs {
+			return nil, fmt.Errorf("benchjson: no ns/op in line %q", sc.Text())
+		}
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, errors.New("benchjson: no benchmark result lines in input")
+	}
+	return out, nil
+}
+
+func main() {
+	results, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: egi
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStreamPush/buflen=2000         	  260127	      4532 ns/op	     222 B/op	       8 allocs/op
+BenchmarkStreamPush/buflen=2000/hop=100 	   30469	     38383 ns/op	    2404 B/op	      47 allocs/op
+BenchmarkManagerPush/streams=8-8        	  200000	      6000 ns/op	     300 B/op	      10 allocs/op
+BenchmarkTable4Score/Trace-8            	       1	1234567 ns/op	         0.850 avg_score	         0.900 hit_rate
+PASS
+ok  	egi	8.835s
+`
+
+func TestParse(t *testing.T) {
+	got, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(got))
+	}
+	first := got[0]
+	if first.Name != "BenchmarkStreamPush/buflen=2000" || first.Iterations != 260127 ||
+		first.NsPerOp != 4532 || first.BytesPerOp == nil || *first.BytesPerOp != 222 ||
+		first.AllocsPerOp == nil || *first.AllocsPerOp != 8 {
+		t.Fatalf("first result parsed wrong: %+v", first)
+	}
+	// The -GOMAXPROCS suffix is stripped; a /hop=NNN sub-bench name is not.
+	if got[1].Name != "BenchmarkStreamPush/buflen=2000/hop=100" {
+		t.Fatalf("hop sub-bench name: %q", got[1].Name)
+	}
+	if got[2].Name != "BenchmarkManagerPush/streams=8" {
+		t.Fatalf("procs suffix not stripped: %q", got[2].Name)
+	}
+	metrics := got[3].Metrics
+	if metrics["avg_score"] != 0.85 || metrics["hit_rate"] != 0.9 {
+		t.Fatalf("custom metrics parsed wrong: %+v", metrics)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("goos: linux\nPASS\n")); err == nil {
+		t.Fatal("input without benchmark lines should error")
+	}
+}
+
+func TestStripProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":          "BenchmarkFoo",
+		"BenchmarkFoo/case-16":    "BenchmarkFoo/case",
+		"BenchmarkFoo/hop=100":    "BenchmarkFoo/hop=100",
+		"BenchmarkFoo/n=2000-128": "BenchmarkFoo/n=2000",
+		"BenchmarkBar":            "BenchmarkBar",
+	}
+	for in, want := range cases {
+		if got := stripProcs(in); got != want {
+			t.Errorf("stripProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
