@@ -1,0 +1,350 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"egi"
+)
+
+// TestIngestRejectsJSONNull is the regression test for the ingest
+// boundary bug: `[1, null, 3]` used to decode with the null silently
+// becoming 0.0 — a fabricated point poisoning the stream. It must be a
+// 400 naming the element, with nothing applied.
+func TestIngestRejectsJSONNull(t *testing.T) {
+	m, err := egi.NewManager(egi.ManagerOptions{Stream: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(newServer(m, "value", 16, 0, limits{}).handler())
+	defer ts.Close()
+
+	resp := post(t, ts.Client(), ts.URL+"/v1/streams/a/points",
+		strings.NewReader("[1, null, 3]"), "application/json")
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("null element: status %d: %s", resp.StatusCode, body)
+	}
+	var e struct {
+		Error    string `json:"error"`
+		Accepted int    `json:"accepted"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("error body not JSON: %s", body)
+	}
+	if !strings.Contains(e.Error, "element 1") || !strings.Contains(e.Error, "null") {
+		t.Fatalf("error does not locate the null: %q", e.Error)
+	}
+	if e.Accepted != 0 {
+		t.Fatalf("accepted = %d for a rejected body, want 0", e.Accepted)
+	}
+	// Nothing was applied — not even the valid leading element.
+	if m.Len() != 0 {
+		t.Fatal("rejected body created a stream")
+	}
+}
+
+// TestIngestErrorsReportAccepted: every ingest error body carries the
+// applied-prefix count, so clients know the exact resume coordinate.
+func TestIngestErrorsReportAccepted(t *testing.T) {
+	m, err := egi.NewManager(egi.ManagerOptions{Stream: testOptions(), MaxStreams: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(newServer(m, "value", 16, 0, limits{MaxStreams: 1}).handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	readAccepted := func(resp *http.Response) (int, string) {
+		t.Helper()
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var e struct {
+			Error    string `json:"error"`
+			Accepted *int   `json:"accepted"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Accepted == nil {
+			t.Fatalf("error body lacks accepted count: %s", body)
+		}
+		return *e.Accepted, e.Error
+	}
+
+	// Parse failure after valid lines: nothing is applied (the body is
+	// parsed in full before any push).
+	resp := post(t, client, ts.URL+"/v1/streams/a/points", strings.NewReader("1\n2\nbogus\n"), "")
+	if n, _ := readAccepted(resp); n != 0 {
+		t.Fatalf("parse failure accepted = %d, want 0", n)
+	}
+
+	// Limit rejection: the batch is rejected outright with accepted 0.
+	resp = post(t, client, ts.URL+"/v1/streams/a/points", strings.NewReader("1\n2\n"), "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid ingest: status %d", resp.StatusCode)
+	}
+	resp = post(t, client, ts.URL+"/v1/streams/b/points", strings.NewReader("1\n"), "")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit: status %d", resp.StatusCode)
+	}
+	if n, _ := readAccepted(resp); n != 0 {
+		t.Fatalf("over-limit accepted = %d, want 0", n)
+	}
+}
+
+// ingestBatches pushes data through the HTTP ingest endpoint in fixed
+// batches, failing the test on any non-200.
+func ingestBatches(t *testing.T, client *http.Client, url string, data []float64) {
+	t.Helper()
+	for off := 0; off < len(data); off += 250 {
+		end := off + 250
+		if end > len(data) {
+			end = len(data)
+		}
+		resp := post(t, client, url, jsonBody(t, data[off:end]), "application/json")
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest batch at %d: status %d: %s", off, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestServerDurabilityRestart is the serving-layer acceptance test for
+// the durable-streams work: ingest part of a series against a -data-dir
+// server, stop it, start a fresh server over the same directory, ingest
+// the rest — the combined SSE events must be exactly what an
+// uninterrupted detector produces, and the snapshot/replay endpoints
+// must work along the way.
+func TestServerDurabilityRestart(t *testing.T) {
+	dir := t.TempDir()
+	series := sensorSeries(3000, 40, 99, 700, 2300)
+	const cut = 2000
+	open := func() (*egi.Manager, *httptest.Server) {
+		m, err := egi.NewManager(egi.ManagerOptions{
+			Stream: testOptions(), DataDir: dir, SnapshotEvery: 512,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m, httptest.NewServer(newServer(m, "value", 4096, 0, limits{}).handler())
+	}
+
+	// Phase 1: ingest the head, checkpoint on demand, inspect replay.
+	m1, ts1 := open()
+	sseResp, err := ts1.Client().Get(ts1.URL + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sse1 := newSSEReader(sseResp.Body)
+	ingestBatches(t, ts1.Client(), ts1.URL+"/v1/streams/s/points", series[:cut])
+
+	resp := post(t, ts1.Client(), ts1.URL+"/v1/streams/s/snapshot", nil, "")
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "snapshotted") {
+		t.Fatalf("snapshot endpoint: status %d: %s", resp.StatusCode, body)
+	}
+
+	// More points after the checkpoint give replay a tail to re-derive.
+	ingestBatches(t, ts1.Client(), ts1.URL+"/v1/streams/s/points", series[cut:cut+500])
+	resp, err = ts1.Client().Get(ts1.URL + "/v1/streams/s/replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay endpoint: status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var summary struct {
+		Replayed int  `json:"replayed_points"`
+		Done     bool `json:"done"`
+	}
+	lines := 0
+	for sc.Scan() {
+		lines++
+		if err := json.Unmarshal(sc.Bytes(), &summary); err != nil {
+			t.Fatalf("replay line %d not JSON: %s", lines, sc.Text())
+		}
+	}
+	resp.Body.Close()
+	if lines == 0 || !summary.Done || summary.Replayed != 500 {
+		t.Fatalf("replay summary = %+v over %d lines, want done with 500 replayed", summary, lines)
+	}
+
+	// Stop phase 1. Close hibernates the durable stream — no flush — so
+	// phase 2 resumes it exactly where it stopped. The manager closes
+	// first: that ends the SSE handler, which ts1.Close waits for.
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-sse1.done
+	ts1.Close()
+
+	// Phase 2: a fresh server over the same directory recovers the stream.
+	m2, ts2 := open()
+	defer ts2.Close()
+	var stats struct {
+		Stats streamStatsJSON `json:"stats"`
+	}
+	resp, err = ts2.Client().Get(ts2.URL + "/v1/streams/s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Stats.Points != cut+500 {
+		t.Fatalf("recovered stream has %d points, want %d", stats.Stats.Points, cut+500)
+	}
+
+	sseResp2, err := ts2.Client().Get(ts2.URL + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sse2 := newSSEReader(sseResp2.Body)
+	ingestBatches(t, ts2.Client(), ts2.URL+"/v1/streams/s/points", series[cut+500:])
+
+	// Terminal close: flush (final events reach SSE) and delete the
+	// persisted state.
+	req, _ := http.NewRequest(http.MethodDelete, ts2.URL+"/v1/streams/s", nil)
+	resp, err = ts2.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d", resp.StatusCode)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-sse2.done
+
+	// The acceptance bar: events across the restart are exactly the
+	// uninterrupted detector's, in order, bit for bit.
+	want := directEvents(t, series)
+	got := append(append([]egi.Anomaly(nil), sse1.events["s"]...), sse2.events["s"]...)
+	if len(got) != len(want) {
+		t.Fatalf("%d events across restart, %d uninterrupted (%v vs %v)", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+
+	// DELETE was terminal: no persisted state survives it.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("%d entries left in the data dir after DELETE", len(entries))
+	}
+}
+
+// TestReplayRequiresDataDir: the durability endpoints refuse cleanly on
+// an in-memory server instead of pretending.
+func TestReplayRequiresDataDir(t *testing.T) {
+	m, err := egi.NewManager(egi.ManagerOptions{Stream: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(newServer(m, "value", 16, 0, limits{}).handler())
+	defer ts.Close()
+
+	resp := post(t, ts.Client(), ts.URL+"/v1/streams/s/snapshot", nil, "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("snapshot without -data-dir: status %d", resp.StatusCode)
+	}
+	resp, err = ts.Client().Get(ts.URL + "/v1/streams/s/replay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("replay without -data-dir: status %d", resp.StatusCode)
+	}
+}
+
+// TestSSEHeartbeatLifecycle runs the event stream with compressed timers:
+// heartbeats must keep arriving well past several write-deadline windows
+// (each successful write clears its deadline), and the stream must end
+// promptly when the manager closes.
+func TestSSEHeartbeatLifecycle(t *testing.T) {
+	m, err := egi.NewManager(egi.ManagerOptions{Stream: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(m, "value", 16, 0, limits{})
+	srv.sseWriteTimeout = 75 * time.Millisecond
+	srv.heartbeatEvery = 25 * time.Millisecond
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	pings := make(chan struct{}, 64)
+	done := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), ": ping") {
+				pings <- struct{}{}
+			}
+		}
+		done <- sc.Err()
+	}()
+
+	// Ten heartbeats span several deadline windows; a stale (uncleared)
+	// deadline or a stopped ticker would cut the stream short.
+	deadline := time.After(5 * time.Second)
+	for i := 0; i < 10; i++ {
+		select {
+		case <-pings:
+		case <-deadline:
+			t.Fatalf("only %d heartbeats before timeout", i)
+		}
+	}
+
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("SSE body ended with error: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream did not end after manager close")
+	}
+}
+
+// TestRunFlags covers the new CLI surface: a bad -nonfinite value is a
+// configuration error before anything listens.
+func TestRunFlags(t *testing.T) {
+	if err := run([]string{"-window", "50", "-nonfinite", "sometimes"}, io.Discard); err == nil ||
+		!strings.Contains(err.Error(), "nonfinite") {
+		t.Fatalf("bad -nonfinite: err = %v", err)
+	}
+	if err := run([]string{"-window", "50", "-snapshot-every", "-1"}, io.Discard); err == nil {
+		t.Fatal("negative -snapshot-every accepted")
+	}
+}

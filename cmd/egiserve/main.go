@@ -9,28 +9,50 @@
 // Usage:
 //
 //	egiserve -window 900 [-addr :8080] [-buflen 9000] [-hop 0] \
-//	         [-threshold 0.2] [-adaptive 0] [-field value] \
+//	         [-threshold 0.2] [-adaptive 0] [-field value] [-nonfinite reject] \
 //	         [-max-streams 0] [-max-bytes 0] [-idle-after 10m] [-sweep 1m] \
+//	         [-data-dir ""] [-snapshot-every 8192] [-fsync] \
 //	         [-pprof-addr localhost:6060]
 //
 // Endpoints:
 //
-//	POST   /v1/streams/{id}/points  ingest; NDJSON body (one point per
-//	                                line: bare number or object whose
-//	                                -field member holds the value), or a
-//	                                JSON array of numbers with
-//	                                Content-Type: application/json. The
-//	                                stream is created on first use.
-//	GET    /v1/streams              all live streams' stats (points,
-//	                                events, memory) + rolled-up totals
-//	GET    /v1/streams/{id}         one stream's stats + current top-K
-//	DELETE /v1/streams/{id}         flush and close the stream
-//	GET    /v1/events[?stream=id]   SSE firehose of confirmed events
-//	GET    /healthz                 liveness summary
+//	POST   /v1/streams/{id}/points    ingest; NDJSON body (one point per
+//	                                  line: bare number or object whose
+//	                                  -field member holds the value), or a
+//	                                  JSON array of numbers with
+//	                                  Content-Type: application/json. The
+//	                                  stream is created on first use.
+//	GET    /v1/streams                all live streams' stats (points,
+//	                                  events, memory) + rolled-up totals
+//	GET    /v1/streams/{id}           one stream's stats + current top-K
+//	DELETE /v1/streams/{id}           flush and close the stream; with
+//	                                  -data-dir, also deletes its
+//	                                  persisted state
+//	POST   /v1/streams/{id}/snapshot  force a durability checkpoint now
+//	                                  (requires -data-dir)
+//	GET    /v1/streams/{id}/replay    re-derive recent events from the
+//	                                  persisted state as NDJSON (requires
+//	                                  -data-dir)
+//	GET    /v1/events[?stream=id]     SSE firehose of confirmed events
+//	GET    /healthz                   liveness summary
 //
 // Ingest responses are JSON; limit rejections (stream cap reached with
 // nothing idle, memory budget exhausted) are 429, shutdown is 503, and
-// malformed bodies are 400 with a line-precise error.
+// malformed bodies are 400 with a line-precise error. Every ingest error
+// body carries "accepted" — how many leading points of the batch were
+// applied — so clients resend exactly the unapplied remainder.
+//
+// With -data-dir set, streams are durable: accepted points are
+// write-ahead logged under that directory with a snapshot checkpoint
+// every -snapshot-every points, idle-evicted streams hibernate to disk
+// and resume transparently on their next push, and a restart recovers
+// every stream bit-identically — same future events, same rankings — as
+// if the process had never stopped. -fsync extends the guarantee from
+// process death to power loss at the cost of one fsync per ingest.
+//
+// -nonfinite selects the NaN/±Inf ingest policy for every stream:
+// "reject" (the default) fails the batch at the offending point, "clamp"
+// substitutes the last finite value, "drop" skips them.
 //
 // With -pprof-addr set, a second HTTP listener serves the standard
 // net/http/pprof profiling endpoints under /debug/pprof/ on that address
@@ -56,6 +78,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -98,10 +121,14 @@ func run(args []string, stdout io.Writer) error {
 		adaptive   = fs.Float64("adaptive", 0, "adaptive event threshold: running quantile of the score curve in (0,1), e.g. 0.05; 0 keeps the fixed -threshold")
 		rebase     = fs.Int("rebase-every", 0, "hop runs between per-stream grammar rebases; 0 = adaptive (per-run at the default hop, amortized at smaller hops), 1 = re-induce every run")
 		field      = fs.String("field", "value", "NDJSON object member holding the value")
+		nonFinite  = fs.String("nonfinite", "reject", "NaN/Inf ingest policy: reject, clamp (hold last finite value), or drop")
 		maxStreams = fs.Int("max-streams", 0, "maximum live streams; 0 = unlimited")
 		maxBytes   = fs.Int64("max-bytes", 0, "total memory budget across streams, in bytes; 0 = unlimited")
 		idleAfter  = fs.Duration("idle-after", 10*time.Minute, "idle time before a stream may be evicted; 0 disables eviction")
 		sweepEvery = fs.Duration("sweep", time.Minute, "how often to sweep for idle streams")
+		dataDir    = fs.String("data-dir", "", "durability directory: write-ahead log + snapshots per stream; empty = in-memory only")
+		snapEvery  = fs.Int("snapshot-every", 0, "accepted points between snapshot checkpoints per stream (default 8192; requires -data-dir)")
+		fsync      = fs.Bool("fsync", false, "fsync the write-ahead log after every ingest (survive power loss, not just crashes)")
 		eventBuf   = fs.Int("event-buffer", 1024, "per-SSE-subscription event channel capacity")
 		maxBody    = fs.Int64("max-body", defaultMaxBody, "maximum ingest request body size, in bytes")
 		size       = fs.Int("size", 0, "ensemble size N (default 50)")
@@ -117,17 +144,23 @@ func run(args []string, stdout io.Writer) error {
 Usage: egiserve -window N [flags]
 
 Endpoints:
-  POST   /v1/streams/{id}/points  ingest NDJSON (bare numbers or objects
-                                  with the -field member) or, with
-                                  Content-Type: application/json, a JSON
-                                  array of numbers; creates the stream
-  GET    /v1/streams              live stream stats + rolled-up totals
-  GET    /v1/streams/{id}         one stream's stats + current top-K
-  DELETE /v1/streams/{id}         flush and close the stream
-  GET    /v1/events[?stream=id]   SSE firehose of confirmed events
-  GET    /healthz                 liveness summary
+  POST   /v1/streams/{id}/points    ingest NDJSON (bare numbers or objects
+                                    with the -field member) or, with
+                                    Content-Type: application/json, a JSON
+                                    array of numbers; creates the stream
+  GET    /v1/streams                live stream stats + rolled-up totals
+  GET    /v1/streams/{id}           one stream's stats + current top-K
+  DELETE /v1/streams/{id}           flush and close the stream (and delete
+                                    its persisted state under -data-dir)
+  POST   /v1/streams/{id}/snapshot  force a durability checkpoint now
+  GET    /v1/streams/{id}/replay    re-derive recent events from disk
+  GET    /v1/events[?stream=id]     SSE firehose of confirmed events
+  GET    /healthz                   liveness summary
 
-Limit rejections are HTTP 429, shutdown 503, malformed bodies 400.
+Limit rejections are HTTP 429, shutdown 503, malformed bodies 400; every
+ingest error body carries "accepted", the applied-prefix length. With
+-data-dir, streams are write-ahead logged and recovered bit-identically
+across restarts; evicted streams hibernate and resume on the next push.
 With -pprof-addr, net/http/pprof is served on that (private) address.
 Exit codes: 0 clean shutdown or -h, 1 configuration or listen errors.
 
@@ -141,6 +174,17 @@ Flags:
 	if *window < 2 {
 		return errors.New("-window is required and must be >= 2")
 	}
+	var policy egi.NonFinitePolicy
+	switch strings.ToLower(strings.TrimSpace(*nonFinite)) {
+	case "reject":
+		policy = egi.NonFiniteReject
+	case "clamp":
+		policy = egi.NonFiniteClamp
+	case "drop":
+		policy = egi.NonFiniteDrop
+	default:
+		return fmt.Errorf("-nonfinite must be reject, clamp or drop (got %q)", *nonFinite)
+	}
 
 	m, err := egi.NewManager(egi.ManagerOptions{
 		Stream: egi.StreamOptions{
@@ -149,6 +193,7 @@ Flags:
 			Hop:              *hop,
 			Threshold:        *threshold,
 			AdaptiveQuantile: *adaptive,
+			NonFinite:        policy,
 			RebaseEvery:      *rebase,
 			EnsembleSize:     *size,
 			WMax:             *wmax,
@@ -157,9 +202,12 @@ Flags:
 			TopK:             *topK,
 			Seed:             *seed,
 		},
-		MaxStreams: *maxStreams,
-		MaxBytes:   *maxBytes,
-		IdleAfter:  *idleAfter,
+		MaxStreams:    *maxStreams,
+		MaxBytes:      *maxBytes,
+		IdleAfter:     *idleAfter,
+		DataDir:       *dataDir,
+		SnapshotEvery: *snapEvery,
+		Fsync:         *fsync,
 	})
 	if err != nil {
 		return err

@@ -23,12 +23,17 @@ type server struct {
 	eventBuf int    // per-SSE-subscription channel capacity
 	maxBody  int64  // ingest request body cap, bytes
 	limits   limits
-}
 
-// sseWriteTimeout bounds each SSE write: a client that stops reading
-// (full TCP window) fails its next write instead of wedging the handler —
-// and with it event delivery and graceful shutdown — forever.
-const sseWriteTimeout = 30 * time.Second
+	// sseWriteTimeout bounds each SSE write: a client that stops reading
+	// (full TCP window) fails its next write instead of wedging the
+	// handler — and with it event delivery and graceful shutdown —
+	// forever. The deadline is cleared after each successful write so it
+	// bounds one write, not the connection. heartbeatEvery paces the
+	// comment frames that keep idle connections alive. Both are fields
+	// (defaulting to 30s/15s) so tests can compress them.
+	sseWriteTimeout time.Duration
+	heartbeatEvery  time.Duration
+}
 
 // defaultMaxBody caps ingest bodies when -max-body is unset. Ingest
 // parses the whole body before pushing, so the cap is what keeps a single
@@ -52,13 +57,19 @@ func newServer(m *egi.Manager, field string, eventBuf int, maxBody int64, lim li
 	if maxBody <= 0 {
 		maxBody = defaultMaxBody
 	}
-	return &server{m: m, field: field, eventBuf: eventBuf, maxBody: maxBody, limits: lim}
+	return &server{
+		m: m, field: field, eventBuf: eventBuf, maxBody: maxBody, limits: lim,
+		sseWriteTimeout: 30 * time.Second,
+		heartbeatEvery:  15 * time.Second,
+	}
 }
 
 // handler builds the route table.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/streams/{id}/points", s.ingest)
+	mux.HandleFunc("POST /v1/streams/{id}/snapshot", s.snapshotStream)
+	mux.HandleFunc("GET /v1/streams/{id}/replay", s.replayStream)
 	mux.HandleFunc("GET /v1/streams", s.listStreams)
 	mux.HandleFunc("GET /v1/streams/{id}", s.streamStats)
 	mux.HandleFunc("DELETE /v1/streams/{id}", s.closeStream)
@@ -123,6 +134,14 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
+// writeIngestError reports an ingest failure together with the number of
+// points that WERE applied before it — the client's resume coordinate: on
+// a partial failure it must resend xs[accepted:], nothing more, nothing
+// less.
+func writeIngestError(w http.ResponseWriter, code int, err error, accepted int) {
+	writeJSON(w, code, map[string]any{"error": err.Error(), "accepted": accepted})
+}
+
 // errorCode maps manager/detector errors onto HTTP statuses: limit
 // rejections are 429 (back off and retry), shutdown is 503, everything
 // else about the request's content is 400.
@@ -142,50 +161,58 @@ func errorCode(err error) int {
 // ingest handles POST /v1/streams/{id}/points: the body is either NDJSON
 // (one point per line: a bare number, or an object whose configured field
 // holds the value) or, with Content-Type application/json, one JSON array
-// of numbers. The stream is created on first use; the response reports the
-// accepted count and the stream's post-push accounting.
+// of numbers. The stream is created on first use; the response reports
+// the accepted count and the stream's post-push accounting. Every error
+// response also carries "accepted" — how many points were applied before
+// the failure — so clients resend exactly the unapplied remainder.
 func (s *server) ingest(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
 	points, err := parsePoints(body, r.Header.Get("Content-Type"), s.field)
 	if err != nil {
+		// The body is parsed in full before anything is pushed, so a
+		// malformed body applies zero points.
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
-			writeError(w, http.StatusRequestEntityTooLarge,
-				fmt.Errorf("request body exceeds %d bytes; split the batch", s.maxBody))
+			writeIngestError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes; split the batch", s.maxBody), 0)
 			return
 		}
-		writeError(w, http.StatusBadRequest, err)
+		writeIngestError(w, http.StatusBadRequest, err, 0)
 		return
 	}
 	if len(points) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("no points in request body"))
+		writeIngestError(w, http.StatusBadRequest, errors.New("no points in request body"), 0)
 		return
 	}
-	if err := s.m.PushBatch(id, points); err != nil {
-		writeError(w, errorCode(err), err)
+	accepted, err := s.m.PushBatchN(id, points)
+	if err != nil {
+		writeIngestError(w, errorCode(err), err, accepted)
 		return
 	}
 	st, err := s.m.StreamStats(id)
 	if err != nil {
 		// The stream was evicted between push and stats; report the push.
-		writeJSON(w, http.StatusOK, map[string]any{"stream": id, "pushed": len(points)})
+		writeJSON(w, http.StatusOK, map[string]any{"stream": id, "pushed": accepted})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"stream": id,
-		"pushed": len(points),
+		"pushed": accepted,
 		"stats":  toStatsJSON(st),
 	})
 }
 
 // parsePoints decodes an ingest body. contentType application/json
-// selects the JSON-array form; anything else is parsed as NDJSON.
+// selects the JSON-array form; anything else is parsed as NDJSON. Both
+// forms reject null and non-number elements with a position-precise error
+// — encoding/json would otherwise skip a null, leaving the target element
+// 0.0 and silently poisoning the stream with a fabricated point.
 func parsePoints(r io.Reader, contentType, field string) ([]float64, error) {
 	if ct, _, _ := strings.Cut(contentType, ";"); strings.TrimSpace(ct) == "application/json" {
-		var points []float64
+		var raw []*float64
 		dec := json.NewDecoder(r)
-		if err := dec.Decode(&points); err != nil {
+		if err := dec.Decode(&raw); err != nil {
 			return nil, fmt.Errorf("parsing JSON array body: %w", err)
 		}
 		// Decode stops after the first value; silently dropping trailing
@@ -196,6 +223,13 @@ func parsePoints(r io.Reader, contentType, field string) ([]float64, error) {
 			}
 			return nil, errors.New("trailing data after JSON array body")
 		}
+		points := make([]float64, len(raw))
+		for i, p := range raw {
+			if p == nil {
+				return nil, fmt.Errorf("JSON array element %d is null, not a number", i)
+			}
+			points[i] = *p
+		}
 		return points, nil
 	}
 	var points []float64
@@ -204,6 +238,52 @@ func parsePoints(r io.Reader, contentType, field string) ([]float64, error) {
 		return nil
 	})
 	return points, err
+}
+
+// snapshotStream handles POST /v1/streams/{id}/snapshot: force a
+// durability checkpoint of the stream right now, superseding its
+// write-ahead log tail. Requires the server to run with -data-dir.
+func (s *server) snapshotStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.m.SnapshotStream(id); err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	st, err := s.m.StreamStats(id)
+	if err != nil {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"snapshotted": id, "stats": toStatsJSON(st)})
+}
+
+// replayStream handles GET /v1/streams/{id}/replay: re-derive the
+// stream's recent events from its persisted state — restore the last
+// checkpoint, re-push the logged tail — and stream them back as NDJSON,
+// one object per event tagged with the hop (detection run) that confirmed
+// it, followed by a summary line. The live stream is not disturbed;
+// determinism makes the output exactly the events a crash-restart at the
+// last checkpoint would re-announce. Requires -data-dir.
+func (s *server) replayStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	wrote := false
+	n, err := s.m.ReplayStream(id, func(hop int, a egi.Anomaly) error {
+		wrote = true
+		return enc.Encode(map[string]any{
+			"hop": hop, "pos": a.Pos, "length": a.Length, "density": a.Density,
+		})
+	})
+	if err != nil && !wrote {
+		writeError(w, errorCode(err), err)
+		return
+	}
+	summary := map[string]any{"stream": id, "replayed_points": n, "done": err == nil}
+	if err != nil {
+		summary["error"] = err.Error()
+	}
+	enc.Encode(summary)
 }
 
 // listStreams handles GET /v1/streams: every live stream's accounting
@@ -282,14 +362,21 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 	fl.Flush()
 
 	write := func(format string, args ...any) bool {
-		rc.SetWriteDeadline(time.Now().Add(sseWriteTimeout))
+		rc.SetWriteDeadline(time.Now().Add(s.sseWriteTimeout))
 		if _, err := fmt.Fprintf(w, format, args...); err != nil {
 			return false
 		}
-		return rc.Flush() == nil
+		if rc.Flush() != nil {
+			return false
+		}
+		// Clear the deadline: it bounds one write, not the connection —
+		// a healthy client left under a stale deadline would be cut off
+		// mid-idle the next time the clock passes it.
+		rc.SetWriteDeadline(time.Time{})
+		return true
 	}
 
-	heartbeat := time.NewTicker(15 * time.Second)
+	heartbeat := time.NewTicker(s.heartbeatEvery)
 	defer heartbeat.Stop()
 	for {
 		select {

@@ -206,12 +206,23 @@ func feedCSV(s *egi.Streamer, r io.Reader, col int) error {
 			return fmt.Errorf("row %d column %d: %w", row, col, err)
 		}
 		if err := s.Push(v); err != nil {
-			return fmt.Errorf("row %d: %w", row, err)
+			return fmt.Errorf("row %d (after %d points applied): %w", row, pushed, err)
 		}
 		pushed++
 	}
 }
 
+// feedNDJSON streams NDJSON lines; a push failure reports how many points
+// were already applied, so a caller resuming the feed knows the exact
+// stream position to restart from.
 func feedNDJSON(s *egi.Streamer, r io.Reader, field string) error {
-	return ndjson.ForEach(r, field, func(_ int, v float64) error { return s.Push(v) })
+	applied := 0
+	return ndjson.ForEach(r, field, func(_ int, v float64) error {
+		// ForEach prefixes the line number; add the applied count here.
+		if err := s.Push(v); err != nil {
+			return fmt.Errorf("after %d points applied: %w", applied, err)
+		}
+		applied++
+		return nil
+	})
 }

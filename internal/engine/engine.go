@@ -702,6 +702,104 @@ func (e *Engine) MemoryFootprint() int64 {
 	return total
 }
 
+// PipeState is the portable form of one member's discretization pipeline,
+// tagged with the member's parameters.
+type PipeState struct {
+	// Params is the member's (w, a) combination.
+	Params sax.Params
+	// Seq is the pipeline's captured token state.
+	Seq sax.SeqState
+}
+
+// InductState is the portable form of one member's resumable induction
+// state. The grammar itself is not walked: a Sequitur grammar is a lossless
+// encoding of its pushed token sequence, so Words (the expanded sequence)
+// plus a deterministic re-induction reproduce it exactly.
+type InductState struct {
+	// Params is the member's (w, a) combination.
+	Params sax.Params
+	// Base is the global window position the epoch is anchored at.
+	Base int
+	// FedTo is the last global window index fed into the builder.
+	FedTo int
+	// Runs counts spans participated in since the last rebase.
+	Runs int
+	// Pos is the global window start of every fed token, in push order.
+	Pos []int
+	// Words is the fed token sequence, in push order (len == len(Pos)).
+	Words []string
+}
+
+// State is the engine's complete resumable state: everything that survives
+// across spans. Scratch buffers and pooled arenas are deliberately absent —
+// they are rebuilt on demand and carry no detection semantics. Members are
+// sorted by (w, a) so equal engines produce equal states.
+type State struct {
+	// LastEnd is the high-water span end, guarding bind's regression check.
+	LastEnd int
+	// Pipes holds every member pipeline's state.
+	Pipes []PipeState
+	// Induct holds every member's resumable induction state.
+	Induct []InductState
+}
+
+// State captures the engine's resumable state for serialization.
+func (e *Engine) State() State {
+	st := State{LastEnd: e.lastEnd}
+	for p, seq := range e.pipes {
+		st.Pipes = append(st.Pipes, PipeState{Params: p, Seq: seq.State()})
+	}
+	for p, ms := range e.induct {
+		st.Induct = append(st.Induct, InductState{
+			Params: p,
+			Base:   ms.base,
+			FedTo:  ms.fedTo,
+			Runs:   ms.runs,
+			Pos:    append([]int(nil), ms.pos...),
+			Words:  ms.b.AppendSequence(nil),
+		})
+	}
+	sortParams := func(a, b sax.Params) bool { return a.W < b.W || (a.W == b.W && a.A < b.A) }
+	sort.Slice(st.Pipes, func(i, j int) bool { return sortParams(st.Pipes[i].Params, st.Pipes[j].Params) })
+	sort.Slice(st.Induct, func(i, j int) bool { return sortParams(st.Induct[i].Params, st.Induct[j].Params) })
+	return st
+}
+
+// RestoreState rebinds the engine to src and reinstates a captured state:
+// pipelines are reconstructed from their token records and induction
+// grammars re-induced from their fed sequences (bit-identical to the
+// captured grammars, by the resumable property). The engine must be freshly
+// constructed with the same configuration the state was captured under;
+// subsequent DetectSpan calls continue exactly where the captured engine
+// left off.
+func (e *Engine) RestoreState(src Source, st State) error {
+	if len(e.pipes) != 0 || len(e.induct) != 0 {
+		return errors.New("engine: RestoreState needs a fresh engine")
+	}
+	for _, ps := range st.Pipes {
+		e.pipes[ps.Params] = sax.RestoreSeq(ps.Seq)
+	}
+	for _, is := range st.Induct {
+		if len(is.Pos) != len(is.Words) {
+			return fmt.Errorf("engine: induction state %v: %d positions, %d words", is.Params, len(is.Pos), len(is.Words))
+		}
+		ms := &memberState{
+			b:     sequitur.NewBuilder(),
+			pos:   append([]int(nil), is.Pos...),
+			base:  is.Base,
+			fedTo: is.FedTo,
+			runs:  is.Runs,
+		}
+		for _, w := range is.Words {
+			ms.b.Push(w)
+		}
+		e.induct[is.Params] = ms
+	}
+	e.src = src
+	e.lastEnd = st.LastEnd
+	return nil
+}
+
 // TrimBefore tells every pipeline that no future span will start before
 // stream position pos, letting them drop tokens (and their words) that
 // precede it. Owners with a hop schedule call it after each span.

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"egi/internal/stream"
+	"egi/internal/wal"
 )
 
 // Errors reported by the manager.
@@ -76,6 +77,20 @@ type Config struct {
 	// only leave through CloseStream or Close, and the limits above
 	// reject rather than evict.
 	IdleAfter time.Duration
+	// DataDir, when non-empty, makes every stream durable: accepted
+	// points are write-ahead logged under this directory, snapshot
+	// checkpoints bound replay, eviction hibernates streams instead of
+	// flushing them, and New recovers every persisted stream. Empty
+	// keeps the manager fully in-memory (the previous behavior).
+	DataDir string
+	// SnapshotEvery is the number of accepted points between snapshot
+	// checkpoints of a durable stream; 0 selects 8192. Checkpoints bound
+	// both recovery replay time and on-disk log growth.
+	SnapshotEvery int
+	// Fsync, when set, fsyncs the write-ahead log after every accepted
+	// push batch, making acked points survive power loss rather than
+	// just process death. Off, durability rides on the OS page cache.
+	Fsync bool
 	// Now is the clock, injectable for tests; nil means time.Now.
 	Now func() time.Time
 }
@@ -116,11 +131,14 @@ type entry struct {
 	id      string
 	created time.Time
 
-	mu      sync.Mutex // guards d, pending, spare, closed
-	d       *stream.Detector
-	pending []Event
-	spare   []Event
-	closed  bool
+	mu        sync.Mutex // guards d, pending, spare, closed, log, sinceSnap
+	d         *stream.Detector
+	pending   []Event
+	spare     []Event
+	closed    bool
+	log       *wal.StreamLog // non-nil when the stream is durable
+	walPos    int            // log coordinate: input points consumed so far
+	sinceSnap int            // consumed points since the last checkpoint
 
 	sendMu sync.Mutex // serializes this stream's broker publishes
 
@@ -134,9 +152,11 @@ type entry struct {
 // Manager multiplexes many streaming detectors behind one surface. All
 // methods are safe for concurrent use.
 type Manager struct {
-	cfg    Config
-	now    func() time.Time
-	broker *broker
+	cfg       Config
+	now       func() time.Time
+	broker    *broker
+	store     *wal.Store // nil when DataDir is empty
+	snapEvery int
 
 	mu      sync.Mutex // guards streams and closed
 	streams map[string]*entry
@@ -161,6 +181,9 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.IdleAfter < 0 {
 		return nil, fmt.Errorf("manager: IdleAfter must be >= 0, got %v", cfg.IdleAfter)
 	}
+	if cfg.SnapshotEvery < 0 {
+		return nil, fmt.Errorf("manager: SnapshotEvery must be >= 0, got %d", cfg.SnapshotEvery)
+	}
 	if _, err := stream.New(cfg.Stream); err != nil {
 		return nil, fmt.Errorf("manager: stream template: %w", err)
 	}
@@ -168,12 +191,28 @@ func New(cfg Config) (*Manager, error) {
 	if now == nil {
 		now = time.Now
 	}
-	return &Manager{
-		cfg:     cfg,
-		now:     now,
-		broker:  newBroker(),
-		streams: make(map[string]*entry),
-	}, nil
+	m := &Manager{
+		cfg:       cfg,
+		now:       now,
+		broker:    newBroker(),
+		streams:   make(map[string]*entry),
+		snapEvery: cfg.SnapshotEvery,
+	}
+	if m.snapEvery == 0 {
+		m.snapEvery = 8192
+	}
+	if cfg.DataDir != "" {
+		store, err := wal.Open(cfg.DataDir, wal.Options{Fsync: cfg.Fsync})
+		if err != nil {
+			return nil, fmt.Errorf("manager: opening data directory: %w", err)
+		}
+		m.store = store
+		if err := m.recoverAll(); err != nil {
+			m.Close()
+			return nil, err
+		}
+	}
+	return m, nil
 }
 
 // Open creates the stream if it does not exist yet, applying the
@@ -208,23 +247,13 @@ func (m *Manager) get(id string, create bool) (*entry, []*entry, error) {
 		}
 		evicted = append(evicted, ev)
 	}
-	e := &entry{id: id, created: m.now()}
-	e.lastPush.Store(e.created.UnixNano())
-	cfg := m.cfg.Stream
-	cfg.OnEvent = func(ev stream.Event) {
-		// Runs synchronously inside d.Push/Flush, which only happen
-		// under e.mu — appending here is race-free.
-		e.pending = append(e.pending, Event{Stream: id, Anomaly: ev})
-		e.events.Add(1)
-	}
-	d, err := stream.New(cfg)
+	// openEntry recovers persisted state when the manager is durable, so
+	// a previously evicted (hibernated) stream resumes here transparently.
+	e, err := m.openEntry(id)
 	if err != nil {
-		// The template was validated in New; this is unreachable short
-		// of a datarace on cfg, but fail cleanly regardless.
-		return nil, evicted, fmt.Errorf("manager: creating stream %q: %w", id, err)
+		return nil, evicted, err
 	}
-	e.d = d
-	fp := d.MemoryFootprint()
+	fp := e.d.MemoryFootprint()
 	// Admit the new stream against the byte budget while m.mu is held:
 	// concurrent creations serialize here, so they cannot collectively
 	// overshoot — the budget admits a stream or rejects it, atomically.
@@ -232,6 +261,7 @@ func (m *Manager) get(id string, create bool) (*entry, []*entry, error) {
 		for m.totalBytes.Load()+fp > m.cfg.MaxBytes {
 			ev := m.evictLRULocked()
 			if ev == nil {
+				e.hibernate() // release the log handle; persisted state stays resumable
 				return nil, evicted, fmt.Errorf("%w: %d of %d bytes in use, new stream needs %d",
 					ErrOverBudget, m.totalBytes.Load(), m.cfg.MaxBytes, fp)
 			}
@@ -256,46 +286,66 @@ func (m *Manager) Push(id string, x float64) error {
 // the remainder of the batch, with everything before the bad point
 // accepted, exactly like Streamer.PushBatch.
 func (m *Manager) PushBatch(id string, xs []float64) error {
+	_, err := m.PushBatchN(id, xs)
+	return err
+}
+
+// PushBatchN is PushBatch reporting how many points were accepted —
+// applied to the stream (and write-ahead logged, when the manager is
+// durable) before any error. On success that is len(xs); on a detector
+// error it is the index of the offending point, so a client can resend
+// exactly the unapplied remainder.
+func (m *Manager) PushBatchN(id string, xs []float64) (int, error) {
 	// A stream can be evicted between lookup and lock; recreating it and
 	// retrying is correct (the eviction already delivered everything the
-	// old incarnation could confirm), and bounded so a pathological
-	// eviction loop degrades to an error instead of spinning.
+	// old incarnation could confirm — or, durable, hibernated state the
+	// recreation resumes), and bounded so a pathological eviction loop
+	// degrades to an error instead of spinning.
 	for attempt := 0; ; attempt++ {
 		if err := m.reserveBytes(); err != nil {
-			return err
+			return 0, err
 		}
 		e, evicted, err := m.get(id, true)
 		m.retire(evicted)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		pushErr := m.pushLocked(e, xs)
+		n, pushErr := m.pushLocked(e, xs)
 		m.drain(e)
 		if errors.Is(pushErr, ErrUnknownStream) && attempt < 3 {
 			continue
 		}
-		return pushErr
+		return n, pushErr
 	}
 }
 
-// pushLocked performs the push under the entry lock and settles the
-// stream's accounting. An entry evicted between lookup and lock rejects
-// the push with ErrUnknownStream (the caller may simply retry, recreating
-// the stream).
-func (m *Manager) pushLocked(e *entry, xs []float64) error {
+// pushLocked performs the push under the entry lock, write-ahead logs the
+// consumed prefix, and settles the stream's accounting. An entry evicted
+// between lookup and lock rejects the push with ErrUnknownStream (the
+// caller may simply retry, recreating the stream). The returned count is
+// the number of input points consumed.
+func (m *Manager) pushLocked(e *entry, xs []float64) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
-		return fmt.Errorf("%w: %q (evicted)", ErrUnknownStream, e.id)
+		return 0, fmt.Errorf("%w: %q (evicted)", ErrUnknownStream, e.id)
 	}
 	before := e.d.Total()
-	err := e.d.PushBatch(xs)
-	if n := int64(e.d.Total() - before); n > 0 {
-		e.points.Add(n)
+	n, err := e.d.PushBatchN(xs)
+	if e.d.Total() > before {
+		e.points.Add(int64(e.d.Total() - before))
+	}
+	if n > 0 {
 		e.lastPush.Store(m.now().UnixNano())
 	}
 	m.settleFootprint(e)
-	return err
+	// Log the consumed prefix — raw inputs, so replay re-applies the same
+	// non-finite policy deterministically. The push is acknowledged only
+	// after the log write returns, so an acked point is never lost.
+	if werr := m.appendWALLocked(e, xs[:n]); werr != nil && err == nil {
+		err = werr
+	}
+	return n, err
 }
 
 // settleFootprint re-reads the entry's footprint and folds the delta into
@@ -367,14 +417,22 @@ func (m *Manager) detachLocked(e *entry) {
 	m.totalBytes.Add(-e.footprint.Load())
 }
 
-// retire finishes detached entries: each is flushed — emitting its
-// still-confirmable tail events into its pending queue — and drained to
-// subscribers. Runs outside m.mu.
+// retire finishes detached entries. A non-durable entry is flushed —
+// emitting its still-confirmable tail events into its pending queue — and
+// drained to subscribers. A durable entry instead hibernates: checkpoint,
+// close the log, keep the buffered tail buffered — the stream resumes
+// exactly here on its next push or the next process start, and the tail's
+// events are confirmed then, with full context, rather than force-flushed
+// now. Runs outside m.mu.
 func (m *Manager) retire(entries []*entry) {
 	for _, e := range entries {
-		e.mu.Lock()
-		e.d.Flush() // Flush only fails on detector errors already surfaced by pushes.
-		e.mu.Unlock()
+		if e.log != nil {
+			e.hibernate()
+		} else {
+			e.mu.Lock()
+			e.d.Flush() // Flush only fails on detector errors already surfaced by pushes.
+			e.mu.Unlock()
+		}
 		m.drain(e)
 	}
 }
@@ -398,8 +456,10 @@ func (m *Manager) drain(e *entry) {
 	}
 }
 
-// CloseStream flushes the stream (delivering its final events), releases
-// its memory, and returns its final stats.
+// CloseStream is the terminal close: it flushes the stream (delivering
+// its final events), releases its memory, deletes any persisted state —
+// unlike eviction, which hibernates a durable stream for later resumption
+// — and returns its final stats.
 func (m *Manager) CloseStream(id string) (StreamStats, error) {
 	m.mu.Lock()
 	if m.closed {
@@ -413,7 +473,19 @@ func (m *Manager) CloseStream(id string) (StreamStats, error) {
 	}
 	m.detachLocked(e)
 	m.mu.Unlock()
-	m.retire([]*entry{e})
+	e.mu.Lock()
+	e.d.Flush() // Flush only fails on detector errors already surfaced by pushes.
+	if e.log != nil {
+		e.log.Close()
+		e.log = nil
+	}
+	e.mu.Unlock()
+	m.drain(e)
+	if m.store != nil {
+		if err := m.store.Remove(id); err != nil {
+			return e.snapshot(), fmt.Errorf("manager: removing persisted state of %q: %w", id, err)
+		}
+	}
 	return e.snapshot(), nil
 }
 

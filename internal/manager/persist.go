@@ -1,0 +1,265 @@
+package manager
+
+// This file is the manager's durability wiring. With Config.DataDir set,
+// every managed stream is backed by an internal/wal log: accepted points
+// are write-ahead logged (batched, one record per push), a snapshot
+// checkpoint is taken every SnapshotEvery accepted points, and eviction
+// hibernates a stream — checkpoint, close the log, release memory —
+// instead of flushing it, so the stream resumes exactly where it left off
+// on its next push or at the next process start. New recovers every
+// persisted stream by restoring its snapshot and re-pushing the logged
+// tail; the detector's bit-identical snapshot/restore contract makes the
+// recovered stream indistinguishable from one that never stopped.
+// Explicitly closing a stream (CloseStream) remains terminal: it flushes
+// the final events and deletes the persisted state.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"egi/internal/stream"
+)
+
+// metaVersion versions the manager's wrapper around detector snapshots:
+// the accounting that must survive alongside the detector state.
+const metaVersion = 1
+
+// wrapSnapshot prefixes a detector snapshot with the entry's durable
+// accounting (events count, creation time). Callers hold e.mu.
+func (e *entry) wrapSnapshot(det []byte) []byte {
+	buf := make([]byte, 0, len(det)+24)
+	buf = binary.AppendUvarint(buf, metaVersion)
+	buf = binary.AppendUvarint(buf, uint64(e.events.Load()))
+	buf = binary.AppendVarint(buf, e.created.UnixNano())
+	return append(buf, det...)
+}
+
+// unwrapSnapshot splits a wrapped payload into accounting and the
+// detector snapshot.
+func unwrapSnapshot(payload []byte) (events int64, createdNano int64, det []byte, err error) {
+	v, n := binary.Uvarint(payload)
+	if n <= 0 || v != metaVersion {
+		return 0, 0, nil, fmt.Errorf("manager: unsupported snapshot meta version")
+	}
+	payload = payload[n:]
+	ev, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return 0, 0, nil, errors.New("manager: truncated snapshot meta")
+	}
+	payload = payload[n:]
+	created, n := binary.Varint(payload)
+	if n <= 0 {
+		return 0, 0, nil, errors.New("manager: truncated snapshot meta")
+	}
+	return int64(ev), created, payload[n:], nil
+}
+
+// openEntry constructs the entry for id. Without a store this is a fresh
+// detector; with one, it opens the stream's log and resumes from whatever
+// state is persisted — snapshot restore plus tail replay. Events confirmed
+// during tail replay land in the entry's pending queue (at-least-once
+// across a crash: a point acked but confirmed just before the crash may
+// be re-announced after it).
+func (m *Manager) openEntry(id string) (*entry, error) {
+	e := &entry{id: id, created: m.now()}
+	cfg := m.cfg.Stream
+	cfg.OnEvent = func(ev stream.Event) {
+		// Runs synchronously inside d.Push/Flush, which only happen
+		// under e.mu — appending here is race-free.
+		e.pending = append(e.pending, Event{Stream: id, Anomaly: ev})
+		e.events.Add(1)
+	}
+
+	if m.store == nil {
+		d, err := stream.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("manager: creating stream %q: %w", id, err)
+		}
+		e.d = d
+		e.lastPush.Store(e.created.UnixNano())
+		return e, nil
+	}
+
+	log, rec, err := m.store.OpenStream(id)
+	if err != nil {
+		return nil, fmt.Errorf("manager: opening log for stream %q: %w", id, err)
+	}
+	var d *stream.Detector
+	if rec.Snapshot != nil {
+		events, createdNano, det, err := unwrapSnapshot(rec.Snapshot)
+		if err == nil {
+			d, err = stream.Restore(cfg, det)
+		}
+		if err != nil {
+			log.Close()
+			return nil, fmt.Errorf("manager: restoring stream %q: %w", id, err)
+		}
+		e.events.Store(events)
+		e.created = time.Unix(0, createdNano)
+	} else {
+		d, err = stream.New(cfg)
+		if err != nil {
+			log.Close()
+			return nil, fmt.Errorf("manager: creating stream %q: %w", id, err)
+		}
+	}
+	e.d = d
+	e.log = log
+	if err := d.PushBatch(rec.Tail); err != nil {
+		// The logged tail was accepted once; failing to re-accept it means
+		// the store and configuration disagree. Fail loud.
+		log.Close()
+		return nil, fmt.Errorf("manager: replaying %d logged points for stream %q: %w", len(rec.Tail), id, err)
+	}
+	e.walPos = rec.SnapTotal + len(rec.Tail)
+	e.sinceSnap = len(rec.Tail)
+	e.points.Store(int64(d.Total()))
+	e.lastPush.Store(m.now().UnixNano())
+	return e, nil
+}
+
+// recoverAll resumes every persisted stream at startup, in id order. It
+// stops quietly at the MaxStreams/MaxBytes limits — the remainder stays
+// hibernated on disk and resumes lazily on first push — but fails loud on
+// corruption or configuration mismatch.
+func (m *Manager) recoverAll() error {
+	ids, err := m.store.List()
+	if err != nil {
+		return fmt.Errorf("manager: listing persisted streams: %w", err)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		e, evicted, err := m.get(id, true)
+		m.retire(evicted)
+		switch {
+		case errors.Is(err, ErrTooManyStreams) || errors.Is(err, ErrOverBudget):
+			return nil
+		case err != nil:
+			return err
+		}
+		// Replayed events have no subscribers yet; clear them rather than
+		// holding them for an arbitrary first subscriber.
+		m.drain(e)
+	}
+	return nil
+}
+
+// appendWALLocked logs the consumed prefix of a push at the entry's log
+// coordinate and advances the snapshot cadence, checkpointing when due.
+// The coordinate counts consumed input points, which under the Clamp/Drop
+// non-finite policies runs ahead of the detector's Total — the log stores
+// raw inputs and replay re-applies the policy. Callers hold e.mu; no-op
+// for non-durable entries.
+func (m *Manager) appendWALLocked(e *entry, pts []float64) error {
+	if e.log == nil || len(pts) == 0 {
+		return nil
+	}
+	if err := e.log.Append(e.walPos, pts); err != nil {
+		return fmt.Errorf("manager: logging %d points for stream %q: %w", len(pts), e.id, err)
+	}
+	e.walPos += len(pts)
+	e.sinceSnap += len(pts)
+	if e.sinceSnap >= m.snapEvery {
+		return m.checkpointLocked(e)
+	}
+	return nil
+}
+
+// checkpointLocked snapshots the entry into its log, superseding the
+// logged tail. Callers hold e.mu.
+func (m *Manager) checkpointLocked(e *entry) error {
+	if err := e.log.Snapshot(e.walPos, e.wrapSnapshot(e.d.Snapshot())); err != nil {
+		return fmt.Errorf("manager: checkpointing stream %q: %w", e.id, err)
+	}
+	e.sinceSnap = 0
+	return nil
+}
+
+// SnapshotStream forces a checkpoint of the stream now, superseding its
+// logged tail. It fails with ErrUnknownStream when the stream is not
+// live, and with an error when the manager has no data directory.
+func (m *Manager) SnapshotStream(id string) error {
+	if m.store == nil {
+		return errors.New("manager: no data directory configured")
+	}
+	e, _, err := m.get(id, false)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("%w: %q (evicted)", ErrUnknownStream, e.id)
+	}
+	return m.checkpointLocked(e)
+}
+
+// hibernate checkpoints a detached durable entry and closes its log,
+// leaving the stream resumable from disk. The detector is NOT flushed:
+// buffered points stay buffered, exactly as if the process had paused.
+// Best-effort on errors — every acked point is already in the WAL, so a
+// failed checkpoint only means recovery replays a longer tail.
+func (e *entry) hibernate() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.log == nil {
+		return
+	}
+	e.log.Snapshot(e.d.Total(), e.wrapSnapshot(e.d.Snapshot()))
+	e.log.Close()
+	e.log = nil
+}
+
+// ReplayStream re-derives a stream's events from its persisted state: it
+// restores the last checkpoint into a detached detector, re-pushes the
+// logged tail, and calls fn for every event confirmed during that replay
+// with the hop (detection run) index that confirmed it. The live stream
+// is not disturbed — replay reads the store read-only — and determinism
+// makes the output exact: these are precisely the events a crash-restart
+// at the last checkpoint would re-announce. Returns the number of tail
+// points replayed. fn returning an error aborts the replay.
+func (m *Manager) ReplayStream(id string, fn func(hop int, ev stream.Event) error) (int, error) {
+	if m.store == nil {
+		return 0, errors.New("manager: no data directory configured")
+	}
+	rec, err := m.store.Read(id)
+	if err != nil {
+		return 0, fmt.Errorf("manager: reading persisted stream %q: %w", id, err)
+	}
+	if rec.Snapshot == nil && len(rec.Tail) == 0 {
+		return 0, fmt.Errorf("%w: %q has no persisted state", ErrUnknownStream, id)
+	}
+	var d *stream.Detector
+	var fnErr error
+	cfg := m.cfg.Stream
+	cfg.OnEvent = func(ev stream.Event) {
+		if fnErr == nil {
+			fnErr = fn(d.Runs(), ev)
+		}
+	}
+	if rec.Snapshot != nil {
+		_, _, det, err := unwrapSnapshot(rec.Snapshot)
+		if err == nil {
+			d, err = stream.Restore(cfg, det)
+		}
+		if err != nil {
+			return 0, fmt.Errorf("manager: restoring snapshot of stream %q: %w", id, err)
+		}
+	} else {
+		if d, err = stream.New(cfg); err != nil {
+			return 0, err
+		}
+	}
+	for i, x := range rec.Tail {
+		if err := d.Push(x); err != nil {
+			return i, fmt.Errorf("manager: replaying stream %q at point %d: %w", id, rec.SnapTotal+i, err)
+		}
+		if fnErr != nil {
+			return i + 1, fnErr
+		}
+	}
+	return len(rec.Tail), nil
+}

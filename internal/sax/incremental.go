@@ -125,6 +125,59 @@ func (s *IncrementalSeq) Suffix(afterWin, endWin int) ([]Token, error) {
 	return s.tokens[i:j], nil
 }
 
+// SeqState is the portable form of an IncrementalSeq: everything needed to
+// reconstruct the pipeline bit-for-bit on another process — the retained
+// numerosity-reduced tokens (global positions), the run word at the feed
+// head, and the trim watermark. Produced by State, consumed by RestoreSeq;
+// the durability layer serializes it into stream snapshots.
+type SeqState struct {
+	// Params is the member's (w, a) combination.
+	Params Params
+	// Next is the global index of the next window to encode.
+	Next int
+	// Prev is the word of the last appended window ("" before any).
+	Prev string
+	// Empty reports that no window has been appended since the last reset.
+	Empty bool
+	// Trimmed is the TrimBefore watermark.
+	Trimmed int
+	// Tokens are the retained tokens, ascending global Pos.
+	Tokens []Token
+}
+
+// State captures the sequence for serialization. The returned state copies
+// the token slice header into fresh storage so it stays valid across
+// further Appends; the word strings are shared (immutable).
+func (s *IncrementalSeq) State() SeqState {
+	return SeqState{
+		Params:  s.params,
+		Next:    s.next,
+		Prev:    s.prev,
+		Empty:   s.empty,
+		Trimmed: s.trimmed,
+		Tokens:  append([]Token(nil), s.tokens...),
+	}
+}
+
+// RestoreSeq reconstructs an IncrementalSeq from a captured state. The
+// result is behaviorally identical to the pipeline the state was captured
+// from: subsequent Appends, Suffix and SpanTokens calls produce bit-equal
+// output.
+func RestoreSeq(st SeqState) *IncrementalSeq {
+	s := &IncrementalSeq{
+		params:  st.Params,
+		tokens:  append([]Token(nil), st.Tokens...),
+		prev:    st.Prev,
+		next:    st.Next,
+		empty:   st.Empty,
+		trimmed: st.Trimmed,
+	}
+	for _, t := range s.tokens {
+		s.wordBytes += int64(len(t.Word))
+	}
+	return s
+}
+
 // SpanTokens appends to dst the token sequence for the span whose windows
 // are [startWin, endWin] (global, inclusive), re-based to span-local
 // positions, and returns the extended slice. It is bit-identical to what a

@@ -74,6 +74,32 @@ func (r *Builder) Grammar() (*Grammar, error) {
 	return r.b.freeze(), nil
 }
 
+// AppendSequence appends the exact token sequence pushed since the last
+// Reset to dst and returns the extended slice: the start rule expanded
+// terminal by terminal. A Sequitur grammar is a lossless encoding of its
+// input, so a fresh Builder re-Pushed this sequence holds a grammar
+// identical to this one (the resumable property) — which is how the
+// durability layer serializes induction state without walking the graph:
+// snapshot the sequence, restore by re-induction.
+func (r *Builder) AppendSequence(dst []string) []string {
+	if r.count == 0 {
+		return dst
+	}
+	return r.appendExpansion(dst, r.b.start)
+}
+
+// appendExpansion appends rule ru's terminal expansion, in order, to dst.
+func (r *Builder) appendExpansion(dst []string, ru *irule) []string {
+	for n := ru.first(); !n.guard; n = n.next {
+		if n.rule != nil {
+			dst = r.appendExpansion(dst, n.rule)
+		} else {
+			dst = append(dst, r.b.words[n.val])
+		}
+	}
+	return dst
+}
+
 // VisitOccurrencesAfter enumerates rule occurrences of the live grammar
 // without freezing it: fn(ruleID, start, end) is called for every
 // occurrence of every rule other than the start rule whose token span

@@ -1,0 +1,404 @@
+package stream
+
+// This file is the detector's durability face: Snapshot serializes the
+// complete resumable state into a versioned, self-describing byte payload,
+// and Restore reconstructs a detector that continues bit-identically —
+// same stitched curve, same window scores, same events — as if the process
+// had never stopped. Every float crosses the boundary as its exact IEEE
+// bits (math.Float64bits), and the layers below capture the right state
+// for exactness: the ring snapshots its absolute prefix sums (not raw
+// points, which would re-accumulate with different rounding), the engine
+// snapshots per-member token pipelines verbatim, and induction grammars
+// round-trip through their pushed token sequences (a Sequitur grammar is a
+// lossless encoding of its input, and induction is deterministic). The
+// format embeds a fingerprint of the detection configuration; restoring
+// under a different configuration is refused rather than silently
+// diverging.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"egi/internal/engine"
+	"egi/internal/sax"
+	"egi/internal/timeseries"
+)
+
+// snapMagic and snapVersion identify the snapshot format. The magic makes
+// a foreign file fail fast; the version gates future layout changes.
+const (
+	snapMagic   = "EGISNAP1"
+	snapVersion = 1
+)
+
+// Errors reported by Restore.
+var (
+	// ErrBadSnapshot rejects a payload that is not a well-formed snapshot
+	// (wrong magic, truncated, or internally inconsistent).
+	ErrBadSnapshot = errors.New("stream: malformed snapshot")
+	// ErrSnapshotConfig rejects a well-formed snapshot whose embedded
+	// configuration fingerprint differs from the restoring configuration:
+	// continuing a stream under different detection parameters would not
+	// be the same stream.
+	ErrSnapshotConfig = errors.New("stream: snapshot configuration mismatch")
+)
+
+// enc is a tiny append-only encoder over one buffer.
+type enc struct{ b []byte }
+
+func (e *enc) u64(v uint64)  { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) i64(v int64)   { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) num(v int)     { e.i64(int64(v)) }
+func (e *enc) f64(v float64) { e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v)) }
+func (e *enc) bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+func (e *enc) str(s string) {
+	e.u64(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+func (e *enc) floats(vs []float64) {
+	e.u64(uint64(len(vs)))
+	for _, v := range vs {
+		e.f64(v)
+	}
+}
+
+// dec is the matching cursor-based decoder; the first malformed read
+// latches err and every later read returns zero values.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail() {
+	if d.err == nil {
+		d.err = ErrBadSnapshot
+	}
+}
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+func (d *dec) i64() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+func (d *dec) num() int { return int(d.i64()) }
+func (d *dec) f64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.fail()
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.b[d.off:]))
+	d.off += 8
+	return v
+}
+func (d *dec) bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.b) {
+		d.fail()
+		return false
+	}
+	v := d.b[d.off]
+	d.off++
+	return v != 0
+}
+func (d *dec) str() string {
+	n := d.u64()
+	if d.err != nil {
+		return ""
+	}
+	if uint64(len(d.b)-d.off) < n {
+		d.fail()
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+func (d *dec) floats() []float64 {
+	n := d.u64()
+	if d.err != nil || uint64(len(d.b)-d.off) < n*8 {
+		d.fail()
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.f64()
+	}
+	return out
+}
+
+// fingerprint appends the detection-relevant configuration fields — the
+// ones that change what the stream computes. Parallelism is excluded
+// (results are schedule-independent), as are the test-only ablation knobs.
+func (c Config) fingerprint(e *enc) {
+	e.num(c.Window)
+	e.num(c.BufLen)
+	e.num(c.Hop)
+	e.f64(c.Threshold)
+	e.f64(c.AdaptiveQuantile)
+	e.num(c.RebaseEvery)
+	e.num(c.EnsembleSize)
+	e.num(c.WMax)
+	e.num(c.AMax)
+	e.f64(c.Tau)
+	e.num(c.TopK)
+	e.i64(c.Seed)
+	e.num(int(c.NonFinite))
+}
+
+// Snapshot serializes the detector's complete resumable state. The
+// returned payload is deterministic for equal detector states, versioned,
+// and consumed by Restore. Snapshotting does not disturb the detector;
+// pushing may continue immediately.
+func (d *Detector) Snapshot() []byte {
+	e := &enc{b: make([]byte, 0, 4096)}
+	e.b = append(e.b, snapMagic...)
+	e.u64(snapVersion)
+	d.cfg.fingerprint(e)
+
+	// Detector scalars.
+	e.num(d.total)
+	e.num(d.runIdx)
+	e.num(d.lastStart)
+	e.num(d.covered)
+	e.num(d.pendOff)
+	e.floats(d.sum)
+	e.floats(d.cnt)
+	e.num(d.scorePos)
+	e.bool(d.inDip)
+	e.num(d.dipPos)
+	e.f64(d.dipMin)
+	e.f64(d.lastVal)
+	e.bool(d.haveLast)
+	e.bool(d.flushed)
+
+	// Adaptive-threshold estimator (P² markers), when configured.
+	e.bool(d.quant != nil)
+	if d.quant != nil {
+		q := d.quant
+		e.f64(q.q)
+		e.num(q.n)
+		for i := 0; i < 5; i++ {
+			e.f64(q.heads[i])
+			e.f64(q.pos[i])
+			e.f64(q.want[i])
+			e.f64(q.inc[i])
+			e.f64(q.h[i])
+		}
+	}
+
+	// Ring: absolute prefix sums over the retained horizon.
+	rs := d.ring.State()
+	e.num(rs.Cap)
+	e.num(rs.Total)
+	e.floats(rs.Sum)
+	e.floats(rs.Sum2)
+
+	// Engine: member pipelines and resumable induction state.
+	es := d.eng.State()
+	e.num(es.LastEnd)
+	e.u64(uint64(len(es.Pipes)))
+	for _, ps := range es.Pipes {
+		e.num(ps.Params.W)
+		e.num(ps.Params.A)
+		e.num(ps.Seq.Next)
+		e.str(ps.Seq.Prev)
+		e.bool(ps.Seq.Empty)
+		e.num(ps.Seq.Trimmed)
+		e.u64(uint64(len(ps.Seq.Tokens)))
+		for _, t := range ps.Seq.Tokens {
+			e.str(t.Word)
+			e.num(t.Pos)
+		}
+	}
+	e.u64(uint64(len(es.Induct)))
+	for _, is := range es.Induct {
+		e.num(is.Params.W)
+		e.num(is.Params.A)
+		e.num(is.Base)
+		e.num(is.FedTo)
+		e.num(is.Runs)
+		e.u64(uint64(len(is.Pos)))
+		for i := range is.Pos {
+			e.num(is.Pos[i])
+			e.str(is.Words[i])
+		}
+	}
+	return e.b
+}
+
+// Restore reconstructs a detector from a Snapshot payload. cfg must carry
+// the same detection configuration the snapshot was taken under (verified
+// against the embedded fingerprint; ErrSnapshotConfig otherwise) — only
+// the non-semantic fields (OnEvent, Parallelism) may differ. The restored
+// detector continues the stream bit-identically: pushing the same points
+// produces the same curves, scores and events as a detector that never
+// stopped.
+func Restore(cfg Config, data []byte) (*Detector, error) {
+	cfg, err := cfg.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	d := &dec{b: data, off: len(snapMagic)}
+	if v := d.u64(); v != snapVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSnapshot, v)
+	}
+	want := &enc{}
+	cfg.fingerprint(want)
+	if d.off+len(want.b) > len(data) || string(data[d.off:d.off+len(want.b)]) != string(want.b) {
+		return nil, fmt.Errorf("%w: snapshot was taken under a different detection configuration", ErrSnapshotConfig)
+	}
+	d.off += len(want.b)
+
+	det := &Detector{cfg: cfg}
+	det.total = d.num()
+	det.runIdx = d.num()
+	det.lastStart = d.num()
+	det.covered = d.num()
+	det.pendOff = d.num()
+	det.sum = d.floats()
+	det.cnt = d.floats()
+	det.scorePos = d.num()
+	det.inDip = d.bool()
+	det.dipPos = d.num()
+	det.dipMin = d.f64()
+	det.lastVal = d.f64()
+	det.haveLast = d.bool()
+	det.flushed = d.bool()
+
+	if d.bool() {
+		q := newP2Quantile(cfg.AdaptiveQuantile)
+		q.q = d.f64()
+		q.n = d.num()
+		for i := 0; i < 5; i++ {
+			q.heads[i] = d.f64()
+			q.pos[i] = d.f64()
+			q.want[i] = d.f64()
+			q.inc[i] = d.f64()
+			q.h[i] = d.f64()
+		}
+		det.quant = q
+	} else if cfg.AdaptiveQuantile > 0 {
+		return nil, fmt.Errorf("%w: adaptive threshold configured but snapshot has no estimator state", ErrSnapshotConfig)
+	}
+	if cfg.AdaptiveQuantile > 0 {
+		det.warmup = int(math.Ceil(2 / cfg.AdaptiveQuantile))
+		if det.warmup < 5 {
+			det.warmup = 5
+		}
+	}
+
+	var rs timeseries.RingState
+	rs.Cap = d.num()
+	rs.Total = d.num()
+	rs.Sum = d.floats()
+	rs.Sum2 = d.floats()
+
+	var es engine.State
+	es.LastEnd = d.num()
+	nPipes := d.u64()
+	if d.err == nil && nPipes > uint64(len(data)) {
+		d.fail()
+	}
+	for i := uint64(0); i < nPipes && d.err == nil; i++ {
+		var ps engine.PipeState
+		ps.Params.W = d.num()
+		ps.Params.A = d.num()
+		ps.Seq.Params = ps.Params
+		ps.Seq.Next = d.num()
+		ps.Seq.Prev = d.str()
+		ps.Seq.Empty = d.bool()
+		ps.Seq.Trimmed = d.num()
+		nTok := d.u64()
+		if d.err != nil || nTok > uint64(len(data)) {
+			d.fail()
+			break
+		}
+		ps.Seq.Tokens = make([]sax.Token, 0, nTok)
+		for t := uint64(0); t < nTok && d.err == nil; t++ {
+			w := d.str()
+			p := d.num()
+			ps.Seq.Tokens = append(ps.Seq.Tokens, sax.Token{Word: w, Pos: p})
+		}
+		es.Pipes = append(es.Pipes, ps)
+	}
+	nInduct := d.u64()
+	if d.err == nil && nInduct > uint64(len(data)) {
+		d.fail()
+	}
+	for i := uint64(0); i < nInduct && d.err == nil; i++ {
+		var is engine.InductState
+		is.Params.W = d.num()
+		is.Params.A = d.num()
+		is.Base = d.num()
+		is.FedTo = d.num()
+		is.Runs = d.num()
+		nFed := d.u64()
+		if d.err != nil || nFed > uint64(len(data)) {
+			d.fail()
+			break
+		}
+		is.Pos = make([]int, 0, nFed)
+		is.Words = make([]string, 0, nFed)
+		for t := uint64(0); t < nFed && d.err == nil; t++ {
+			is.Pos = append(is.Pos, d.num())
+			is.Words = append(is.Words, d.str())
+		}
+		es.Induct = append(es.Induct, is)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(data)-d.off)
+	}
+
+	ring, err := timeseries.RestoreRing(rs)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	eng, err := engine.New(cfg.engineConfig())
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.RestoreState(ring, es); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	det.ring = ring
+	det.eng = eng
+	return det, nil
+}

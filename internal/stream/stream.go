@@ -74,6 +74,25 @@ var (
 	ErrBadQuantile  = errors.New("stream: adaptive quantile must be in (0, 1)")
 )
 
+// NonFinitePolicy selects what Push does with a NaN or ±Inf point. The
+// ingest boundary is the only place non-finite values can enter: past it,
+// one NaN silently poisons z-normalization, the SAX words and every
+// downstream density curve for the rest of the buffer, so the policy is
+// applied before the point touches the ring.
+type NonFinitePolicy int
+
+const (
+	// NonFiniteReject (the default) rejects the point with ErrNonFinite.
+	NonFiniteReject NonFinitePolicy = iota
+	// NonFiniteClamp replaces the point with the last finite point pushed
+	// (dropping it when nothing finite has been pushed yet), so gappy
+	// telemetry holds its level instead of aborting the batch.
+	NonFiniteClamp
+	// NonFiniteDrop silently skips the point; stream positions are not
+	// consumed by dropped points.
+	NonFiniteDrop
+)
+
 // Event is one confirmed anomaly: a window of Length points starting at
 // stream position Pos (counting from the first point ever pushed) whose
 // mean stitched ensemble density is Density. Events are emitted when the
@@ -119,6 +138,10 @@ type Config struct {
 	// OnEvent, when non-nil, is called synchronously (from Push,
 	// PushBatch or Flush) for each confirmed Event, in stream order.
 	OnEvent func(Event)
+
+	// NonFinite selects how Push treats NaN/±Inf points: reject (default),
+	// clamp to the last finite point, or drop.
+	NonFinite NonFinitePolicy
 
 	// RebaseEvery bounds how many hop runs a member's resumable grammar
 	// may span before it is rebuilt over the live buffer alone (the
@@ -179,6 +202,9 @@ func (c Config) normalized() (Config, error) {
 	if c.AdaptiveQuantile != 0 && (c.AdaptiveQuantile <= 0 || c.AdaptiveQuantile >= 1) {
 		return c, fmt.Errorf("%w: got %v", ErrBadQuantile, c.AdaptiveQuantile)
 	}
+	if c.NonFinite < NonFiniteReject || c.NonFinite > NonFiniteDrop {
+		return c, fmt.Errorf("stream: unknown non-finite policy %d", c.NonFinite)
+	}
 	return c, nil
 }
 
@@ -234,6 +260,10 @@ type Detector struct {
 	quant    *p2Quantile // running score quantile; nil unless adaptive
 	warmup   int         // scores before the adaptive estimate is trusted
 
+	// Last finite point accepted — what NonFiniteClamp substitutes.
+	lastVal  float64
+	haveLast bool
+
 	flushed bool
 }
 
@@ -276,6 +306,14 @@ func New(cfg Config) (*Detector, error) {
 // Total returns the number of points pushed so far.
 func (d *Detector) Total() int { return d.total }
 
+// Runs returns the number of hop runs completed so far. Replay tooling
+// uses it to detect run boundaries while stepping a restored detector
+// point by point.
+func (d *Detector) Runs() int { return d.runIdx }
+
+// Flushed reports whether Flush has been called.
+func (d *Detector) Flushed() bool { return d.flushed }
+
 // MemoryFootprint is the detector's retained-memory accounting in bytes:
 // the prefix-sum ring, the engine (member pipelines + pooled scratch), and
 // the stitch buffers. Every component is bounded — the ring by BufLen, the
@@ -300,11 +338,22 @@ func (d *Detector) Push(x float64) error {
 		return ErrFlushed
 	}
 	if math.IsNaN(x) || math.IsInf(x, 0) {
-		return fmt.Errorf("%w: %v at position %d", ErrNonFinite, x, d.total)
+		switch d.cfg.NonFinite {
+		case NonFiniteClamp:
+			if !d.haveLast {
+				return nil // nothing finite to hold; treat like a drop
+			}
+			x = d.lastVal
+		case NonFiniteDrop:
+			return nil
+		default:
+			return fmt.Errorf("%w: %v at position %d", ErrNonFinite, x, d.total)
+		}
 	}
 	if err := d.ring.Append(x); err != nil {
 		return err
 	}
+	d.lastVal, d.haveLast = x, true
 	d.total++
 	if d.buffered() == d.cfg.BufLen && d.sinceRun() >= d.cfg.Hop {
 		return d.run(d.nextStart(), true)
@@ -314,12 +363,24 @@ func (d *Detector) Push(x float64) error {
 
 // PushBatch pushes the points in order; it stops at the first error.
 func (d *Detector) PushBatch(xs []float64) error {
-	for _, x := range xs {
+	_, err := d.PushBatchN(xs)
+	return err
+}
+
+// PushBatchN pushes the points in order, stopping at the first error, and
+// reports how many were consumed — processed without error, including
+// points absorbed by the Clamp/Drop non-finite policies. On error the
+// count is the index of the offending point: everything before it is
+// applied, nothing after it was looked at. Clients use the count to
+// resume a partially applied batch without replaying or losing points;
+// the durability layer uses it as the write-ahead log coordinate.
+func (d *Detector) PushBatchN(xs []float64) (int, error) {
+	for i, x := range xs {
 		if err := d.Push(x); err != nil {
-			return err
+			return i, err
 		}
 	}
-	return nil
+	return len(xs), nil
 }
 
 // sinceRun is the number of points pushed after the last run (or all of

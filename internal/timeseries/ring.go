@@ -84,6 +84,60 @@ func (r *RingFeatures) MemoryBytes() int64 {
 // slot.
 func (r *RingFeatures) slot(p int) int { return p % (r.cap + 1) }
 
+// RingState is the portable form of a RingFeatures: the retained prefix
+// values in position order. The absolute prefix sums are captured — not the
+// raw points — because RangeSum answers are differences of these exact
+// floats; re-accumulating raw points from zero on restore would round
+// differently and break the bit-identity the detection engine depends on.
+type RingState struct {
+	// Cap is the ring capacity (retained positions).
+	Cap int
+	// Total is the number of points appended so far.
+	Total int
+	// Sum holds S[p] for p in [First(), Total()], ascending p.
+	Sum []float64
+	// Sum2 holds S2[p] over the same positions.
+	Sum2 []float64
+}
+
+// State captures the ring for serialization, copying the retained prefix
+// values into fresh storage.
+func (r *RingFeatures) State() RingState {
+	first := r.First()
+	n := r.total - first + 1
+	st := RingState{
+		Cap:   r.cap,
+		Total: r.total,
+		Sum:   make([]float64, n),
+		Sum2:  make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		st.Sum[i] = r.sum[r.slot(first+i)]
+		st.Sum2[i] = r.sum2[r.slot(first+i)]
+	}
+	return st
+}
+
+// RestoreRing reconstructs a RingFeatures from a captured state. Range
+// queries over the retained horizon — and every future Append — are
+// bit-identical to the ring the state was captured from.
+func RestoreRing(st RingState) (*RingFeatures, error) {
+	r, err := NewRingFeatures(st.Cap)
+	if err != nil {
+		return nil, err
+	}
+	first := st.Total - len(st.Sum) + 1
+	if first < 0 || len(st.Sum) != len(st.Sum2) || len(st.Sum) > st.Cap+1 {
+		return nil, errors.New("timeseries: inconsistent ring state")
+	}
+	r.total = st.Total
+	for i := range st.Sum {
+		r.sum[r.slot(first+i)] = st.Sum[i]
+		r.sum2[r.slot(first+i)] = st.Sum2[i]
+	}
+	return r, nil
+}
+
 // RangeSum returns the sum of the points in [p, q). Both bounds must lie
 // within the retained horizon; out-of-horizon queries panic in the same
 // spirit as out-of-range slice indexing (the engine checks spans up

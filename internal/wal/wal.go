@@ -1,0 +1,452 @@
+// Package wal gives a stream durable storage: an append-only,
+// checksummed log of pushed points with periodic snapshot checkpoints.
+//
+// Each stream owns one directory holding at most a handful of files:
+//
+//	snap-<total>.snap   detector snapshot taken after <total> points
+//	wal-<from>.log      points appended from global position <from>
+//
+// Appends go to the newest segment as CRC-framed records. Taking a
+// snapshot durably writes the snapshot file (temp file, fsync, rename,
+// directory fsync), rotates to a fresh segment, and then deletes every
+// older segment and snapshot — so the directory stays small: recovery
+// state is one snapshot plus the points pushed since.
+//
+// Recovery reads the newest valid snapshot and replays the segments after
+// it, stopping at the first torn record (a partial append from the crash)
+// and truncating it away. The contract with the detection layer is exact:
+// restore the snapshot, re-push the recovered tail, and the stream
+// continues bit-identically to one that never crashed. A crash can lose
+// only points whose append was never reported durable — clients observe
+// that through accepted-count responses and resend.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record framing inside a segment:
+//
+//	u32 payload length | u32 CRC-32C of payload | payload
+//
+// payload = recPoints byte | uvarint pos | uvarint count | count × f64 LE.
+const (
+	recHeader = 8
+	recPoints = 1
+	// maxRecordLen bounds a single record so a corrupt length field can't
+	// trigger a huge allocation during recovery.
+	maxRecordLen = 1 << 26
+)
+
+// snapMagic heads every snapshot file, followed by a u32 CRC-32C and u32
+// length of the opaque payload.
+const snapMagic = "EGIWSNP1"
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt reports a store whose files are inconsistent beyond the
+// recoverable torn-tail case — e.g. a gap in the recovered point sequence.
+var ErrCorrupt = errors.New("wal: corrupt store")
+
+// Options configures a Store.
+type Options struct {
+	// Fsync, when set, fsyncs the active segment after every append, so
+	// an acknowledged point survives power loss, not just process death.
+	// Appends are batched upstream (one record per pushed batch), so the
+	// cost is per-batch, not per-point.
+	Fsync bool
+}
+
+// Store is a directory of per-stream write-ahead logs. Safe for use from
+// one goroutine per stream; distinct streams are independent.
+type Store struct {
+	dir  string
+	opts Options
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Store{dir: dir, opts: opts}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// List returns the ids of every stream with persisted state, in
+// unspecified order.
+func (s *Store) List() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		raw, err := hex.DecodeString(e.Name())
+		if err != nil {
+			continue // not one of ours
+		}
+		ids = append(ids, string(raw))
+	}
+	return ids, nil
+}
+
+// Remove deletes all persisted state for the stream. The stream must not
+// have an open StreamLog.
+func (s *Store) Remove(id string) error {
+	return os.RemoveAll(s.streamDir(id))
+}
+
+// streamDir maps a stream id to its directory; hex encoding keeps
+// arbitrary ids filesystem-safe.
+func (s *Store) streamDir(id string) string {
+	return filepath.Join(s.dir, hex.EncodeToString([]byte(id)))
+}
+
+// Recovered is the durable state found for a stream at open: the newest
+// valid snapshot (nil if none, with SnapTotal 0) and the contiguous tail
+// of points logged after it. Restoring the snapshot and re-pushing Tail
+// reproduces the stream exactly.
+type Recovered struct {
+	// SnapTotal is the stream's total point count at the snapshot.
+	SnapTotal int
+	// Snapshot is the opaque snapshot payload handed to StreamLog.Snapshot.
+	Snapshot []byte
+	// Tail holds the points at global positions [SnapTotal, SnapTotal+len).
+	Tail []float64
+}
+
+// StreamLog is the open write-ahead log of one stream.
+type StreamLog struct {
+	store *Store
+	dir   string
+	f     *os.File // active segment
+	buf   []byte   // record scratch
+}
+
+// OpenStream opens (creating if absent) the log for one stream and
+// recovers its durable state. A torn record at the tail — the footprint of
+// a crash mid-append — is truncated away; anything before it is returned.
+func (s *Store) OpenStream(id string) (*StreamLog, Recovered, error) {
+	dir := s.streamDir(id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, Recovered{}, err
+	}
+	rec, activeFrom, err := scanDir(dir, true)
+	if err != nil {
+		return nil, Recovered{}, err
+	}
+	l := &StreamLog{store: s, dir: dir}
+	seg := filepath.Join(dir, segName(activeFrom))
+	l.f, err = os.OpenFile(seg, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, Recovered{}, err
+	}
+	return l, rec, nil
+}
+
+func segName(from int) string   { return fmt.Sprintf("wal-%d.log", from) }
+func snapName(total int) string { return fmt.Sprintf("snap-%d.snap", total) }
+
+// Read recovers the stream's durable state without opening the log for
+// writing and without modifying anything on disk — no torn-tail
+// truncation, no temp-file cleanup. Safe concurrently with an open
+// StreamLog appending to the same stream: a record the writer is mid-way
+// through simply ends the recovered prefix. A stream with no persisted
+// state reads as a zero Recovered.
+func (s *Store) Read(id string) (Recovered, error) {
+	rec, _, err := scanDir(s.streamDir(id), false)
+	if err != nil && os.IsNotExist(err) {
+		return Recovered{}, nil
+	}
+	return rec, err
+}
+
+// scanDir scans a stream directory: picks the newest valid snapshot,
+// replays the segments after it into a contiguous tail, and reports which
+// segment should receive new appends. With mutate set it also truncates a
+// torn final record and removes interrupted temp files; read-only scans
+// leave the directory untouched.
+func scanDir(dir string, mutate bool) (Recovered, int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return Recovered{}, 0, err
+	}
+	var snaps, segs []int
+	for _, e := range ents {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".tmp"):
+			if mutate {
+				os.Remove(filepath.Join(dir, name)) // interrupted snapshot write
+			}
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+			if n, err := strconv.Atoi(name[len("snap-") : len(name)-len(".snap")]); err == nil {
+				snaps = append(snaps, n)
+			}
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			if n, err := strconv.Atoi(name[len("wal-") : len(name)-len(".log")]); err == nil {
+				segs = append(segs, n)
+			}
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(snaps)))
+	sort.Ints(segs)
+
+	rec := Recovered{}
+	for _, total := range snaps {
+		payload, err := readSnapFile(filepath.Join(dir, snapName(total)))
+		if err != nil {
+			continue // corrupt or torn snapshot; fall back to an older one
+		}
+		rec.SnapTotal, rec.Snapshot = total, payload
+		break
+	}
+
+	next := rec.SnapTotal
+	for i, from := range segs {
+		torn, err := replaySegment(filepath.Join(dir, segName(from)), mutate, &next, &rec.Tail)
+		if err != nil {
+			return Recovered{}, 0, err
+		}
+		if torn && i != len(segs)-1 {
+			return Recovered{}, 0, fmt.Errorf("%w: torn record in non-final segment %s", ErrCorrupt, segName(from))
+		}
+	}
+
+	activeFrom := rec.SnapTotal
+	if n := len(segs); n > 0 && segs[n-1] > activeFrom {
+		activeFrom = segs[n-1]
+	}
+	return rec, activeFrom, nil
+}
+
+// replaySegment appends the segment's points to tail, skipping records
+// already covered by *next (pre-snapshot leftovers of an interrupted
+// rotation) and clipping records that straddle the already-covered
+// prefix. It reports whether a torn record ended the segment; with
+// truncate set the torn bytes are also removed from the file.
+func replaySegment(path string, truncate bool, next *int, tail *[]float64) (bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return false, err
+	}
+	off := 0
+	for off < len(data) {
+		if off+recHeader > len(data) {
+			break // torn header
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxRecordLen || off+recHeader+n > len(data) {
+			break // torn or nonsense length
+		}
+		payload := data[off+recHeader : off+recHeader+n]
+		if crc32.Checksum(payload, crcTable) != sum {
+			break // torn payload
+		}
+		pos, cnt, pts, err := decodePoints(payload)
+		if err != nil {
+			return false, fmt.Errorf("%w: %s: %v", ErrCorrupt, filepath.Base(path), err)
+		}
+		switch {
+		case pos+cnt <= *next:
+			// Entirely covered already (pre-snapshot leftover or replayed
+			// overlap); skip.
+		case pos <= *next:
+			*tail = append(*tail, pts[*next-pos:]...)
+			*next = pos + cnt
+		default:
+			return false, fmt.Errorf("%w: gap at position %d (next record starts at %d)", ErrCorrupt, *next, pos)
+		}
+		off += recHeader + n
+	}
+	if off < len(data) {
+		if truncate {
+			if err := os.Truncate(path, int64(off)); err != nil {
+				return false, err
+			}
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// decodePoints parses a recPoints payload into (pos, count, points).
+func decodePoints(p []byte) (int, int, []float64, error) {
+	if len(p) < 1 || p[0] != recPoints {
+		return 0, 0, nil, errors.New("unknown record type")
+	}
+	p = p[1:]
+	pos, k := binary.Uvarint(p)
+	if k <= 0 {
+		return 0, 0, nil, errors.New("bad position varint")
+	}
+	p = p[k:]
+	cnt, k := binary.Uvarint(p)
+	if k <= 0 {
+		return 0, 0, nil, errors.New("bad count varint")
+	}
+	p = p[k:]
+	if uint64(len(p)) != cnt*8 {
+		return 0, 0, nil, errors.New("point payload length mismatch")
+	}
+	pts := make([]float64, cnt)
+	for i := range pts {
+		pts[i] = math.Float64frombits(binary.LittleEndian.Uint64(p[i*8:]))
+	}
+	return int(pos), int(cnt), pts, nil
+}
+
+// Append durably logs pts as the points at global positions
+// [pos, pos+len(pts)). One call writes one record; callers batch at their
+// natural push granularity.
+func (l *StreamLog) Append(pos int, pts []float64) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	l.buf = l.buf[:0]
+	l.buf = append(l.buf, make([]byte, recHeader)...)
+	l.buf = append(l.buf, recPoints)
+	l.buf = binary.AppendUvarint(l.buf, uint64(pos))
+	l.buf = binary.AppendUvarint(l.buf, uint64(len(pts)))
+	for _, x := range pts {
+		l.buf = binary.LittleEndian.AppendUint64(l.buf, math.Float64bits(x))
+	}
+	payload := l.buf[recHeader:]
+	binary.LittleEndian.PutUint32(l.buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(l.buf[4:], crc32.Checksum(payload, crcTable))
+	if _, err := l.f.Write(l.buf); err != nil {
+		return err
+	}
+	if l.store.opts.Fsync {
+		return l.f.Sync()
+	}
+	return nil
+}
+
+// Snapshot checkpoints the stream: durably writes the opaque payload as
+// the snapshot at total points, rotates appends onto a fresh segment, and
+// deletes every older segment and snapshot. After it returns, recovery
+// needs only this snapshot plus subsequent appends.
+func (l *StreamLog) Snapshot(total int, payload []byte) error {
+	// 1. Snapshot file: temp, fsync, rename, directory fsync.
+	final := filepath.Join(l.dir, snapName(total))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, 0, len(snapMagic)+8)
+	hdr = append(hdr, snapMagic...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(payload, crcTable))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(len(payload)))
+	if _, err = f.Write(hdr); err == nil {
+		_, err = f.Write(payload)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(l.dir)
+
+	// 2. Rotate onto a fresh segment.
+	old := l.f
+	nf, err := os.OpenFile(filepath.Join(l.dir, segName(total)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if l.store.opts.Fsync {
+		old.Sync()
+	}
+	old.Close()
+	l.f = nf
+
+	// 3. Drop everything the new snapshot supersedes.
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		var n int
+		switch {
+		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
+			n, err = strconv.Atoi(name[len("snap-") : len(name)-len(".snap")])
+		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
+			n, err = strconv.Atoi(name[len("wal-") : len(name)-len(".log")])
+		default:
+			continue
+		}
+		if err == nil && n < total {
+			os.Remove(filepath.Join(l.dir, name))
+		}
+		err = nil
+	}
+	return nil
+}
+
+// Sync flushes the active segment to stable storage regardless of the
+// store's Fsync option.
+func (l *StreamLog) Sync() error { return l.f.Sync() }
+
+// Close flushes and closes the active segment. The log must not be used
+// afterwards.
+func (l *StreamLog) Close() error {
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// readSnapFile validates and returns a snapshot file's payload.
+func readSnapFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(snapMagic)+8 || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad snapshot header", ErrCorrupt)
+	}
+	sum := binary.LittleEndian.Uint32(data[len(snapMagic):])
+	n := binary.LittleEndian.Uint32(data[len(snapMagic)+4:])
+	payload := data[len(snapMagic)+8:]
+	if uint32(len(payload)) != n || crc32.Checksum(payload, crcTable) != sum {
+		return nil, fmt.Errorf("%w: snapshot checksum mismatch", ErrCorrupt)
+	}
+	return payload, nil
+}
+
+// syncDir best-effort fsyncs a directory so renames within it are durable.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,368 @@
+package wal
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTemp(t *testing.T, opts Options) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func pts(from, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Sin(float64(from+i)) + float64(from+i)/1000
+	}
+	return out
+}
+
+// TestAppendRecover: points appended in batches come back exactly, in
+// order, across close/reopen.
+func TestAppendRecover(t *testing.T) {
+	s := openTemp(t, Options{})
+	l, rec, err := s.OpenStream("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Snapshot != nil || rec.SnapTotal != 0 || len(rec.Tail) != 0 {
+		t.Fatalf("fresh stream recovered %+v", rec)
+	}
+	all := pts(0, 100)
+	for i := 0; i < 100; i += 7 {
+		n := 7
+		if i+n > 100 {
+			n = 100 - i
+		}
+		if err := l.Append(i, all[i:i+n]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err = s.OpenStream("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapTotal != 0 || len(rec.Tail) != 100 {
+		t.Fatalf("recovered SnapTotal=%d, %d tail points", rec.SnapTotal, len(rec.Tail))
+	}
+	for i, x := range rec.Tail {
+		if x != all[i] {
+			t.Fatalf("tail[%d] = %v, want %v", i, x, all[i])
+		}
+	}
+}
+
+// TestSnapshotRotation: a snapshot checkpoint supersedes everything before
+// it — recovery returns the snapshot plus only the points after, and the
+// directory holds one snapshot and one live segment.
+func TestSnapshotRotation(t *testing.T) {
+	s := openTemp(t, Options{})
+	l, _, err := s.OpenStream("mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(0, pts(0, 60)); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("opaque detector state at 60")
+	if err := l.Snapshot(60, payload); err != nil {
+		t.Fatal(err)
+	}
+	tail := pts(60, 25)
+	if err := l.Append(60, tail); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := s.OpenStream("mem")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapTotal != 60 || string(rec.Snapshot) != string(payload) {
+		t.Fatalf("recovered snapshot (%d, %q)", rec.SnapTotal, rec.Snapshot)
+	}
+	if len(rec.Tail) != 25 {
+		t.Fatalf("recovered %d tail points, want 25", len(rec.Tail))
+	}
+	for i, x := range rec.Tail {
+		if x != tail[i] {
+			t.Fatalf("tail[%d] = %v, want %v", i, x, tail[i])
+		}
+	}
+
+	ents, err := os.ReadDir(s.streamDir("mem"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 {
+		t.Fatalf("stream dir holds %v, want exactly one snapshot and one segment", names)
+	}
+}
+
+// TestTornTailEveryOffset is the byte-level crash property: truncate the
+// live segment at EVERY byte offset, reopen, and recovery must succeed
+// with a tail that is an exact batch-aligned-or-shorter prefix of what was
+// appended — never garbage, never an error.
+func TestTornTailEveryOffset(t *testing.T) {
+	ref := openTemp(t, Options{})
+	l, _, err := ref.OpenStream("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := pts(0, 40)
+	for i := 0; i < 40; i += 10 {
+		if err := l.Append(i, all[i:i+10]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(ref.streamDir("x"), segName(0))
+	full, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		dir := t.TempDir()
+		s, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd := s.streamDir("x")
+		if err := os.MkdirAll(sd, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(sd, segName(0)), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		lg, rec, err := s.OpenStream("x")
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(rec.Tail) > 40 || len(rec.Tail)%10 != 0 {
+			t.Fatalf("cut %d: recovered %d points", cut, len(rec.Tail))
+		}
+		for i, x := range rec.Tail {
+			if x != all[i] {
+				t.Fatalf("cut %d: tail[%d] = %v, want %v", cut, i, x, all[i])
+			}
+		}
+		// The truncated store must accept appends that continue the prefix.
+		if err := lg.Append(len(rec.Tail), all[len(rec.Tail):]); err != nil {
+			t.Fatalf("cut %d: append after recovery: %v", cut, err)
+		}
+		if err := lg.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, rec2, err := s.OpenStream("x")
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if len(rec2.Tail) != 40 {
+			t.Fatalf("cut %d: after refill recovered %d points", cut, len(rec2.Tail))
+		}
+	}
+}
+
+// TestBitFlipDetected: a flipped payload byte fails the record CRC and is
+// treated as the end of the log.
+func TestBitFlipDetected(t *testing.T) {
+	s := openTemp(t, Options{})
+	l, _, err := s.OpenStream("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(0, pts(0, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(8, pts(8, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segPath := filepath.Join(s.streamDir("y"), segName(0))
+	data, err := os.ReadFile(segPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0x10
+	if err := os.WriteFile(segPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := s.OpenStream("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Tail) != 8 {
+		t.Fatalf("recovered %d points past a corrupt record, want 8", len(rec.Tail))
+	}
+}
+
+// TestCorruptSnapshotFailsLoud: if the only snapshot is corrupt, the
+// segments after it cannot be anchored and recovery reports ErrCorrupt
+// rather than silently restarting the stream from zero.
+func TestCorruptSnapshotFailsLoud(t *testing.T) {
+	s := openTemp(t, Options{})
+	l, _, err := s.OpenStream("z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(0, pts(0, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Snapshot(20, []byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(20, pts(20, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(s.streamDir("z"), snapName(20))
+	data, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(snapPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.OpenStream("z"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("recovery over a corrupt snapshot: %v, want ErrCorrupt", err)
+	}
+}
+
+// TestListRemove: ids with filesystem-hostile characters round-trip
+// through List, and Remove erases all persisted state.
+func TestListRemove(t *testing.T) {
+	s := openTemp(t, Options{Fsync: true})
+	ids := []string{"plain", "with/slash", "dots..", "sp ace"}
+	for _, id := range ids {
+		l, _, err := s.OpenStream(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(0, pts(0, 3)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("List = %v", got)
+	}
+	seen := map[string]bool{}
+	for _, id := range got {
+		seen[id] = true
+	}
+	for _, id := range ids {
+		if !seen[id] {
+			t.Fatalf("List missing %q: %v", id, got)
+		}
+	}
+	if err := s.Remove("with/slash"); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ids)-1 {
+		t.Fatalf("after Remove, List = %v", got)
+	}
+}
+
+// TestRandomInterruptions drives a longer random schedule of appends and
+// snapshots, cutting the directory's live segment at a random offset
+// between sessions, and checks the recovered state is always a consistent
+// prefix: snapshots (written durably) are never lost, recovered tail
+// points always carry the exact values appended at those positions, and
+// the stream continues across any number of crashes.
+func TestRandomInterruptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	s := openTemp(t, Options{})
+	var snapAt int
+
+	for session := 0; session < 20; session++ {
+		l, rec, err := s.OpenStream("w")
+		if err != nil {
+			t.Fatalf("session %d: %v", session, err)
+		}
+		if rec.SnapTotal != snapAt {
+			t.Fatalf("session %d: SnapTotal = %d, want %d", session, rec.SnapTotal, snapAt)
+		}
+		for i, x := range rec.Tail {
+			want := math.Sin(float64(snapAt+i)) + float64(snapAt+i)/1000
+			if x != want {
+				t.Fatalf("session %d: tail[%d] = %v, want %v", session, i, x, want)
+			}
+		}
+		total := snapAt + len(rec.Tail)
+
+		// Random work: a few appends, maybe a snapshot.
+		for op := 0; op < 1+rng.Intn(4); op++ {
+			n := 1 + rng.Intn(12)
+			if err := l.Append(total, pts(total, n)); err != nil {
+				t.Fatal(err)
+			}
+			total += n
+			if rng.Intn(3) == 0 {
+				if err := l.Snapshot(total, []byte{byte(total)}); err != nil {
+					t.Fatal(err)
+				}
+				snapAt = total
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		// Crash: truncate the live segment at a random offset.
+		ents, err := os.ReadDir(s.streamDir("w"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			if e.Name() == segName(snapAt) {
+				info, err := e.Info()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if info.Size() > 0 {
+					cut := rng.Int63n(info.Size() + 1)
+					if err := os.Truncate(filepath.Join(s.streamDir("w"), e.Name()), cut); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+}

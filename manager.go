@@ -36,6 +36,21 @@ type ManagerOptions struct {
 	// eviction: streams then leave only through CloseStream or Close,
 	// and the limits above reject instead of evicting.
 	IdleAfter time.Duration
+	// DataDir, when non-empty, makes every stream durable: accepted
+	// points are write-ahead logged under this directory with periodic
+	// snapshot checkpoints, eviction hibernates streams (resumable on
+	// the next push) instead of flushing them, and NewManager recovers
+	// every persisted stream — each continues bit-identically to a
+	// stream that never stopped. Empty keeps the manager in-memory.
+	DataDir string
+	// SnapshotEvery is the number of accepted points between snapshot
+	// checkpoints of each durable stream; 0 selects 8192. Checkpoints
+	// bound recovery replay time and on-disk log size.
+	SnapshotEvery int
+	// Fsync, when set, fsyncs the write-ahead log after every accepted
+	// push batch: acked points then survive power loss, not just process
+	// death, at the cost of one fsync per batch.
+	Fsync bool
 }
 
 // Errors reported by Manager, re-exported from the serving core so callers
@@ -141,23 +156,13 @@ func NewManager(opts ManagerOptions) (*Manager, error) {
 		return nil, ErrManagerCallback
 	}
 	cfg := manager.Config{
-		Stream: stream.Config{
-			Window:           opts.Stream.Window,
-			BufLen:           opts.Stream.BufLen,
-			Hop:              opts.Stream.Hop,
-			Threshold:        opts.Stream.Threshold,
-			AdaptiveQuantile: opts.Stream.AdaptiveQuantile,
-			RebaseEvery:      opts.Stream.RebaseEvery,
-			EnsembleSize:     opts.Stream.EnsembleSize,
-			WMax:             opts.Stream.WMax,
-			AMax:             opts.Stream.AMax,
-			Tau:              opts.Stream.Tau,
-			TopK:             opts.Stream.TopK,
-			Seed:             opts.Stream.Seed,
-		},
-		MaxStreams: opts.MaxStreams,
-		MaxBytes:   opts.MaxBytes,
-		IdleAfter:  opts.IdleAfter,
+		Stream:        opts.Stream.config(),
+		MaxStreams:    opts.MaxStreams,
+		MaxBytes:      opts.MaxBytes,
+		IdleAfter:     opts.IdleAfter,
+		DataDir:       opts.DataDir,
+		SnapshotEvery: opts.SnapshotEvery,
+		Fsync:         opts.Fsync,
 	}
 	m, err := manager.New(cfg)
 	if err != nil {
@@ -180,6 +185,31 @@ func (m *Manager) Push(id string, x float64) error { return m.m.Push(id, x) }
 // detector errors (e.g. a non-finite point) reject the remainder, with
 // everything before the bad point accepted, like Streamer.PushBatch.
 func (m *Manager) PushBatch(id string, xs []float64) error { return m.m.PushBatch(id, xs) }
+
+// PushBatchN is PushBatch reporting how many points were accepted —
+// applied to the stream (and write-ahead logged when DataDir is set)
+// before any error — so a client can resend exactly the unapplied
+// remainder after a partial failure.
+func (m *Manager) PushBatchN(id string, xs []float64) (int, error) { return m.m.PushBatchN(id, xs) }
+
+// SnapshotStream forces a durability checkpoint of the stream right now,
+// superseding its write-ahead log tail. It requires DataDir to be set and
+// the stream to be live.
+func (m *Manager) SnapshotStream(id string) error { return m.m.SnapshotStream(id) }
+
+// ReplayStream re-derives a stream's recent events from its persisted
+// state: the last checkpoint is restored into a detached detector, the
+// logged tail is re-pushed through it, and fn is called for every event
+// confirmed during the replay with the hop (detection run) index that
+// confirmed it. Determinism makes the output exact — these are precisely
+// the events a crash-restart at the last checkpoint would re-announce.
+// The live stream is not disturbed. Returns the number of tail points
+// replayed; fn returning an error aborts the replay. Requires DataDir.
+func (m *Manager) ReplayStream(id string, fn func(hop int, a Anomaly) error) (int, error) {
+	return m.m.ReplayStream(id, func(hop int, ev stream.Event) error {
+		return fn(hop, Anomaly{Pos: ev.Pos, Length: ev.Length, Density: ev.Density})
+	})
+}
 
 // Subscribe registers for confirmed anomaly events — one stream's, or
 // every stream's with id "". Events arrive in per-stream order on a

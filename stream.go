@@ -4,6 +4,30 @@ import (
 	"egi/internal/stream"
 )
 
+// NonFinitePolicy selects how a streaming detector treats NaN and ±Inf
+// points at the ingest boundary. Real telemetry produces them — sensor
+// dropouts encoded as NaN, log-of-zero infinities — and a policy decides
+// per stream whether they are errors or noise.
+type NonFinitePolicy = stream.NonFinitePolicy
+
+// The non-finite ingest policies.
+const (
+	// NonFiniteReject (the default) rejects a non-finite point with
+	// ErrNonFinite; nothing after it in the batch is applied.
+	NonFiniteReject = stream.NonFiniteReject
+	// NonFiniteClamp substitutes the most recent finite point, holding
+	// the signal's last value through a dropout. Leading non-finite
+	// points (no finite value yet) are dropped.
+	NonFiniteClamp = stream.NonFiniteClamp
+	// NonFiniteDrop silently skips non-finite points; stream positions
+	// count only the points that were kept.
+	NonFiniteDrop = stream.NonFiniteDrop
+)
+
+// ErrNonFinite is returned (wrapped) by Push/PushBatch when a NaN or ±Inf
+// point arrives under the NonFiniteReject policy.
+var ErrNonFinite = stream.ErrNonFinite
+
 // StreamOptions configures Stream, the online detector. Only Window is
 // required; zero values select defaults. The ensemble fields mean exactly
 // what they mean in Options.
@@ -41,6 +65,11 @@ type StreamOptions struct {
 	// at a delay of roughly BufLen points behind the stream head; use a
 	// smaller Hop and BufLen for tighter latency.
 	OnAnomaly func(Anomaly)
+
+	// NonFinite selects how NaN/±Inf points are treated: rejected with
+	// ErrNonFinite (the default), clamped to the last finite value, or
+	// dropped. See NonFinitePolicy.
+	NonFinite NonFinitePolicy
 
 	// RebaseEvery bounds how many hop runs a member's resumable grammar
 	// may span before it is rebuilt over the live buffer alone. The zero
@@ -90,12 +119,24 @@ type Streamer struct {
 //	}
 //	if err := s.Flush(); err != nil { ... }
 func Stream(opts StreamOptions) (*Streamer, error) {
+	d, err := stream.New(opts.config())
+	if err != nil {
+		return nil, err
+	}
+	return &Streamer{d: d}, nil
+}
+
+// config maps the public options onto the internal detector configuration
+// — the one conversion point shared by Stream, RestoreStream and
+// NewManager.
+func (opts StreamOptions) config() stream.Config {
 	cfg := stream.Config{
 		Window:           opts.Window,
 		BufLen:           opts.BufLen,
 		Hop:              opts.Hop,
 		Threshold:        opts.Threshold,
 		AdaptiveQuantile: opts.AdaptiveQuantile,
+		NonFinite:        opts.NonFinite,
 		RebaseEvery:      opts.RebaseEvery,
 		EnsembleSize:     opts.EnsembleSize,
 		WMax:             opts.WMax,
@@ -110,7 +151,22 @@ func Stream(opts StreamOptions) (*Streamer, error) {
 			cb(Anomaly{Pos: e.Pos, Length: e.Length, Density: e.Density})
 		}
 	}
-	d, err := stream.New(cfg)
+	return cfg
+}
+
+// Snapshot serializes the streamer's complete resumable state into a
+// versioned, checksummable payload. A streamer restored from it with
+// RestoreStream (under the same options) continues the stream
+// bit-identically — same events, same curve, same rankings — as if it had
+// never stopped. Snapshotting does not disturb the streamer.
+func (s *Streamer) Snapshot() []byte { return s.d.Snapshot() }
+
+// RestoreStream reconstructs a streamer from a Snapshot payload. opts
+// must carry the same detection configuration the snapshot was taken
+// under (verified against a fingerprint embedded in the payload); only
+// OnAnomaly may differ.
+func RestoreStream(opts StreamOptions, snapshot []byte) (*Streamer, error) {
+	d, err := stream.Restore(opts.config(), snapshot)
 	if err != nil {
 		return nil, err
 	}
@@ -119,11 +175,18 @@ func Stream(opts StreamOptions) (*Streamer, error) {
 
 // Push appends one point to the stream, re-inducing the ensemble over the
 // buffer when a hop boundary is crossed (which may invoke OnAnomaly).
-// Non-finite points are rejected.
+// Non-finite points are handled per the NonFinite policy: rejected with
+// ErrNonFinite by default.
 func (s *Streamer) Push(x float64) error { return s.d.Push(x) }
 
 // PushBatch pushes the points in order, stopping at the first error.
 func (s *Streamer) PushBatch(xs []float64) error { return s.d.PushBatch(xs) }
+
+// PushBatchN pushes the points in order, stopping at the first error, and
+// reports how many were consumed. On error the count is the index of the
+// offending point — everything before it is applied — so a caller can
+// resend exactly the unapplied remainder.
+func (s *Streamer) PushBatchN(xs []float64) (int, error) { return s.d.PushBatchN(xs) }
 
 // Flush finishes the stream: the not-yet-covered tail is processed, every
 // remaining window score is finalized, and a final OnAnomaly call is made

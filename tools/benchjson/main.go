@@ -6,6 +6,14 @@
 // b.ReportMetric emitted them — bytes/op, allocs/op and any custom
 // metrics.
 //
+// Repeated runs of the same benchmark (`-count=N`, or names colliding
+// after the suffix strip) are merged into one object: per-op values are
+// averaged weighted by each run's iteration count, iterations are
+// summed, and a "runs" field records how many lines merged. Before this,
+// later lines silently replaced earlier ones in downstream tooling that
+// indexed by name, so `-count` runs compared only their last (often
+// noisiest-cache) measurement.
+//
 // Usage:
 //
 //	go test -run='^$' -bench=... -benchmem . | go run ./tools/benchjson > BENCH_stream.json
@@ -27,7 +35,8 @@ import (
 	"strings"
 )
 
-// result is one benchmark line's parsed measurements.
+// result is one benchmark line's parsed measurements — or, after merge,
+// the iteration-weighted combination of several runs of one benchmark.
 type result struct {
 	Name        string             `json:"name"`
 	Iterations  int64              `json:"iterations"`
@@ -35,6 +44,9 @@ type result struct {
 	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
 	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	// Runs counts the result lines merged into this entry; omitted for a
+	// single run.
+	Runs int64 `json:"runs,omitempty"`
 }
 
 // stripProcs removes the trailing -GOMAXPROCS suffix go test appends to
@@ -104,6 +116,84 @@ func parse(r io.Reader) ([]result, error) {
 	return out, nil
 }
 
+// merge combines repeated results for the same benchmark name into one
+// entry per name, preserving first-occurrence order. Per-op values are
+// averaged weighted by each run's iteration count — the same weighting
+// `go test` itself would produce had it timed all the iterations as one
+// run — and iterations are summed. Optional measurements (B/op,
+// allocs/op, custom metrics) are weighted over only the runs that
+// reported them.
+func merge(results []result) []result {
+	type acc struct {
+		r       result
+		runs    int64
+		ns      float64 // sum of ns/op * iterations
+		bytes   float64
+		bIters  int64 // iterations of runs reporting B/op
+		allocs  float64
+		aIters  int64
+		metrics map[string]float64 // unit -> weighted sum
+		mIters  map[string]int64
+	}
+	var order []string
+	accs := make(map[string]*acc)
+	for _, r := range results {
+		a, ok := accs[r.Name]
+		if !ok {
+			a = &acc{r: result{Name: r.Name}}
+			accs[r.Name] = a
+			order = append(order, r.Name)
+		}
+		w := float64(r.Iterations)
+		a.runs++
+		a.r.Iterations += r.Iterations
+		a.ns += r.NsPerOp * w
+		if r.BytesPerOp != nil {
+			a.bytes += *r.BytesPerOp * w
+			a.bIters += r.Iterations
+		}
+		if r.AllocsPerOp != nil {
+			a.allocs += *r.AllocsPerOp * w
+			a.aIters += r.Iterations
+		}
+		for unit, v := range r.Metrics {
+			if a.metrics == nil {
+				a.metrics = make(map[string]float64)
+				a.mIters = make(map[string]int64)
+			}
+			a.metrics[unit] += v * w
+			a.mIters[unit] += r.Iterations
+		}
+	}
+	out := make([]result, 0, len(order))
+	for _, name := range order {
+		a := accs[name]
+		r := a.r
+		if r.Iterations > 0 {
+			r.NsPerOp = a.ns / float64(r.Iterations)
+		}
+		if a.bIters > 0 {
+			b := a.bytes / float64(a.bIters)
+			r.BytesPerOp = &b
+		}
+		if a.aIters > 0 {
+			al := a.allocs / float64(a.aIters)
+			r.AllocsPerOp = &al
+		}
+		for unit, sum := range a.metrics {
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = sum / float64(a.mIters[unit])
+		}
+		if a.runs > 1 {
+			r.Runs = a.runs
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
 func main() {
 	results, err := parse(os.Stdin)
 	if err != nil {
@@ -112,7 +202,7 @@ func main() {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
+	if err := enc.Encode(merge(results)); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

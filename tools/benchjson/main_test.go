@@ -50,6 +50,68 @@ func TestParseRejectsEmpty(t *testing.T) {
 	}
 }
 
+// Repeated `-count=N` lines for one benchmark must merge into a single
+// iteration-weighted entry, not last-write-win.
+func TestMergeDuplicates(t *testing.T) {
+	input := `BenchmarkFoo-8   100   10 ns/op   40 B/op   2 allocs/op
+BenchmarkFoo-8   300   20 ns/op   80 B/op   4 allocs/op
+BenchmarkBar-8   50   5 ns/op
+`
+	parsed, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := merge(parsed)
+	if len(got) != 2 {
+		t.Fatalf("merged to %d results, want 2", len(got))
+	}
+	foo := got[0]
+	if foo.Name != "BenchmarkFoo" || foo.Iterations != 400 || foo.Runs != 2 {
+		t.Fatalf("merged foo accounting wrong: %+v", foo)
+	}
+	// Weighted by iterations: (100*10 + 300*20) / 400 = 17.5, not the
+	// last run's 20 or the unweighted mean 15.
+	if foo.NsPerOp != 17.5 {
+		t.Fatalf("merged ns/op = %v, want 17.5", foo.NsPerOp)
+	}
+	if foo.BytesPerOp == nil || *foo.BytesPerOp != 70 {
+		t.Fatalf("merged B/op = %v, want 70", foo.BytesPerOp)
+	}
+	if foo.AllocsPerOp == nil || *foo.AllocsPerOp != 3.5 {
+		t.Fatalf("merged allocs/op = %v, want 3.5", foo.AllocsPerOp)
+	}
+	bar := got[1]
+	if bar.Name != "BenchmarkBar" || bar.Runs != 0 || bar.NsPerOp != 5 {
+		t.Fatalf("single-run bar altered by merge: %+v", bar)
+	}
+}
+
+// Optional measurements reported by only some runs are averaged over
+// exactly the runs that reported them.
+func TestMergePartialMeasurements(t *testing.T) {
+	input := `BenchmarkFoo-8   100   10 ns/op   0.5 hit_rate
+BenchmarkFoo-8   100   30 ns/op   64 B/op
+`
+	parsed, err := parse(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := merge(parsed)
+	if len(got) != 1 {
+		t.Fatalf("merged to %d results, want 1", len(got))
+	}
+	f := got[0]
+	if f.NsPerOp != 20 {
+		t.Fatalf("ns/op = %v, want 20", f.NsPerOp)
+	}
+	if f.BytesPerOp == nil || *f.BytesPerOp != 64 {
+		t.Fatalf("B/op = %v, want 64 (from the one run that reported it)", f.BytesPerOp)
+	}
+	if f.Metrics["hit_rate"] != 0.5 {
+		t.Fatalf("hit_rate = %v, want 0.5", f.Metrics["hit_rate"])
+	}
+}
+
 func TestStripProcs(t *testing.T) {
 	cases := map[string]string{
 		"BenchmarkFoo-8":          "BenchmarkFoo",
