@@ -23,6 +23,8 @@ package egi_test
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"egi"
@@ -486,6 +488,134 @@ func BenchmarkManagerPush(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchWave precomputes length+pad points of the benchmarks' two-sinusoid
+// signal so batch slices can wrap without a modulo per point.
+func benchWave(length, pad, window int) []float64 {
+	points := make([]float64, length+pad)
+	for i := range points {
+		points[i] = math.Sin(2*math.Pi*float64(i)/float64(window)) +
+			0.3*math.Sin(float64(i)*0.7391)
+	}
+	return points
+}
+
+// BenchmarkStreamPushBatch measures the detector's batch ingest fast path:
+// one PushBatchN per iteration instead of one Push per point. The ns/point
+// metric is directly comparable with BenchmarkStreamPush's time column —
+// the gap is the per-point call, bounds-check, and run-boundary accounting
+// the batch path amortizes across each run segment.
+func BenchmarkStreamPushBatch(b *testing.B) {
+	const (
+		window = 100
+		bufLen = 1000
+		batch  = 256
+	)
+	s, err := egi.Stream(egi.StreamOptions{
+		Window:       window,
+		BufLen:       bufLen,
+		EnsembleSize: benchSize,
+		Seed:         benchSeed,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	points := benchWave(bufLen, batch, window)
+	b.ResetTimer()
+	off := 0
+	for i := 0; i < b.N; i++ {
+		if err := s.PushBatch(points[off : off+batch]); err != nil {
+			b.Fatal(err)
+		}
+		off = (off + batch) % bufLen
+	}
+	b.StopTimer()
+	pts := float64(b.N) * batch
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/pts, "ns/point")
+	b.ReportMetric(pts/b.Elapsed().Seconds(), "points/s")
+	if err := s.Flush(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkManagerPushParallel is the contended serving benchmark:
+// GOMAXPROCS producers push 256-point batches round-robin across N
+// streams of one Manager, so it measures what BenchmarkManagerPush (one
+// goroutine, one point per call) cannot — shard-map and accounting
+// contention under parallel ingest. The aggregate points/s metric is the
+// serving layer's headline number: with the sharded stream table it must
+// scale with cores (the acceptance bar is ≥10× the serial per-point
+// baseline at 32 streams on 8 cores).
+//
+// Each sub-benchmark pins GOMAXPROCS itself rather than relying on the
+// -cpu flag: b.Run names are computed when the parent registers its
+// children, before the harness applies each -cpu value, so a name built
+// from runtime.GOMAXPROCS(0) would label every -cpu pass with the same
+// (wrong) count — and after tools/benchjson strips the -cpu suffix,
+// three different core counts would merge into one trajectory entry.
+// Pinning inside the child makes the procs=N label truthful and turns
+// any extra -cpu passes into additional samples of the same workload.
+func BenchmarkManagerPushParallel(b *testing.B) {
+	const (
+		window = 100
+		bufLen = 1000
+		batch  = 256
+	)
+	for _, streams := range []int{1, 8, 32} {
+		for _, procs := range []int{1, 4, 8} {
+			benchManagerPushParallel(b, streams, procs, window, bufLen, batch)
+		}
+	}
+}
+
+// benchManagerPushParallel runs one (streams, procs) cell of the
+// contended serving benchmark with GOMAXPROCS pinned to procs.
+func benchManagerPushParallel(b *testing.B, streams, procs, window, bufLen, batch int) {
+	b.Run(fmt.Sprintf("streams=%d/procs=%d", streams, procs), func(b *testing.B) {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		m, err := egi.NewManager(egi.ManagerOptions{
+			Stream: egi.StreamOptions{
+				Window:       window,
+				BufLen:       bufLen,
+				EnsembleSize: benchSize,
+				Seed:         benchSeed,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer m.Close()
+		ids := make([]string, streams)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("s%02d", i)
+			if err := m.Open(ids[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		points := benchWave(bufLen, batch, window)
+		var producer atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			// Stagger producers across the streams so every stream is
+			// hit and neighboring producers mostly use different ids.
+			n := int(producer.Add(1)) - 1
+			off := 0
+			for pb.Next() {
+				if _, err := m.PushBatchN(ids[n%streams], points[off:off+batch]); err != nil {
+					b.Error(err) // Error, not Fatal: safe off the main goroutine
+					return
+				}
+				n++
+				off = (off + batch) % bufLen
+			}
+		})
+		b.StopTimer()
+		pts := float64(b.N) * float64(batch)
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/pts, "ns/point")
+		b.ReportMetric(pts/b.Elapsed().Seconds(), "points/s")
+	})
 }
 
 // --- Ablations (DESIGN.md §4) ---

@@ -1,0 +1,185 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"egi"
+)
+
+// ingestHarness is one manager + server + SSE firehose, so two of them
+// can be fed the same series with different request chunking.
+type ingestHarness struct {
+	m   *egi.Manager
+	ts  *httptest.Server
+	sse *sseReader
+}
+
+func newIngestHarness(t *testing.T) *ingestHarness {
+	t.Helper()
+	m, err := egi.NewManager(egi.ManagerOptions{Stream: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(m, "value", 4096, 0, limits{}).handler())
+	resp, err := ts.Client().Get(ts.URL + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("SSE subscribe: status %d", resp.StatusCode)
+	}
+	t.Cleanup(ts.Close)
+	return &ingestHarness{m: m, ts: ts, sse: newSSEReader(resp.Body)}
+}
+
+// postChunk posts one ingest request and returns (status, accepted).
+func (h *ingestHarness) postChunk(t *testing.T, id string, body io.Reader, contentType string) (int, int) {
+	t.Helper()
+	resp := post(t, h.ts.Client(), h.ts.URL+"/v1/streams/"+id+"/points", body, contentType)
+	defer resp.Body.Close()
+	var out struct {
+		Pushed   int `json:"pushed"`
+		Accepted int `json:"accepted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding ingest response: %v", err)
+	}
+	if resp.StatusCode == http.StatusOK {
+		return resp.StatusCode, out.Pushed
+	}
+	return resp.StatusCode, out.Accepted
+}
+
+// TestIngestChunkingInvariant is the HTTP layer of the batch==per-point
+// property: the same series POSTed as one big request must produce
+// exactly the same accepted counts, SSE-delivered events, and final
+// stats as the same series drip-fed in many small requests (mixing
+// NDJSON and JSON-array bodies). Request chunking is a transport detail;
+// the detector must not be able to see it.
+func TestIngestChunkingInvariant(t *testing.T) {
+	big := newIngestHarness(t)
+	small := newIngestHarness(t)
+	const id = "sensor"
+	series := sensorSeries(1400, 40, 23, 500, 1100)
+
+	// One request carrying everything.
+	status, accepted := big.postChunk(t, id, jsonBody(t, series), "application/json")
+	if status != http.StatusOK || accepted != len(series) {
+		t.Fatalf("big POST: status %d accepted %d, want 200/%d", status, accepted, len(series))
+	}
+
+	// The same series in many small requests of random size and format.
+	rng := rand.New(rand.NewSource(4))
+	total := 0
+	for off := 0; off < len(series); {
+		n := 1 + rng.Intn(13)
+		if off+n > len(series) {
+			n = len(series) - off
+		}
+		chunk := series[off : off+n]
+		var st, acc int
+		if rng.Intn(2) == 0 {
+			st, acc = small.postChunk(t, id, ndjsonBody(chunk), "")
+		} else {
+			st, acc = small.postChunk(t, id, jsonBody(t, chunk), "application/json")
+		}
+		if st != http.StatusOK || acc != n {
+			t.Fatalf("small POST at %d: status %d accepted %d, want 200/%d", off, st, acc, n)
+		}
+		total += acc
+		off += n
+	}
+	if total != len(series) {
+		t.Fatalf("small POSTs accepted %d points, want %d", total, len(series))
+	}
+
+	// DELETE flushes the stream; closing the managers ends the SSE
+	// bodies so the readers finish with every delivered event.
+	for _, h := range []*ingestHarness{big, small} {
+		resp, err := http.NewRequest(http.MethodDelete, h.ts.URL+"/v1/streams/"+id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := h.ts.Client().Do(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Stats streamStatsJSON `json:"stats"`
+		}
+		if err := json.NewDecoder(res.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if out.Stats.Points != int64(len(series)) {
+			t.Fatalf("final stats count %d points, want %d", out.Stats.Points, len(series))
+		}
+		h.m.Close()
+		select {
+		case <-h.sse.done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("SSE reader did not finish after manager close")
+		}
+	}
+
+	evBig, evSmall := big.sse.events[id], small.sse.events[id]
+	if len(evBig) == 0 {
+		t.Fatal("fixture emitted no events; the comparison proved nothing")
+	}
+	if len(evBig) != len(evSmall) {
+		t.Fatalf("event counts diverge: %d from one big POST vs %d from small POSTs", len(evBig), len(evSmall))
+	}
+	for i := range evBig {
+		if evBig[i] != evSmall[i] {
+			t.Fatalf("event %d diverges: %+v vs %+v", i, evBig[i], evSmall[i])
+		}
+	}
+}
+
+// TestIngestNonFiniteBoundary pins the ingest boundary for non-finite
+// points: JSON cannot carry NaN/Inf, so a body smuggling one (an
+// overflowing literal, a bare NaN) is rejected at parse with accepted=0
+// and NOTHING applied — whether it arrives as one big batch or a small
+// one. This is why a mid-batch detector non-finite error is unreachable
+// over HTTP under the default reject policy: the transport rejects the
+// whole request first, and the accepted count says so.
+func TestIngestNonFiniteBoundary(t *testing.T) {
+	h := newIngestHarness(t)
+	const id = "sensor"
+	if st, acc := h.postChunk(t, id, ndjsonBody([]float64{1, 2, 3}), ""); st != http.StatusOK || acc != 3 {
+		t.Fatalf("seed POST: status %d accepted %d", st, acc)
+	}
+	for _, body := range []string{
+		"4\n5\nNaN\n6\n",   // bare NaN mid-batch
+		"4\n5\n1e999\n6\n", // overflows float64 → would be +Inf
+		"4\n{\"value\": -1e999}\n",
+	} {
+		st, acc := h.postChunk(t, id, strings.NewReader(body), "")
+		if st != http.StatusBadRequest || acc != 0 {
+			t.Fatalf("non-finite body %q: status %d accepted %d, want 400/0", body, st, acc)
+		}
+	}
+	// Nothing from the rejected bodies reached the stream.
+	resp, err := h.ts.Client().Get(h.ts.URL + "/v1/streams/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Stats streamStatsJSON `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Stats.Points != 3 {
+		t.Fatalf("stream holds %d points after rejected bodies, want 3", out.Stats.Points)
+	}
+	h.m.Close()
+}

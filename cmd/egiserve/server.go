@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"egi"
@@ -168,7 +169,12 @@ func errorCode(err error) int {
 func (s *server) ingest(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
-	points, err := parsePoints(body, r.Header.Get("Content-Type"), s.field)
+	bufp := pointBufs.Get().(*[]float64)
+	defer putPointBuf(bufp)
+	points, err := parsePoints(body, r.Header.Get("Content-Type"), s.field, (*bufp)[:0])
+	if cap(points) > cap(*bufp) {
+		*bufp = points[:0] // keep the grown buffer for the next request
+	}
 	if err != nil {
 		// The body is parsed in full before anything is pushed, so a
 		// malformed body applies zero points.
@@ -203,12 +209,32 @@ func (s *server) ingest(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// parsePoints decodes an ingest body. contentType application/json
-// selects the JSON-array form; anything else is parsed as NDJSON. Both
-// forms reject null and non-number elements with a position-precise error
-// — encoding/json would otherwise skip a null, leaving the target element
-// 0.0 and silently poisoning the stream with a fabricated point.
-func parsePoints(r io.Reader, contentType, field string) ([]float64, error) {
+// pointBufs pools ingest batch buffers: each request parses its whole
+// body into one buffer and hands it to PushBatchN once, and the buffer's
+// grown capacity is recycled for the next request instead of re-allocated.
+// The manager copies what it keeps (ring, scratch, WAL record) before
+// PushBatchN returns, so returning the buffer to the pool after the
+// response is race-free.
+var pointBufs = sync.Pool{New: func() any { b := make([]float64, 0, 1024); return &b }}
+
+// putPointBuf recycles an ingest buffer, dropping oversized ones so one
+// huge request does not pin its buffer in the pool for the process
+// lifetime (the cap is 64k points, 512 KiB).
+func putPointBuf(bufp *[]float64) {
+	if cap(*bufp) > 1<<16 {
+		return
+	}
+	*bufp = (*bufp)[:0]
+	pointBufs.Put(bufp)
+}
+
+// parsePoints decodes an ingest body into buf (reusing its capacity).
+// contentType application/json selects the JSON-array form; anything else
+// is parsed as NDJSON. Both forms reject null and non-number elements
+// with a position-precise error — encoding/json would otherwise skip a
+// null, leaving the target element 0.0 and silently poisoning the stream
+// with a fabricated point.
+func parsePoints(r io.Reader, contentType, field string, buf []float64) ([]float64, error) {
 	if ct, _, _ := strings.Cut(contentType, ";"); strings.TrimSpace(ct) == "application/json" {
 		var raw []*float64
 		dec := json.NewDecoder(r)
@@ -223,16 +249,16 @@ func parsePoints(r io.Reader, contentType, field string) ([]float64, error) {
 			}
 			return nil, errors.New("trailing data after JSON array body")
 		}
-		points := make([]float64, len(raw))
+		points := buf
 		for i, p := range raw {
 			if p == nil {
 				return nil, fmt.Errorf("JSON array element %d is null, not a number", i)
 			}
-			points[i] = *p
+			points = append(points, *p)
 		}
 		return points, nil
 	}
-	var points []float64
+	points := buf
 	err := ndjson.ForEach(r, field, func(_ int, v float64) error {
 		points = append(points, v)
 		return nil

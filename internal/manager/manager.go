@@ -5,27 +5,33 @@
 // on last-push time, plus explicit close). It is the machinery behind the
 // public egi.Manager API and the egiserve HTTP server.
 //
-// Every managed stream is an internal/stream.Detector behind its own
-// mutex, so producers for different streams never contend and producers
-// for one stream serialize exactly like egi.ConcurrentStream. Confirmed
-// anomaly events flow through a broker to subscribers (per-stream or
-// global), with backpressure rather than loss: a full subscriber channel
-// blocks the delivery of every stream matching its filter — only that
-// stream for a per-stream subscription, all of them for a global one —
-// but never drops events, and never holds up streams outside the filter.
-// Subscribers must therefore keep receiving until they cancel; Close
-// likewise blocks delivering final events until stalled subscribers read
-// or cancel (egiserve pairs this with per-write SSE deadlines so a stuck
-// client cancels itself).
+// The stream table is sharded: ids are distributed across a fixed set of
+// shards by FNV-1a hash, each shard guarding its slice of the table with
+// its own RWMutex. The ingest hot path — look up an entry, push under its
+// lock — therefore takes only a shard read lock plus the per-stream lock,
+// so producers for different streams never contend on a global mutex, and
+// producers for one stream serialize exactly like egi.ConcurrentStream.
+// Structural changes (creating a stream, evicting, closing) serialize on a
+// single createMu so limit admission stays atomic; the lock hierarchy is
+// createMu → shard.mu → entry.mu, and no hot-path operation ever takes
+// createMu. Confirmed anomaly events flow through a broker to subscribers
+// (per-stream or global), with backpressure rather than loss: a full
+// subscriber channel blocks the delivery of every stream matching its
+// filter — only that stream for a per-stream subscription, all of them for
+// a global one — but never drops events, and never holds up streams
+// outside the filter. Subscribers must therefore keep receiving until they
+// cancel; Close likewise blocks delivering final events until stalled
+// subscribers read or cancel (egiserve pairs this with per-write SSE
+// deadlines so a stuck client cancels itself).
 //
 // Memory is governed end to end: each detector's MemoryFootprint (ring +
 // member pipelines + stitch buffers, all bounded) is re-read after every
-// push and summed into the manager total. When the total would exceed
-// MaxBytes the manager first evicts idle streams, least-recently-pushed
-// first; if nothing is evictable the offending push is rejected with
-// ErrOverBudget — limits reject, they do not corrupt. Eviction flushes the
-// stream, so every event that could still be confirmed from buffered data
-// is delivered before the stream's memory is released.
+// push and summed into the manager total via atomics. When the total would
+// exceed MaxBytes the manager first evicts idle streams, least-recently-
+// pushed first; if nothing is evictable the offending push is rejected
+// with ErrOverBudget — limits reject, they do not corrupt. Eviction
+// flushes the stream, so every event that could still be confirmed from
+// buffered data is delivered before the stream's memory is released.
 package manager
 
 import (
@@ -149,8 +155,42 @@ type entry struct {
 	lastPush  atomic.Int64 // unix nanos
 }
 
+// shardCount is the width of the stream table. 64 shards keep the chance
+// of two concurrently pushed streams hashing together below 2% at 8
+// producers while the per-manager overhead stays a few kilobytes.
+const shardCount = 64
+
+// shard is one slice of the stream table. The RWMutex is read-locked on
+// the ingest hot path (entry lookup) and write-locked only for insert and
+// detach, so lookups — including Stats scans — never contend with each
+// other.
+type shard struct {
+	mu      sync.RWMutex
+	streams map[string]*entry
+}
+
+// fnv32a is 32-bit FNV-1a, inlined to keep stream-id hashing
+// allocation-free on the hot path.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
 // Manager multiplexes many streaming detectors behind one surface. All
 // methods are safe for concurrent use.
+//
+// Locking discipline: the hot path (PushBatchN on an existing stream)
+// takes the id's shard read lock to find the entry, releases it, then
+// pushes under the entry's own mutex — no global lock. Structural
+// mutations (create, evict, CloseStream, Close) serialize on createMu and
+// take shard write locks one at a time; they never hold two shard locks
+// at once. The hierarchy is createMu → shard.mu → entry.mu, always in
+// that order, and reads of the rolled-up accounting (Stats, TotalBytes,
+// Len) go through atomics so they block nothing.
 type Manager struct {
 	cfg       Config
 	now       func() time.Time
@@ -158,12 +198,21 @@ type Manager struct {
 	store     *wal.Store // nil when DataDir is empty
 	snapEvery int
 
-	mu      sync.Mutex // guards streams and closed
-	streams map[string]*entry
-	closed  bool
+	shards [shardCount]shard
 
+	// createMu serializes stream creation, eviction, and close, keeping
+	// limit admission atomic (concurrent creations cannot collectively
+	// overshoot MaxStreams/MaxBytes). The ingest hot path never takes it.
+	createMu sync.Mutex
+	closed   atomic.Bool
+
+	count      atomic.Int64 // live streams across all shards
 	totalBytes atomic.Int64
 	evicted    atomic.Int64
+}
+
+func (m *Manager) shardFor(id string) *shard {
+	return &m.shards[fnv32a(id)%shardCount]
 }
 
 // New creates a Manager. The stream template is validated eagerly so a bad
@@ -195,8 +244,10 @@ func New(cfg Config) (*Manager, error) {
 		cfg:       cfg,
 		now:       now,
 		broker:    newBroker(),
-		streams:   make(map[string]*entry),
 		snapEvery: cfg.SnapshotEvery,
+	}
+	for i := range m.shards {
+		m.shards[i].streams = make(map[string]*entry)
 	}
 	if m.snapEvery == 0 {
 		m.snapEvery = 8192
@@ -224,26 +275,48 @@ func (m *Manager) Open(id string) error {
 	return err
 }
 
-// get looks up (and under create, makes) the entry for id. It returns any
-// entries evicted to make room; the caller must drain them after m.mu is
-// released — which has already happened by the time get returns.
+// get looks up (and under create, makes) the entry for id. The lookup is
+// the ingest hot path: one shard read lock, no global state. It returns
+// any entries evicted to make room; the caller must drain them after all
+// locks are released — which has already happened by the time get returns.
 func (m *Manager) get(id string, create bool) (*entry, []*entry, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
+	if m.closed.Load() {
 		return nil, nil, ErrManagerClosed
 	}
-	if e := m.streams[id]; e != nil {
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	e := sh.streams[id]
+	sh.mu.RUnlock()
+	if e != nil {
 		return e, nil, nil
 	}
 	if !create {
 		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownStream, id)
 	}
+	return m.create(id, sh)
+}
+
+// create admits a new stream under createMu, so concurrent creations
+// serialize and the MaxStreams/MaxBytes checks stay atomic.
+func (m *Manager) create(id string, sh *shard) (*entry, []*entry, error) {
+	m.createMu.Lock()
+	defer m.createMu.Unlock()
+	if m.closed.Load() {
+		return nil, nil, ErrManagerClosed
+	}
+	// Re-check under createMu: a concurrent creator may have won the race
+	// between our shard read-unlock and here.
+	sh.mu.RLock()
+	e := sh.streams[id]
+	sh.mu.RUnlock()
+	if e != nil {
+		return e, nil, nil
+	}
 	var evicted []*entry
-	if m.cfg.MaxStreams > 0 && len(m.streams) >= m.cfg.MaxStreams {
-		ev := m.evictLRULocked()
+	if m.cfg.MaxStreams > 0 && int(m.count.Load()) >= m.cfg.MaxStreams {
+		ev := m.evictLRU()
 		if ev == nil {
-			return nil, nil, fmt.Errorf("%w: %d live, none idle for %v", ErrTooManyStreams, len(m.streams), m.cfg.IdleAfter)
+			return nil, nil, fmt.Errorf("%w: %d live, none idle for %v", ErrTooManyStreams, m.count.Load(), m.cfg.IdleAfter)
 		}
 		evicted = append(evicted, ev)
 	}
@@ -254,12 +327,13 @@ func (m *Manager) get(id string, create bool) (*entry, []*entry, error) {
 		return nil, evicted, err
 	}
 	fp := e.d.MemoryFootprint()
-	// Admit the new stream against the byte budget while m.mu is held:
-	// concurrent creations serialize here, so they cannot collectively
-	// overshoot — the budget admits a stream or rejects it, atomically.
+	// Admit the new stream against the byte budget while createMu is
+	// held: concurrent creations serialize here, so they cannot
+	// collectively overshoot — the budget admits a stream or rejects it,
+	// atomically.
 	if m.cfg.MaxBytes > 0 {
 		for m.totalBytes.Load()+fp > m.cfg.MaxBytes {
-			ev := m.evictLRULocked()
+			ev := m.evictLRU()
 			if ev == nil {
 				e.hibernate() // release the log handle; persisted state stays resumable
 				return nil, evicted, fmt.Errorf("%w: %d of %d bytes in use, new stream needs %d",
@@ -270,7 +344,10 @@ func (m *Manager) get(id string, create bool) (*entry, []*entry, error) {
 	}
 	e.footprint.Store(fp)
 	m.totalBytes.Add(fp)
-	m.streams[id] = e
+	sh.mu.Lock()
+	sh.streams[id] = e
+	sh.mu.Unlock()
+	m.count.Add(1)
 	return e, evicted, nil
 }
 
@@ -357,25 +434,26 @@ func (m *Manager) settleFootprint(e *entry) {
 
 // reserveBytes enforces MaxBytes before a push: if the rolled-up footprint
 // exceeds the budget it evicts idle streams, least-recently-pushed first,
-// and rejects with ErrOverBudget if the total still does not fit.
+// and rejects with ErrOverBudget if the total still does not fit. Within
+// budget — the hot-path case — it is one atomic load.
 func (m *Manager) reserveBytes() error {
 	if m.cfg.MaxBytes == 0 || m.totalBytes.Load() <= m.cfg.MaxBytes {
 		return nil
 	}
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	m.createMu.Lock()
+	if m.closed.Load() {
+		m.createMu.Unlock()
 		return ErrManagerClosed
 	}
 	var evicted []*entry
 	for m.totalBytes.Load() > m.cfg.MaxBytes {
-		ev := m.evictLRULocked()
+		ev := m.evictLRU()
 		if ev == nil {
 			break
 		}
 		evicted = append(evicted, ev)
 	}
-	m.mu.Unlock()
+	m.createMu.Unlock()
 	m.retire(evicted)
 	if m.totalBytes.Load() > m.cfg.MaxBytes {
 		return fmt.Errorf("%w: %d of %d bytes in use", ErrOverBudget, m.totalBytes.Load(), m.cfg.MaxBytes)
@@ -383,37 +461,49 @@ func (m *Manager) reserveBytes() error {
 	return nil
 }
 
-// evictLRULocked detaches the least-recently-pushed evictable stream, if
-// any, and returns its entry; the caller must retire it (flush + drain)
-// once m.mu is released. Callers hold m.mu.
-func (m *Manager) evictLRULocked() *entry {
+// evictLRU detaches the least-recently-pushed evictable stream, if any,
+// scanning every shard under its read lock, and returns its entry; the
+// caller must retire it (flush + drain) once createMu is released.
+// Callers hold createMu.
+func (m *Manager) evictLRU() *entry {
 	if m.cfg.IdleAfter <= 0 {
 		return nil
 	}
 	cutoff := m.now().Add(-m.cfg.IdleAfter).UnixNano()
 	var victim *entry
-	for _, e := range m.streams {
-		if t := e.lastPush.Load(); t <= cutoff && (victim == nil || t < victim.lastPush.Load()) {
-			victim = e
+	var victimT int64
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.streams {
+			if t := e.lastPush.Load(); t <= cutoff && (victim == nil || t < victimT) {
+				victim, victimT = e, t
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	if victim == nil {
 		return nil
 	}
-	m.detachLocked(victim)
+	m.detach(victim)
 	m.evicted.Add(1)
 	return victim
 }
 
-// detachLocked closes the entry to further pushes and removes it from the
-// map and the accounting. It is deliberately cheap — the expensive flush
-// happens in retire, outside m.mu, so evicting or closing one stream
-// never stalls the others' ingest. Callers hold m.mu.
-func (m *Manager) detachLocked(e *entry) {
+// detach closes the entry to further pushes and removes it from its shard
+// and the accounting. It is deliberately cheap — the expensive flush
+// happens in retire, outside all table locks, so evicting or closing one
+// stream never stalls the others' ingest. Callers hold createMu, which is
+// what prevents two detaches of the same entry.
+func (m *Manager) detach(e *entry) {
 	e.mu.Lock()
 	e.closed = true
 	e.mu.Unlock()
-	delete(m.streams, e.id)
+	sh := m.shardFor(e.id)
+	sh.mu.Lock()
+	delete(sh.streams, e.id)
+	sh.mu.Unlock()
+	m.count.Add(-1)
 	m.totalBytes.Add(-e.footprint.Load())
 }
 
@@ -423,7 +513,7 @@ func (m *Manager) detachLocked(e *entry) {
 // close the log, keep the buffered tail buffered — the stream resumes
 // exactly here on its next push or the next process start, and the tail's
 // events are confirmed then, with full context, rather than force-flushed
-// now. Runs outside m.mu.
+// now. Runs outside createMu and all shard locks.
 func (m *Manager) retire(entries []*entry) {
 	for _, e := range entries {
 		if e.log != nil {
@@ -461,18 +551,21 @@ func (m *Manager) drain(e *entry) {
 // unlike eviction, which hibernates a durable stream for later resumption
 // — and returns its final stats.
 func (m *Manager) CloseStream(id string) (StreamStats, error) {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	m.createMu.Lock()
+	if m.closed.Load() {
+		m.createMu.Unlock()
 		return StreamStats{}, ErrManagerClosed
 	}
-	e := m.streams[id]
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	e := sh.streams[id]
+	sh.mu.RUnlock()
 	if e == nil {
-		m.mu.Unlock()
+		m.createMu.Unlock()
 		return StreamStats{}, fmt.Errorf("%w: %q", ErrUnknownStream, id)
 	}
-	m.detachLocked(e)
-	m.mu.Unlock()
+	m.detach(e)
+	m.createMu.Unlock()
 	e.mu.Lock()
 	e.d.Flush() // Flush only fails on detector errors already surfaced by pushes.
 	if e.log != nil {
@@ -494,20 +587,20 @@ func (m *Manager) CloseStream(id string) (StreamStats, error) {
 // stats of the evicted streams. Serving layers call it on a timer so idle
 // streams are reclaimed even when no limit forces the issue.
 func (m *Manager) EvictIdle() []StreamStats {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	m.createMu.Lock()
+	if m.closed.Load() {
+		m.createMu.Unlock()
 		return nil
 	}
 	var evicted []*entry
 	for {
-		ev := m.evictLRULocked()
+		ev := m.evictLRU()
 		if ev == nil {
 			break
 		}
 		evicted = append(evicted, ev)
 	}
-	m.mu.Unlock()
+	m.createMu.Unlock()
 	m.retire(evicted)
 	stats := make([]StreamStats, len(evicted))
 	for i, e := range evicted {
@@ -554,7 +647,8 @@ func (e *entry) snapshot() StreamStats {
 	}
 }
 
-// StreamStats returns one live stream's snapshot.
+// StreamStats returns one live stream's snapshot. The read takes only the
+// stream's shard read lock plus atomics, so it never blocks ingest.
 func (m *Manager) StreamStats(id string) (StreamStats, error) {
 	e, _, err := m.get(id, false)
 	if err != nil {
@@ -564,21 +658,23 @@ func (m *Manager) StreamStats(id string) (StreamStats, error) {
 }
 
 // Stats returns a snapshot of every live stream plus the rolled-up
-// accounting.
+// accounting. It walks the shards one read lock at a time and reads
+// per-entry counters through atomics, so it can run continuously against
+// hot shards without ever blocking a push: pushes hold only shard read
+// locks (which share) and entry locks (which Stats never takes).
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	entries := make([]*entry, 0, len(m.streams))
-	for _, e := range m.streams {
-		entries = append(entries, e)
-	}
-	m.mu.Unlock()
 	s := Stats{
-		Streams:    make([]StreamStats, len(entries)),
+		Streams:    make([]StreamStats, 0, m.count.Load()),
 		TotalBytes: m.totalBytes.Load(),
 		Evicted:    m.evicted.Load(),
 	}
-	for i, e := range entries {
-		s.Streams[i] = e.snapshot()
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.streams {
+			s.Streams = append(s.Streams, e.snapshot())
+		}
+		sh.mu.RUnlock()
 	}
 	return s
 }
@@ -587,31 +683,32 @@ func (m *Manager) Stats() Stats {
 func (m *Manager) TotalBytes() int64 { return m.totalBytes.Load() }
 
 // Len returns the number of live streams.
-func (m *Manager) Len() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.streams)
-}
+func (m *Manager) Len() int { return int(m.count.Load()) }
 
 // Close shuts the manager down: every stream is flushed (delivering its
 // final events to subscribers), all stream memory is released, and every
 // subscriber channel is closed. Close is idempotent; all later operations
 // return ErrManagerClosed.
 func (m *Manager) Close() error {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	m.createMu.Lock()
+	if m.closed.Load() {
+		m.createMu.Unlock()
 		return nil
 	}
-	m.closed = true
+	m.closed.Store(true)
 	var entries []*entry
-	for _, e := range m.streams {
-		entries = append(entries, e)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for _, e := range sh.streams {
+			entries = append(entries, e)
+		}
+		sh.mu.RUnlock()
 	}
 	for _, e := range entries {
-		m.detachLocked(e)
+		m.detach(e)
 	}
-	m.mu.Unlock()
+	m.createMu.Unlock()
 	m.retire(entries)
 	m.broker.close()
 	return nil

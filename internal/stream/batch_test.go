@@ -1,0 +1,184 @@
+package stream
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// pushSeq is the reference semantics PushBatchN must reproduce exactly:
+// the literal per-point loop the batch fast path replaced. On error it
+// reports the index of the offending point, with everything before it
+// applied and nothing after it looked at.
+func pushSeq(d *Detector, xs []float64) (int, error) {
+	for i, x := range xs {
+		if err := d.Push(x); err != nil {
+			return i, err
+		}
+	}
+	return len(xs), nil
+}
+
+// injectNonFinite replaces a random sample of positions with NaN/±Inf,
+// including occasional leading ones (so Clamp's nothing-finite-yet drop
+// path is exercised).
+func injectNonFinite(rng *rand.Rand, xs []float64, frac float64) {
+	specials := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	for i := range xs {
+		if rng.Float64() < frac {
+			xs[i] = specials[rng.Intn(len(specials))]
+		}
+	}
+}
+
+// TestPushBatchNBitIdenticalToPush is the batch==per-point property test:
+// across random configurations (window, buffer, hop, non-finite policy,
+// adaptive thresholds) and random batch split points — including splits
+// that land mid-hop and batches holding non-finite points — PushBatchN
+// must be bit-for-bit the per-point loop: same consumed counts, same
+// error strings, same events, same stitched curve, and byte-identical
+// snapshots at random checkpoints and at the end.
+func TestPushBatchNBitIdenticalToPush(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	trials := 24
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		window := 16 + rng.Intn(3)*8
+		bufLen := (4 + rng.Intn(5)) * window
+		hop := 1 + rng.Intn(bufLen-window+1)
+		policy := NonFinitePolicy(rng.Intn(3))
+		cfg := Config{
+			Window:       window,
+			BufLen:       bufLen,
+			Hop:          hop,
+			EnsembleSize: 4 + rng.Intn(5),
+			Seed:         rng.Int63(),
+			NonFinite:    policy,
+		}
+		if rng.Intn(3) == 0 {
+			cfg.AdaptiveQuantile = 0.05 + rng.Float64()*0.2
+		}
+		if rng.Intn(3) == 0 {
+			cfg.RebaseEvery = 1 + rng.Intn(4)
+		}
+
+		series := sineSeries(3*bufLen+rng.Intn(bufLen), window, rng.Int63(), bufLen+rng.Intn(bufLen))
+		switch rng.Intn(3) {
+		case 1:
+			injectNonFinite(rng, series, 0.02)
+		case 2:
+			injectNonFinite(rng, series, 0.3) // dense: long non-finite runs
+		}
+
+		var evA, evB []Event
+		mk := func(sink *[]Event) *Detector {
+			c := cfg
+			c.OnEvent = func(e Event) { *sink = append(*sink, e) }
+			d, err := New(c)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			return d
+		}
+		a := mk(&evA) // per-point reference
+		b := mk(&evB) // batch fast path
+
+		for off := 0; off < len(series); {
+			n := 1 + rng.Intn(2*bufLen)
+			if off+n > len(series) {
+				n = len(series) - off
+			}
+			batch := series[off : off+n]
+			na, errA := pushSeq(a, batch)
+			nb, errB := b.PushBatchN(batch)
+			if na != nb {
+				t.Fatalf("trial %d (policy %d, hop %d): batch at %d consumed %d per-point vs %d batched",
+					trial, policy, hop, off, na, nb)
+			}
+			if (errA == nil) != (errB == nil) || (errA != nil && errA.Error() != errB.Error()) {
+				t.Fatalf("trial %d: batch at %d: per-point err %v vs batched err %v", trial, off, errA, errB)
+			}
+			// Like a real client: a rejected point is skipped, the
+			// remainder resent as its own batch.
+			if errA != nil {
+				off += na + 1
+			} else {
+				off += n
+			}
+			if rng.Intn(4) == 0 {
+				if sa, sb := a.Snapshot(), b.Snapshot(); !bytes.Equal(sa, sb) {
+					t.Fatalf("trial %d: snapshots diverge at offset %d (%d vs %d bytes)", trial, off, len(sa), len(sb))
+				}
+			}
+		}
+
+		if a.Total() != b.Total() {
+			t.Fatalf("trial %d: totals differ: %d vs %d", trial, a.Total(), b.Total())
+		}
+		if !bytes.Equal(a.Snapshot(), b.Snapshot()) {
+			t.Fatalf("trial %d: final snapshots differ", trial)
+		}
+		if err := a.Flush(); err != nil {
+			t.Fatalf("trial %d: flush per-point: %v", trial, err)
+		}
+		if err := b.Flush(); err != nil {
+			t.Fatalf("trial %d: flush batched: %v", trial, err)
+		}
+		sa, ca := a.Curve()
+		sb, cb := b.Curve()
+		if sa != sb || len(ca) != len(cb) {
+			t.Fatalf("trial %d: curve spans differ: [%d,+%d) vs [%d,+%d)", trial, sa, len(ca), sb, len(cb))
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatalf("trial %d: curve[%d] differs: %v vs %v", trial, i, ca[i], cb[i])
+			}
+		}
+		if len(evA) != len(evB) {
+			t.Fatalf("trial %d: event counts differ: %d vs %d", trial, len(evA), len(evB))
+		}
+		for i := range evA {
+			if evA[i] != evB[i] {
+				t.Fatalf("trial %d: event %d differs: %+v vs %+v", trial, i, evA[i], evB[i])
+			}
+		}
+	}
+}
+
+// TestPushBatchNRejectPosition pins the reject error's details: the
+// consumed count is the offending index, the error position is the
+// stream total at that moment, and the prefix really was applied.
+func TestPushBatchNRejectPosition(t *testing.T) {
+	d, err := New(Config{Window: 16, BufLen: 64, EnsembleSize: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := []float64{1, 2, 3, math.NaN(), 5}
+	n, err := d.PushBatchN(batch)
+	if n != 3 || err == nil {
+		t.Fatalf("PushBatchN = (%d, %v), want (3, ErrNonFinite)", n, err)
+	}
+	if d.Total() != 3 {
+		t.Fatalf("Total = %d after rejected batch, want 3", d.Total())
+	}
+	// A second rejected batch reports the new stream position.
+	n2, err2 := d.PushBatchN([]float64{math.Inf(1)})
+	if n2 != 0 || err2 == nil {
+		t.Fatalf("PushBatchN = (%d, %v), want (0, ErrNonFinite)", n2, err2)
+	}
+	if want := "position 3"; !containsStr(err2.Error(), want) {
+		t.Fatalf("error %q does not report %q", err2, want)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -264,6 +264,11 @@ type Detector struct {
 	lastVal  float64
 	haveLast bool
 
+	// batchScratch materializes the effective values of a mixed
+	// finite/non-finite batch under the Clamp/Drop policies, one bulk
+	// segment at a time; bounded by one run segment (<= BufLen values).
+	batchScratch []float64
+
 	flushed bool
 }
 
@@ -324,7 +329,8 @@ func (d *Detector) Flushed() bool { return d.flushed }
 func (d *Detector) MemoryFootprint() int64 {
 	return d.ring.MemoryBytes() +
 		d.eng.MemoryFootprint() +
-		int64(cap(d.sum)+cap(d.cnt))*8
+		int64(cap(d.sum)+cap(d.cnt))*8 +
+		int64(cap(d.batchScratch))*8
 }
 
 // buffered is the number of points currently in the ring.
@@ -367,6 +373,9 @@ func (d *Detector) PushBatch(xs []float64) error {
 	return err
 }
 
+// nonFinite reports whether x is NaN or ±Inf.
+func nonFinite(x float64) bool { return math.IsNaN(x) || math.IsInf(x, 0) }
+
 // PushBatchN pushes the points in order, stopping at the first error, and
 // reports how many were consumed — processed without error, including
 // points absorbed by the Clamp/Drop non-finite policies. On error the
@@ -374,11 +383,127 @@ func (d *Detector) PushBatch(xs []float64) error {
 // applied, nothing after it was looked at. Clients use the count to
 // resume a partially applied batch without replaying or losing points;
 // the durability layer uses it as the write-ahead log coordinate.
+//
+// PushBatchN is the ingest fast path, not just a loop: the batch's
+// non-finite policy is settled in one scan up front, points are
+// bulk-appended to the ring between run boundaries (one accounting update
+// per segment instead of per point), and hop runs fire at exactly the
+// stream positions a per-point Push loop would fire them — events,
+// curves, consumed counts and errors are bit-identical either way, a
+// property the batch tests pin.
 func (d *Detector) PushBatchN(xs []float64) (int, error) {
+	if len(xs) == 0 {
+		return 0, nil
+	}
+	if d.flushed {
+		return 0, ErrFlushed
+	}
+	bad := -1
 	for i, x := range xs {
-		if err := d.Push(x); err != nil {
+		if nonFinite(x) {
+			bad = i
+			break
+		}
+	}
+	if bad < 0 {
+		return d.pushFinite(xs)
+	}
+	if d.cfg.NonFinite == NonFiniteReject {
+		if n, err := d.pushFinite(xs[:bad]); err != nil {
+			return n, err
+		}
+		return bad, fmt.Errorf("%w: %v at position %d", ErrNonFinite, xs[bad], d.total)
+	}
+	return d.pushPolicyBatch(xs, bad)
+}
+
+// untilNextRun is the number of points that must still be appended before
+// the hop-run condition (full buffer, a hop of new points) holds — the
+// length of the next bulk-append segment.
+func (d *Detector) untilNextRun() int {
+	n := d.cfg.BufLen - d.buffered()
+	if h := d.cfg.Hop - d.sinceRun(); h > n {
+		n = h
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// pushFinite bulk-appends known-finite points, firing hop runs at exactly
+// the stream positions the per-point loop would. On a run error the
+// triggering point is reported unconsumed, matching Push.
+func (d *Detector) pushFinite(xs []float64) (int, error) {
+	i := 0
+	for i < len(xs) {
+		seg := d.untilNextRun()
+		k := len(xs) - i
+		atRun := k >= seg
+		if atRun {
+			k = seg
+		}
+		if err := d.ring.AppendBatch(xs[i : i+k]); err != nil {
 			return i, err
 		}
+		d.total += k
+		d.lastVal, d.haveLast = xs[i+k-1], true
+		i += k
+		if atRun {
+			if err := d.run(d.nextStart(), true); err != nil {
+				return i - 1, err
+			}
+		}
+	}
+	return len(xs), nil
+}
+
+// pushPolicyBatch handles a batch with non-finite points under the
+// Clamp/Drop policies: the finite prefix goes straight from xs, then the
+// mixed remainder is materialized segment by segment into the batch
+// scratch — clamped values substituted, dropped values skipped — and
+// bulk-appended like the finite path. bad is the index of the first
+// non-finite point.
+func (d *Detector) pushPolicyBatch(xs []float64, bad int) (int, error) {
+	if n, err := d.pushFinite(xs[:bad]); err != nil {
+		return n, err
+	}
+	consumed := bad
+	for consumed < len(xs) {
+		seg := d.untilNextRun()
+		eff := d.batchScratch[:0]
+		raw := consumed
+		lastVal, haveLast := d.lastVal, d.haveLast
+		for raw < len(xs) && len(eff) < seg {
+			x := xs[raw]
+			raw++
+			if nonFinite(x) {
+				if d.cfg.NonFinite != NonFiniteClamp || !haveLast {
+					continue // dropped: consumes the raw point, appends nothing
+				}
+				x = lastVal
+			}
+			eff = append(eff, x)
+			lastVal, haveLast = x, true
+		}
+		d.batchScratch = eff
+		if len(eff) == 0 {
+			consumed = raw // a trailing run of dropped points
+			continue
+		}
+		if err := d.ring.AppendBatch(eff); err != nil {
+			return consumed, err // unreachable: eff is all finite
+		}
+		d.total += len(eff)
+		d.lastVal, d.haveLast = lastVal, haveLast
+		if len(eff) == seg {
+			if err := d.run(d.nextStart(), true); err != nil {
+				// The run was triggered by the push of raw point raw-1,
+				// which the per-point loop reports unconsumed.
+				return raw - 1, err
+			}
+		}
+		consumed = raw
 	}
 	return len(xs), nil
 }

@@ -59,6 +59,33 @@ func (r *RingFeatures) Append(x float64) error {
 	return nil
 }
 
+// AppendBatch accumulates a run of points with one bounds pass: the
+// running prefix values are carried in locals and stored slot by slot in
+// exactly the float-operation order of repeated Append calls, so the
+// resulting prefix vectors are bit-identical to per-point appends. It is
+// the ring half of the streaming layer's batch ingest fast path. A
+// non-finite point stops the batch at that point — everything before it
+// is appended, mirroring a per-point Append loop — but callers on the hot
+// path are expected to have settled their non-finite policy beforehand so
+// the scan here never trips.
+func (r *RingFeatures) AppendBatch(xs []float64) error {
+	idx := r.slot(r.total)
+	s, s2 := r.sum[idx], r.sum2[idx]
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("%w (position %d)", ErrNonFinite, r.total)
+		}
+		s += x
+		s2 += x * x
+		if idx++; idx == len(r.sum) {
+			idx = 0
+		}
+		r.sum[idx], r.sum2[idx] = s, s2
+		r.total++
+	}
+	return nil
+}
+
 // Total returns the number of points appended so far.
 func (r *RingFeatures) Total() int { return r.total }
 

@@ -179,7 +179,10 @@ func RestoreStream(opts StreamOptions, snapshot []byte) (*Streamer, error) {
 // ErrNonFinite by default.
 func (s *Streamer) Push(x float64) error { return s.d.Push(x) }
 
-// PushBatch pushes the points in order, stopping at the first error.
+// PushBatch pushes the points in order, stopping at the first error. It
+// is bit-identical to calling Push per point but substantially cheaper:
+// points between hop boundaries are appended to the ring in bulk, with
+// the per-point boundary checks amortized across each run segment.
 func (s *Streamer) PushBatch(xs []float64) error { return s.d.PushBatch(xs) }
 
 // PushBatchN pushes the points in order, stopping at the first error, and

@@ -17,20 +17,30 @@
 // Usage:
 //
 //	go test -run='^$' -bench=... -benchmem . | go run ./tools/benchjson > BENCH_stream.json
+//	go run ./tools/benchjson -compare old.json new.json [-threshold 0.25]
 //
-// It reads stdin and writes JSON to stdout. If the input contains no
-// benchmark result lines at all it exits nonzero instead of emitting an
-// empty array, so a misconfigured CI bench job fails loudly rather than
-// committing an empty trajectory point.
+// In the default mode it reads stdin and writes JSON to stdout. If the
+// input contains no benchmark result lines at all it exits nonzero
+// instead of emitting an empty array, so a misconfigured CI bench job
+// fails loudly rather than committing an empty trajectory point.
+//
+// -compare loads two trajectory files and prints a per-benchmark delta
+// table (ns/op, B/op, allocs/op; benchmarks present in only one file are
+// listed but never gate). It exits nonzero when any shared benchmark's
+// ns/op grew by more than -threshold (a fraction: 0.25 allows +25%), so
+// CI can run it as a regression tripwire — or, without a gate, as a
+// plain report by setting the threshold high.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
 	"errors"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -194,7 +204,117 @@ func merge(results []result) []result {
 	return out
 }
 
+// loadResults reads one trajectory file (the JSON this tool emits).
+func loadResults(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rs []result
+	if err := json.NewDecoder(f).Decode(&rs); err != nil {
+		return nil, fmt.Errorf("benchjson: parsing %s: %w", path, err)
+	}
+	byName := make(map[string]result, len(rs))
+	for _, r := range rs {
+		byName[r.Name] = r
+	}
+	return byName, nil
+}
+
+// delta formats a relative change; n==0 && o==0 is a clean "=".
+func delta(o, n float64) string {
+	switch {
+	case o == n:
+		return "="
+	case o == 0:
+		return "new"
+	default:
+		return fmt.Sprintf("%+.1f%%", (n-o)/o*100)
+	}
+}
+
+// optional reads a possibly-absent measurement as a value.
+func optional(p *float64) float64 {
+	if p == nil {
+		return 0
+	}
+	return *p
+}
+
+// compare prints the per-benchmark delta table between two trajectory
+// maps to w and returns the names whose ns/op regressed past threshold.
+func compare(w io.Writer, prev, cur map[string]result, threshold float64) []string {
+	names := make([]string, 0, len(prev)+len(cur))
+	for n := range prev {
+		names = append(names, n)
+	}
+	for n := range cur {
+		if _, ok := prev[n]; !ok {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	var regressed []string
+	tw := bufio.NewWriter(w)
+	defer tw.Flush()
+	fmt.Fprintf(tw, "%-60s %14s %14s %9s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "Δns/op", "ΔB/op", "Δallocs")
+	for _, name := range names {
+		o, inOld := prev[name]
+		n, inNew := cur[name]
+		switch {
+		case !inNew:
+			fmt.Fprintf(tw, "%-60s %14.0f %14s %9s %9s %9s\n", name, o.NsPerOp, "-", "gone", "", "")
+		case !inOld:
+			fmt.Fprintf(tw, "%-60s %14s %14.0f %9s %9s %9s\n", name, "-", n.NsPerOp, "new", "", "")
+		default:
+			mark := ""
+			if o.NsPerOp > 0 && (n.NsPerOp-o.NsPerOp)/o.NsPerOp > threshold {
+				mark = "  << REGRESSION"
+				regressed = append(regressed, name)
+			}
+			fmt.Fprintf(tw, "%-60s %14.0f %14.0f %9s %9s %9s%s\n",
+				name, o.NsPerOp, n.NsPerOp,
+				delta(o.NsPerOp, n.NsPerOp),
+				delta(optional(o.BytesPerOp), optional(n.BytesPerOp)),
+				delta(optional(o.AllocsPerOp), optional(n.AllocsPerOp)),
+				mark)
+		}
+	}
+	return regressed
+}
+
 func main() {
+	comparePaths := flag.Bool("compare", false,
+		"compare two trajectory JSON files (old new) instead of reading bench output from stdin")
+	threshold := flag.Float64("threshold", 0.25,
+		"with -compare: allowed fractional ns/op growth before exiting nonzero (0.25 = +25%)")
+	flag.Parse()
+
+	if *comparePaths {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		oldR, err := loadResults(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		newR, err := loadResults(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		regressed := compare(os.Stdout, oldR, newR, *threshold)
+		if len(regressed) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%%: %s\n",
+				len(regressed), *threshold*100, strings.Join(regressed, ", "))
+			os.Exit(1)
+		}
+		return
+	}
+
 	results, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

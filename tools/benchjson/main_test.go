@@ -126,3 +126,48 @@ func TestStripProcs(t *testing.T) {
 		}
 	}
 }
+
+func fp(v float64) *float64 { return &v }
+
+func TestCompare(t *testing.T) {
+	prev := map[string]result{
+		"BenchmarkA":    {Name: "BenchmarkA", NsPerOp: 1000, BytesPerOp: fp(100), AllocsPerOp: fp(4)},
+		"BenchmarkB":    {Name: "BenchmarkB", NsPerOp: 2000},
+		"BenchmarkGone": {Name: "BenchmarkGone", NsPerOp: 10},
+	}
+	cur := map[string]result{
+		"BenchmarkA":   {Name: "BenchmarkA", NsPerOp: 1100, BytesPerOp: fp(50), AllocsPerOp: fp(4)},
+		"BenchmarkB":   {Name: "BenchmarkB", NsPerOp: 2600},
+		"BenchmarkNew": {Name: "BenchmarkNew", NsPerOp: 5},
+	}
+	var out strings.Builder
+	regressed := compare(&out, prev, cur, 0.25)
+	if len(regressed) != 1 || regressed[0] != "BenchmarkB" {
+		t.Fatalf("regressed = %v, want [BenchmarkB] (+30%% past the 25%% threshold)", regressed)
+	}
+	got := out.String()
+	for _, want := range []string{"+10.0%", "+30.0%", "-50.0%", "new", "gone", "REGRESSION"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("table lacks %q:\n%s", want, got)
+		}
+	}
+	// A 10%% bar also catches BenchmarkA; a loose bar catches nothing.
+	if r := compare(&strings.Builder{}, prev, cur, 0.05); len(r) != 2 {
+		t.Fatalf("5%% threshold: regressed = %v, want 2 entries", r)
+	}
+	if r := compare(&strings.Builder{}, prev, cur, 10); len(r) != 0 {
+		t.Fatalf("1000%% threshold: regressed = %v, want none", r)
+	}
+}
+
+func TestCompareEqualAndZero(t *testing.T) {
+	prev := map[string]result{"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 1000}}
+	cur := map[string]result{"BenchmarkA": {Name: "BenchmarkA", NsPerOp: 1000}}
+	var out strings.Builder
+	if r := compare(&out, prev, cur, 0); len(r) != 0 {
+		t.Fatalf("identical runs regressed: %v", r)
+	}
+	if !strings.Contains(out.String(), "=") {
+		t.Fatalf("equal values not marked '=':\n%s", out.String())
+	}
+}
