@@ -27,11 +27,14 @@ import (
 // benchConfig carries the shared experiment knobs.
 type benchConfig struct {
 	out          io.Writer
-	numSeries    int   // series per dataset (paper: 25)
-	seed         int64 // base random seed
-	ensembleSize int   // ensemble size N (paper: 50)
-	repeats      int   // Table 12 repetitions (paper: 20)
-	full         bool  // run full-size fig8/fig9
+	numSeries    int    // series per dataset (paper: 25)
+	seed         int64  // base random seed
+	ensembleSize int    // ensemble size N (paper: 50)
+	repeats      int    // Table 12 repetitions (paper: 20)
+	full         bool   // run full-size fig8/fig9 and the extended quality sweep
+	qualityOut   string // quality: BENCH_quality.json destination ("" = table only, "-" = stdout)
+	periods      int    // quality: background repetitions per corpus (0 = spec default)
+	anomalies    int    // quality: planted anomalies per corpus (0 = spec default)
 }
 
 func main() {
@@ -49,7 +52,10 @@ func run(args []string, stdout io.Writer) error {
 		seed    = fs.Int64("seed", 20200330, "base random seed")
 		size    = fs.Int("size", 50, "ensemble size N")
 		repeats = fs.Int("repeats", 20, "repetitions for table12")
-		full    = fs.Bool("full", false, "full-size fig8 (160k) and fig9 (600k)")
+		full    = fs.Bool("full", false, "full-size fig8 (160k), fig9 (600k) and quality sweep")
+		out     = fs.String("out", "", "quality: write BENCH_quality.json here (\"-\" = stdout; empty = table only)")
+		periods = fs.Int("periods", 0, "quality: background repetitions per corpus (0 = default)")
+		anoms   = fs.Int("anomalies", 0, "quality: planted anomalies per corpus (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +70,9 @@ func run(args []string, stdout io.Writer) error {
 		ensembleSize: *size,
 		repeats:      *repeats,
 		full:         *full,
+		qualityOut:   *out,
+		periods:      *periods,
+		anomalies:    *anoms,
 	}
 
 	experiments := map[string]func(benchConfig) error{
@@ -81,6 +90,7 @@ func run(args []string, stdout io.Writer) error {
 		"fig8":    expScalability,
 		"fig9":    expCaseStudy,
 		"multi":   expMultiAnomaly,
+		"quality": expQuality,
 	}
 	if *exp == "all" {
 		names := make([]string, 0, len(experiments))

@@ -1,0 +1,49 @@
+package main
+
+// The quality experiment: the streaming detection-quality harness
+// (internal/quality) run over its standard corpus-family x configuration
+// grid plus the RebaseEvery sweep, printed as tables and optionally
+// written as the machine-readable BENCH_quality.json trajectory (-out).
+
+import (
+	"fmt"
+	"os"
+
+	"egi/internal/quality"
+)
+
+// expQuality runs the streaming quality harness. The default size is the
+// committed-baseline size (and what CI regenerates); -full runs the
+// extended sweep on longer series with more planted anomalies.
+func expQuality(cfg benchConfig) error {
+	spec := quality.CorpusSpec{Seed: cfg.seed, Periods: cfg.periods, Anomalies: cfg.anomalies}
+	if cfg.full {
+		if spec.Periods == 0 {
+			spec.Periods = 150
+		}
+		if spec.Anomalies == 0 {
+			spec.Anomalies = 12
+		}
+	}
+	rep, err := quality.Generate(spec)
+	if err != nil {
+		return err
+	}
+	quality.WriteTable(cfg.out, rep)
+	if cfg.qualityOut == "" {
+		return nil
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		return err
+	}
+	if cfg.qualityOut == "-" {
+		_, err = cfg.out.Write(data)
+		return err
+	}
+	if err := os.WriteFile(cfg.qualityOut, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(cfg.out, "\nwrote %s\n", cfg.qualityOut)
+	return nil
+}

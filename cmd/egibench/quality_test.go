@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"egi/internal/quality"
+)
+
+func TestRunQualitySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_quality.json")
+	var out strings.Builder
+	err := run([]string{"-exp", "quality", "-periods", "20", "-anomalies", "2", "-out", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"detection quality", "RebaseEvery sweep", "drift/gunpoint", "rebase"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("quality output missing %q:\n%s", want, s)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := quality.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(quality.Families) * len(quality.GridConfigs()); len(rep.Grid) != want {
+		t.Errorf("grid has %d cells, want %d", len(rep.Grid), want)
+	}
+	if want := len(quality.RebaseFamilies) * len(quality.RebaseValues); len(rep.RebaseSweep) != want {
+		t.Errorf("rebase sweep has %d cells, want %d", len(rep.RebaseSweep), want)
+	}
+	for _, c := range append(append([]quality.Cell(nil), rep.Grid...), rep.RebaseSweep...) {
+		if c.Precision < 0 || c.Precision > 1 || c.Recall < 0 || c.Recall > 1 || c.F1 < 0 || c.F1 > 1 {
+			t.Errorf("cell %s: metrics out of range: %+v", c.Key(), c)
+		}
+		if c.TP+c.FP != c.Events {
+			t.Errorf("cell %s: TP+FP=%d but Events=%d", c.Key(), c.TP+c.FP, c.Events)
+		}
+	}
+}

@@ -90,3 +90,15 @@ func WTL(a, b []float64, tieTol float64) (wins, ties, losses int, err error) {
 func MeanStd(xs []float64) (mean, std float64) {
 	return stat.Mean(xs), stat.Std(xs)
 }
+
+// Median returns the median of xs (the mean of the two central values for
+// even lengths) without modifying xs, and 0 for an empty slice. The
+// streaming quality harness summarizes latency-to-detection with it —
+// unlike a mean, one pathological straggler cannot dominate the cell.
+func Median(xs []float64) float64 {
+	m, err := stat.Median(xs)
+	if err != nil {
+		return 0
+	}
+	return m
+}

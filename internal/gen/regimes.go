@@ -1,0 +1,76 @@
+package gen
+
+// This file holds the building blocks of the detection-quality corpora
+// (internal/quality): repetitive cyclic waveforms whose grammar an
+// induction detector can learn, and piecewise noise regimes that stress it
+// without being anomalies themselves. They are deliberately primitive —
+// the quality harness composes them with drifts, level shifts and planted
+// anomaly windows on top.
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"egi/internal/timeseries"
+)
+
+// Cyclic returns a repetitive waveform: every period repeats the same
+// seeded random harmonic shape (a sum of `harmonics` sinusoids of the
+// period's fundamental with seeded amplitudes and phases), plus white
+// noise of the given sigma. The repetition is what makes the series
+// grammar-compressible; anomalies are planted by breaking it.
+func Cyclic(length, period, harmonics int, noise float64, seed int64) (timeseries.Series, error) {
+	if length < 1 {
+		return nil, ErrBadLength
+	}
+	if period < 4 {
+		return nil, errors.New("gen: cyclic period must be >= 4 samples")
+	}
+	if harmonics < 1 {
+		return nil, errors.New("gen: cyclic needs at least one harmonic")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	amps := make([]float64, harmonics)
+	phases := make([]float64, harmonics)
+	for h := range amps {
+		// Decaying harmonic amplitudes keep the fundamental dominant so
+		// the waveform stays band-limited relative to the period.
+		amps[h] = (0.4 + 0.6*rng.Float64()) / float64(h+1)
+		phases[h] = rng.Float64() * 2 * math.Pi
+	}
+	s := make(timeseries.Series, length)
+	for i := range s {
+		x := float64(i%period) / float64(period)
+		var v float64
+		for h := range amps {
+			v += amps[h] * math.Sin(2*math.Pi*float64(h+1)*x+phases[h])
+		}
+		s[i] = v + noise*rng.NormFloat64()
+	}
+	return s, nil
+}
+
+// NoiseRegimes returns white noise whose standard deviation switches
+// between the given sigmas in consecutive blocks of blockLen points,
+// cycling through sigmas in order. Regime changes are *not* anomalies —
+// the quality corpora add this on top of a Cyclic carrier to measure how
+// many false events a noise-floor change provokes.
+func NoiseRegimes(length, blockLen int, sigmas []float64, seed int64) (timeseries.Series, error) {
+	if length < 1 {
+		return nil, ErrBadLength
+	}
+	if blockLen < 1 {
+		return nil, errors.New("gen: noise regime block length must be positive")
+	}
+	if len(sigmas) == 0 {
+		return nil, errors.New("gen: noise regimes need at least one sigma")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	s := make(timeseries.Series, length)
+	for i := range s {
+		sigma := sigmas[(i/blockLen)%len(sigmas)]
+		s[i] = sigma * rng.NormFloat64()
+	}
+	return s, nil
+}

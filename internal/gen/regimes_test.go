@@ -1,0 +1,85 @@
+package gen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCyclicRepeats(t *testing.T) {
+	const period = 50
+	s, err := Cyclic(10*period, period, 3, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Noise-free cycles are exact repetitions — the property that makes
+	// the carrier grammar-compressible.
+	for i := period; i < len(s); i++ {
+		if s[i] != s[i-period] {
+			t.Fatalf("point %d differs from previous cycle: %v vs %v", i, s[i], s[i-period])
+		}
+	}
+	var amp float64
+	for _, v := range s[:period] {
+		if a := math.Abs(v); a > amp {
+			amp = a
+		}
+	}
+	if amp < 0.1 {
+		t.Fatalf("waveform amplitude %v, want a visible signal", amp)
+	}
+}
+
+func TestCyclicDeterministicAndSeeded(t *testing.T) {
+	a, _ := Cyclic(200, 20, 2, 0.1, 1)
+	b, _ := Cyclic(200, 20, 2, 0.1, 1)
+	c, _ := Cyclic(200, 20, 2, 0.1, 2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d", i)
+		}
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical series")
+	}
+}
+
+func TestCyclicErrors(t *testing.T) {
+	if _, err := Cyclic(0, 10, 1, 0, 1); err == nil {
+		t.Error("length 0 accepted")
+	}
+	if _, err := Cyclic(10, 3, 1, 0, 1); err == nil {
+		t.Error("period 3 accepted")
+	}
+	if _, err := Cyclic(10, 10, 0, 0, 1); err == nil {
+		t.Error("0 harmonics accepted")
+	}
+}
+
+func TestNoiseRegimes(t *testing.T) {
+	const block = 500
+	s, err := NoiseRegimes(4*block, block, []float64{0.0, 1.0}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 4; b++ {
+		var ss float64
+		for _, v := range s[b*block : (b+1)*block] {
+			ss += v * v
+		}
+		sd := math.Sqrt(ss / block)
+		want := float64(b % 2)
+		if math.Abs(sd-want) > 0.15 {
+			t.Errorf("block %d: empirical sigma %.3f, want about %.1f", b, sd, want)
+		}
+	}
+	if _, err := NoiseRegimes(10, 0, []float64{1}, 1); err == nil {
+		t.Error("block length 0 accepted")
+	}
+	if _, err := NoiseRegimes(10, 5, nil, 1); err == nil {
+		t.Error("empty sigma list accepted")
+	}
+}

@@ -1,0 +1,309 @@
+// Package quality is the streaming detection-quality harness: labeled
+// corpora with known anomaly windows, event-matching metrics (precision,
+// recall, F1, latency-to-detection), and a runner that drives the real
+// egi.Stream push path across a configuration grid. Where BENCH_stream.json
+// tracks how fast the detector is, this package's BENCH_quality.json tracks
+// whether it still finds the right anomalies, soon enough — so a perf PR
+// cannot silently buy speed with worse or later detections.
+//
+// Everything is deterministic: a corpus is fully determined by its spec
+// (seed, sizes), detection is seeded, and the runner is sequential, so two
+// harness runs with the same spec produce byte-identical reports — a
+// property the tests pin.
+package quality
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"egi/internal/gen"
+	"egi/internal/ucrsim"
+)
+
+// Window marks one ground-truth anomaly span [Pos, Pos+Length) in a corpus
+// series.
+type Window struct {
+	// Pos is the onset: the first anomalous point.
+	Pos int `json:"pos"`
+	// Length is the span length in points.
+	Length int `json:"length"`
+}
+
+// Corpus is one labeled streaming workload: a series plus the ground-truth
+// anomaly windows planted in it.
+type Corpus struct {
+	// Name identifies the corpus (family plus variant), e.g. "drift/gunpoint".
+	Name string
+	// Family is the corpus family: drift, seasonality, burst, levelshift
+	// or noiseregime.
+	Family string
+	// Window is the anomaly scale in points — what a detector should use
+	// as its sliding window.
+	Window int
+	// Series is the workload, pushed point by point through the detector.
+	Series []float64
+	// Truth are the planted anomaly windows, sorted by position.
+	Truth []Window
+}
+
+// CorpusSpec sizes the corpus set. The zero value selects the defaults
+// (the committed-baseline size).
+type CorpusSpec struct {
+	// Seed determines every corpus byte-for-byte.
+	Seed int64 `json:"seed"`
+	// Periods is the number of background repetitions (cycles or
+	// instances) per corpus; default 60.
+	Periods int `json:"periods"`
+	// Anomalies is the number of planted anomaly windows per corpus;
+	// default 6.
+	Anomalies int `json:"anomalies"`
+}
+
+func (s CorpusSpec) normalized() CorpusSpec {
+	if s.Periods == 0 {
+		s.Periods = 60
+	}
+	if s.Anomalies == 0 {
+		s.Anomalies = 6
+	}
+	return s
+}
+
+// Families lists the corpus families in report order.
+var Families = []string{"drift", "seasonality", "burst", "levelshift", "noiseregime"}
+
+// Corpora generates the standard labeled corpus set, one corpus per
+// family, fully determined by the spec.
+func Corpora(spec CorpusSpec) ([]*Corpus, error) {
+	spec = spec.normalized()
+	gens := []func(CorpusSpec) (*Corpus, error){
+		Drift, Seasonality, Burst, LevelShift, NoiseRegime,
+	}
+	out := make([]*Corpus, 0, len(gens))
+	for _, g := range gens {
+		c, err := g(spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// anomalySlots draws count distinct background-slot indices in the middle
+// band [15%, 90%) of n slots, every pair at least minGap slots apart, in
+// ascending order. Slot granularity keeps planted windows aligned to the
+// background period so the anomaly is the content, not a phase glitch at
+// the paste boundary.
+func anomalySlots(rng *rand.Rand, n, count, minGap int) ([]int, error) {
+	lo, hi := int(0.15*float64(n)), int(0.9*float64(n))
+	if hi <= lo {
+		return nil, fmt.Errorf("quality: %d slots leave no anomaly band", n)
+	}
+	slots := make([]int, 0, count)
+	const maxTries = 10000
+	for tries := 0; len(slots) < count; tries++ {
+		if tries > maxTries {
+			return nil, fmt.Errorf("quality: cannot place %d anomalies in %d slots with gap %d", count, n, minGap)
+		}
+		s := lo + rng.Intn(hi-lo)
+		ok := true
+		for _, q := range slots {
+			if abs(s-q) < minGap {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			slots = append(slots, s)
+		}
+	}
+	sort.Ints(slots)
+	return slots, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Drift builds the drifting-baseline corpus: ucrsim GunPoint normal
+// instances concatenated as in the paper's §7.1.1 protocol, with a linear
+// mean drift of several signal amplitudes added across the whole series —
+// the regime the RebaseEvery question is about, since cross-hop grammar
+// context learned early describes a baseline that no longer exists later.
+// Anomalies are instances of a non-normal class, like the batch evaluation
+// plants.
+func Drift(spec CorpusSpec) (*Corpus, error) {
+	spec = spec.normalized()
+	d, err := ucrsim.ByName("GunPoint")
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed + 1))
+	L := d.SegmentLength
+	slots, err := anomalySlots(rng, spec.Periods, spec.Anomalies, 3)
+	if err != nil {
+		return nil, err
+	}
+	anom := make(map[int]bool, len(slots))
+	for _, s := range slots {
+		anom[s] = true
+	}
+	series := make([]float64, 0, spec.Periods*L)
+	truth := make([]Window, 0, len(slots))
+	for s := 0; s < spec.Periods; s++ {
+		class := 0
+		if anom[s] {
+			class = 1 + rng.Intn(d.NumClasses-1)
+			truth = append(truth, Window{Pos: len(series), Length: L})
+		}
+		inst, err := d.Instance(rng, class)
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, inst...)
+	}
+	// Linear drift worth ~4 instance amplitudes end to end: slow against
+	// the window scale, so per-window z-normalization must absorb it.
+	n := len(series)
+	for i := range series {
+		series[i] += 4 * float64(i) / float64(n)
+	}
+	return &Corpus{Name: "drift/gunpoint", Family: "drift", Window: L, Series: series, Truth: truth}, nil
+}
+
+// cyclicCorpus is the shared scaffold of the synthetic families: a
+// repetitive gen.Cyclic carrier of `periods` cycles with anomaly windows
+// planted at cycle-aligned slots by `plant`, which rewrites
+// series[pos:pos+length] and returns the truth length actually planted.
+func cyclicCorpus(spec CorpusSpec, name, family string, period int, noise float64, seedOff int64,
+	plant func(rng *rand.Rand, series []float64, pos int) int) (*Corpus, error) {
+	rng := rand.New(rand.NewSource(spec.Seed + seedOff))
+	series, err := gen.Cyclic(spec.Periods*period, period, 3, noise, spec.Seed+seedOff)
+	if err != nil {
+		return nil, err
+	}
+	slots, err := anomalySlots(rng, spec.Periods, spec.Anomalies, 3)
+	if err != nil {
+		return nil, err
+	}
+	truth := make([]Window, 0, len(slots))
+	for _, s := range slots {
+		pos := s * period
+		length := plant(rng, series, pos)
+		truth = append(truth, Window{Pos: pos, Length: length})
+	}
+	return &Corpus{Name: name, Family: family, Window: period, Series: series, Truth: truth}, nil
+}
+
+// cyclicPeriod is the cycle length of the synthetic families.
+const cyclicPeriod = 100
+
+// Seasonality builds the seasonal corpus: a cyclic carrier whose amplitude
+// is modulated by a slow season (about 7 cycles long), so the "normal"
+// window content itself varies over time. Anomalies are half-cycle phase
+// inversions — the waveform flips sign for one cycle, a shape no normal
+// season produces.
+func Seasonality(spec CorpusSpec) (*Corpus, error) {
+	spec = spec.normalized()
+	c, err := cyclicCorpus(spec, "seasonality/cyclic", "seasonality", cyclicPeriod, 0.05, 2,
+		func(rng *rand.Rand, series []float64, pos int) int {
+			for i := pos; i < pos+cyclicPeriod && i < len(series); i++ {
+				series[i] = -series[i]
+			}
+			return cyclicPeriod
+		})
+	if err != nil {
+		return nil, err
+	}
+	season := 7 * cyclicPeriod
+	for i := range c.Series {
+		c.Series[i] *= 1 + 0.3*math.Sin(2*math.Pi*float64(i)/float64(season))
+	}
+	return c, nil
+}
+
+// Burst builds the burst corpus: a quiet cyclic carrier with half-cycle
+// windows of strong broadband noise planted on top — the sensor-glitch /
+// load-spike shape.
+func Burst(spec CorpusSpec) (*Corpus, error) {
+	spec = spec.normalized()
+	return cyclicCorpus(spec, "burst/cyclic", "burst", cyclicPeriod, 0.03, 3,
+		func(rng *rand.Rand, series []float64, pos int) int {
+			length := cyclicPeriod / 2
+			for i := pos; i < pos+length && i < len(series); i++ {
+				series[i] += 1.2 * rng.NormFloat64()
+			}
+			return length
+		})
+}
+
+// LevelShift builds the level-shift corpus: one-cycle transient baseline
+// excursions (+2 amplitudes, then back) are the anomalies, while two
+// *persistent* baseline steps planted elsewhere are regime changes a good
+// detector should absorb — they are deliberately absent from the ground
+// truth, so every event they provoke costs precision.
+func LevelShift(spec CorpusSpec) (*Corpus, error) {
+	spec = spec.normalized()
+	c, err := cyclicCorpus(spec, "levelshift/cyclic", "levelshift", cyclicPeriod, 0.05, 4,
+		func(rng *rand.Rand, series []float64, pos int) int {
+			for i := pos; i < pos+cyclicPeriod && i < len(series); i++ {
+				series[i] += 2
+			}
+			return cyclicPeriod
+		})
+	if err != nil {
+		return nil, err
+	}
+	// Two persistent regime steps in the clean margins (before/after the
+	// anomaly band), far from every truth window.
+	for _, frac := range []float64{0.10, 0.93} {
+		from := int(frac * float64(len(c.Series)))
+		for i := from; i < len(c.Series); i++ {
+			c.Series[i] += 1
+		}
+	}
+	return c, nil
+}
+
+// NoiseRegime builds the noise-regime corpus: the cyclic carrier rides on
+// white noise whose sigma alternates between a quiet and a loud regime
+// every five cycles (not anomalous). Anomalies are one-cycle dropouts —
+// the signal flatlines at its last value, the stuck-sensor shape.
+func NoiseRegime(spec CorpusSpec) (*Corpus, error) {
+	spec = spec.normalized()
+	c, err := cyclicCorpus(spec, "noiseregime/cyclic", "noiseregime", cyclicPeriod, 0.02, 5,
+		func(rng *rand.Rand, series []float64, pos int) int {
+			hold := series[pos]
+			for i := pos; i < pos+cyclicPeriod && i < len(series); i++ {
+				series[i] = hold + 0.01*rng.NormFloat64()
+			}
+			return cyclicPeriod
+		})
+	if err != nil {
+		return nil, err
+	}
+	regimes, err := gen.NoiseRegimes(len(c.Series), 5*cyclicPeriod, []float64{0.02, 0.15}, spec.Seed+6)
+	if err != nil {
+		return nil, err
+	}
+	// Add regime noise outside the dropout windows only: a dropout means
+	// the sensor is stuck, so it must stay flat.
+	truthAt := make([]bool, len(c.Series))
+	for _, t := range c.Truth {
+		for i := t.Pos; i < t.Pos+t.Length && i < len(truthAt); i++ {
+			truthAt[i] = true
+		}
+	}
+	for i := range c.Series {
+		if !truthAt[i] {
+			c.Series[i] += regimes[i]
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,109 @@
+package quality
+
+import (
+	"math"
+	"testing"
+)
+
+// smallSpec keeps corpus tests fast; the full-size defaults are exercised
+// by the committed BENCH_quality.json regeneration.
+var smallSpec = CorpusSpec{Seed: 7, Periods: 20, Anomalies: 2}
+
+func TestCorporaShape(t *testing.T) {
+	corpora, err := Corpora(smallSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpora) != len(Families) {
+		t.Fatalf("got %d corpora, want %d", len(corpora), len(Families))
+	}
+	for i, c := range corpora {
+		if c.Family != Families[i] {
+			t.Errorf("corpus %d: family %q, want %q", i, c.Family, Families[i])
+		}
+		if c.Window < 2 {
+			t.Errorf("%s: window %d", c.Name, c.Window)
+		}
+		if len(c.Truth) != smallSpec.Anomalies {
+			t.Errorf("%s: %d truth windows, want %d", c.Name, len(c.Truth), smallSpec.Anomalies)
+		}
+		for _, v := range c.Series {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: non-finite point", c.Name)
+			}
+		}
+		prevEnd := -1
+		for _, w := range c.Truth {
+			if w.Pos < 0 || w.Length < 1 || w.Pos+w.Length > len(c.Series) {
+				t.Errorf("%s: truth window %+v out of series [0,%d)", c.Name, w, len(c.Series))
+			}
+			if w.Pos <= prevEnd {
+				t.Errorf("%s: truth windows overlap or unsorted at %+v", c.Name, w)
+			}
+			prevEnd = w.Pos + w.Length
+		}
+	}
+}
+
+func TestCorporaDeterministic(t *testing.T) {
+	a, err := Corpora(smallSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Corpora(smallSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Series) != len(b[i].Series) {
+			t.Fatalf("corpus %d shape differs across generations", i)
+		}
+		for j := range a[i].Series {
+			if a[i].Series[j] != b[i].Series[j] {
+				t.Fatalf("%s: point %d differs: %v vs %v", a[i].Name, j, a[i].Series[j], b[i].Series[j])
+			}
+		}
+		if len(a[i].Truth) != len(b[i].Truth) {
+			t.Fatalf("%s: truth count differs", a[i].Name)
+		}
+		for j := range a[i].Truth {
+			if a[i].Truth[j] != b[i].Truth[j] {
+				t.Fatalf("%s: truth %d differs", a[i].Name, j)
+			}
+		}
+	}
+	// A different seed must give a different workload.
+	c, err := Corpora(CorpusSpec{Seed: 8, Periods: 20, Anomalies: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for j := range a[0].Series {
+		if a[0].Series[j] != c[0].Series[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed 7 and seed 8 produced an identical drift corpus")
+	}
+}
+
+func TestLevelShiftHasPersistentSteps(t *testing.T) {
+	c, err := LevelShift(smallSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tail rides two +1 steps above the head: means of the clean
+	// margins must differ by about 2.
+	n := len(c.Series)
+	head, tail := 0.0, 0.0
+	k := n / 20
+	for i := 0; i < k; i++ {
+		head += c.Series[i]
+		tail += c.Series[n-1-i]
+	}
+	if d := (tail - head) / float64(k); d < 1.5 {
+		t.Fatalf("persistent level steps missing: head/tail mean delta %.2f, want about 2", d)
+	}
+}

@@ -1,0 +1,102 @@
+package quality
+
+// Event matching: confirmed detector events are scored against a corpus's
+// ground-truth windows. The matching is window-overlap with a tolerance —
+// an event matches a truth window when the event's span, widened by the
+// tolerance on both sides, overlaps the truth span. Tolerance exists
+// because the detector reports the most anomalous *window position*, which
+// legitimately sits up to about a window before or after the planted
+// onset; the harness uses half a detection window.
+
+import "egi/internal/eval"
+
+// EventRecord is one confirmed anomaly event as the runner captured it:
+// the event itself plus At, the stream position (points pushed so far) at
+// the moment the event was confirmed — the quantity latency-to-detection
+// is measured from.
+type EventRecord struct {
+	// Pos and Length locate the reported anomalous window in the stream.
+	Pos, Length int
+	// Density is the event's stitched score (lower = more anomalous).
+	Density float64
+	// At is the stream position when the event was confirmed. Confirmed
+	// events are never retracted, so At-Pos is the decision delay for
+	// this window.
+	At int
+}
+
+// Metrics is the detection-quality summary of one (corpus, configuration)
+// cell.
+type Metrics struct {
+	// TP counts events that matched at least one truth window, FP those
+	// that matched none, FN truth windows no event matched.
+	TP, FP, FN int
+	// Precision is TP / (TP + FP); 1 when no events were emitted
+	// (vacuously precise).
+	Precision float64
+	// Recall is detected truths / all truths; 1 when there was no truth.
+	Recall float64
+	// F1 is the harmonic mean of Precision and Recall (0 when both are 0).
+	F1 float64
+	// MedianLatency is the median, over detected truth windows, of the
+	// points between the truth onset and the stream position at which the
+	// first matching event was confirmed; -1 when nothing was detected.
+	MedianLatency float64
+}
+
+// Match scores events against truth windows with the given tolerance (in
+// points, widening each event's span on both sides). Events and truths
+// must be in stream order; the latency of a detected truth is taken from
+// its earliest-confirmed matching event.
+func Match(events []EventRecord, truth []Window, tol int) Metrics {
+	var m Metrics
+	detectedAt := make([]int, len(truth)) // confirming stream position, -1 = undetected
+	for i := range detectedAt {
+		detectedAt[i] = -1
+	}
+	for _, e := range events {
+		lo, hi := e.Pos-tol, e.Pos+e.Length+tol
+		hit := false
+		for ti, t := range truth {
+			if lo < t.Pos+t.Length && t.Pos < hi {
+				hit = true
+				if detectedAt[ti] < 0 || e.At < detectedAt[ti] {
+					detectedAt[ti] = e.At
+				}
+			}
+		}
+		if hit {
+			m.TP++
+		} else {
+			m.FP++
+		}
+	}
+	var latencies []float64
+	for ti, at := range detectedAt {
+		if at < 0 {
+			m.FN++
+			continue
+		}
+		lat := float64(at - truth[ti].Pos)
+		if lat < 0 {
+			lat = 0
+		}
+		latencies = append(latencies, lat)
+	}
+	m.Precision = 1
+	if m.TP+m.FP > 0 {
+		m.Precision = float64(m.TP) / float64(m.TP+m.FP)
+	}
+	m.Recall = 1
+	if len(truth) > 0 {
+		m.Recall = float64(len(truth)-m.FN) / float64(len(truth))
+	}
+	if m.Precision+m.Recall > 0 {
+		m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+	}
+	m.MedianLatency = -1
+	if len(latencies) > 0 {
+		m.MedianLatency = eval.Median(latencies)
+	}
+	return m
+}

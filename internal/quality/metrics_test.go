@@ -1,0 +1,89 @@
+package quality
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMatchPerfect(t *testing.T) {
+	truth := []Window{{Pos: 100, Length: 50}, {Pos: 300, Length: 50}}
+	events := []EventRecord{
+		{Pos: 110, Length: 50, At: 500},
+		{Pos: 290, Length: 50, At: 700},
+	}
+	m := Match(events, truth, 25)
+	if m.TP != 2 || m.FP != 0 || m.FN != 0 {
+		t.Fatalf("got TP/FP/FN %d/%d/%d", m.TP, m.FP, m.FN)
+	}
+	if m.Precision != 1 || m.Recall != 1 || m.F1 != 1 {
+		t.Fatalf("got P/R/F1 %v/%v/%v", m.Precision, m.Recall, m.F1)
+	}
+	// Latencies: 500-100=400 and 700-300=400 -> median 400.
+	if m.MedianLatency != 400 {
+		t.Fatalf("median latency %v, want 400", m.MedianLatency)
+	}
+}
+
+func TestMatchMixed(t *testing.T) {
+	truth := []Window{{Pos: 100, Length: 50}, {Pos: 500, Length: 50}}
+	events := []EventRecord{
+		{Pos: 120, Length: 40, At: 400},  // hits truth 0
+		{Pos: 900, Length: 40, At: 1200}, // hits nothing
+	}
+	m := Match(events, truth, 10)
+	if m.TP != 1 || m.FP != 1 || m.FN != 1 {
+		t.Fatalf("got TP/FP/FN %d/%d/%d", m.TP, m.FP, m.FN)
+	}
+	if m.Precision != 0.5 || m.Recall != 0.5 {
+		t.Fatalf("got P/R %v/%v", m.Precision, m.Recall)
+	}
+	if math.Abs(m.F1-0.5) > 1e-12 {
+		t.Fatalf("got F1 %v", m.F1)
+	}
+	if m.MedianLatency != 300 {
+		t.Fatalf("median latency %v, want 300", m.MedianLatency)
+	}
+}
+
+func TestMatchTolerance(t *testing.T) {
+	truth := []Window{{Pos: 1000, Length: 100}}
+	// Event ends at 990: misses with tol 5, matches with tol 15.
+	e := []EventRecord{{Pos: 940, Length: 50, At: 2000}}
+	if m := Match(e, truth, 5); m.TP != 0 || m.FP != 1 || m.FN != 1 {
+		t.Fatalf("tol=5: got TP/FP/FN %d/%d/%d", m.TP, m.FP, m.FN)
+	}
+	if m := Match(e, truth, 15); m.TP != 1 || m.FP != 0 || m.FN != 0 {
+		t.Fatalf("tol=15: got TP/FP/FN %d/%d/%d", m.TP, m.FP, m.FN)
+	}
+}
+
+func TestMatchEarliestConfirmationWins(t *testing.T) {
+	truth := []Window{{Pos: 100, Length: 100}}
+	events := []EventRecord{
+		{Pos: 150, Length: 50, At: 900},
+		{Pos: 120, Length: 50, At: 600}, // earlier confirmation of the same truth
+	}
+	m := Match(events, truth, 0)
+	if m.MedianLatency != 500 {
+		t.Fatalf("median latency %v, want 500 (earliest confirming event)", m.MedianLatency)
+	}
+	if m.TP != 2 || m.FP != 0 {
+		t.Fatalf("got TP/FP %d/%d", m.TP, m.FP)
+	}
+}
+
+func TestMatchConventions(t *testing.T) {
+	// No events at all: vacuously precise, zero recall against real truth.
+	m := Match(nil, []Window{{Pos: 10, Length: 5}}, 0)
+	if m.Precision != 1 || m.Recall != 0 || m.F1 != 0 {
+		t.Fatalf("no events: got P/R/F1 %v/%v/%v", m.Precision, m.Recall, m.F1)
+	}
+	if m.MedianLatency != -1 {
+		t.Fatalf("no detections: median latency %v, want -1", m.MedianLatency)
+	}
+	// Clamped latency: an event confirmed before the truth onset counts 0.
+	m = Match([]EventRecord{{Pos: 90, Length: 30, At: 95}}, []Window{{Pos: 100, Length: 50}}, 20)
+	if m.MedianLatency != 0 {
+		t.Fatalf("pre-onset confirmation: latency %v, want clamp to 0", m.MedianLatency)
+	}
+}

@@ -1,0 +1,132 @@
+package quality
+
+import (
+	"bytes"
+	"testing"
+
+	"egi"
+)
+
+// TestReportByteDeterminism pins the harness determinism contract: two
+// full harness runs (corpus generation, streaming detection across the
+// whole config grid and the RebaseEvery sweep, JSON encoding) with the
+// same spec must produce byte-identical BENCH_quality.json payloads.
+func TestReportByteDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness run")
+	}
+	gen := func() []byte {
+		rep, err := Generate(smallSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := rep.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := gen(), gen()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("two harness runs with spec %+v differ:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", smallSpec, a, b)
+	}
+	rep, err := Decode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(Families) * len(GridConfigs()); len(rep.Grid) != want {
+		t.Fatalf("grid has %d cells, want %d", len(rep.Grid), want)
+	}
+	if want := len(RebaseFamilies) * len(RebaseValues); len(rep.RebaseSweep) != want {
+		t.Fatalf("rebase sweep has %d cells, want %d", len(rep.RebaseSweep), want)
+	}
+}
+
+// TestStreamManagerQualityIdentity extends the batch/point bit-identity
+// family to the quality path: the events the runner measures (chunked
+// PushBatch through egi.Stream) must be identical to a per-point Push loop
+// and to feeding the same corpus through egi.Manager.PushBatch — so the
+// quality numbers describe every ingest face of the library, not one
+// code path.
+func TestStreamManagerQualityIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full streaming runs")
+	}
+	c, err := Burst(smallSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DetectorConfig{Name: "hop=w/2", HopDiv: 2}
+	const seed = 99
+
+	// Face 1: the runner (chunked PushBatch).
+	_, runnerEvents, err := Run(c, cfg, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runnerEvents) == 0 {
+		t.Fatal("runner confirmed no events; corpus or config too weak for the identity test")
+	}
+
+	// Face 2: point-at-a-time Push.
+	var pointEvents []egi.Anomaly
+	opts := cfg.StreamOptions(c, seed)
+	opts.OnAnomaly = func(a egi.Anomaly) { pointEvents = append(pointEvents, a) }
+	s, err := egi.Stream(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range c.Series {
+		if err := s.Push(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Face 3: the serving layer — Manager.PushBatch in odd-sized chunks.
+	m, err := egi.NewManager(egi.ManagerOptions{Stream: cfg.StreamOptions(c, seed)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, cancel := m.Subscribe("", 16)
+	defer cancel()
+	var managerEvents []egi.Anomaly
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range events {
+			managerEvents = append(managerEvents, ev.Anomaly)
+		}
+	}()
+	const chunk = 173
+	for i := 0; i < len(c.Series); i += chunk {
+		end := i + chunk
+		if end > len(c.Series) {
+			end = len(c.Series)
+		}
+		if err := m.PushBatch("q", c.Series[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	check := func(name string, got []egi.Anomaly) {
+		t.Helper()
+		if len(got) != len(runnerEvents) {
+			t.Fatalf("%s: %d events, runner %d", name, len(got), len(runnerEvents))
+		}
+		for i, a := range got {
+			r := runnerEvents[i]
+			if a.Pos != r.Pos || a.Length != r.Length || a.Density != r.Density {
+				t.Fatalf("%s: event %d = %+v, runner %+v", name, i, a, r)
+			}
+		}
+	}
+	check("per-point Push", pointEvents)
+	check("Manager.PushBatch", managerEvents)
+}

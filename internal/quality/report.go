@@ -1,0 +1,187 @@
+package quality
+
+// The report is the machine face of the harness: one Cell per (corpus,
+// configuration) with precision/recall/F1 and median latency-to-detection,
+// plus the RebaseEvery sweep on the drifting families, serialized as
+// deterministic JSON (BENCH_quality.json). tools/qualityjson renders and
+// compares these files.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Schema identifies the report layout for downstream tooling.
+const Schema = "egi-quality/1"
+
+// Cell is one (corpus, configuration) measurement.
+type Cell struct {
+	// Corpus and Family name the workload; Config the detector
+	// parameterization; Rebase the RebaseEvery value as a label
+	// ("adaptive" for the 0 default) — set only in the sweep.
+	Corpus string `json:"corpus"`
+	Family string `json:"family"`
+	Config string `json:"config"`
+	Rebase string `json:"rebase,omitempty"`
+	// Window/BufLen/Hop/Ensemble are the resolved detector parameters;
+	// Tolerance the matching tolerance; Points the series length.
+	Window    int `json:"window"`
+	BufLen    int `json:"buflen"`
+	Hop       int `json:"hop"`
+	Ensemble  int `json:"ensemble"`
+	Tolerance int `json:"tolerance"`
+	Points    int `json:"points"`
+	// Truth counts planted anomaly windows; Events confirmed detector
+	// events; TP/FP/FN the matching outcome.
+	Truth  int `json:"truth"`
+	Events int `json:"events"`
+	TP     int `json:"tp"`
+	FP     int `json:"fp"`
+	FN     int `json:"fn"`
+	// The quality metrics (see Metrics).
+	Precision     float64 `json:"precision"`
+	Recall        float64 `json:"recall"`
+	F1            float64 `json:"f1"`
+	MedianLatency float64 `json:"median_latency"`
+}
+
+// Key identifies a cell across report generations — what -compare joins
+// on.
+func (c Cell) Key() string {
+	if c.Rebase != "" {
+		return c.Corpus + "|" + c.Config + "|rebase=" + c.Rebase
+	}
+	return c.Corpus + "|" + c.Config
+}
+
+// Report is one full harness run.
+type Report struct {
+	// Schema is the layout tag (Schema).
+	Schema string `json:"schema"`
+	// Spec reproduces the corpus sizing the run used.
+	Spec CorpusSpec `json:"spec"`
+	// Grid is corpus families x configurations.
+	Grid []Cell `json:"grid"`
+	// RebaseSweep is the RebaseEvery sweep over the drifting families.
+	RebaseSweep []Cell `json:"rebase_sweep"`
+}
+
+// GridConfigs is the standard configuration grid: the zero-knob default,
+// two lower-latency overlapping-hop settings, and the adaptive threshold.
+func GridConfigs() []DetectorConfig {
+	return []DetectorConfig{
+		{Name: "defaults"},
+		{Name: "hop=w/2", HopDiv: 2},
+		{Name: "tight", BufFactor: 5, HopDiv: 4},
+		{Name: "adaptive", HopDiv: 2, AdaptiveQuantile: 0.02},
+	}
+}
+
+// RebaseValues are the swept RebaseEvery settings; 0 is the adaptive
+// default.
+var RebaseValues = []int{1, 0, 4, 16}
+
+// RebaseFamilies are the drifting families the sweep runs on — the
+// regimes where stale cross-hop grammar context could plausibly hurt.
+var RebaseFamilies = []string{"drift", "noiseregime"}
+
+// rebaseLabel renders a RebaseEvery value for the report.
+func rebaseLabel(k int) string {
+	if k == 0 {
+		return "adaptive"
+	}
+	return fmt.Sprintf("%d", k)
+}
+
+// cell runs one (corpus, configuration) measurement.
+func cell(c *Corpus, cfg DetectorConfig, seed int64) (Cell, error) {
+	m, events, err := Run(c, cfg, seed)
+	if err != nil {
+		return Cell{}, err
+	}
+	opts := cfg.StreamOptions(c, seed)
+	bufLen := opts.BufLen
+	if bufLen == 0 {
+		bufLen = 10 * c.Window
+	}
+	hop := opts.Hop
+	if hop == 0 {
+		hop = bufLen - c.Window + 1
+	}
+	ens := opts.EnsembleSize
+	if ens == 0 {
+		ens = 50
+	}
+	return Cell{
+		Corpus: c.Name, Family: c.Family, Config: cfg.Name,
+		Window: c.Window, BufLen: bufLen, Hop: hop, Ensemble: ens,
+		Tolerance: Tolerance(c), Points: len(c.Series),
+		Truth: len(c.Truth), Events: len(events),
+		TP: m.TP, FP: m.FP, FN: m.FN,
+		Precision: m.Precision, Recall: m.Recall, F1: m.F1,
+		MedianLatency: m.MedianLatency,
+	}, nil
+}
+
+// Generate runs the full harness — the standard grid over every corpus
+// family, then the RebaseEvery sweep over the drifting families — and
+// returns the report. It is sequential and seeded, so equal specs produce
+// equal reports, byte for byte once encoded.
+func Generate(spec CorpusSpec) (*Report, error) {
+	spec = spec.normalized()
+	corpora, err := Corpora(spec)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Schema: Schema, Spec: spec}
+	for _, c := range corpora {
+		for _, cfg := range GridConfigs() {
+			cl, err := cell(c, cfg, spec.Seed)
+			if err != nil {
+				return nil, err
+			}
+			rep.Grid = append(rep.Grid, cl)
+		}
+	}
+	sweepFamily := make(map[string]bool, len(RebaseFamilies))
+	for _, f := range RebaseFamilies {
+		sweepFamily[f] = true
+	}
+	for _, c := range corpora {
+		if !sweepFamily[c.Family] {
+			continue
+		}
+		for _, k := range RebaseValues {
+			cfg := DetectorConfig{Name: "hop=w/2", HopDiv: 2, RebaseEvery: k}
+			cl, err := cell(c, cfg, spec.Seed)
+			if err != nil {
+				return nil, err
+			}
+			cl.Rebase = rebaseLabel(k)
+			rep.RebaseSweep = append(rep.RebaseSweep, cl)
+		}
+	}
+	return rep, nil
+}
+
+// Encode serializes the report as the canonical BENCH_quality.json bytes:
+// indented JSON with a trailing newline, deterministic for equal reports.
+func (r *Report) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Decode parses Encode's output (or any JSON report).
+func Decode(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("quality: parsing report: %w", err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("quality: unsupported report schema %q", r.Schema)
+	}
+	return &r, nil
+}

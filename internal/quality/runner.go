@@ -1,0 +1,100 @@
+package quality
+
+// The runner drives the real streaming push path — egi.Stream, PushBatch
+// in serving-sized chunks, Flush at the end — not a batch shortcut, so the
+// metrics measure exactly what a served stream would emit: confirmed
+// events only, at their real confirmation positions. The batch/point/
+// manager bit-identity properties (pinned by the stream and quality tests)
+// make the chunking irrelevant to the result.
+
+import (
+	"fmt"
+
+	"egi"
+)
+
+// pushChunk is the batch size the runner pushes with — the shape of one
+// serving-layer ingest request.
+const pushChunk = 256
+
+// DetectorConfig is one grid cell's detector parameterization, expressed
+// relative to the corpus's anomaly scale W so one config applies across
+// corpora with different windows.
+type DetectorConfig struct {
+	// Name labels the configuration in the report, e.g. "hop=w/2".
+	Name string
+	// BufFactor sets BufLen = BufFactor*W; 0 selects the stream default
+	// (10x the window).
+	BufFactor int
+	// HopDiv sets Hop = max(1, W/HopDiv); 0 selects the default hop
+	// (BufLen-W+1, the DetectChunked stride).
+	HopDiv int
+	// AdaptiveQuantile, when nonzero, switches the event threshold to the
+	// running-quantile mode (egi.StreamOptions.AdaptiveQuantile).
+	AdaptiveQuantile float64
+	// RebaseEvery is passed through to the detector: 0 adaptive, K >= 1
+	// rebases the resumable grammars every K hop runs.
+	RebaseEvery int
+	// EnsembleSize overrides the ensemble size N; 0 keeps the paper
+	// default (50).
+	EnsembleSize int
+}
+
+// StreamOptions materializes the configuration against one corpus's
+// window scale. Tests use it to build the identical detector the runner
+// ran.
+func (cfg DetectorConfig) StreamOptions(c *Corpus, seed int64) egi.StreamOptions {
+	opts := egi.StreamOptions{
+		Window:           c.Window,
+		AdaptiveQuantile: cfg.AdaptiveQuantile,
+		RebaseEvery:      cfg.RebaseEvery,
+		EnsembleSize:     cfg.EnsembleSize,
+		Seed:             seed,
+	}
+	if cfg.BufFactor > 0 {
+		opts.BufLen = cfg.BufFactor * c.Window
+	}
+	if cfg.HopDiv > 0 {
+		opts.Hop = c.Window / cfg.HopDiv
+		if opts.Hop < 1 {
+			opts.Hop = 1
+		}
+	}
+	return opts
+}
+
+// Tolerance is the event-matching tolerance for a corpus: half its
+// detection window. The detector reports the most anomalous window, which
+// legitimately starts up to about half a window off the planted onset.
+func Tolerance(c *Corpus) int { return c.Window / 2 }
+
+// Run pushes the corpus through a fresh streaming detector under the
+// given configuration and returns the matched quality metrics plus the
+// raw confirmed events (with confirmation positions).
+func Run(c *Corpus, cfg DetectorConfig, seed int64) (Metrics, []EventRecord, error) {
+	var (
+		s      *egi.Streamer
+		events []EventRecord
+	)
+	opts := cfg.StreamOptions(c, seed)
+	opts.OnAnomaly = func(a egi.Anomaly) {
+		events = append(events, EventRecord{Pos: a.Pos, Length: a.Length, Density: a.Density, At: s.Total()})
+	}
+	s, err := egi.Stream(opts)
+	if err != nil {
+		return Metrics{}, nil, fmt.Errorf("quality: %s/%s: %w", c.Name, cfg.Name, err)
+	}
+	for i := 0; i < len(c.Series); i += pushChunk {
+		end := i + pushChunk
+		if end > len(c.Series) {
+			end = len(c.Series)
+		}
+		if err := s.PushBatch(c.Series[i:end]); err != nil {
+			return Metrics{}, nil, fmt.Errorf("quality: %s/%s at %d: %w", c.Name, cfg.Name, i, err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		return Metrics{}, nil, fmt.Errorf("quality: %s/%s flush: %w", c.Name, cfg.Name, err)
+	}
+	return Match(events, c.Truth, Tolerance(c)), events, nil
+}

@@ -1,0 +1,52 @@
+package quality
+
+// Human rendering of a report — shared by `egibench -exp quality` and
+// `tools/qualityjson` so the job log and the local tool print the same
+// table.
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// latency renders a median latency, "-" for the -1 nothing-detected
+// sentinel.
+func latency(v float64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// writeCells renders one cell table.
+func writeCells(w io.Writer, cells []Cell, withRebase bool) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if withRebase {
+		fmt.Fprintln(tw, "corpus\tconfig\trebase\tprec\trecall\tF1\tmed.latency\tTP/FP/FN")
+	} else {
+		fmt.Fprintln(tw, "corpus\tconfig\tprec\trecall\tF1\tmed.latency\tTP/FP/FN")
+	}
+	for _, c := range cells {
+		if withRebase {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%.3f\t%.3f\t%.3f\t%s\t%d/%d/%d\n",
+				c.Corpus, c.Config, c.Rebase, c.Precision, c.Recall, c.F1, latency(c.MedianLatency), c.TP, c.FP, c.FN)
+		} else {
+			fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.3f\t%s\t%d/%d/%d\n",
+				c.Corpus, c.Config, c.Precision, c.Recall, c.F1, latency(c.MedianLatency), c.TP, c.FP, c.FN)
+		}
+	}
+	tw.Flush()
+}
+
+// WriteTable renders the whole report as the two human tables: the
+// family-by-configuration grid and the RebaseEvery sweep.
+func WriteTable(w io.Writer, r *Report) {
+	fmt.Fprintf(w, "detection quality (seed %d, %d periods, %d anomalies per corpus)\n\n",
+		r.Spec.Seed, r.Spec.Periods, r.Spec.Anomalies)
+	writeCells(w, r.Grid, false)
+	if len(r.RebaseSweep) > 0 {
+		fmt.Fprintf(w, "\nRebaseEvery sweep (drifting families)\n")
+		writeCells(w, r.RebaseSweep, true)
+	}
+}

@@ -147,7 +147,9 @@ func (d *dec) str() string {
 }
 func (d *dec) floats() []float64 {
 	n := d.u64()
-	if d.err != nil || uint64(len(d.b)-d.off) < n*8 {
+	// Divide instead of multiplying: n*8 can wrap uint64 and slip a huge
+	// length past the remaining-bytes check into make.
+	if d.err != nil || n > uint64(len(d.b)-d.off)/8 {
 		d.fail()
 		return nil
 	}
@@ -385,6 +387,27 @@ func Restore(cfg Config, data []byte) (*Detector, error) {
 	}
 	if d.off != len(data) {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(data)-d.off)
+	}
+
+	// Reject decoded states no real detector run can produce. Each bound
+	// protects a later operation: the stitched-region bookkeeping feeds
+	// slice indexes and an extend-by-append loop in run, scorePos indexes
+	// the stitched curve in finalizeScores, the P² count indexes the
+	// initialization heads, and the ring capacity sizes an allocation.
+	switch {
+	case det.total < 0 || det.runIdx < 0,
+		det.pendOff < 0 || det.covered < det.pendOff || det.total < det.covered,
+		det.total-det.covered > cfg.BufLen,
+		len(det.sum) != len(det.cnt) || len(det.sum) != det.covered-det.pendOff,
+		det.scorePos < det.pendOff || det.scorePos > det.covered:
+		return nil, fmt.Errorf("%w: inconsistent stitched-curve state", ErrBadSnapshot)
+	case det.runIdx == 0 && (det.lastStart != -1 || det.covered != 0),
+		det.runIdx > 0 && (det.lastStart < 0 || det.lastStart+cfg.Window > det.covered):
+		return nil, fmt.Errorf("%w: inconsistent run bookkeeping", ErrBadSnapshot)
+	case det.quant != nil && det.quant.n < 0:
+		return nil, fmt.Errorf("%w: negative quantile observation count", ErrBadSnapshot)
+	case rs.Cap != cfg.BufLen || rs.Total != det.total:
+		return nil, fmt.Errorf("%w: ring state does not match detector state", ErrBadSnapshot)
 	}
 
 	ring, err := timeseries.RestoreRing(rs)

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFile writes one source file under dir, creating parents.
+func writeFile(t *testing.T, dir, name, src string) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckDirMissingPackageDoc(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.go", "package a\n\n// F does f.\nfunc F() {}\n")
+	findings, err := checkDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "no package doc comment") {
+		t.Fatalf("got findings %v, want one missing-package-doc finding", findings)
+	}
+
+	writeFile(t, dir, "doc.go", "// Package a is documented.\npackage a\n")
+	findings, err = checkDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("documented package still reported: %v", findings)
+	}
+}
+
+func TestCheckDirUndocumentedExported(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.go", `// Package a is documented.
+package a
+
+func Undocumented() {}
+
+// Documented is fine.
+func Documented() {}
+
+type Bare struct{}
+
+// Grouped declarations pass on a group comment.
+var (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+const Loose = 3
+
+type hidden struct{}
+
+func (hidden) Method() {}
+
+func internalHelper() {}
+`)
+	findings, err := checkDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, f := range findings {
+		if !strings.Contains(f, "has no doc comment") {
+			t.Errorf("unexpected finding: %s", f)
+		}
+		names = append(names, f[strings.Index(f, "exported "):])
+	}
+	want := []string{
+		"exported const Loose has no doc comment",
+		"exported function Undocumented has no doc comment",
+		"exported type Bare has no doc comment",
+	}
+	if len(names) != len(want) {
+		t.Fatalf("got findings %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("finding %d = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestCheckDirInternalGating(t *testing.T) {
+	base := t.TempDir()
+	dir := filepath.Join(base, "internal", "x")
+	writeFile(t, base, filepath.Join("internal", "x", "x.go"),
+		"// Package x is documented.\npackage x\n\nfunc Undocumented() {}\n")
+
+	// Default: internal packages only need the package doc.
+	findings, err := checkDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("internal package gated without -exported-all: %v", findings)
+	}
+
+	// -exported-all extends the exported rule to internal packages.
+	findings, err = checkDir(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "function Undocumented") {
+		t.Fatalf("got findings %v, want one undocumented-function finding", findings)
+	}
+}
+
+func TestCheckDirMainPackageExempt(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "main.go",
+		"// Command tool is documented.\npackage main\n\nfunc Exported() {}\n")
+	findings, err := checkDir(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("main package exported identifiers gated: %v", findings)
+	}
+}
+
+func TestExpand(t *testing.T) {
+	base := t.TempDir()
+	writeFile(t, base, "a.go", "package a\n")
+	writeFile(t, base, filepath.Join("sub", "b.go"), "package b\n")
+	writeFile(t, base, filepath.Join("testdata", "skip.go"), "package skip\n")
+	writeFile(t, base, filepath.Join(".hidden", "skip.go"), "package skip\n")
+	writeFile(t, base, filepath.Join("empty", "note.txt"), "no go files\n")
+
+	dirs, err := expand([]string{base + "/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{base, filepath.Join(base, "sub")}
+	if len(dirs) != len(want) {
+		t.Fatalf("got dirs %v, want %v", dirs, want)
+	}
+	for i := range want {
+		if dirs[i] != want[i] {
+			t.Errorf("dir %d = %q, want %q", i, dirs[i], want[i])
+		}
+	}
+
+	// A bare directory pattern passes through without walking.
+	dirs, err = expand([]string{filepath.Join(base, "sub")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != 1 || dirs[0] != filepath.Join(base, "sub") {
+		t.Fatalf("bare pattern: got %v", dirs)
+	}
+}

@@ -1,0 +1,165 @@
+// Command qualityjson renders and compares the repo's detection-quality
+// trajectory files (BENCH_quality.json, written by `egibench -exp quality
+// -out`). It is the quality twin of tools/benchjson: where benchjson
+// guards ns/op, qualityjson guards precision/recall/F1 and
+// latency-to-detection, so a perf PR cannot silently buy speed with worse
+// or later detections.
+//
+// Usage:
+//
+//	qualityjson < BENCH_quality.json
+//	qualityjson -compare old.json new.json [-threshold 0.05] [-latency-threshold 0.25]
+//
+// The default mode reads one report from stdin and prints its tables. With
+// -compare it joins the two reports' cells (corpus + configuration +
+// rebase setting) and prints a per-cell delta table; it exits nonzero when
+// any shared cell's F1 dropped by more than -threshold (absolute, 0.05 =
+// five F1 points) or its median latency-to-detection grew by more than
+// -latency-threshold (a fraction: 0.25 allows +25%), so CI can run it as a
+// regression tripwire — or as a plain report with `|| true`. Cells present
+// in only one file are listed but never gate.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"egi/internal/quality"
+)
+
+// loadReport reads one BENCH_quality.json file.
+func loadReport(path string) (*quality.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := quality.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// cells flattens a report into key->cell, grid and sweep together.
+func cells(r *quality.Report) map[string]quality.Cell {
+	out := make(map[string]quality.Cell, len(r.Grid)+len(r.RebaseSweep))
+	for _, c := range append(append([]quality.Cell(nil), r.Grid...), r.RebaseSweep...) {
+		out[c.Key()] = c
+	}
+	return out
+}
+
+// fmtLat renders a median latency, "-" for the -1 sentinel.
+func fmtLat(v float64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// compare prints the per-cell delta table and returns the keys that
+// regressed: an F1 drop of more than f1Drop (absolute), or a median
+// latency growth of more than latGrow (fractional; only when both cells
+// detected something).
+func compare(w io.Writer, prev, cur map[string]quality.Cell, f1Drop, latGrow float64) []string {
+	keys := make([]string, 0, len(prev)+len(cur))
+	for k := range prev {
+		keys = append(keys, k)
+	}
+	for k := range cur {
+		if _, ok := prev[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var regressed []string
+	tw := bufio.NewWriter(w)
+	defer tw.Flush()
+	fmt.Fprintf(tw, "%-50s %9s %9s %7s %12s %12s\n", "cell", "old F1", "new F1", "ΔF1", "old latency", "new latency")
+	for _, k := range keys {
+		o, inOld := prev[k]
+		n, inNew := cur[k]
+		switch {
+		case !inNew:
+			fmt.Fprintf(tw, "%-50s %9.3f %9s %7s %12s %12s\n", k, o.F1, "-", "gone", fmtLat(o.MedianLatency), "-")
+		case !inOld:
+			fmt.Fprintf(tw, "%-50s %9s %9.3f %7s %12s %12s\n", k, "-", n.F1, "new", "-", fmtLat(n.MedianLatency))
+		default:
+			mark := ""
+			if o.F1-n.F1 > f1Drop {
+				mark = "  << F1 REGRESSION"
+				regressed = append(regressed, k)
+			} else if o.MedianLatency >= 0 && n.MedianLatency >= 0 && o.MedianLatency > 0 &&
+				(n.MedianLatency-o.MedianLatency)/o.MedianLatency > latGrow {
+				mark = "  << LATENCY REGRESSION"
+				regressed = append(regressed, k)
+			}
+			fmt.Fprintf(tw, "%-50s %9.3f %9.3f %+7.3f %12s %12s%s\n",
+				k, o.F1, n.F1, n.F1-o.F1, fmtLat(o.MedianLatency), fmtLat(n.MedianLatency), mark)
+		}
+	}
+	return regressed
+}
+
+// run is the command body; it returns the process exit code (0 clean, 1
+// regression found, 2 usage or input error) so tests can exercise the
+// gating behavior directly.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qualityjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	comparePaths := fs.Bool("compare", false,
+		"compare two quality trajectory files (old new) instead of rendering stdin")
+	threshold := fs.Float64("threshold", 0.05,
+		"with -compare: allowed absolute F1 drop before exiting nonzero (0.05 = five F1 points)")
+	latThreshold := fs.Float64("latency-threshold", 0.25,
+		"with -compare: allowed fractional median-latency growth before exiting nonzero (0.25 = +25%)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *comparePaths {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "qualityjson: -compare needs exactly two files: old.json new.json")
+			return 2
+		}
+		oldR, err := loadReport(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintln(stderr, "qualityjson:", err)
+			return 2
+		}
+		newR, err := loadReport(fs.Arg(1))
+		if err != nil {
+			fmt.Fprintln(stderr, "qualityjson:", err)
+			return 2
+		}
+		regressed := compare(stdout, cells(oldR), cells(newR), *threshold, *latThreshold)
+		if len(regressed) > 0 {
+			fmt.Fprintf(stderr, "qualityjson: %d cell(s) regressed: %s\n",
+				len(regressed), strings.Join(regressed, ", "))
+			return 1
+		}
+		return 0
+	}
+
+	data, err := io.ReadAll(stdin)
+	if err != nil {
+		fmt.Fprintln(stderr, "qualityjson:", err)
+		return 2
+	}
+	r, err := quality.Decode(data)
+	if err != nil {
+		fmt.Fprintln(stderr, "qualityjson:", err)
+		return 2
+	}
+	quality.WriteTable(stdout, r)
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}

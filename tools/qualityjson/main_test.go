@@ -1,0 +1,154 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"egi/internal/quality"
+)
+
+func mkCell(corpus, config string, f1, lat float64) quality.Cell {
+	return quality.Cell{
+		Corpus: corpus, Family: corpus, Config: config,
+		Window: 100, Truth: 3, TP: 2, FP: 0, FN: 1,
+		Precision: 1, Recall: f1, F1: f1, MedianLatency: lat,
+	}
+}
+
+func cellMap(cs ...quality.Cell) map[string]quality.Cell {
+	m := make(map[string]quality.Cell, len(cs))
+	for _, c := range cs {
+		m[c.Key()] = c
+	}
+	return m
+}
+
+func TestCompareClean(t *testing.T) {
+	prev := cellMap(mkCell("drift", "defaults", 0.8, 1000))
+	cur := cellMap(mkCell("drift", "defaults", 0.78, 1100)) // within both thresholds
+	var out strings.Builder
+	if reg := compare(&out, prev, cur, 0.05, 0.25); len(reg) != 0 {
+		t.Fatalf("clean comparison regressed: %v", reg)
+	}
+	if !strings.Contains(out.String(), "drift|defaults") {
+		t.Fatalf("delta table missing the cell:\n%s", out.String())
+	}
+}
+
+func TestCompareF1Regression(t *testing.T) {
+	prev := cellMap(mkCell("drift", "defaults", 0.8, 1000))
+	cur := cellMap(mkCell("drift", "defaults", 0.7, 1000))
+	var out strings.Builder
+	reg := compare(&out, prev, cur, 0.05, 0.25)
+	if len(reg) != 1 || reg[0] != "drift|defaults" {
+		t.Fatalf("got regressed %v, want [drift|defaults]", reg)
+	}
+	if !strings.Contains(out.String(), "F1 REGRESSION") {
+		t.Fatalf("table missing F1 REGRESSION mark:\n%s", out.String())
+	}
+}
+
+func TestCompareLatencyRegression(t *testing.T) {
+	prev := cellMap(mkCell("burst", "tight", 0.9, 1000))
+	cur := cellMap(mkCell("burst", "tight", 0.9, 1400)) // +40% > 25%
+	var out strings.Builder
+	reg := compare(&out, prev, cur, 0.05, 0.25)
+	if len(reg) != 1 {
+		t.Fatalf("got regressed %v, want one latency regression", reg)
+	}
+	if !strings.Contains(out.String(), "LATENCY REGRESSION") {
+		t.Fatalf("table missing LATENCY REGRESSION mark:\n%s", out.String())
+	}
+	// The -1 "no detections" sentinel never trips the latency gate.
+	prev = cellMap(mkCell("burst", "tight", 0.9, -1))
+	cur = cellMap(mkCell("burst", "tight", 0.9, 5000))
+	if reg := compare(&out, prev, cur, 0.05, 0.25); len(reg) != 0 {
+		t.Fatalf("sentinel latency gated: %v", reg)
+	}
+}
+
+func TestCompareOneSidedCellsNeverGate(t *testing.T) {
+	prev := cellMap(mkCell("drift", "defaults", 0.9, 1000))
+	cur := cellMap(mkCell("seasonality", "defaults", 0.1, 9000))
+	var out strings.Builder
+	if reg := compare(&out, prev, cur, 0.05, 0.25); len(reg) != 0 {
+		t.Fatalf("one-sided cells gated: %v", reg)
+	}
+	s := out.String()
+	if !strings.Contains(s, "gone") || !strings.Contains(s, "new") {
+		t.Fatalf("table missing gone/new markers:\n%s", s)
+	}
+}
+
+// writeReport encodes a one-cell report to a temp file.
+func writeReport(t *testing.T, dir, name string, c quality.Cell) string {
+	t.Helper()
+	rep := &quality.Report{Schema: quality.Schema, Grid: []quality.Cell{c}}
+	data, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", mkCell("drift", "defaults", 0.8, 1000))
+	samePath := writeReport(t, dir, "same.json", mkCell("drift", "defaults", 0.8, 1000))
+	worsePath := writeReport(t, dir, "worse.json", mkCell("drift", "defaults", 0.6, 1000))
+
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-compare", oldPath, samePath}, strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("identical reports: exit %d, stderr: %s", code, stderr.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-compare", oldPath, worsePath}, strings.NewReader(""), &stdout, &stderr); code != 1 {
+		t.Fatalf("regressed report: exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "regressed") {
+		t.Fatalf("stderr missing regression summary: %s", stderr.String())
+	}
+
+	// A wider threshold lets the same drop through.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-compare", "-threshold", "0.3", oldPath, worsePath}, strings.NewReader(""), &stdout, &stderr); code != 0 {
+		t.Fatalf("wide threshold: exit %d, want 0", code)
+	}
+}
+
+func TestRunUsageAndInputErrors(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-compare", "only-one.json"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Fatalf("-compare with one arg: exit %d, want 2", code)
+	}
+	if code := run([]string{"-compare", "/no/such/old.json", "/no/such/new.json"}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Fatalf("missing files: exit %d, want 2", code)
+	}
+	if code := run(nil, strings.NewReader("not json"), &stdout, &stderr); code != 2 {
+		t.Fatalf("garbage stdin: exit %d, want 2", code)
+	}
+}
+
+func TestRunRenderStdin(t *testing.T) {
+	rep := &quality.Report{Schema: quality.Schema, Grid: []quality.Cell{mkCell("drift", "defaults", 0.8, 1000)}}
+	data, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	if code := run(nil, strings.NewReader(string(data)), &stdout, &stderr); code != 0 {
+		t.Fatalf("render: exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "drift") {
+		t.Fatalf("rendered table missing cell:\n%s", stdout.String())
+	}
+}
