@@ -1,0 +1,258 @@
+package main
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"hash/crc32"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"egi"
+)
+
+// TestRetryAfterHeaders: retryable rejections carry a Retry-After hint —
+// a short one on overload (429), a longer one on shutdown (503) — so
+// well-behaved clients back off instead of hammering.
+func TestRetryAfterHeaders(t *testing.T) {
+	m, err := egi.NewManager(egi.ManagerOptions{Stream: testOptions(), MaxStreams: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(m, "value", 16, 0, limits{MaxStreams: 1}).handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	resp := post(t, client, ts.URL+"/v1/streams/a/points", jsonBody(t, sensorSeries(50, 40, 1)), "application/json")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first stream: status %d", resp.StatusCode)
+	}
+	// The only slot is taken and nothing is idle: overload.
+	resp = post(t, client, ts.URL+"/v1/streams/b/points", jsonBody(t, sensorSeries(50, 40, 2)), "application/json")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit stream: status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("429 Retry-After = %q, want \"1\"", got)
+	}
+	// Shutdown: the manager is closed under the still-running server.
+	m.Close()
+	resp = post(t, client, ts.URL+"/v1/streams/a/points", jsonBody(t, sensorSeries(50, 40, 1)), "application/json")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown ingest: status %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "5" {
+		t.Fatalf("503 Retry-After = %q, want \"5\"", got)
+	}
+}
+
+// TestStatsAlias: GET /v1/stats serves the stream listing under its
+// monitoring-friendly alias and always carries the rolled-up health
+// tallies, zero or not.
+func TestStatsAlias(t *testing.T) {
+	m, err := egi.NewManager(egi.ManagerOptions{Stream: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(newServer(m, "value", 16, 0, limits{}).handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	resp := post(t, client, ts.URL+"/v1/streams/s/points", jsonBody(t, sensorSeries(80, 40, 3)), "application/json")
+	resp.Body.Close()
+	resp, err = client.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/stats: status %d", resp.StatusCode)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"streams", "degraded_streams", "quarantined_streams"} {
+		if _, ok := body[key]; !ok {
+			t.Fatalf("/v1/stats response missing %q: %v", key, body)
+		}
+	}
+	if got := body["degraded_streams"].(float64); got != 0 {
+		t.Fatalf("degraded_streams = %v, want 0", got)
+	}
+}
+
+// walRecord frames one WAL points record claiming to start at position
+// pos, using the store's wire framing (u32 len | u32 CRC-32C | payload).
+func walRecord(pos uint64, pts []float64) []byte {
+	payload := []byte{1} // recPoints
+	payload = binary.AppendUvarint(payload, pos)
+	payload = binary.AppendUvarint(payload, uint64(len(pts)))
+	for _, x := range pts {
+		payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(x))
+	}
+	rec := binary.LittleEndian.AppendUint32(nil, uint32(len(payload)))
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)))
+	return append(rec, payload...)
+}
+
+// TestQuarantineSurfacesOverHTTP: a stream whose persisted log is corrupt
+// beyond the torn-tail case is quarantined at startup rather than aborting
+// the server. The whole failure path is visible over HTTP — healthz turns
+// "degraded" and lists the recovery failure, the stats listing flags the
+// stream, ingest into it is a 500 — and DELETE clears it, returning
+// healthz to "ok".
+func TestQuarantineSurfacesOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	opts := egi.ManagerOptions{Stream: testOptions(), DataDir: dir, SnapshotEvery: 100}
+	m1, err := egi.NewManager(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.PushBatch("good", sensorSeries(200, 40, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-craft a corrupt sibling: its first record claims position 5,
+	// a gap no valid writer produces — checksums pass, replay cannot.
+	bad := filepath.Join(dir, hex.EncodeToString([]byte("bad")))
+	if err := os.MkdirAll(bad, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(bad, "wal-0.log"), walRecord(5, []float64{1, 2, 3}), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := egi.NewManager(opts)
+	if err != nil {
+		t.Fatalf("recovery with one corrupt stream must still start: %v", err)
+	}
+	defer m2.Close()
+	ts := httptest.NewServer(newServer(m2, "value", 16, 0, limits{}).handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	getHealthz := func() map[string]any {
+		t.Helper()
+		resp, err := client.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /healthz: status %d", resp.StatusCode)
+		}
+		var body map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	hz := getHealthz()
+	if hz["status"] != "degraded" || hz["quarantined_streams"].(float64) != 1 {
+		t.Fatalf("healthz with quarantined stream = %v", hz)
+	}
+	fails, ok := hz["recovery_failures"].([]any)
+	if !ok || len(fails) != 1 {
+		t.Fatalf("recovery_failures = %v, want one entry", hz["recovery_failures"])
+	}
+	entry := fails[0].(map[string]any)
+	if entry["stream"] != "bad" || !strings.Contains(entry["error"].(string), "corrupt") {
+		t.Fatalf("recovery failure entry = %v", entry)
+	}
+
+	// The stats listing flags the stream individually.
+	lr := getList(t, client, ts.URL)
+	var found bool
+	for _, st := range lr.Streams {
+		if st.ID == "bad" {
+			found = true
+			if !st.Quarantined || st.Fault == "" {
+				t.Fatalf("quarantined stream stats = %+v", st)
+			}
+		} else if st.Quarantined || st.Degraded {
+			t.Fatalf("healthy stream flagged: %+v", st)
+		}
+	}
+	if !found {
+		t.Fatalf("quarantined stream missing from listing: %+v", lr.Streams)
+	}
+
+	// Ingest into the tombstone is a server-side error; the healthy
+	// sibling keeps working.
+	resp := post(t, client, ts.URL+"/v1/streams/bad/points", jsonBody(t, []float64{1, 2, 3}), "application/json")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("ingest into quarantined stream: status %d, want 500", resp.StatusCode)
+	}
+	resp = post(t, client, ts.URL+"/v1/streams/good/points", jsonBody(t, sensorSeries(80, 40, 5)), "application/json")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest into healthy stream: status %d", resp.StatusCode)
+	}
+
+	// DELETE discards the broken state and clears the health signal.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/streams/bad", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE quarantined stream: status %d", resp.StatusCode)
+	}
+	hz = getHealthz()
+	if hz["status"] != "ok" || hz["quarantined_streams"].(float64) != 0 {
+		t.Fatalf("healthz after deleting the tombstone = %v", hz)
+	}
+}
+
+// TestFormatEvent: the SSE encoder names anomaly and health frames
+// distinctly so clients can subscribe to either without sniffing fields.
+func TestFormatEvent(t *testing.T) {
+	kind, data, err := formatEvent(egi.StreamEvent{
+		Stream:  "s",
+		Anomaly: egi.Anomaly{Pos: 7, Length: 3, Density: 0.5},
+	})
+	if err != nil || kind != "anomaly" {
+		t.Fatalf("anomaly frame = (%q, %v)", kind, err)
+	}
+	var ev eventJSON
+	if err := json.Unmarshal(data, &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Stream != "s" || ev.Pos != 7 || ev.Length != 3 || ev.Density != 0.5 {
+		t.Fatalf("anomaly frame body = %+v", ev)
+	}
+
+	kind, data, err = formatEvent(egi.StreamEvent{
+		Stream: "s",
+		Health: egi.HealthDegraded,
+		Cause:  "disk full",
+	})
+	if err != nil || kind != "health" {
+		t.Fatalf("health frame = (%q, %v)", kind, err)
+	}
+	var h healthJSON
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Stream != "s" || h.State != "degraded" || h.Cause != "disk full" {
+		t.Fatalf("health frame body = %+v", h)
+	}
+}

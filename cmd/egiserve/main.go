@@ -23,7 +23,10 @@
 //	                                  Content-Type: application/json. The
 //	                                  stream is created on first use.
 //	GET    /v1/streams                all live streams' stats (points,
-//	                                  events, memory) + rolled-up totals
+//	                                  events, memory, health flags) +
+//	                                  rolled-up totals and degraded /
+//	                                  quarantined counts
+//	GET    /v1/stats                  alias of GET /v1/streams
 //	GET    /v1/streams/{id}           one stream's stats + current top-K
 //	DELETE /v1/streams/{id}           flush and close the stream; with
 //	                                  -data-dir, also deletes its
@@ -34,13 +37,26 @@
 //	                                  persisted state as NDJSON (requires
 //	                                  -data-dir)
 //	GET    /v1/events[?stream=id]     SSE firehose of confirmed events
-//	GET    /healthz                   liveness summary
+//	                                  (`event: anomaly`) and stream health
+//	                                  transitions (`event: health`)
+//	GET    /healthz                   liveness summary; status "degraded"
+//	                                  when any stream is degraded or
+//	                                  quarantined
 //
 // Ingest responses are JSON; limit rejections (stream cap reached with
 // nothing idle, memory budget exhausted) are 429, shutdown is 503, and
-// malformed bodies are 400 with a line-precise error. Every ingest error
-// body carries "accepted" — how many leading points of the batch were
-// applied — so clients resend exactly the unapplied remainder.
+// malformed bodies are 400 with a line-precise error. 429 and 503
+// responses carry a Retry-After header. Every ingest error body carries
+// "accepted" — how many leading points of the batch were applied — so
+// clients resend exactly the unapplied remainder.
+//
+// Durability failures (disk full, I/O errors) degrade a stream instead of
+// failing its pushes: detection continues in memory, the /v1/streams and
+// /healthz surfaces flag the stream, an `event: health` frame announces
+// the transition, and the server retries with capped backoff until a
+// checkpoint heals the log. A stream whose detector panics is
+// quarantined: pushes return 500 until it is deleted or the process
+// restarts.
 //
 // With -data-dir set, streams are durable: accepted points are
 // write-ahead logged under that directory with a snapshot checkpoint
@@ -149,18 +165,23 @@ Endpoints:
                                     Content-Type: application/json, a JSON
                                     array of numbers; creates the stream
   GET    /v1/streams                live stream stats + rolled-up totals
+  GET    /v1/stats                  alias of GET /v1/streams
   GET    /v1/streams/{id}           one stream's stats + current top-K
   DELETE /v1/streams/{id}           flush and close the stream (and delete
                                     its persisted state under -data-dir)
   POST   /v1/streams/{id}/snapshot  force a durability checkpoint now
   GET    /v1/streams/{id}/replay    re-derive recent events from disk
-  GET    /v1/events[?stream=id]     SSE firehose of confirmed events
-  GET    /healthz                   liveness summary
+  GET    /v1/events[?stream=id]     SSE firehose of confirmed events and
+                                    stream health transitions
+  GET    /healthz                   liveness summary (+ degraded streams)
 
-Limit rejections are HTTP 429, shutdown 503, malformed bodies 400; every
-ingest error body carries "accepted", the applied-prefix length. With
--data-dir, streams are write-ahead logged and recovered bit-identically
-across restarts; evicted streams hibernate and resume on the next push.
+Limit rejections are HTTP 429, shutdown 503 (both with Retry-After),
+malformed bodies 400; every ingest error body carries "accepted", the
+applied-prefix length. With -data-dir, streams are write-ahead logged and
+recovered bit-identically across restarts; evicted streams hibernate and
+resume on the next push. Durability failures degrade a stream (detection
+continues in memory, flagged in stats, retried with backoff) instead of
+failing ingest.
 With -pprof-addr, net/http/pprof is served on that (private) address.
 Exit codes: 0 clean shutdown or -h, 1 configuration or listen errors.
 
@@ -211,6 +232,13 @@ Flags:
 	})
 	if err != nil {
 		return err
+	}
+	// A stream directory that failed to recover is skipped (and
+	// quarantined), not fatal: one corrupt directory must not keep every
+	// healthy stream offline. Surface each skip at startup — it is also
+	// visible in /healthz until the operator resolves it.
+	for _, f := range m.RecoveryFailures() {
+		fmt.Fprintf(stdout, "egiserve: stream %q failed to recover, quarantined: %v\n", f.Stream, f.Err)
 	}
 
 	srv := newServer(m, *field, *eventBuf, *maxBody, limits{MaxStreams: *maxStreams, MaxBytes: *maxBytes})

@@ -72,6 +72,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/streams/{id}/snapshot", s.snapshotStream)
 	mux.HandleFunc("GET /v1/streams/{id}/replay", s.replayStream)
 	mux.HandleFunc("GET /v1/streams", s.listStreams)
+	mux.HandleFunc("GET /v1/stats", s.listStreams)
 	mux.HandleFunc("GET /v1/streams/{id}", s.streamStats)
 	mux.HandleFunc("DELETE /v1/streams/{id}", s.closeStream)
 	mux.HandleFunc("GET /v1/events", s.events)
@@ -95,7 +96,10 @@ func (s *server) sweep(ctx context.Context, interval time.Duration) {
 	}
 }
 
-// streamStatsJSON is the wire form of egi.StreamStats.
+// streamStatsJSON is the wire form of egi.StreamStats. The health fields
+// are omitted entirely for healthy streams so the common case stays
+// compact; a true "degraded" means the stream is accepting pushes in
+// memory only while the server retries durability.
 type streamStatsJSON struct {
 	ID          string    `json:"id"`
 	Points      int64     `json:"points"`
@@ -103,6 +107,9 @@ type streamStatsJSON struct {
 	MemoryBytes int64     `json:"memory_bytes"`
 	Created     time.Time `json:"created"`
 	LastPush    time.Time `json:"last_push"`
+	Degraded    bool      `json:"degraded,omitempty"`
+	Quarantined bool      `json:"quarantined,omitempty"`
+	Fault       string    `json:"fault,omitempty"`
 }
 
 func toStatsJSON(st egi.StreamStats) streamStatsJSON {
@@ -113,6 +120,9 @@ func toStatsJSON(st egi.StreamStats) streamStatsJSON {
 		MemoryBytes: st.MemoryBytes,
 		Created:     st.Created,
 		LastPush:    st.LastPush,
+		Degraded:    st.Degraded,
+		Quarantined: st.Quarantined,
+		Fault:       st.Fault,
 	}
 }
 
@@ -131,7 +141,22 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// setRetryAfter attaches a Retry-After header to retryable rejections:
+// overload (429) is transient — a short pause and retry usually succeeds
+// once eviction or the client's own backoff frees budget — while shutdown
+// (503) wants a longer pause so clients re-resolve to a healthy replica.
+// Must run before the status line is written.
+func setRetryAfter(w http.ResponseWriter, code int) {
+	switch code {
+	case http.StatusTooManyRequests:
+		w.Header().Set("Retry-After", "1")
+	case http.StatusServiceUnavailable:
+		w.Header().Set("Retry-After", "5")
+	}
+}
+
 func writeError(w http.ResponseWriter, code int, err error) {
+	setRetryAfter(w, code)
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
@@ -140,12 +165,15 @@ func writeError(w http.ResponseWriter, code int, err error) {
 // a partial failure it must resend xs[accepted:], nothing more, nothing
 // less.
 func writeIngestError(w http.ResponseWriter, code int, err error, accepted int) {
+	setRetryAfter(w, code)
 	writeJSON(w, code, map[string]any{"error": err.Error(), "accepted": accepted})
 }
 
 // errorCode maps manager/detector errors onto HTTP statuses: limit
-// rejections are 429 (back off and retry), shutdown is 503, everything
-// else about the request's content is 400.
+// rejections are 429 (back off and retry), shutdown is 503, a quarantined
+// stream is a server-side 500 (the client's request was fine; the stream
+// needs operator attention or a DELETE), everything else about the
+// request's content is 400.
 func errorCode(err error) int {
 	switch {
 	case errors.Is(err, egi.ErrTooManyStreams), errors.Is(err, egi.ErrOverBudget):
@@ -154,6 +182,8 @@ func errorCode(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, egi.ErrUnknownStream):
 		return http.StatusNotFound
+	case errors.Is(err, egi.ErrStreamQuarantined):
+		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
 	}
@@ -312,8 +342,9 @@ func (s *server) replayStream(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(summary)
 }
 
-// listStreams handles GET /v1/streams: every live stream's accounting
-// (sorted by id) plus the rolled-up totals and configured limits.
+// listStreams handles GET /v1/streams (and its alias GET /v1/stats):
+// every live stream's accounting (sorted by id) plus the rolled-up
+// totals, degraded/quarantined counts, and configured limits.
 func (s *server) listStreams(w http.ResponseWriter, r *http.Request) {
 	st := s.m.Stats()
 	sort.Slice(st.Streams, func(i, j int) bool { return st.Streams[i].ID < st.Streams[j].ID })
@@ -322,11 +353,13 @@ func (s *server) listStreams(w http.ResponseWriter, r *http.Request) {
 		streams[i] = toStatsJSON(s)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"streams":     streams,
-		"total_bytes": st.TotalBytes,
-		"evicted":     st.Evicted,
-		"max_streams": s.limits.MaxStreams,
-		"max_bytes":   s.limits.MaxBytes,
+		"streams":             streams,
+		"total_bytes":         st.TotalBytes,
+		"evicted":             st.Evicted,
+		"degraded_streams":    st.Degraded,
+		"quarantined_streams": st.Quarantined,
+		"max_streams":         s.limits.MaxStreams,
+		"max_bytes":           s.limits.MaxBytes,
 	})
 }
 
@@ -365,8 +398,11 @@ func (s *server) closeStream(w http.ResponseWriter, r *http.Request) {
 
 // events handles GET /v1/events: a Server-Sent Events firehose of
 // confirmed anomalies — every stream's, or one stream's with ?stream=id.
-// Each event is one `data:` frame holding an eventJSON document; comment
-// heartbeats keep idle connections alive. The stream ends when the client
+// Each anomaly is an `event: anomaly` frame holding an eventJSON
+// document; stream health transitions (degraded, healed, quarantined)
+// arrive as `event: health` frames so a monitor on the firehose sees a
+// disk failure the moment a stream falls back to memory-only operation;
+// comment heartbeats keep idle connections alive. The stream ends when the client
 // disconnects or the server shuts down (after every detector has been
 // flushed, so no confirmed event is lost to shutdown). Every write
 // carries a deadline: a client that stops reading is disconnected — and
@@ -410,16 +446,11 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 			if !ok {
 				return // manager closed: all streams flushed and delivered
 			}
-			b, err := json.Marshal(eventJSON{
-				Stream:  ev.Stream,
-				Pos:     ev.Anomaly.Pos,
-				Length:  ev.Anomaly.Length,
-				Density: ev.Anomaly.Density,
-			})
+			kind, b, err := formatEvent(ev)
 			if err != nil {
 				return
 			}
-			if !write("event: anomaly\ndata: %s\n\n", b) {
+			if !write("event: %s\ndata: %s\n\n", kind, b) {
 				return
 			}
 		case <-heartbeat.C:
@@ -432,11 +463,55 @@ func (s *server) events(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// healthz handles GET /healthz with a liveness summary.
-func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
-		"streams":     s.m.Len(),
-		"total_bytes": s.m.MemoryFootprint(),
+// healthJSON is the wire form of one SSE health-transition frame.
+type healthJSON struct {
+	Stream string `json:"stream"`
+	State  string `json:"state"`
+	Cause  string `json:"cause,omitempty"`
+}
+
+// formatEvent renders one subscription event as an SSE event name plus
+// JSON data: health transitions as "health" frames, everything else as
+// "anomaly" frames.
+func formatEvent(ev egi.StreamEvent) (kind string, data []byte, err error) {
+	if ev.Health != "" {
+		data, err = json.Marshal(healthJSON{Stream: ev.Stream, State: ev.Health, Cause: ev.Cause})
+		return "health", data, err
+	}
+	data, err = json.Marshal(eventJSON{
+		Stream:  ev.Stream,
+		Pos:     ev.Anomaly.Pos,
+		Length:  ev.Anomaly.Length,
+		Density: ev.Anomaly.Density,
 	})
+	return "anomaly", data, err
+}
+
+// healthz handles GET /healthz with a liveness summary. The status stays
+// "ok" only while every stream is fully durable; any degraded or
+// quarantined stream (including recovery failures from startup) flips it
+// to "degraded" — still HTTP 200, because the process is serving, but a
+// signal for monitors to page on. recovery_failures lists stream
+// directories skipped at startup, if any.
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	st := s.m.Stats()
+	status := "ok"
+	if st.Degraded > 0 || st.Quarantined > 0 {
+		status = "degraded"
+	}
+	resp := map[string]any{
+		"status":              status,
+		"streams":             s.m.Len(),
+		"total_bytes":         st.TotalBytes,
+		"degraded_streams":    st.Degraded,
+		"quarantined_streams": st.Quarantined,
+	}
+	if fails := s.m.RecoveryFailures(); len(fails) > 0 {
+		list := make([]map[string]string, len(fails))
+		for i, f := range fails {
+			list[i] = map[string]string{"stream": f.Stream, "error": f.Err.Error()}
+		}
+		resp["recovery_failures"] = list
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -6,17 +6,39 @@ import (
 	"egi/internal/stream"
 )
 
-// Event is one confirmed anomaly, tagged with the stream that produced it.
-// Within one stream, events are delivered to every subscriber in stream
-// order; across streams the interleaving is arbitrary.
+// Event is one event from a managed stream: a confirmed anomaly, or —
+// when Health is non-empty — a health transition (the stream degraded,
+// healed, or was quarantined). Within one stream, events are delivered to
+// every subscriber in stream order; across streams the interleaving is
+// arbitrary.
 type Event struct {
 	// Stream is the id of the stream the event belongs to.
 	Stream string
 	// Anomaly is the underlying confirmed anomaly (position, length,
 	// density), with Pos counting from the first point pushed to that
-	// stream.
+	// stream. Meaningless when Health is set.
 	Anomaly stream.Event
+	// Health, when non-empty, marks this as a health-transition event
+	// (HealthDegraded, HealthHealed, HealthQuarantined) instead of an
+	// anomaly.
+	Health string
+	// Cause is the failure text behind a degraded or quarantined
+	// transition.
+	Cause string
 }
+
+// Health transition values carried by Event.Health.
+const (
+	// HealthDegraded: the stream's durability started failing; it keeps
+	// detecting in memory while the manager retries with backoff.
+	HealthDegraded = "degraded"
+	// HealthHealed: a checkpoint succeeded and the stream is fully
+	// durable again.
+	HealthHealed = "healed"
+	// HealthQuarantined: the stream's engine panicked (or its state
+	// could not be recovered) and the stream is now a tombstone.
+	HealthQuarantined = "quarantined"
+)
 
 // subscription is one subscriber's mailbox. Sends are serialized with the
 // channel close by mu (a send on a closed channel panics); done, closed by

@@ -1,0 +1,540 @@
+package manager
+
+import (
+	"encoding/hex"
+	"errors"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"egi/internal/stream"
+	"egi/internal/vfs"
+)
+
+// openFaulty creates a durable manager over dir with an injectable
+// filesystem and clock, plus a background global subscriber.
+func openFaulty(t *testing.T, dir string, snapEvery int, fsys vfs.FS, clk *fakeClock, fsync bool) (*Manager, *collector) {
+	t.Helper()
+	m, err := New(Config{
+		Stream:        testStreamConfig(),
+		DataDir:       dir,
+		SnapshotEvery: snapEvery,
+		Fsync:         fsync,
+		FS:            fsys,
+		Now:           clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, attachCollector(m)
+}
+
+// pushChunks pushes xs in chunk-sized batches, requiring every batch to be
+// fully accepted.
+func pushChunks(t *testing.T, m *Manager, id string, xs []float64, chunk int) {
+	t.Helper()
+	for off := 0; off < len(xs); off += chunk {
+		end := off + chunk
+		if end > len(xs) {
+			end = len(xs)
+		}
+		if n, err := m.PushBatchN(id, xs[off:end]); err != nil || n != end-off {
+			t.Fatalf("push [%d:%d) = (%d, %v), want (%d, nil)", off, end, n, err, end-off)
+		}
+	}
+}
+
+// anomaliesOf filters a collector's events down to the anomaly stream.
+func anomaliesOf(events []Event) []stream.Event {
+	var out []stream.Event
+	for _, ev := range events {
+		if ev.Health == "" {
+			out = append(out, ev.Anomaly)
+		}
+	}
+	return out
+}
+
+// healthOf filters a collector's events down to health transitions.
+func healthOf(events []Event) []Event {
+	var out []Event
+	for _, ev := range events {
+		if ev.Health != "" {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// TestWALFaultDegradesThenHeals: a disk fault mid-ingest degrades the
+// stream — pushes keep succeeding, detection continues in memory, the
+// degraded flag and a health event announce it — and once the disk heals
+// and the backoff elapses, a checkpoint restores full durability. The
+// events delivered throughout, and after a restart, are bit-identical to
+// a never-faulted stream.
+func TestWALFaultDegradesThenHeals(t *testing.T) {
+	dir := t.TempDir()
+	inj := vfs.NewInject(nil)
+	clk := &fakeClock{}
+	m, c := openFaulty(t, dir, 200, inj, clk, false)
+	cfg := testStreamConfig()
+	full := sineSeries(1600, 40, 21, 500, 1200)
+
+	pushChunks(t, m, "s", full[:400], 50)
+	if st, _ := m.StreamStats("s"); st.Degraded {
+		t.Fatal("healthy stream reports degraded")
+	}
+
+	inj.FailNext(syscall.ENOSPC)
+	pushChunks(t, m, "s", full[400:800], 50) // pushes must keep succeeding
+	st, err := m.StreamStats("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Degraded || !strings.Contains(st.Fault, "no space") {
+		t.Fatalf("after ENOSPC: Degraded=%v Fault=%q", st.Degraded, st.Fault)
+	}
+	if got := m.Stats(); got.Degraded != 1 {
+		t.Fatalf("Stats().Degraded = %d, want 1", got.Degraded)
+	}
+
+	inj.Heal()
+	clk.Advance(time.Minute) // past any backoff
+	pushChunks(t, m, "s", full[800:1200], 50)
+	if st, _ := m.StreamStats("s"); st.Degraded || st.Fault != "" {
+		t.Fatalf("after heal: Degraded=%v Fault=%q", st.Degraded, st.Fault)
+	}
+	if got := m.Stats(); got.Degraded != 0 {
+		t.Fatalf("Stats().Degraded = %d after heal, want 0", got.Degraded)
+	}
+	m.Close()
+	evs := c.stop()
+
+	health := healthOf(evs)
+	if len(health) != 2 || health[0].Health != HealthDegraded || health[1].Health != HealthHealed {
+		t.Fatalf("health transitions = %+v, want [degraded healed]", health)
+	}
+	if health[0].Cause == "" {
+		t.Fatal("degraded event carries no cause")
+	}
+
+	// A fresh process continues the healed stream bit-identically.
+	m2, c2 := openFaulty(t, dir, 200, vfs.NewInject(nil), clk, false)
+	if fails := m2.RecoveryFailures(); len(fails) != 0 {
+		t.Fatalf("recovery failures after healed shutdown: %v", fails)
+	}
+	pushChunks(t, m2, "s", full[1200:], 50)
+	m2.Close()
+	got := append(anomaliesOf(evs), anomaliesOf(c2.stop())...)
+	want := directEvents(t, cfg, full, false)
+	if !eventsEqual(got, want) {
+		t.Fatalf("events across fault+heal+restart: got %d, want %d", len(got), len(want))
+	}
+}
+
+// TestForcedSnapshotHealsImmediately: SnapshotStream on a degraded stream
+// heals it the moment the disk is back, without waiting out the backoff.
+func TestForcedSnapshotHealsImmediately(t *testing.T) {
+	dir := t.TempDir()
+	inj := vfs.NewInject(nil)
+	clk := &fakeClock{}
+	m, c := openFaulty(t, dir, 10_000, inj, clk, false)
+	series := sineSeries(600, 40, 7)
+
+	pushChunks(t, m, "s", series[:300], 50)
+	inj.FailNext(syscall.EIO)
+	pushChunks(t, m, "s", series[300:], 50)
+	if st, _ := m.StreamStats("s"); !st.Degraded {
+		t.Fatal("stream did not degrade on EIO")
+	}
+	// Disk is back; the clock has NOT advanced, so the backoff retry has
+	// not fired — only the forced checkpoint can heal this early.
+	inj.Heal()
+	if err := m.SnapshotStream("s"); err != nil {
+		t.Fatalf("forced snapshot on healed disk: %v", err)
+	}
+	if st, _ := m.StreamStats("s"); st.Degraded {
+		t.Fatal("stream still degraded after successful forced snapshot")
+	}
+	m.Close()
+	health := healthOf(c.stop())
+	if len(health) != 2 || health[0].Health != HealthDegraded || health[1].Health != HealthHealed {
+		t.Fatalf("health transitions = %+v, want [degraded healed]", health)
+	}
+}
+
+// TestPushPanicQuarantines: a panic escaping the detection engine during a
+// push turns the stream into a quarantined tombstone — the push fails with
+// ErrStreamQuarantined, later operations are rejected, its memory leaves
+// the budget, a health event is published — while every other stream and
+// the process itself continue untouched. Closing the tombstone frees the
+// id for a fresh stream.
+func TestPushPanicQuarantines(t *testing.T) {
+	m, err := New(Config{Stream: testStreamConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	c := attachCollector(m)
+	testHookPush = func(id string) {
+		if id == "poison" {
+			panic("engine invariant tripped")
+		}
+	}
+	t.Cleanup(func() { testHookPush = nil })
+	series := sineSeries(400, 40, 5)
+
+	pushChunks(t, m, "ok", series, 100)
+	okBytes := m.TotalBytes()
+
+	n, err := m.PushBatchN("poison", series[:100])
+	if n != 0 || !errors.Is(err, ErrStreamQuarantined) {
+		t.Fatalf("panicking push = (%d, %v), want (0, ErrStreamQuarantined)", n, err)
+	}
+	if _, err := m.PushBatchN("poison", series[:100]); !errors.Is(err, ErrStreamQuarantined) {
+		t.Fatalf("push to quarantined stream: %v", err)
+	}
+	if _, err := m.Anomalies("poison"); !errors.Is(err, ErrStreamQuarantined) {
+		t.Fatalf("Anomalies on quarantined stream: %v", err)
+	}
+	st, err := m.StreamStats("poison")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Quarantined || st.MemoryBytes != 0 || !strings.Contains(st.Fault, "panic") {
+		t.Fatalf("quarantined stats = %+v", st)
+	}
+	if got := m.Stats(); got.Quarantined != 1 {
+		t.Fatalf("Stats().Quarantined = %d, want 1", got.Quarantined)
+	}
+	if m.TotalBytes() != okBytes {
+		t.Fatalf("TotalBytes = %d after quarantine, want %d (tombstone holds no memory)", m.TotalBytes(), okBytes)
+	}
+
+	// The blast radius is one stream: others keep working.
+	pushChunks(t, m, "ok", series, 100)
+
+	// CloseStream deletes the tombstone; the id is reusable and the
+	// manager's health tally returns to clean.
+	if _, err := m.CloseStream("poison"); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats(); got.Quarantined != 0 {
+		t.Fatalf("Stats().Quarantined = %d after close, want 0", got.Quarantined)
+	}
+	testHookPush = nil
+	pushChunks(t, m, "poison", series, 100)
+
+	m.Close()
+	health := healthOf(c.stop())
+	if len(health) != 1 || health[0].Health != HealthQuarantined || health[0].Stream != "poison" {
+		t.Fatalf("health events = %+v, want one quarantined for poison", health)
+	}
+}
+
+// TestReplayPanicQuarantinesAtStartup: a stream whose persisted state
+// panics the engine during recovery replay is skipped and quarantined —
+// reported in RecoveryFailures, rejecting pushes — while every other
+// stream recovers normally. A detached ReplayStream that panics reports an
+// error without touching the live stream.
+func TestReplayPanicQuarantinesAtStartup(t *testing.T) {
+	dir := t.TempDir()
+	m1, c1 := openDurable(t, dir, 100)
+	series := sineSeries(300, 40, 9)
+	pushChunks(t, m1, "a", series, 60)
+	pushChunks(t, m1, "b", series, 60)
+	m1.Close()
+	c1.stop()
+
+	testHookReplay = func(id string) {
+		if id == "a" {
+			panic("poisoned snapshot")
+		}
+	}
+	t.Cleanup(func() { testHookReplay = nil })
+	m2, c2 := openDurable(t, dir, 100)
+	testHookReplay = nil
+
+	fails := m2.RecoveryFailures()
+	if len(fails) != 1 || fails[0].Stream != "a" || !strings.Contains(fails[0].Err.Error(), "panic") {
+		t.Fatalf("RecoveryFailures = %+v", fails)
+	}
+	if _, err := m2.PushBatchN("a", series[:60]); !errors.Is(err, ErrStreamQuarantined) {
+		t.Fatalf("push to unrecoverable stream: %v", err)
+	}
+	pushChunks(t, m2, "b", series, 60) // the healthy stream is unaffected
+	if got := m2.Stats(); got.Quarantined != 1 {
+		t.Fatalf("Stats().Quarantined = %d, want 1", got.Quarantined)
+	}
+
+	// A panic inside the detached replay surface is contained too.
+	testHookReplay = func(id string) { panic("replay bomb") }
+	if _, err := m2.ReplayStream("b", func(int, stream.Event) error { return nil }); err == nil ||
+		!strings.Contains(err.Error(), "panic") {
+		t.Fatalf("ReplayStream with panicking engine: %v", err)
+	}
+	testHookReplay = nil
+	pushChunks(t, m2, "b", series, 60) // live stream untouched by the replay panic
+
+	// Closing the quarantined stream deletes its state: the next start is
+	// clean.
+	if _, err := m2.CloseStream("a"); err != nil {
+		t.Fatal(err)
+	}
+	m2.Close()
+	c2.stop()
+	m3, c3 := openDurable(t, dir, 100)
+	if fails := m3.RecoveryFailures(); len(fails) != 0 {
+		t.Fatalf("RecoveryFailures after deleting the bad stream = %+v", fails)
+	}
+	m3.Close()
+	c3.stop()
+}
+
+// TestRecoverySkipsUnreadableStreamDir: a stream directory that cannot be
+// read at startup (permission denied) is skipped and quarantined — startup
+// succeeds, the failure is reported, and the other streams recover.
+func TestRecoverySkipsUnreadableStreamDir(t *testing.T) {
+	dir := t.TempDir()
+	m1, c1 := openDurable(t, dir, 100)
+	series := sineSeries(300, 40, 11)
+	pushChunks(t, m1, "good", series, 60)
+	pushChunks(t, m1, "bad", series, 60)
+	m1.Close()
+	c1.stop()
+
+	// Deny every access to the bad stream's directory. (chmod 000 does not
+	// stop root, which tests often run as; an injected EPERM always does.)
+	badDir := hex.EncodeToString([]byte("bad"))
+	inj := vfs.NewInject(nil)
+	inj.SetKinds(vfs.OpsAll)
+	inj.MatchPath(func(p string) bool { return strings.Contains(p, badDir) })
+	inj.FailAt(0, os.ErrPermission)
+	clk := &fakeClock{}
+	m2, c2 := openFaulty(t, dir, 100, inj, clk, false)
+
+	fails := m2.RecoveryFailures()
+	if len(fails) != 1 || fails[0].Stream != "bad" || !errors.Is(fails[0].Err, os.ErrPermission) {
+		t.Fatalf("RecoveryFailures = %+v", fails)
+	}
+	st, err := m2.StreamStats("good")
+	if err != nil || st.Points != 300 {
+		t.Fatalf("good stream after skip-recovery: (%+v, %v)", st, err)
+	}
+	if _, err := m2.PushBatchN("bad", series[:60]); !errors.Is(err, ErrStreamQuarantined) {
+		t.Fatalf("push to unreadable stream: %v", err)
+	}
+	pushChunks(t, m2, "good", series, 60)
+	m2.Close()
+	c2.stop()
+}
+
+// TestDegradedStreamsAreNotEvicted: eviction skips degraded streams —
+// hibernating one would silently drop the unlogged suffix the degraded
+// flag is advertising.
+func TestDegradedStreamsAreNotEvicted(t *testing.T) {
+	dir := t.TempDir()
+	inj := vfs.NewInject(nil)
+	clk := &fakeClock{}
+	m, err := New(Config{
+		Stream:        testStreamConfig(),
+		DataDir:       dir,
+		SnapshotEvery: 10_000,
+		IdleAfter:     time.Minute,
+		FS:            inj,
+		Now:           clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	c := attachCollector(m)
+	defer c.stop()
+	series := sineSeries(300, 40, 13)
+
+	pushChunks(t, m, "s", series, 60)
+	inj.FailNext(syscall.ENOSPC)
+	pushChunks(t, m, "s", series, 60)
+	if st, _ := m.StreamStats("s"); !st.Degraded {
+		t.Fatal("stream did not degrade")
+	}
+	clk.Advance(time.Hour) // idle long past IdleAfter
+	if evicted := m.EvictIdle(); len(evicted) != 0 {
+		t.Fatalf("EvictIdle evicted degraded stream: %+v", evicted)
+	}
+	if _, err := m.StreamStats("s"); err != nil {
+		t.Fatalf("degraded stream gone after sweep: %v", err)
+	}
+}
+
+// TestChaosFaultAtEveryOp is the fault-injection property sweep: a
+// discovery run counts every mutating disk operation a scripted ingest
+// performs, then the same script runs once per operation index with a
+// sticky fault (ENOSPC or EIO, every third run with short writes) armed
+// exactly there. Whatever the fault point:
+//
+//   - every push succeeds (durability failures degrade, never reject);
+//   - the on-disk log never holds a torn record anywhere but the final
+//     tail (reading it back mid-degradation must not error);
+//   - the events delivered are bit-identical to a never-faulted stream;
+//   - after the disk heals, the stream heals by checkpoint, survives a
+//     graceful restart, and continues bit-identically; and
+//   - a crash while degraded recovers clean — shortened history (the
+//     advertised degraded window), never corrupt history.
+func TestChaosFaultAtEveryOp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep is long")
+	}
+	t.Run("nofsync", func(t *testing.T) { chaosSweep(t, false) })
+	t.Run("fsync", func(t *testing.T) { chaosSweep(t, true) })
+}
+
+func chaosSweep(t *testing.T, fsync bool) {
+	cfg := testStreamConfig()
+	full := sineSeries(1100, 40, 31, 250, 700, 1000)
+	const cut1, cut2 = 600, 900 // fault phase | heal phase | post-restart phase
+	const batch = 40
+	const snapEvery = 150
+	refAll := directEvents(t, cfg, full, false)
+	refPhase1 := directEvents(t, cfg, full[:cut1], false)
+
+	newManager := func(dir string, fsys vfs.FS, clk *fakeClock) (*Manager, error) {
+		return New(Config{
+			Stream:        cfg,
+			DataDir:       dir,
+			SnapshotEvery: snapEvery,
+			Fsync:         fsync,
+			FS:            fsys,
+			Now:           clk.Now,
+		})
+	}
+
+	// Discovery: count the operations a fault-free run performs, so the
+	// sweep covers every one of them.
+	discover := vfs.NewInject(nil)
+	{
+		clk := &fakeClock{}
+		m, err := newManager(t.TempDir(), discover, clk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := attachCollector(m)
+		pushChunks(t, m, "s", full[:cut1], batch)
+		m.Close()
+		c.stop()
+	}
+	opsTotal := discover.Ops()
+	if opsTotal < 20 {
+		t.Fatalf("discovery counted only %d mutating ops; the script no longer exercises the log", opsTotal)
+	}
+	t.Logf("sweeping %d fault points (fsync=%v)", opsTotal, fsync)
+
+	for i := int64(0); i < opsTotal; i++ {
+		faultErr := error(syscall.ENOSPC)
+		if i%2 == 1 {
+			faultErr = syscall.EIO
+		}
+		dir := t.TempDir()
+		inj := vfs.NewInject(nil)
+		inj.ShortWrites(i%3 == 0)
+		inj.FailAt(i, faultErr)
+		clk := &fakeClock{}
+		m, err := newManager(dir, inj, clk)
+		if err != nil {
+			// The fault hit manager construction itself (the data
+			// directory's mkdir); failing loudly there is correct.
+			continue
+		}
+		c := attachCollector(m)
+
+		// Phase 1: ingest with the fault armed. Every push must succeed.
+		for off := 0; off < cut1; off += batch {
+			n, err := m.PushBatchN("s", full[off:off+batch])
+			if err != nil || n != batch {
+				t.Fatalf("op %d: push at %d = (%d, %v), want (%d, nil)", i, off, n, err, batch)
+			}
+		}
+
+		// No torn middle: the persisted log reads back clean even while
+		// the stream is degraded mid-fault.
+		if _, err := m.store.Read("s"); err != nil {
+			t.Fatalf("op %d: reading the store while degraded: %v", i, err)
+		}
+
+		if i%3 == 2 {
+			// Crash-while-degraded: abandon the manager, heal the disk,
+			// recover fresh. The degraded suffix is lost by design; the
+			// prefix must recover without error.
+			inj.Heal()
+			evs := c.stop()
+			if got := anomaliesOf(evs); !eventsEqual(got, refPhase1) {
+				t.Fatalf("op %d: phase-1 events diverged: got %d, want %d", i, len(got), len(refPhase1))
+			}
+			clk2 := &fakeClock{}
+			m2, err := newManager(dir, vfs.NewInject(nil), clk2)
+			if err != nil {
+				t.Fatalf("op %d: recovery after crash-while-degraded: %v", i, err)
+			}
+			if fails := m2.RecoveryFailures(); len(fails) != 0 {
+				t.Fatalf("op %d: recovery failures after crash: %+v", i, fails)
+			}
+			st, err := m2.StreamStats("s")
+			if err != nil || st.Points > cut1 {
+				t.Fatalf("op %d: recovered stats = (%+v, %v)", i, st, err)
+			}
+			m2.Close()
+			continue
+		}
+
+		// Phase 2: the disk heals, the backoff elapses, and ingest
+		// continues; the stream must heal by checkpoint along the way.
+		inj.Heal()
+		clk.Advance(2 * time.Minute)
+		for off := cut1; off < cut2; off += batch {
+			if n, err := m.PushBatchN("s", full[off:off+batch]); err != nil || n != batch {
+				t.Fatalf("op %d: post-heal push at %d = (%d, %v)", i, off, n, err)
+			}
+		}
+		st, err := m.StreamStats("s")
+		if err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if st.Degraded {
+			t.Fatalf("op %d: stream still degraded after heal + backoff (fault %q)", i, st.Fault)
+		}
+		m.Close() // graceful: the final checkpoint covers everything
+		evs1 := c.stop()
+		if health := healthOf(evs1); len(health) != 0 {
+			if health[0].Health != HealthDegraded {
+				t.Fatalf("op %d: first health event %+v, want degraded", i, health[0])
+			}
+			if last := health[len(health)-1]; last.Health != HealthHealed {
+				t.Fatalf("op %d: last health event %+v, want healed", i, last)
+			}
+		}
+
+		// Phase 3: healed logs replay clean — a fresh process continues
+		// the stream bit-identically.
+		clk2 := &fakeClock{}
+		m2, err := newManager(dir, vfs.NewInject(nil), clk2)
+		if err != nil {
+			t.Fatalf("op %d: restart after healed shutdown: %v", i, err)
+		}
+		if fails := m2.RecoveryFailures(); len(fails) != 0 {
+			t.Fatalf("op %d: recovery failures after healed shutdown: %+v", i, fails)
+		}
+		c2 := attachCollector(m2)
+		for off := cut2; off < len(full); off += batch {
+			if n, err := m2.PushBatchN("s", full[off:off+batch]); err != nil || n != batch {
+				t.Fatalf("op %d: post-restart push at %d = (%d, %v)", i, off, n, err)
+			}
+		}
+		m2.Close()
+		got := append(anomaliesOf(evs1), anomaliesOf(c2.stop())...)
+		if !eventsEqual(got, refAll) {
+			t.Fatalf("op %d: events across fault+heal+restart diverged: got %d, want %d", i, len(got), len(refAll))
+		}
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"egi/internal/stream"
+	"egi/internal/vfs"
 	"egi/internal/wal"
 )
 
@@ -57,6 +58,12 @@ var (
 	ErrOverBudget = errors.New("manager: memory budget exceeded")
 	// ErrUnknownStream is returned for lookups of ids that do not exist.
 	ErrUnknownStream = errors.New("manager: unknown stream")
+	// ErrStreamQuarantined rejects operations on a stream whose detection
+	// engine panicked or whose persisted state could not be recovered: the
+	// stream is held as a tombstone (its memory released, its disk state
+	// preserved for inspection) so one poisoned stream cannot take down
+	// the process. CloseStream deletes it; a restart retries recovery.
+	ErrStreamQuarantined = errors.New("manager: stream quarantined")
 )
 
 // Config parameterizes a Manager.
@@ -97,6 +104,10 @@ type Config struct {
 	// push batch, making acked points survive power loss rather than
 	// just process death. Off, durability rides on the OS page cache.
 	Fsync bool
+	// FS is the filesystem the durability layer reads and writes
+	// through; nil means the real OS. Fault-injection tests use it to
+	// fail specific operations and exercise degraded mode.
+	FS vfs.FS
 	// Now is the clock, injectable for tests; nil means time.Now.
 	Now func() time.Time
 }
@@ -117,6 +128,18 @@ type StreamStats struct {
 	// LastPush is when the stream last accepted a push (Created until
 	// the first push).
 	LastPush time.Time
+	// Degraded reports that the stream's durability is failing: it keeps
+	// detecting in memory and accepting pushes, but accepted points are
+	// not reaching the write-ahead log. The manager retries with capped
+	// backoff and heals by checkpoint once writes succeed.
+	Degraded bool
+	// Quarantined reports that the stream is a tombstone after a panic
+	// or an unrecoverable persisted state: pushes are rejected with
+	// ErrStreamQuarantined and its memory has been released.
+	Quarantined bool
+	// Fault is the text of the failure behind Degraded or Quarantined;
+	// empty on a healthy stream.
+	Fault string
 }
 
 // Stats is a point-in-time snapshot of the whole manager.
@@ -128,6 +151,11 @@ type Stats struct {
 	// Evicted counts streams evicted for idleness or budget since the
 	// manager was created (explicit CloseStream calls not included).
 	Evicted int64
+	// Degraded counts live streams currently in degraded (memory-only)
+	// mode.
+	Degraded int64
+	// Quarantined counts quarantined tombstone streams.
+	Quarantined int64
 }
 
 // entry is one managed stream: a detector behind its own mutex, its
@@ -137,22 +165,28 @@ type entry struct {
 	id      string
 	created time.Time
 
-	mu        sync.Mutex // guards d, pending, spare, closed, log, sinceSnap
+	mu        sync.Mutex // guards d, pending, spare, closed, log, sinceSnap, faultErr, retryAt, backoff
 	d         *stream.Detector
 	pending   []Event
 	spare     []Event
 	closed    bool
-	log       *wal.StreamLog // non-nil when the stream is durable
+	log       *wal.StreamLog // non-nil when the stream is durable and healthy
 	walPos    int            // log coordinate: input points consumed so far
 	sinceSnap int            // consumed points since the last checkpoint
+	faultErr  error          // durability fault (degraded) or quarantine cause
+	retryAt   time.Time      // earliest next healing attempt while degraded
+	backoff   time.Duration  // current healing backoff
 
 	sendMu sync.Mutex // serializes this stream's broker publishes
 
 	// Accounting, atomically readable without mu (Stats, LRU scans).
-	points    atomic.Int64
-	events    atomic.Int64
-	footprint atomic.Int64
-	lastPush  atomic.Int64 // unix nanos
+	points      atomic.Int64
+	events      atomic.Int64
+	footprint   atomic.Int64
+	lastPush    atomic.Int64 // unix nanos
+	degraded    atomic.Bool
+	quarantined atomic.Bool
+	fault       atomic.Value // string mirror of faultErr for lock-free stats
 }
 
 // shardCount is the width of the stream table. 64 shards keep the chance
@@ -206,9 +240,15 @@ type Manager struct {
 	createMu sync.Mutex
 	closed   atomic.Bool
 
-	count      atomic.Int64 // live streams across all shards
-	totalBytes atomic.Int64
-	evicted    atomic.Int64
+	count            atomic.Int64 // live streams across all shards
+	totalBytes       atomic.Int64
+	evicted          atomic.Int64
+	degradedCount    atomic.Int64
+	quarantinedCount atomic.Int64
+
+	// recoveryFailures records the streams startup recovery skipped and
+	// quarantined; written only inside New, immutable afterwards.
+	recoveryFailures []RecoveryFailure
 }
 
 func (m *Manager) shardFor(id string) *shard {
@@ -253,13 +293,13 @@ func New(cfg Config) (*Manager, error) {
 		m.snapEvery = 8192
 	}
 	if cfg.DataDir != "" {
-		store, err := wal.Open(cfg.DataDir, wal.Options{Fsync: cfg.Fsync})
+		store, err := wal.Open(cfg.DataDir, wal.Options{Fsync: cfg.Fsync, FS: cfg.FS})
 		if err != nil {
 			return nil, fmt.Errorf("manager: opening data directory: %w", err)
 		}
 		m.store = store
 		if err := m.recoverAll(); err != nil {
-			m.Close()
+			_ = m.Close() // best effort: the recovery error is the one to report
 			return nil, err
 		}
 	}
@@ -335,7 +375,7 @@ func (m *Manager) create(id string, sh *shard) (*entry, []*entry, error) {
 		for m.totalBytes.Load()+fp > m.cfg.MaxBytes {
 			ev := m.evictLRU()
 			if ev == nil {
-				e.hibernate() // release the log handle; persisted state stays resumable
+				m.hibernate(e) // release the log handle; persisted state stays resumable
 				return nil, evicted, fmt.Errorf("%w: %d of %d bytes in use, new stream needs %d",
 					ErrOverBudget, m.totalBytes.Load(), m.cfg.MaxBytes, fp)
 			}
@@ -399,16 +439,39 @@ func (m *Manager) PushBatchN(id string, xs []float64) (int, error) {
 // pushLocked performs the push under the entry lock, write-ahead logs the
 // consumed prefix, and settles the stream's accounting. An entry evicted
 // between lookup and lock rejects the push with ErrUnknownStream (the
-// caller may simply retry, recreating the stream). The returned count is
-// the number of input points consumed.
-func (m *Manager) pushLocked(e *entry, xs []float64) (int, error) {
+// caller may simply retry, recreating the stream); a quarantined entry
+// rejects it with ErrStreamQuarantined. The returned count is the number
+// of input points consumed.
+//
+// This is one of the manager's panic-quarantine boundaries: a panic
+// escaping the detection engine is recovered here, the stream becomes a
+// quarantined tombstone, and the push is reported failed — the process,
+// the shard, and every other stream continue untouched. A WAL failure
+// does NOT fail the push: the stream degrades (keeps detecting in
+// memory, retries durability with backoff) and the caller sees success,
+// with the degraded flag raised in stats and a health event published.
+func (m *Manager) pushLocked(e *entry, xs []float64) (n int, err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
 		return 0, fmt.Errorf("%w: %q (evicted)", ErrUnknownStream, e.id)
 	}
+	if e.quarantined.Load() {
+		return 0, e.quarantineErrLocked()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			cause := fmt.Errorf("panic during push: %v", r)
+			m.quarantineLocked(e, cause)
+			n, err = 0, fmt.Errorf("%w: %q: %v", ErrStreamQuarantined, e.id, cause)
+		}
+	}()
+	if testHookPush != nil {
+		testHookPush(e.id)
+	}
+	m.maybeHealLocked(e)
 	before := e.d.Total()
-	n, err := e.d.PushBatchN(xs)
+	n, err = e.d.PushBatchN(xs)
 	if e.d.Total() > before {
 		e.points.Add(int64(e.d.Total() - before))
 	}
@@ -417,11 +480,8 @@ func (m *Manager) pushLocked(e *entry, xs []float64) (int, error) {
 	}
 	m.settleFootprint(e)
 	// Log the consumed prefix — raw inputs, so replay re-applies the same
-	// non-finite policy deterministically. The push is acknowledged only
-	// after the log write returns, so an acked point is never lost.
-	if werr := m.appendWALLocked(e, xs[:n]); werr != nil && err == nil {
-		err = werr
-	}
+	// non-finite policy deterministically.
+	m.appendWALLocked(e, xs[:n])
 	return n, err
 }
 
@@ -476,6 +536,13 @@ func (m *Manager) evictLRU() *entry {
 		sh := &m.shards[i]
 		sh.mu.RLock()
 		for _, e := range sh.streams {
+			// Degraded streams are not evictable: hibernation could not
+			// persist their unlogged suffix, so evicting one would turn a
+			// reported degradation into silent loss. Quarantined
+			// tombstones hold no memory and only leave via CloseStream.
+			if e.degraded.Load() || e.quarantined.Load() {
+				continue
+			}
 			if t := e.lastPush.Load(); t <= cutoff && (victim == nil || t < victimT) {
 				victim, victimT = e, t
 			}
@@ -498,6 +565,17 @@ func (m *Manager) evictLRU() *entry {
 func (m *Manager) detach(e *entry) {
 	e.mu.Lock()
 	e.closed = true
+	// A detached entry no longer counts toward the manager's health
+	// tallies (its own flags stay set, so final stats still report how it
+	// ended). Reading the flags under e.mu, after closed is set, is what
+	// keeps the tallies exact: degrade/quarantine transitions also run
+	// under e.mu and skip the tallies once closed is set.
+	if e.degraded.Load() {
+		m.degradedCount.Add(-1)
+	}
+	if e.quarantined.Load() {
+		m.quarantinedCount.Add(-1)
+	}
 	e.mu.Unlock()
 	sh := m.shardFor(e.id)
 	sh.mu.Lock()
@@ -516,15 +594,31 @@ func (m *Manager) detach(e *entry) {
 // now. Runs outside createMu and all shard locks.
 func (m *Manager) retire(entries []*entry) {
 	for _, e := range entries {
-		if e.log != nil {
-			e.hibernate()
+		if m.store != nil {
+			m.hibernate(e)
 		} else {
-			e.mu.Lock()
-			e.d.Flush() // Flush only fails on detector errors already surfaced by pushes.
-			e.mu.Unlock()
+			m.flush(e)
 		}
 		m.drain(e)
 	}
+}
+
+// flush flushes a detached in-memory entry, emitting its still-
+// confirmable tail events. Like pushLocked, it is a panic-quarantine
+// boundary: a flush that trips the engine poisons only this stream.
+func (m *Manager) flush(e *entry) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.quarantined.Load() || e.d == nil {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			m.quarantineLocked(e, fmt.Errorf("panic during flush: %v", r))
+		}
+	}()
+	// Flush only fails on detector errors already surfaced by pushes.
+	_ = e.d.Flush()
 }
 
 // drain publishes the entry's pending events to the broker, preserving
@@ -566,10 +660,12 @@ func (m *Manager) CloseStream(id string) (StreamStats, error) {
 	}
 	m.detach(e)
 	m.createMu.Unlock()
+	m.flush(e)
 	e.mu.Lock()
-	e.d.Flush() // Flush only fails on detector errors already surfaced by pushes.
 	if e.log != nil {
-		e.log.Close()
+		// The stream's state is about to be deleted; the close error is
+		// irrelevant once the flush above has delivered the final events.
+		_ = e.log.Close()
 		e.log = nil
 	}
 	e.mu.Unlock()
@@ -631,12 +727,16 @@ func (m *Manager) Anomalies(id string) ([]stream.Event, error) {
 	if e.closed {
 		return nil, fmt.Errorf("%w: %q (evicted)", ErrUnknownStream, e.id)
 	}
+	if e.quarantined.Load() {
+		return nil, e.quarantineErrLocked()
+	}
 	return e.d.Anomalies()
 }
 
 // snapshot reads the entry's counters. Safe without e.mu: every field is
 // atomic or immutable.
 func (e *entry) snapshot() StreamStats {
+	fault, _ := e.fault.Load().(string)
 	return StreamStats{
 		ID:          e.id,
 		Points:      e.points.Load(),
@@ -644,6 +744,9 @@ func (e *entry) snapshot() StreamStats {
 		MemoryBytes: e.footprint.Load(),
 		Created:     e.created,
 		LastPush:    time.Unix(0, e.lastPush.Load()),
+		Degraded:    e.degraded.Load(),
+		Quarantined: e.quarantined.Load(),
+		Fault:       fault,
 	}
 }
 
@@ -664,9 +767,11 @@ func (m *Manager) StreamStats(id string) (StreamStats, error) {
 // locks (which share) and entry locks (which Stats never takes).
 func (m *Manager) Stats() Stats {
 	s := Stats{
-		Streams:    make([]StreamStats, 0, m.count.Load()),
-		TotalBytes: m.totalBytes.Load(),
-		Evicted:    m.evicted.Load(),
+		Streams:     make([]StreamStats, 0, m.count.Load()),
+		TotalBytes:  m.totalBytes.Load(),
+		Evicted:     m.evicted.Load(),
+		Degraded:    m.degradedCount.Load(),
+		Quarantined: m.quarantinedCount.Load(),
 	}
 	for i := range m.shards {
 		sh := &m.shards[i]

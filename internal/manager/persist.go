@@ -1,17 +1,45 @@
 package manager
 
-// This file is the manager's durability wiring. With Config.DataDir set,
-// every managed stream is backed by an internal/wal log: accepted points
-// are write-ahead logged (batched, one record per push), a snapshot
-// checkpoint is taken every SnapshotEvery accepted points, and eviction
-// hibernates a stream — checkpoint, close the log, release memory —
-// instead of flushing it, so the stream resumes exactly where it left off
-// on its next push or at the next process start. New recovers every
-// persisted stream by restoring its snapshot and re-pushing the logged
-// tail; the detector's bit-identical snapshot/restore contract makes the
-// recovered stream indistinguishable from one that never stopped.
-// Explicitly closing a stream (CloseStream) remains terminal: it flushes
-// the final events and deletes the persisted state.
+// This file is the manager's durability wiring and its failure policy.
+//
+// With Config.DataDir set, every managed stream is backed by an
+// internal/wal log: accepted points are write-ahead logged (batched, one
+// record per push), a snapshot checkpoint is taken every SnapshotEvery
+// accepted points, and eviction hibernates a stream — checkpoint, close
+// the log, release memory — instead of flushing it, so the stream resumes
+// exactly where it left off on its next push or at the next process
+// start. New recovers every persisted stream by restoring its snapshot
+// and re-pushing the logged tail; the detector's bit-identical
+// snapshot/restore contract makes the recovered stream indistinguishable
+// from one that never stopped. Explicitly closing a stream (CloseStream)
+// remains terminal: it flushes the final events and deletes the persisted
+// state.
+//
+// Failure policy — the serving tier must degrade, not die:
+//
+//   - A WAL or snapshot error (ENOSPC, EIO, failed fsync, failed rename)
+//     puts the stream in DEGRADED mode: it keeps detecting in memory and
+//     keeps accepting pushes, but suspends logging. The WAL itself has
+//     already rewound any torn record, so the on-disk prefix stays
+//     consistent; it is merely frozen in the past. Each push retries
+//     durability under capped exponential backoff by writing a fresh
+//     snapshot checkpoint — the healing operation — which supersedes the
+//     frozen log the moment a write succeeds. While degraded, a crash
+//     loses the points accepted since the last durable record; clients
+//     see the degraded flag in stats and health endpoints, and a health
+//     event is published to subscribers on every transition.
+//
+//   - A PANIC inside the detection engine (push, flush, or recovery
+//     replay) QUARANTINES the stream: the panic is recovered at the
+//     manager boundary, the entry stays in the table as a tombstone that
+//     rejects pushes with ErrStreamQuarantined, its memory is released
+//     from the budget, and its on-disk state is left untouched for
+//     offline inspection (CloseStream deletes it). One poisoned stream
+//     never takes down the process or its shard.
+//
+//   - A stream whose persisted state cannot even be opened at startup is
+//     skipped and quarantined — recovery reports it and moves on instead
+//     of aborting the whole manager.
 
 import (
 	"encoding/binary"
@@ -26,6 +54,44 @@ import (
 // metaVersion versions the manager's wrapper around detector snapshots:
 // the accounting that must survive alongside the detector state.
 const metaVersion = 1
+
+// Healing retry backoff bounds for degraded streams: the first retry
+// comes healBackoffMin after the fault, doubling per failed attempt up to
+// healBackoffMax.
+const (
+	healBackoffMin = 100 * time.Millisecond
+	healBackoffMax = 30 * time.Second
+)
+
+// errReplayPanic marks an openEntry failure caused by a panic while
+// restoring or replaying persisted state, so create can quarantine the
+// stream instead of letting every push retry the poisoned replay.
+var errReplayPanic = errors.New("manager: panic during recovery replay")
+
+// Test seams, called (when non-nil) under the entry lock on the push and
+// recovery-replay paths; fault-injection tests use them to drive panics
+// through the quarantine boundaries.
+var (
+	testHookPush   func(id string)
+	testHookReplay func(id string)
+)
+
+// RecoveryFailure records one persisted stream that startup recovery
+// could not resume and therefore quarantined.
+type RecoveryFailure struct {
+	// Stream is the id of the stream that failed to recover.
+	Stream string
+	// Err is why.
+	Err error
+}
+
+// RecoveryFailures returns the streams skipped and quarantined by startup
+// recovery, in id order. Empty on a healthy start.
+func (m *Manager) RecoveryFailures() []RecoveryFailure {
+	out := make([]RecoveryFailure, len(m.recoveryFailures))
+	copy(out, m.recoveryFailures)
+	return out
+}
 
 // wrapSnapshot prefixes a detector snapshot with the entry's durable
 // accounting (events count, creation time). Callers hold e.mu.
@@ -63,6 +129,12 @@ func unwrapSnapshot(payload []byte) (events int64, createdNano int64, det []byte
 // during tail replay land in the entry's pending queue (at-least-once
 // across a crash: a point acked but confirmed just before the crash may
 // be re-announced after it).
+//
+// If the log cannot be opened for writing but the persisted state is
+// still readable (or there is none), the stream comes up DEGRADED: fully
+// functional in memory, retrying durability with backoff. Only a stream
+// whose state can neither be opened nor read fails here — resuming it
+// fresh would silently fork its history.
 func (m *Manager) openEntry(id string) (*entry, error) {
 	e := &entry{id: id, created: m.now()}
 	cfg := m.cfg.Stream
@@ -84,47 +156,84 @@ func (m *Manager) openEntry(id string) (*entry, error) {
 	}
 
 	log, rec, err := m.store.OpenStream(id)
+	var openFault error
 	if err != nil {
-		return nil, fmt.Errorf("manager: opening log for stream %q: %w", id, err)
+		// The write handle is unavailable. Resume from a read-only scan
+		// and run degraded; refuse only if the state cannot be read at
+		// all.
+		rec2, rerr := m.store.Read(id)
+		if rerr != nil {
+			return nil, fmt.Errorf("manager: opening log for stream %q: %w (read-only recovery also failed: %v)", id, err, rerr)
+		}
+		rec, log, openFault = rec2, nil, err
 	}
-	var d *stream.Detector
-	if rec.Snapshot != nil {
-		events, createdNano, det, err := unwrapSnapshot(rec.Snapshot)
+	if err := m.resumeEntry(e, cfg, rec.Snapshot, rec.Tail); err != nil {
+		if log != nil {
+			// Close the handle we cannot use; its error is secondary to
+			// the resume failure being reported.
+			_ = log.Close()
+		}
+		return nil, err
+	}
+	e.log = log
+	e.walPos = rec.SnapTotal + len(rec.Tail)
+	e.sinceSnap = len(rec.Tail)
+	e.points.Store(int64(e.d.Total()))
+	e.lastPush.Store(m.now().UnixNano())
+	if openFault != nil {
+		m.degradeLocked(e, fmt.Errorf("manager: opening log for stream %q: %w", id, openFault))
+	}
+	return e, nil
+}
+
+// resumeEntry restores the snapshot (or creates a fresh detector) and
+// replays the logged tail into e.d. A panic anywhere inside the engine —
+// poisoned snapshot bytes, a replay that trips an invariant — is
+// recovered here, at the manager's recovery boundary, and reported as an
+// errReplayPanic so the caller can quarantine the stream.
+func (m *Manager) resumeEntry(e *entry, cfg stream.Config, snap []byte, tail []float64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: stream %q: %v", errReplayPanic, e.id, r)
+		}
+	}()
+	if snap != nil {
+		events, createdNano, det, err := unwrapSnapshot(snap)
+		var d *stream.Detector
 		if err == nil {
 			d, err = stream.Restore(cfg, det)
 		}
 		if err != nil {
-			log.Close()
-			return nil, fmt.Errorf("manager: restoring stream %q: %w", id, err)
+			return fmt.Errorf("manager: restoring stream %q: %w", e.id, err)
 		}
+		e.d = d
 		e.events.Store(events)
 		e.created = time.Unix(0, createdNano)
 	} else {
-		d, err = stream.New(cfg)
+		d, err := stream.New(cfg)
 		if err != nil {
-			log.Close()
-			return nil, fmt.Errorf("manager: creating stream %q: %w", id, err)
+			return fmt.Errorf("manager: creating stream %q: %w", e.id, err)
 		}
+		e.d = d
 	}
-	e.d = d
-	e.log = log
-	if err := d.PushBatch(rec.Tail); err != nil {
+	if testHookReplay != nil {
+		testHookReplay(e.id)
+	}
+	if err := e.d.PushBatch(tail); err != nil {
 		// The logged tail was accepted once; failing to re-accept it means
 		// the store and configuration disagree. Fail loud.
-		log.Close()
-		return nil, fmt.Errorf("manager: replaying %d logged points for stream %q: %w", len(rec.Tail), id, err)
+		return fmt.Errorf("manager: replaying %d logged points for stream %q: %w", len(tail), e.id, err)
 	}
-	e.walPos = rec.SnapTotal + len(rec.Tail)
-	e.sinceSnap = len(rec.Tail)
-	e.points.Store(int64(d.Total()))
-	e.lastPush.Store(m.now().UnixNano())
-	return e, nil
+	return nil
 }
 
 // recoverAll resumes every persisted stream at startup, in id order. It
 // stops quietly at the MaxStreams/MaxBytes limits — the remainder stays
-// hibernated on disk and resumes lazily on first push — but fails loud on
-// corruption or configuration mismatch.
+// hibernated on disk and resumes lazily on first push — and SKIPS a
+// stream whose state cannot be resumed (unreadable directory, corrupt
+// snapshot, panicking replay): the stream is quarantined, the failure is
+// recorded in RecoveryFailures, and startup continues. One broken stream
+// directory must not take down a server holding thousands of good ones.
 func (m *Manager) recoverAll() error {
 	ids, err := m.store.List()
 	if err != nil {
@@ -138,7 +247,9 @@ func (m *Manager) recoverAll() error {
 		case errors.Is(err, ErrTooManyStreams) || errors.Is(err, ErrOverBudget):
 			return nil
 		case err != nil:
-			return err
+			m.recoveryFailures = append(m.recoveryFailures, RecoveryFailure{Stream: id, Err: err})
+			m.quarantineID(id, err)
+			continue
 		}
 		// Replayed events have no subscribers yet; clear them rather than
 		// holding them for an arbitrary first subscriber.
@@ -147,30 +258,166 @@ func (m *Manager) recoverAll() error {
 	return nil
 }
 
-// appendWALLocked logs the consumed prefix of a push at the entry's log
-// coordinate and advances the snapshot cadence, checkpointing when due.
-// The coordinate counts consumed input points, which under the Clamp/Drop
-// non-finite policies runs ahead of the detector's Total — the log stores
-// raw inputs and replay re-applies the policy. Callers hold e.mu; no-op
-// for non-durable entries.
-func (m *Manager) appendWALLocked(e *entry, pts []float64) error {
-	if e.log == nil || len(pts) == 0 {
-		return nil
+// quarantineID inserts a quarantined tombstone entry for a stream that
+// could not be resumed, so pushes to it are rejected with
+// ErrStreamQuarantined instead of re-running the failing recovery (and
+// possibly mangling its on-disk state further). CloseStream deletes the
+// tombstone and the persisted state; a process restart retries recovery.
+func (m *Manager) quarantineID(id string, cause error) {
+	e := &entry{id: id, created: m.now()}
+	e.quarantined.Store(true)
+	e.faultErr = cause
+	e.fault.Store(cause.Error())
+	sh := m.shardFor(id)
+	m.createMu.Lock()
+	sh.mu.Lock()
+	_, exists := sh.streams[id]
+	if !exists {
+		sh.streams[id] = e
 	}
-	if err := e.log.Append(e.walPos, pts); err != nil {
-		return fmt.Errorf("manager: logging %d points for stream %q: %w", len(pts), e.id, err)
+	sh.mu.Unlock()
+	if !exists {
+		m.count.Add(1)
+		m.quarantinedCount.Add(1)
 	}
-	e.walPos += len(pts)
-	e.sinceSnap += len(pts)
-	if e.sinceSnap >= m.snapEvery {
-		return m.checkpointLocked(e)
-	}
-	return nil
+	m.createMu.Unlock()
 }
 
-// checkpointLocked snapshots the entry into its log, superseding the
-// logged tail. Callers hold e.mu.
+// quarantineLocked converts a live entry into a quarantined tombstone
+// after a panic escaped the detection engine: further pushes are rejected
+// with ErrStreamQuarantined, the (possibly corrupt) detector and its
+// memory are released from the budget, the log handle is closed, and the
+// on-disk state is preserved for inspection. Callers hold e.mu.
+func (m *Manager) quarantineLocked(e *entry, cause error) {
+	if e.quarantined.Load() {
+		return
+	}
+	e.quarantined.Store(true)
+	if !e.closed {
+		m.quarantinedCount.Add(1)
+	}
+	if e.degraded.Load() {
+		e.degraded.Store(false)
+		if !e.closed {
+			m.degradedCount.Add(-1)
+		}
+	}
+	e.faultErr = cause
+	e.fault.Store(cause.Error())
+	e.d = nil // state after a panic is unknown; never touch it again
+	if e.log != nil {
+		// The handle is closed on a best-effort basis: the stream's
+		// durable prefix is already consistent on disk.
+		_ = e.log.Close()
+		e.log = nil
+	}
+	m.totalBytes.Add(-e.footprint.Swap(0))
+	e.pending = append(e.pending, Event{Stream: e.id, Health: HealthQuarantined, Cause: cause.Error()})
+}
+
+// quarantineErrLocked is the error a quarantined entry rejects operations
+// with. Callers hold e.mu.
+func (e *entry) quarantineErrLocked() error {
+	return fmt.Errorf("%w: %q: %v", ErrStreamQuarantined, e.id, e.faultErr)
+}
+
+// degradeLocked puts the entry in degraded mode (or refreshes the fault
+// while already degraded): detection continues in memory, durability is
+// suspended, and healing retries start after healBackoffMin, doubling up
+// to healBackoffMax. The first transition publishes a health event.
+// Callers hold e.mu (or own the entry exclusively during construction).
+func (m *Manager) degradeLocked(e *entry, cause error) {
+	e.faultErr = cause
+	e.fault.Store(cause.Error())
+	if e.degraded.Load() {
+		return
+	}
+	e.degraded.Store(true)
+	m.degradedCount.Add(1)
+	e.backoff = healBackoffMin
+	e.retryAt = m.now().Add(e.backoff)
+	e.pending = append(e.pending, Event{Stream: e.id, Health: HealthDegraded, Cause: cause.Error()})
+}
+
+// healedLocked clears degraded mode after a successful checkpoint and
+// publishes the healing health event. Callers hold e.mu.
+func (m *Manager) healedLocked(e *entry) {
+	if !e.degraded.Load() {
+		return
+	}
+	e.degraded.Store(false)
+	m.degradedCount.Add(-1)
+	e.faultErr = nil
+	e.fault.Store("")
+	e.backoff = 0
+	e.pending = append(e.pending, Event{Stream: e.id, Health: HealthHealed})
+}
+
+// maybeHealLocked retries durability for a degraded entry once its
+// backoff has elapsed. Callers hold e.mu.
+func (m *Manager) maybeHealLocked(e *entry) {
+	if !e.degraded.Load() || m.now().Before(e.retryAt) {
+		return
+	}
+	if err := m.checkpointLocked(e); err != nil {
+		e.backoff *= 2
+		if e.backoff > healBackoffMax {
+			e.backoff = healBackoffMax
+		}
+		e.retryAt = m.now().Add(e.backoff)
+		e.faultErr = err
+		e.fault.Store(err.Error())
+		return
+	}
+	m.healedLocked(e)
+}
+
+// appendWALLocked advances the entry's log coordinate past the consumed
+// prefix of a push and, when durability is healthy, logs it. The
+// coordinate counts consumed input points, which under the Clamp/Drop
+// non-finite policies runs ahead of the detector's Total — the log stores
+// raw inputs and replay re-applies the policy. A failed append degrades
+// the stream instead of failing the push: the WAL has already rewound the
+// torn record, the points stay applied in memory, and the healing
+// checkpoint will cover them. While degraded nothing is appended — a
+// resumed append after a gap would corrupt the log; only a checkpoint can
+// resume durability. Callers hold e.mu; no-op for non-durable managers.
+func (m *Manager) appendWALLocked(e *entry, pts []float64) {
+	if m.store == nil || len(pts) == 0 {
+		return
+	}
+	pos := e.walPos
+	e.walPos += len(pts)
+	e.sinceSnap += len(pts)
+	if e.degraded.Load() || e.log == nil {
+		return
+	}
+	if err := e.log.Append(pos, pts); err != nil {
+		m.degradeLocked(e, fmt.Errorf("manager: logging %d points for stream %q: %w", len(pts), e.id, err))
+		return
+	}
+	if e.sinceSnap >= m.snapEvery {
+		if err := m.checkpointLocked(e); err != nil {
+			m.degradeLocked(e, err)
+		}
+	}
+}
+
+// checkpointLocked snapshots the entry into its log at the consumed-input
+// coordinate, superseding the logged tail — and, for a degraded entry,
+// superseding the frozen log: this is the healing operation. A missing
+// log handle (the stream came up degraded without one) is reopened first;
+// the recovery state that reopen returns is discarded, because the
+// in-memory detector is authoritative and the checkpoint about to be
+// written supersedes everything on disk. Callers hold e.mu.
 func (m *Manager) checkpointLocked(e *entry) error {
+	if e.log == nil {
+		log, _, err := m.store.OpenStream(e.id)
+		if err != nil {
+			return fmt.Errorf("manager: reopening log for stream %q: %w", e.id, err)
+		}
+		e.log = log
+	}
 	if err := e.log.Snapshot(e.walPos, e.wrapSnapshot(e.d.Snapshot())); err != nil {
 		return fmt.Errorf("manager: checkpointing stream %q: %w", e.id, err)
 	}
@@ -179,8 +426,10 @@ func (m *Manager) checkpointLocked(e *entry) error {
 }
 
 // SnapshotStream forces a checkpoint of the stream now, superseding its
-// logged tail. It fails with ErrUnknownStream when the stream is not
-// live, and with an error when the manager has no data directory.
+// logged tail. On a degraded stream a successful forced checkpoint heals
+// it immediately, without waiting out the backoff. It fails with
+// ErrUnknownStream when the stream is not live, and with an error when
+// the manager has no data directory.
 func (m *Manager) SnapshotStream(id string) error {
 	if m.store == nil {
 		return errors.New("manager: no data directory configured")
@@ -190,27 +439,51 @@ func (m *Manager) SnapshotStream(id string) error {
 		return err
 	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if e.closed {
+		e.mu.Unlock()
 		return fmt.Errorf("%w: %q (evicted)", ErrUnknownStream, e.id)
 	}
-	return m.checkpointLocked(e)
+	if e.quarantined.Load() {
+		err = e.quarantineErrLocked()
+		e.mu.Unlock()
+		return err
+	}
+	err = m.checkpointLocked(e)
+	if err == nil {
+		m.healedLocked(e)
+	} else {
+		m.degradeLocked(e, err)
+	}
+	e.mu.Unlock()
+	m.drain(e) // deliver any health transition this forced checkpoint caused
+	return err
 }
 
 // hibernate checkpoints a detached durable entry and closes its log,
 // leaving the stream resumable from disk. The detector is NOT flushed:
 // buffered points stay buffered, exactly as if the process had paused.
-// Best-effort on errors — every acked point is already in the WAL, so a
-// failed checkpoint only means recovery replays a longer tail.
-func (e *entry) hibernate() {
+// Best-effort on errors — every acked point of a healthy stream is
+// already in the WAL, so a failed checkpoint only means recovery replays
+// a longer tail; a degraded stream loses its unlogged suffix, which is
+// exactly the window the degraded flag advertises.
+func (m *Manager) hibernate(e *entry) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.log == nil {
+	if e.quarantined.Load() {
 		return
 	}
-	e.log.Snapshot(e.d.Total(), e.wrapSnapshot(e.d.Snapshot()))
-	e.log.Close()
-	e.log = nil
+	if e.log == nil && (m.store == nil || !e.degraded.Load()) {
+		return
+	}
+	// One last healing attempt, degraded or not: if the disk has come
+	// back, this checkpoint makes the hibernated state complete. Errors
+	// are deliberately dropped — there is nothing left to degrade; the
+	// durable prefix on disk is consistent regardless.
+	_ = m.checkpointLocked(e)
+	if e.log != nil {
+		_ = e.log.Close() // best-effort: the checkpoint above is what matters
+		e.log = nil
+	}
 }
 
 // ReplayStream re-derives a stream's events from its persisted state: it
@@ -220,11 +493,18 @@ func (e *entry) hibernate() {
 // is not disturbed — replay reads the store read-only — and determinism
 // makes the output exact: these are precisely the events a crash-restart
 // at the last checkpoint would re-announce. Returns the number of tail
-// points replayed. fn returning an error aborts the replay.
-func (m *Manager) ReplayStream(id string, fn func(hop int, ev stream.Event) error) (int, error) {
+// points replayed. fn returning an error aborts the replay. A panic
+// inside the detached replay is recovered and reported as an error; the
+// live stream is unaffected.
+func (m *Manager) ReplayStream(id string, fn func(hop int, ev stream.Event) error) (n int, err error) {
 	if m.store == nil {
 		return 0, errors.New("manager: no data directory configured")
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("manager: panic replaying stream %q: %v", id, r)
+		}
+	}()
 	rec, err := m.store.Read(id)
 	if err != nil {
 		return 0, fmt.Errorf("manager: reading persisted stream %q: %w", id, err)
@@ -252,6 +532,9 @@ func (m *Manager) ReplayStream(id string, fn func(hop int, ev stream.Event) erro
 		if d, err = stream.New(cfg); err != nil {
 			return 0, err
 		}
+	}
+	if testHookReplay != nil {
+		testHookReplay(id)
 	}
 	for i, x := range rec.Tail {
 		if err := d.Push(x); err != nil {

@@ -36,6 +36,11 @@ func openDurable(t *testing.T, dir string, snapEvery int) (*Manager, *collector)
 	if err != nil {
 		t.Fatal(err)
 	}
+	return m, attachCollector(m)
+}
+
+// attachCollector subscribes a background global collector to m.
+func attachCollector(m *Manager) *collector {
 	c := &collector{quit: make(chan struct{}), done: make(chan struct{})}
 	ch, cancel := m.Subscribe("", 64)
 	c.cancel = cancel
@@ -68,7 +73,7 @@ func openDurable(t *testing.T, dir string, snapEvery int) (*Manager, *collector)
 			}
 		}
 	}()
-	return m, c
+	return c
 }
 
 func (c *collector) stop() []Event {

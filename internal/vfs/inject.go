@@ -1,0 +1,299 @@
+package vfs
+
+import (
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// Op is a bitmask of filesystem operation kinds, used to select which
+// operations an Inject counts and fails.
+type Op uint32
+
+// Operation kinds. OpCreate is an OpenFile call that may create
+// (os.O_CREATE set); plain opens are OpOpen.
+const (
+	// OpWrite is File.Write.
+	OpWrite Op = 1 << iota
+	// OpSync is File.Sync.
+	OpSync
+	// OpClose is File.Close.
+	OpClose
+	// OpCreate is FS.OpenFile with os.O_CREATE.
+	OpCreate
+	// OpOpen is FS.Open or FS.OpenFile without os.O_CREATE.
+	OpOpen
+	// OpRename is FS.Rename.
+	OpRename
+	// OpRemove is FS.Remove and FS.RemoveAll.
+	OpRemove
+	// OpTruncate is FS.Truncate and File.Truncate.
+	OpTruncate
+	// OpMkdir is FS.MkdirAll.
+	OpMkdir
+	// OpRead is FS.ReadFile.
+	OpRead
+	// OpReadDir is FS.ReadDir.
+	OpReadDir
+)
+
+// OpsMutating covers every operation that changes the disk — the set a
+// full disk or dying device fails first, and the default Inject mask.
+const OpsMutating = OpWrite | OpSync | OpClose | OpCreate | OpRename | OpRemove | OpTruncate | OpMkdir
+
+// OpsAll covers every operation, reads included.
+const OpsAll = OpsMutating | OpOpen | OpRead | OpReadDir
+
+// Inject is an FS that wraps another FS and fails operations according to
+// an armed plan: every counted operation whose 0-based index is >= the
+// armed index fails with the planned error, until Heal. That "sticky"
+// shape models real disk faults (a full disk stays full) and is what
+// degraded-mode retry logic needs to prove healing. Safe for concurrent
+// use.
+//
+// Only operations in the Kinds mask are counted and failed; everything
+// else passes straight through. A failed operation does not reach the
+// inner FS at all — except short writes, which write a prefix first, the
+// footprint of a torn record.
+type Inject struct {
+	// FS is the wrapped filesystem; nil means OS.
+	FS FS
+
+	mu    sync.Mutex
+	kinds Op
+	match func(path string) bool
+	ops   int64
+	armed bool
+	at    int64
+	err   error
+	short bool
+}
+
+// NewInject wraps inner (nil for the real OS) with the default
+// OpsMutating mask and no armed fault.
+func NewInject(inner FS) *Inject {
+	if inner == nil {
+		inner = OS{}
+	}
+	return &Inject{FS: inner, kinds: OpsMutating}
+}
+
+// SetKinds replaces the mask of operations that are counted and failed.
+func (f *Inject) SetKinds(kinds Op) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.kinds = kinds
+}
+
+// MatchPath restricts counting and failing to paths for which match
+// returns true; nil matches everything.
+func (f *Inject) MatchPath(match func(path string) bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.match = match
+}
+
+// Ops returns how many counted operations have been observed so far.
+func (f *Inject) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// FailAt arms the fault: every counted operation with 0-based index >= at
+// fails with err until Heal. Arming with the current Ops() value fails
+// the very next counted operation.
+func (f *Inject) FailAt(at int64, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed, f.at, f.err = true, at, err
+}
+
+// FailNext arms the fault starting at the next counted operation.
+func (f *Inject) FailNext(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed, f.at, f.err = true, f.ops, err
+}
+
+// ShortWrites, when on, makes a failing Write first write half the buffer
+// to the inner FS before returning the error — the torn-record footprint
+// of a crash or device failure mid-write.
+func (f *Inject) ShortWrites(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.short = on
+}
+
+// Heal disarms the fault; subsequent operations succeed (and keep being
+// counted).
+func (f *Inject) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.armed = false
+}
+
+// Failing reports whether the fault is currently armed and triggered.
+func (f *Inject) Failing() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.armed && f.ops >= f.at
+}
+
+// step counts one operation of the given kind against path and reports
+// whether it must fail (and whether a failing write should be short).
+func (f *Inject) step(kind Op, path string) (fail bool, err error, short bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.kinds&kind == 0 || (f.match != nil && !f.match(path)) {
+		return false, nil, false
+	}
+	idx := f.ops
+	f.ops++
+	if f.armed && idx >= f.at {
+		return true, f.err, f.short
+	}
+	return false, nil, false
+}
+
+// OpenFile counts as OpCreate when flag includes os.O_CREATE, OpOpen
+// otherwise.
+func (f *Inject) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	kind := OpOpen
+	if flag&os.O_CREATE != 0 {
+		kind = OpCreate
+	}
+	if fail, err, _ := f.step(kind, name); fail {
+		return nil, &os.PathError{Op: "open", Path: name, Err: err}
+	}
+	file, err := f.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{f: file, fs: f}, nil
+}
+
+// Open counts as OpOpen.
+func (f *Inject) Open(name string) (File, error) {
+	if fail, err, _ := f.step(OpOpen, name); fail {
+		return nil, &os.PathError{Op: "open", Path: name, Err: err}
+	}
+	file, err := f.FS.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{f: file, fs: f}, nil
+}
+
+// ReadFile counts as OpRead.
+func (f *Inject) ReadFile(name string) ([]byte, error) {
+	if fail, err, _ := f.step(OpRead, name); fail {
+		return nil, &os.PathError{Op: "read", Path: name, Err: err}
+	}
+	return f.FS.ReadFile(name)
+}
+
+// ReadDir counts as OpReadDir.
+func (f *Inject) ReadDir(name string) ([]fs.DirEntry, error) {
+	if fail, err, _ := f.step(OpReadDir, name); fail {
+		return nil, &os.PathError{Op: "readdir", Path: name, Err: err}
+	}
+	return f.FS.ReadDir(name)
+}
+
+// MkdirAll counts as OpMkdir.
+func (f *Inject) MkdirAll(path string, perm os.FileMode) error {
+	if fail, err, _ := f.step(OpMkdir, path); fail {
+		return &os.PathError{Op: "mkdir", Path: path, Err: err}
+	}
+	return f.FS.MkdirAll(path, perm)
+}
+
+// Rename counts as OpRename; a failed rename leaves both paths untouched.
+func (f *Inject) Rename(oldpath, newpath string) error {
+	if fail, err, _ := f.step(OpRename, newpath); fail {
+		return &os.LinkError{Op: "rename", Old: oldpath, New: newpath, Err: err}
+	}
+	return f.FS.Rename(oldpath, newpath)
+}
+
+// Remove counts as OpRemove.
+func (f *Inject) Remove(name string) error {
+	if fail, err, _ := f.step(OpRemove, name); fail {
+		return &os.PathError{Op: "remove", Path: name, Err: err}
+	}
+	return f.FS.Remove(name)
+}
+
+// RemoveAll counts as OpRemove.
+func (f *Inject) RemoveAll(path string) error {
+	if fail, err, _ := f.step(OpRemove, path); fail {
+		return &os.PathError{Op: "removeall", Path: path, Err: err}
+	}
+	return f.FS.RemoveAll(path)
+}
+
+// Truncate counts as OpTruncate.
+func (f *Inject) Truncate(name string, size int64) error {
+	if fail, err, _ := f.step(OpTruncate, name); fail {
+		return &os.PathError{Op: "truncate", Path: name, Err: err}
+	}
+	return f.FS.Truncate(name, size)
+}
+
+// injectFile wraps an open file so its write-side operations run through
+// the owning Inject's plan.
+type injectFile struct {
+	f  File
+	fs *Inject
+}
+
+// Write counts as OpWrite. A planned failure normally writes nothing; with
+// ShortWrites on, it writes the first half of p to the inner file before
+// returning the error, so the file ends mid-record.
+func (w *injectFile) Write(p []byte) (int, error) {
+	if fail, err, short := w.fs.step(OpWrite, w.f.Name()); fail {
+		werr := &os.PathError{Op: "write", Path: w.f.Name(), Err: err}
+		if short && len(p) > 1 {
+			n, innerErr := w.f.Write(p[:len(p)/2])
+			if innerErr != nil {
+				return n, innerErr
+			}
+			return n, werr
+		}
+		return 0, werr
+	}
+	return w.f.Write(p)
+}
+
+// Sync counts as OpSync; a planned failure does not reach the device.
+func (w *injectFile) Sync() error {
+	if fail, err, _ := w.fs.step(OpSync, w.f.Name()); fail {
+		return &os.PathError{Op: "sync", Path: w.f.Name(), Err: err}
+	}
+	return w.f.Sync()
+}
+
+// Truncate counts as OpTruncate.
+func (w *injectFile) Truncate(size int64) error {
+	if fail, err, _ := w.fs.step(OpTruncate, w.f.Name()); fail {
+		return &os.PathError{Op: "truncate", Path: w.f.Name(), Err: err}
+	}
+	return w.f.Truncate(size)
+}
+
+// Close counts as OpClose. On a planned failure the inner file is still
+// closed — the kernel releases the descriptor even when close reports a
+// deferred write-back error — and the planned error is returned.
+func (w *injectFile) Close() error {
+	if fail, err, _ := w.fs.step(OpClose, w.f.Name()); fail {
+		if cerr := w.f.Close(); cerr != nil {
+			return cerr
+		}
+		return &os.PathError{Op: "close", Path: w.f.Name(), Err: err}
+	}
+	return w.f.Close()
+}
+
+// Name returns the wrapped file's path.
+func (w *injectFile) Name() string { return w.f.Name() }

@@ -1,0 +1,196 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// TestPassthrough: an unarmed Inject behaves exactly like the wrapped OS.
+func TestPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInject(nil)
+	path := filepath.Join(dir, "a.txt")
+	f, err := inj.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Write([]byte("hello")); err != nil || n != 5 {
+		t.Fatalf("Write = (%d, %v)", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := inj.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = (%q, %v)", got, err)
+	}
+	if inj.Ops() == 0 {
+		t.Fatal("no operations counted")
+	}
+}
+
+// TestFailAtSticky: every counted operation at or past the armed index
+// fails, with the planned error visible through errors.Is, until Heal.
+func TestFailAtSticky(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInject(nil)
+	path := filepath.Join(dir, "f")
+	f, err := inj.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644) // op 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("one")); err != nil { // op 1
+		t.Fatal(err)
+	}
+	inj.FailAt(2, syscall.ENOSPC)
+	for i := 0; i < 3; i++ { // ops 2..4 must all fail (sticky)
+		if _, err := f.Write([]byte("two")); !errors.Is(err, syscall.ENOSPC) {
+			t.Fatalf("write %d after arming: err = %v, want ENOSPC", i, err)
+		}
+	}
+	if !inj.Failing() {
+		t.Fatal("Failing() = false while armed and past the index")
+	}
+	inj.Heal()
+	if _, err := f.Write([]byte("three")); err != nil {
+		t.Fatalf("write after Heal: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The failed writes never reached the file.
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "onethree" {
+		t.Fatalf("file = (%q, %v), want \"onethree\"", got, err)
+	}
+}
+
+// TestFailNext: arming relative to the current count fails exactly the
+// next counted operation.
+func TestFailNext(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInject(nil)
+	f, err := inj.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.FailNext(syscall.EIO)
+	if _, err := f.Write([]byte("x")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("err = %v, want EIO", err)
+	}
+	inj.Heal()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShortWrites: a failing write with ShortWrites on lands the first
+// half of the buffer — the torn footprint the WAL must rewind.
+func TestShortWrites(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInject(nil)
+	path := filepath.Join(dir, "f")
+	f, err := inj.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.ShortWrites(true)
+	inj.FailNext(syscall.ENOSPC)
+	n, err := f.Write([]byte("abcdefgh"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	if n != 4 {
+		t.Fatalf("short write reported %d bytes, want 4", n)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "abcd" {
+		t.Fatalf("file = (%q, %v), want \"abcd\"", got, rerr)
+	}
+}
+
+// TestMatchPath: only matching paths are counted and failed; everything
+// else passes through even while armed.
+func TestMatchPath(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInject(nil)
+	inj.MatchPath(func(p string) bool { return strings.Contains(p, "victim") })
+	inj.FailAt(0, syscall.EIO)
+	if err := inj.MkdirAll(filepath.Join(dir, "bystander"), 0o755); err != nil {
+		t.Fatalf("non-matching op failed: %v", err)
+	}
+	if err := inj.MkdirAll(filepath.Join(dir, "victim"), 0o755); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("matching op: err = %v, want EIO", err)
+	}
+	if inj.Ops() != 1 {
+		t.Fatalf("Ops() = %d, want 1 (only the matching op counts)", inj.Ops())
+	}
+}
+
+// TestKinds: only operations in the mask are counted; OpenFile is
+// classified OpCreate with O_CREATE and OpOpen without.
+func TestKinds(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inj := NewInject(nil)
+	inj.SetKinds(OpCreate)
+	inj.FailAt(0, syscall.ENOSPC)
+	if _, err := inj.Open(path); err != nil { // OpOpen: not in mask
+		t.Fatalf("Open failed under OpCreate-only mask: %v", err)
+	}
+	if _, err := inj.ReadFile(path); err != nil { // OpRead: not in mask
+		t.Fatalf("ReadFile failed under OpCreate-only mask: %v", err)
+	}
+	if _, err := inj.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("OpenFile with O_CREATE: err = %v, want ENOSPC", err)
+	}
+	if inj.Ops() != 1 {
+		t.Fatalf("Ops() = %d, want 1", inj.Ops())
+	}
+}
+
+// TestReadFaults: with OpsAll armed, reads and directory listings fail
+// too — the shape of an unreadable stream directory at recovery.
+func TestReadFaults(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInject(nil)
+	inj.SetKinds(OpsAll)
+	inj.FailAt(0, os.ErrPermission)
+	if _, err := inj.ReadDir(dir); !errors.Is(err, os.ErrPermission) {
+		t.Fatalf("ReadDir err = %v, want permission denied", err)
+	}
+	if _, err := inj.ReadFile(filepath.Join(dir, "f")); !errors.Is(err, os.ErrPermission) {
+		t.Fatalf("ReadFile err = %v, want permission denied", err)
+	}
+}
+
+// TestFailedCloseStillClosesInner: a planned Close failure must not leak
+// the descriptor — the inner file is closed before the error is returned.
+func TestFailedCloseStillClosesInner(t *testing.T) {
+	dir := t.TempDir()
+	inj := NewInject(nil)
+	f, err := inj.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.FailNext(syscall.EIO)
+	if err := f.Close(); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Close err = %v, want EIO", err)
+	}
+	inj.Heal()
+	// A second close of the inner *os.File reports it already closed —
+	// proof the descriptor was released despite the injected error.
+	if err := f.Close(); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("second Close err = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,87 @@
+// Package vfs is the filesystem seam under the durability layer: the
+// handful of os operations the write-ahead log and snapshot writer
+// actually perform, behind an interface, so tests can inject failures —
+// ENOSPC at the Nth write, a short write mid-record, a rename that never
+// happens — deterministically and observe how the layers above degrade.
+//
+// Production code uses OS, a zero-cost passthrough to package os. Tests
+// use Inject, which wraps any FS and fails operations according to an
+// armed plan. Nothing in this package knows about WAL framing or streams;
+// it is purely "the disk, but breakable on demand".
+package vfs
+
+import (
+	"io/fs"
+	"os"
+)
+
+// File is the subset of *os.File the durability layer writes through.
+type File interface {
+	// Write appends len(p) bytes, returning how many were written. A
+	// failing disk may write a prefix (a short write) before erroring —
+	// callers that frame records must be prepared to rewind.
+	Write(p []byte) (int, error)
+	// Sync flushes the file to stable storage.
+	Sync() error
+	// Truncate changes the file's size.
+	Truncate(size int64) error
+	// Close closes the file, surfacing any deferred write-back error.
+	Close() error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem surface the durability layer uses. Every method
+// mirrors the package-os function of the same name.
+type FS interface {
+	// OpenFile opens a file with the given flags and permissions.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Open opens a file (or directory, for directory fsyncs) read-only.
+	Open(name string) (File, error)
+	// ReadFile reads a whole file.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]fs.DirEntry, error)
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file or empty directory.
+	Remove(name string) error
+	// RemoveAll deletes a path and everything under it.
+	RemoveAll(path string) error
+	// Truncate changes the size of the named file.
+	Truncate(name string, size int64) error
+}
+
+// OS is the production FS: a stateless passthrough to package os.
+type OS struct{}
+
+// OpenFile opens a file via os.OpenFile.
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+// Open opens a file via os.Open.
+func (OS) Open(name string) (File, error) { return os.Open(name) }
+
+// ReadFile reads a whole file via os.ReadFile.
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+// ReadDir lists a directory via os.ReadDir.
+func (OS) ReadDir(name string) ([]fs.DirEntry, error) { return os.ReadDir(name) }
+
+// MkdirAll creates a directory tree via os.MkdirAll.
+func (OS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// Rename renames a path via os.Rename.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove deletes a path via os.Remove.
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+// RemoveAll deletes a tree via os.RemoveAll.
+func (OS) RemoveAll(path string) error { return os.RemoveAll(path) }
+
+// Truncate resizes a file via os.Truncate.
+func (OS) Truncate(name string, size int64) error { return os.Truncate(name, size) }

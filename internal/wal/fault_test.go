@@ -1,0 +1,234 @@
+package wal
+
+import (
+	"errors"
+	"syscall"
+	"testing"
+
+	"egi/internal/vfs"
+)
+
+// faultStore opens a store over a fresh tempdir whose disk access runs
+// through an unarmed Inject, returned for the test to arm.
+func faultStore(t *testing.T, opts Options) (*Store, *vfs.Inject) {
+	t.Helper()
+	inj := vfs.NewInject(nil)
+	opts.FS = inj
+	s, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, inj
+}
+
+// recoverTail re-opens the stream read-only and returns its durable state.
+func recoverTail(t *testing.T, s *Store, id string) Recovered {
+	t.Helper()
+	rec, err := s.Read(id)
+	if err != nil {
+		t.Fatalf("recovering %q: %v", id, err)
+	}
+	return rec
+}
+
+// TestAppendShortWriteRewinds: a short write tears the record; Append
+// reports the failure, truncates the torn bytes away, and the next append
+// lands cleanly — recovery sees exactly the confirmed records.
+func TestAppendShortWriteRewinds(t *testing.T) {
+	s, inj := faultStore(t, Options{})
+	l, _, err := s.OpenStream("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(0, pts(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	inj.ShortWrites(true)
+	inj.FailNext(syscall.ENOSPC)
+	if err := l.Append(10, pts(10, 10)); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("faulted append err = %v, want ENOSPC", err)
+	}
+	inj.Heal()
+	// The torn bytes are gone: the caller may retry the same append.
+	if err := l.Append(10, pts(10, 10)); err != nil {
+		t.Fatalf("retry after rewind: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec := recoverTail(t, s, "cpu")
+	want := pts(0, 20)
+	if len(rec.Tail) != 20 {
+		t.Fatalf("recovered %d points, want 20", len(rec.Tail))
+	}
+	for i, x := range rec.Tail {
+		if x != want[i] {
+			t.Fatalf("tail[%d] = %v, want %v", i, x, want[i])
+		}
+	}
+}
+
+// TestRewindDeferredUntilDiskHeals: when both the write and the rewind
+// truncate fail, the log stays dirty and refuses appends; once the disk
+// heals, the next append rewinds first, so the torn record is never
+// followed by a good one.
+func TestRewindDeferredUntilDiskHeals(t *testing.T) {
+	s, inj := faultStore(t, Options{})
+	l, _, err := s.OpenStream("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(0, pts(0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	inj.ShortWrites(true)
+	inj.FailNext(syscall.EIO) // sticky: the write AND the rewind truncate fail
+	if err := l.Append(5, pts(5, 5)); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("faulted append err = %v, want EIO", err)
+	}
+	// Still failing: the retry must attempt the rewind first and fail.
+	if err := l.Append(5, pts(5, 5)); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("append while dirty err = %v, want EIO", err)
+	}
+	inj.Heal()
+	if err := l.Append(5, pts(5, 5)); err != nil {
+		t.Fatalf("append after heal: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec := recoverTail(t, s, "cpu")
+	if len(rec.Tail) != 10 {
+		t.Fatalf("recovered %d points, want 10", len(rec.Tail))
+	}
+}
+
+// TestFsyncFailureRewinds: in Fsync mode a failed sync means the record's
+// durability was never confirmed — it is rewound away, and recovery sees
+// only the records whose sync succeeded.
+func TestFsyncFailureRewinds(t *testing.T) {
+	s, inj := faultStore(t, Options{Fsync: true})
+	l, _, err := s.OpenStream("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(0, pts(0, 8)); err != nil {
+		t.Fatal(err)
+	}
+	inj.SetKinds(vfs.OpSync)
+	inj.FailNext(syscall.EIO)
+	if err := l.Append(8, pts(8, 8)); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("append with failing fsync err = %v, want EIO", err)
+	}
+	inj.Heal()
+	inj.SetKinds(vfs.OpsMutating)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec := recoverTail(t, s, "cpu")
+	if len(rec.Tail) != 8 {
+		t.Fatalf("recovered %d points, want 8 (unconfirmed record must be gone)", len(rec.Tail))
+	}
+}
+
+// TestSyncDirFailureSurfaces: a failed directory fsync after the snapshot
+// rename is reported, not swallowed — the rename may not be durable, so
+// the caller must treat the checkpoint as failed and retry.
+func TestSyncDirFailureSurfaces(t *testing.T) {
+	s, inj := faultStore(t, Options{})
+	l, _, err := s.OpenStream("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(0, pts(0, 20)); err != nil {
+		t.Fatal(err)
+	}
+	// The directory fsync is the only OpSync on a non-Fsync store's
+	// snapshot path after the snapshot file's own sync; fail the second.
+	inj.SetKinds(vfs.OpSync)
+	inj.FailAt(1, syscall.EIO)
+	if err := l.Snapshot(20, []byte("state@20")); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("snapshot with failing dir sync err = %v, want EIO", err)
+	}
+	inj.Heal()
+	// Retrying the checkpoint completes the heal.
+	if err := l.Snapshot(20, []byte("state@20")); err != nil {
+		t.Fatalf("retried snapshot: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec := recoverTail(t, s, "cpu")
+	if rec.SnapTotal != 20 || string(rec.Snapshot) != "state@20" || len(rec.Tail) != 0 {
+		t.Fatalf("recovered SnapTotal=%d snap=%q tail=%d", rec.SnapTotal, rec.Snapshot, len(rec.Tail))
+	}
+}
+
+// TestSnapshotFaultAtEveryOp: for every operation index inside Snapshot,
+// inject a sticky fault there and assert the two invariants that make
+// checkpoints safe to retry: (1) the store recovers, without error, to
+// either the pre-snapshot or post-snapshot state — never something in
+// between; (2) after the disk heals, retrying the same Snapshot succeeds
+// and recovery converges on the checkpointed state.
+func TestSnapshotFaultAtEveryOp(t *testing.T) {
+	for i := int64(0); ; i++ {
+		s, inj := faultStore(t, Options{})
+		l, _, err := s.OpenStream("cpu")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.Append(0, pts(0, 30)); err != nil {
+			t.Fatal(err)
+		}
+		inj.ShortWrites(i%2 == 0)
+		inj.FailAt(inj.Ops()+i, syscall.ENOSPC)
+		snapErr := l.Snapshot(30, []byte("state@30"))
+		triggered := inj.Failing()
+		inj.Heal()
+
+		// Invariant 1: whatever the failure point, a read-only recovery
+		// works and sees a consistent store.
+		rec := recoverTail(t, s, "cpu")
+		switch rec.SnapTotal {
+		case 0:
+			if len(rec.Tail) != 30 {
+				t.Fatalf("op %d: pre-snapshot state has %d tail points, want 30", i, len(rec.Tail))
+			}
+		case 30:
+			if string(rec.Snapshot) != "state@30" || len(rec.Tail) != 0 {
+				t.Fatalf("op %d: post-snapshot state snap=%q tail=%d", i, rec.Snapshot, len(rec.Tail))
+			}
+		default:
+			t.Fatalf("op %d: recovered impossible SnapTotal %d", i, rec.SnapTotal)
+		}
+
+		// Invariant 2: the retry heals. (Also reached on snapErr == nil,
+		// where Snapshot merely left superseded files to clean up.)
+		if err := l.Snapshot(30, []byte("state@30")); err != nil {
+			t.Fatalf("op %d: retried snapshot after heal: %v (first error: %v)", i, err, snapErr)
+		}
+		if err := l.Append(30, pts(30, 5)); err != nil {
+			t.Fatalf("op %d: append after healed snapshot: %v", i, err)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("op %d: close: %v", i, err)
+		}
+		rec = recoverTail(t, s, "cpu")
+		if rec.SnapTotal != 30 || len(rec.Tail) != 5 {
+			t.Fatalf("op %d: final state SnapTotal=%d tail=%d, want 30/5", i, rec.SnapTotal, len(rec.Tail))
+		}
+
+		if !triggered {
+			if snapErr != nil {
+				t.Fatalf("op %d: snapshot failed (%v) but no fault triggered", i, snapErr)
+			}
+			return // past the last operation Snapshot performs
+		}
+		if snapErr == nil && i < 6 {
+			// The earliest ops (temp create, writes, sync, close, rename)
+			// are all load-bearing; a swallowed failure there would mean
+			// an error path got lost.
+			t.Fatalf("op %d: fault triggered but Snapshot reported success", i)
+		}
+	}
+}

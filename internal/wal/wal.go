@@ -19,6 +19,16 @@
 // continues bit-identically to one that never crashed. A crash can lose
 // only points whose append was never reported durable — clients observe
 // that through accepted-count responses and resend.
+//
+// All disk access goes through an injectable vfs.FS, and every write path
+// maintains one invariant under arbitrary injected failures: a torn
+// (partial) record can exist only at the very tail of the final segment,
+// never in the middle of the log. A failed or short append is rewound —
+// the active segment truncated back to the last durable record boundary —
+// before any later record may land, so a fault can shorten history but
+// can never poison it. Callers that keep accepting points after a log
+// failure heal by writing a fresh snapshot checkpoint, which supersedes
+// everything logged before it.
 package wal
 
 import (
@@ -33,6 +43,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"egi/internal/vfs"
 )
 
 // Record framing inside a segment:
@@ -65,21 +77,30 @@ type Options struct {
 	// Appends are batched upstream (one record per pushed batch), so the
 	// cost is per-batch, not per-point.
 	Fsync bool
+	// FS is the filesystem the store reads and writes through; nil means
+	// the real OS. Tests inject vfs.Inject here to fail specific
+	// operations.
+	FS vfs.FS
 }
 
 // Store is a directory of per-stream write-ahead logs. Safe for use from
 // one goroutine per stream; distinct streams are independent.
 type Store struct {
 	dir  string
+	fs   vfs.FS
 	opts Options
 }
 
 // Open creates (if needed) and opens a store rooted at dir.
 func Open(dir string, opts Options) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &Store{dir: dir, opts: opts}, nil
+	return &Store{dir: dir, fs: fsys, opts: opts}, nil
 }
 
 // Dir returns the store's root directory.
@@ -88,7 +109,7 @@ func (s *Store) Dir() string { return s.dir }
 // List returns the ids of every stream with persisted state, in
 // unspecified order.
 func (s *Store) List() ([]string, error) {
-	ents, err := os.ReadDir(s.dir)
+	ents, err := s.fs.ReadDir(s.dir)
 	if err != nil {
 		return nil, err
 	}
@@ -109,7 +130,7 @@ func (s *Store) List() ([]string, error) {
 // Remove deletes all persisted state for the stream. The stream must not
 // have an open StreamLog.
 func (s *Store) Remove(id string) error {
-	return os.RemoveAll(s.streamDir(id))
+	return s.fs.RemoveAll(s.streamDir(id))
 }
 
 // streamDir maps a stream id to its directory; hex encoding keeps
@@ -135,7 +156,9 @@ type Recovered struct {
 type StreamLog struct {
 	store *Store
 	dir   string
-	f     *os.File // active segment
+	f     vfs.File // active segment
+	size  int64    // bytes of complete, confirmed records in the active segment
+	dirty bool     // the active segment may end in a torn record past size
 	buf   []byte   // record scratch
 }
 
@@ -144,20 +167,34 @@ type StreamLog struct {
 // a crash mid-append — is truncated away; anything before it is returned.
 func (s *Store) OpenStream(id string) (*StreamLog, Recovered, error) {
 	dir := s.streamDir(id)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, Recovered{}, err
 	}
-	rec, activeFrom, err := scanDir(dir, true)
+	rec, activeFrom, activeLen, err := scanDir(s.fs, dir, true)
 	if err != nil {
 		return nil, Recovered{}, err
 	}
-	l := &StreamLog{store: s, dir: dir}
+	l := &StreamLog{store: s, dir: dir, size: activeLen}
 	seg := filepath.Join(dir, segName(activeFrom))
-	l.f, err = os.OpenFile(seg, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	l.f, err = s.fs.OpenFile(seg, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, Recovered{}, err
 	}
 	return l, rec, nil
+}
+
+// Recover reads a stream's durable state exactly like OpenStream —
+// including torn-tail truncation and temp-file cleanup — without leaving
+// the log open for writing. It exists for callers that need the state but
+// may not be able to hold a write handle (e.g. a degraded stream retrying
+// durability later).
+func (s *Store) Recover(id string) (Recovered, error) {
+	dir := s.streamDir(id)
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
+		return Recovered{}, err
+	}
+	rec, _, _, err := scanDir(s.fs, dir, true)
+	return rec, err
 }
 
 func segName(from int) string   { return fmt.Sprintf("wal-%d.log", from) }
@@ -170,7 +207,7 @@ func snapName(total int) string { return fmt.Sprintf("snap-%d.snap", total) }
 // through simply ends the recovered prefix. A stream with no persisted
 // state reads as a zero Recovered.
 func (s *Store) Read(id string) (Recovered, error) {
-	rec, _, err := scanDir(s.streamDir(id), false)
+	rec, _, _, err := scanDir(s.fs, s.streamDir(id), false)
 	if err != nil && os.IsNotExist(err) {
 		return Recovered{}, nil
 	}
@@ -179,13 +216,14 @@ func (s *Store) Read(id string) (Recovered, error) {
 
 // scanDir scans a stream directory: picks the newest valid snapshot,
 // replays the segments after it into a contiguous tail, and reports which
-// segment should receive new appends. With mutate set it also truncates a
-// torn final record and removes interrupted temp files; read-only scans
-// leave the directory untouched.
-func scanDir(dir string, mutate bool) (Recovered, int, error) {
-	ents, err := os.ReadDir(dir)
+// segment should receive new appends along with that segment's current
+// valid byte length. With mutate set it also truncates a torn final
+// record and removes interrupted temp files; read-only scans leave the
+// directory untouched.
+func scanDir(fsys vfs.FS, dir string, mutate bool) (Recovered, int, int64, error) {
+	ents, err := fsys.ReadDir(dir)
 	if err != nil {
-		return Recovered{}, 0, err
+		return Recovered{}, 0, 0, err
 	}
 	var snaps, segs []int
 	for _, e := range ents {
@@ -193,7 +231,9 @@ func scanDir(dir string, mutate bool) (Recovered, int, error) {
 		switch {
 		case strings.HasSuffix(name, ".tmp"):
 			if mutate {
-				os.Remove(filepath.Join(dir, name)) // interrupted snapshot write
+				// Interrupted snapshot write; removal is cosmetic, and a
+				// failure here must not block recovery.
+				_ = fsys.Remove(filepath.Join(dir, name))
 			}
 		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
 			if n, err := strconv.Atoi(name[len("snap-") : len(name)-len(".snap")]); err == nil {
@@ -210,7 +250,7 @@ func scanDir(dir string, mutate bool) (Recovered, int, error) {
 
 	rec := Recovered{}
 	for _, total := range snaps {
-		payload, err := readSnapFile(filepath.Join(dir, snapName(total)))
+		payload, err := readSnapFile(fsys, filepath.Join(dir, snapName(total)))
 		if err != nil {
 			continue // corrupt or torn snapshot; fall back to an older one
 		}
@@ -219,32 +259,37 @@ func scanDir(dir string, mutate bool) (Recovered, int, error) {
 	}
 
 	next := rec.SnapTotal
+	var lastLen int64
 	for i, from := range segs {
-		torn, err := replaySegment(filepath.Join(dir, segName(from)), mutate, &next, &rec.Tail)
+		valid, torn, err := replaySegment(fsys, filepath.Join(dir, segName(from)), mutate, &next, &rec.Tail)
 		if err != nil {
-			return Recovered{}, 0, err
+			return Recovered{}, 0, 0, err
 		}
 		if torn && i != len(segs)-1 {
-			return Recovered{}, 0, fmt.Errorf("%w: torn record in non-final segment %s", ErrCorrupt, segName(from))
+			return Recovered{}, 0, 0, fmt.Errorf("%w: torn record in non-final segment %s", ErrCorrupt, segName(from))
 		}
+		lastLen = valid
 	}
 
 	activeFrom := rec.SnapTotal
-	if n := len(segs); n > 0 && segs[n-1] > activeFrom {
+	activeLen := int64(0)
+	if n := len(segs); n > 0 && segs[n-1] >= activeFrom {
 		activeFrom = segs[n-1]
+		activeLen = lastLen
 	}
-	return rec, activeFrom, nil
+	return rec, activeFrom, activeLen, nil
 }
 
 // replaySegment appends the segment's points to tail, skipping records
 // already covered by *next (pre-snapshot leftovers of an interrupted
 // rotation) and clipping records that straddle the already-covered
-// prefix. It reports whether a torn record ended the segment; with
-// truncate set the torn bytes are also removed from the file.
-func replaySegment(path string, truncate bool, next *int, tail *[]float64) (bool, error) {
-	data, err := os.ReadFile(path)
+// prefix. It returns the valid byte length of the segment and whether a
+// torn record ended it; with truncate set the torn bytes are also removed
+// from the file.
+func replaySegment(fsys vfs.FS, path string, truncate bool, next *int, tail *[]float64) (int64, bool, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
-		return false, err
+		return 0, false, err
 	}
 	off := 0
 	for off < len(data) {
@@ -262,7 +307,7 @@ func replaySegment(path string, truncate bool, next *int, tail *[]float64) (bool
 		}
 		pos, cnt, pts, err := decodePoints(payload)
 		if err != nil {
-			return false, fmt.Errorf("%w: %s: %v", ErrCorrupt, filepath.Base(path), err)
+			return 0, false, fmt.Errorf("%w: %s: %v", ErrCorrupt, filepath.Base(path), err)
 		}
 		switch {
 		case pos+cnt <= *next:
@@ -272,19 +317,19 @@ func replaySegment(path string, truncate bool, next *int, tail *[]float64) (bool
 			*tail = append(*tail, pts[*next-pos:]...)
 			*next = pos + cnt
 		default:
-			return false, fmt.Errorf("%w: gap at position %d (next record starts at %d)", ErrCorrupt, *next, pos)
+			return 0, false, fmt.Errorf("%w: gap at position %d (next record starts at %d)", ErrCorrupt, *next, pos)
 		}
 		off += recHeader + n
 	}
 	if off < len(data) {
 		if truncate {
-			if err := os.Truncate(path, int64(off)); err != nil {
-				return false, err
+			if err := fsys.Truncate(path, int64(off)); err != nil {
+				return 0, false, err
 			}
 		}
-		return true, nil
+		return int64(off), true, nil
 	}
-	return false, nil
+	return int64(off), false, nil
 }
 
 // decodePoints parses a recPoints payload into (pos, count, points).
@@ -313,12 +358,35 @@ func decodePoints(p []byte) (int, int, []float64, error) {
 	return int(pos), int(cnt), pts, nil
 }
 
+// rewind restores the no-torn-record invariant after a failed append:
+// truncate the active segment back to the last confirmed record boundary.
+// Until it succeeds the log refuses further appends, so a torn record can
+// never be followed by a good one.
+func (l *StreamLog) rewind() error {
+	if err := l.f.Truncate(l.size); err != nil {
+		return fmt.Errorf("wal: rewinding torn segment to %d bytes: %w", l.size, err)
+	}
+	l.dirty = false
+	return nil
+}
+
 // Append durably logs pts as the points at global positions
 // [pos, pos+len(pts)). One call writes one record; callers batch at their
 // natural push granularity.
+//
+// On failure the record is rewound away (or, if even the rewind fails,
+// the log remembers the torn tail and retries the rewind before the next
+// append), so the segment never gains a record after a torn one. The
+// caller sees an error either way; positioned records make a retried or
+// resent append idempotent.
 func (l *StreamLog) Append(pos int, pts []float64) error {
 	if len(pts) == 0 {
 		return nil
+	}
+	if l.dirty {
+		if err := l.rewind(); err != nil {
+			return err
+		}
 	}
 	l.buf = l.buf[:0]
 	l.buf = append(l.buf, make([]byte, recHeader)...)
@@ -331,12 +399,37 @@ func (l *StreamLog) Append(pos int, pts []float64) error {
 	payload := l.buf[recHeader:]
 	binary.LittleEndian.PutUint32(l.buf, uint32(len(payload)))
 	binary.LittleEndian.PutUint32(l.buf[4:], crc32.Checksum(payload, crcTable))
-	if _, err := l.f.Write(l.buf); err != nil {
+	n, err := l.f.Write(l.buf)
+	if err != nil || n != len(l.buf) {
+		if err == nil {
+			err = fmt.Errorf("wal: short write: %d of %d bytes", n, len(l.buf))
+		}
+		if n > 0 {
+			// A prefix of the record landed in the file: torn. Rewind now;
+			// if the disk refuses that too, stay dirty and refuse appends
+			// until a rewind succeeds.
+			l.dirty = true
+			if rerr := l.rewind(); rerr != nil {
+				return fmt.Errorf("%w (rewind also failed: %v)", err, rerr)
+			}
+		}
 		return err
 	}
 	if l.store.opts.Fsync {
-		return l.f.Sync()
+		if err := l.f.Sync(); err != nil {
+			// The record is complete in the file but its durability was
+			// never confirmed — after a failed fsync the kernel may have
+			// dropped the pages. Rewind it away so the log only ever holds
+			// confirmed records; the caller re-appends or heals via a
+			// checkpoint.
+			l.dirty = true
+			if rerr := l.rewind(); rerr != nil {
+				return fmt.Errorf("%w (rewind also failed: %v)", err, rerr)
+			}
+			return err
+		}
 	}
+	l.size += int64(len(l.buf))
 	return nil
 }
 
@@ -344,11 +437,26 @@ func (l *StreamLog) Append(pos int, pts []float64) error {
 // the snapshot at total points, rotates appends onto a fresh segment, and
 // deletes every older segment and snapshot. After it returns, recovery
 // needs only this snapshot plus subsequent appends.
+//
+// Snapshot is also the healing operation after append failures: the new
+// checkpoint supersedes every record logged before it, so a stream whose
+// appends have been failing becomes fully durable again the moment one
+// Snapshot succeeds. Every failure point leaves the store consistent —
+// at worst with superseded files awaiting deletion on the next attempt.
 func (l *StreamLog) Snapshot(total int, payload []byte) error {
+	fsys := l.store.fs
+	// 0. Restore the torn-tail invariant first: a rotation must never
+	// leave a torn record in what becomes a non-final segment.
+	if l.dirty {
+		if err := l.rewind(); err != nil {
+			return err
+		}
+	}
+
 	// 1. Snapshot file: temp, fsync, rename, directory fsync.
 	final := filepath.Join(l.dir, snapName(total))
 	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -366,49 +474,65 @@ func (l *StreamLog) Snapshot(total int, payload []byte) error {
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		// Removal of the dead temp file is cosmetic; recovery ignores and
+		// cleans *.tmp anyway.
+		_ = fsys.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, final); err != nil {
+		_ = fsys.Remove(tmp)
 		return err
 	}
-	syncDir(l.dir)
+	if err := syncDir(fsys, l.dir); err != nil {
+		// The rename may not be durable; report it like any other sync
+		// failure so the caller retries the checkpoint. The store stays
+		// consistent either way — recovery takes whichever snapshot
+		// survives plus the still-intact segments.
+		return fmt.Errorf("wal: syncing directory after snapshot rename: %w", err)
+	}
 
 	// 2. Rotate onto a fresh segment.
 	old := l.f
-	nf, err := os.OpenFile(filepath.Join(l.dir, segName(total)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	nf, err := fsys.OpenFile(filepath.Join(l.dir, segName(total)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		// Keep appending to the old segment; replay skips the records the
+		// new snapshot covers, so the store stays consistent.
 		return err
 	}
-	if l.store.opts.Fsync {
-		old.Sync()
-	}
-	old.Close()
+	// Everything in the old segment is superseded by the snapshot just
+	// written, so a close error cannot lose acknowledged state.
+	_ = old.Close()
 	l.f = nf
+	l.size = 0
+	l.dirty = false
 
-	// 3. Drop everything the new snapshot supersedes.
-	ents, err := os.ReadDir(l.dir)
+	// 3. Drop everything the new snapshot supersedes. Failures leave only
+	// already-superseded files behind; report the first so the caller can
+	// retry the cleanup with its next checkpoint.
+	ents, err := fsys.ReadDir(l.dir)
 	if err != nil {
 		return err
 	}
+	var firstErr error
 	for _, e := range ents {
 		name := e.Name()
 		var n int
+		var perr error
 		switch {
 		case strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap"):
-			n, err = strconv.Atoi(name[len("snap-") : len(name)-len(".snap")])
+			n, perr = strconv.Atoi(name[len("snap-") : len(name)-len(".snap")])
 		case strings.HasPrefix(name, "wal-") && strings.HasSuffix(name, ".log"):
-			n, err = strconv.Atoi(name[len("wal-") : len(name)-len(".log")])
+			n, perr = strconv.Atoi(name[len("wal-") : len(name)-len(".log")])
 		default:
 			continue
 		}
-		if err == nil && n < total {
-			os.Remove(filepath.Join(l.dir, name))
+		if perr == nil && n < total {
+			if rerr := fsys.Remove(filepath.Join(l.dir, name)); rerr != nil && firstErr == nil {
+				firstErr = rerr
+			}
 		}
-		err = nil
 	}
-	return nil
+	return firstErr
 }
 
 // Sync flushes the active segment to stable storage regardless of the
@@ -419,15 +543,17 @@ func (l *StreamLog) Sync() error { return l.f.Sync() }
 // afterwards.
 func (l *StreamLog) Close() error {
 	if err := l.f.Sync(); err != nil {
-		l.f.Close()
+		// Surface the sync failure; the close still runs so the handle is
+		// not leaked, but its error is secondary.
+		_ = l.f.Close()
 		return err
 	}
 	return l.f.Close()
 }
 
 // readSnapFile validates and returns a snapshot file's payload.
-func readSnapFile(path string) ([]byte, error) {
-	data, err := os.ReadFile(path)
+func readSnapFile(fsys vfs.FS, path string) ([]byte, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -443,10 +569,18 @@ func readSnapFile(path string) ([]byte, error) {
 	return payload, nil
 }
 
-// syncDir best-effort fsyncs a directory so renames within it are durable.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+// syncDir fsyncs a directory so renames within it are durable, surfacing
+// any failure to the caller — a sync error here means the rename may not
+// survive power loss, which the durability layer must treat exactly like
+// a failed data sync.
+func syncDir(fsys vfs.FS, dir string) error {
+	d, err := fsys.Open(dir)
+	if err != nil {
+		return err
 	}
+	if err := d.Sync(); err != nil {
+		_ = d.Close()
+		return err
+	}
+	return d.Close()
 }

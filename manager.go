@@ -67,6 +67,12 @@ var (
 	// ErrUnknownStream is returned for operations on ids that do not
 	// exist (and have not been implicitly created).
 	ErrUnknownStream = manager.ErrUnknownStream
+	// ErrStreamQuarantined rejects operations on a stream whose detection
+	// engine panicked or whose persisted state could not be recovered.
+	// The stream is held as a tombstone — memory released, on-disk state
+	// preserved for inspection — so one poisoned stream never takes down
+	// the process. CloseStream deletes it; a restart retries recovery.
+	ErrStreamQuarantined = manager.ErrStreamQuarantined
 )
 
 // ErrManagerCallback is returned by NewManager when the stream template
@@ -74,16 +80,40 @@ var (
 // Manager.Subscribe instead of a callback.
 var ErrManagerCallback = errors.New("egi: Manager delivers events via Subscribe; Stream.OnAnomaly must be nil")
 
-// StreamEvent is one confirmed anomaly from a managed stream, tagged with
-// the id of the stream that produced it. Anomaly.Pos counts from the first
+// StreamEvent is one event from a managed stream, tagged with the id of
+// the stream that produced it: a confirmed anomaly or — when Health is
+// non-empty — a health transition. Anomaly.Pos counts from the first
 // point pushed to that stream.
 type StreamEvent struct {
 	// Stream is the id of the stream the event belongs to.
 	Stream string
 	// Anomaly is the confirmed anomaly; like Streamer events it never
-	// changes once delivered.
+	// changes once delivered. Meaningless when Health is set.
 	Anomaly Anomaly
+	// Health, when non-empty, marks this as a health transition instead
+	// of an anomaly: HealthDegraded (durability failing, stream detecting
+	// in memory while the manager retries with backoff), HealthHealed (a
+	// checkpoint succeeded, fully durable again), or HealthQuarantined
+	// (engine panic — the stream is now a tombstone).
+	Health string
+	// Cause carries the failure text behind a degraded or quarantined
+	// transition.
+	Cause string
 }
+
+// Health transition values carried by StreamEvent.Health, re-exported
+// from the serving core.
+const (
+	// HealthDegraded marks the transition into degraded (memory-only)
+	// operation after a durability failure.
+	HealthDegraded = manager.HealthDegraded
+	// HealthHealed marks the return to full durability after a
+	// successful checkpoint.
+	HealthHealed = manager.HealthHealed
+	// HealthQuarantined marks a stream tombstoned by a panic or an
+	// unrecoverable persisted state.
+	HealthQuarantined = manager.HealthQuarantined
+)
 
 // StreamStats is a point-in-time snapshot of one managed stream's
 // accounting.
@@ -101,6 +131,19 @@ type StreamStats struct {
 	// LastPush is when the stream last accepted a push (Created until
 	// the first push).
 	LastPush time.Time
+	// Degraded reports that the stream's durability is failing: it keeps
+	// detecting and accepting pushes in memory while the manager retries
+	// logging with capped backoff and heals by checkpoint once writes
+	// succeed. Points accepted while degraded are lost if the process
+	// dies before healing — monitor this flag.
+	Degraded bool
+	// Quarantined reports a tombstoned stream (engine panic or
+	// unrecoverable persisted state): pushes are rejected with
+	// ErrStreamQuarantined until it is closed or the process restarts.
+	Quarantined bool
+	// Fault is the failure text behind Degraded or Quarantined; empty on
+	// a healthy stream.
+	Fault string
 }
 
 // ManagerStats is a point-in-time snapshot of a whole Manager.
@@ -112,6 +155,11 @@ type ManagerStats struct {
 	// Evicted counts streams evicted for idleness or budget since the
 	// manager was created (explicit CloseStream calls not included).
 	Evicted int64
+	// Degraded counts live streams currently in degraded (memory-only)
+	// mode.
+	Degraded int64
+	// Quarantined counts quarantined tombstone streams.
+	Quarantined int64
 }
 
 // Manager multiplexes many independent streaming detectors behind one
@@ -241,6 +289,8 @@ func (m *Manager) Subscribe(id string, buf int) (<-chan StreamEvent, func()) {
 				se := StreamEvent{
 					Stream:  ev.Stream,
 					Anomaly: Anomaly{Pos: ev.Anomaly.Pos, Length: ev.Anomaly.Length, Density: ev.Anomaly.Density},
+					Health:  ev.Health,
+					Cause:   ev.Cause,
 				}
 				select {
 				case out <- se:
@@ -315,9 +365,11 @@ func (m *Manager) StreamStats(id string) (StreamStats, error) {
 func (m *Manager) Stats() ManagerStats {
 	st := m.m.Stats()
 	out := ManagerStats{
-		Streams:    make([]StreamStats, len(st.Streams)),
-		TotalBytes: st.TotalBytes,
-		Evicted:    st.Evicted,
+		Streams:     make([]StreamStats, len(st.Streams)),
+		TotalBytes:  st.TotalBytes,
+		Evicted:     st.Evicted,
+		Degraded:    st.Degraded,
+		Quarantined: st.Quarantined,
 	}
 	for i, s := range st.Streams {
 		out.Streams[i] = fromStats(s)
@@ -346,5 +398,32 @@ func fromStats(st manager.StreamStats) StreamStats {
 		MemoryBytes: st.MemoryBytes,
 		Created:     st.Created,
 		LastPush:    st.LastPush,
+		Degraded:    st.Degraded,
+		Quarantined: st.Quarantined,
+		Fault:       st.Fault,
 	}
+}
+
+// RecoveryFailure records one stream directory that could not be recovered
+// at startup: the manager skipped it (quarantining the id) instead of
+// aborting, so one corrupt or unreadable directory never blocks every
+// other stream from coming back.
+type RecoveryFailure struct {
+	// Stream is the id whose persisted state failed to recover.
+	Stream string
+	// Err describes why recovery failed.
+	Err error
+}
+
+// RecoveryFailures reports the stream directories that failed to recover
+// when the manager started (empty for a clean start). Each failed id is
+// quarantined: operations on it return ErrStreamQuarantined, its on-disk
+// state is preserved for inspection, and CloseStream deletes it.
+func (m *Manager) RecoveryFailures() []RecoveryFailure {
+	fs := m.m.RecoveryFailures()
+	out := make([]RecoveryFailure, len(fs))
+	for i, f := range fs {
+		out[i] = RecoveryFailure{Stream: f.Stream, Err: f.Err}
+	}
+	return out
 }

@@ -1,0 +1,217 @@
+// Command errcheck is the repository's discarded-error gate: it fails
+// (exit code 1) when a call whose result includes an error is used as a
+// bare statement — the error silently vanishes. The durability packages
+// are the reason this gate exists: a swallowed write/sync/close error in
+// the WAL or the manager turns a recoverable disk fault into silent data
+// loss.
+//
+// Usage:
+//
+//	go run ./tools/errcheck [patterns...]
+//
+// With no patterns it checks ./internal/wal and ./internal/manager, the
+// packages where an unobserved error is a durability bug by definition.
+// Assigning the error to blank (`_ = f()`) passes: it is a visible,
+// reviewable statement that the error was considered and dropped on
+// purpose. Bare `go f()` and `defer f()` with an error-returning f are
+// flagged like bare calls; test files are exempt.
+//
+// Calls are judged by their type-checked signature (go/types with a
+// source importer). If type information for a call cannot be resolved,
+// the call is skipped rather than guessed at — the gate prefers a false
+// negative over failing the build on checker limitations.
+//
+// Exit codes: 0 all checks pass, 1 findings were reported, 2 the checker
+// itself failed (bad pattern, unparsable file).
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./internal/wal", "./internal/manager"}
+	}
+	dirs, err := expand(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "errcheck:", err)
+		os.Exit(2)
+	}
+	var findings []string
+	for _, dir := range dirs {
+		fs, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "errcheck:", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		fmt.Printf("errcheck: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// expand resolves "./..."-style patterns into the set of directories that
+// contain .go files, skipping testdata and hidden directories.
+func expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, p := range patterns {
+		root, recursive := p, false
+		if strings.HasSuffix(p, "/...") {
+			root, recursive = strings.TrimSuffix(p, "/..."), true
+		}
+		if root == "" {
+			root = "."
+		}
+		if !recursive {
+			add(filepath.Clean(root))
+			continue
+		}
+		err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			if info.IsDir() {
+				base := filepath.Base(path)
+				if base == "testdata" || (len(base) > 1 && strings.HasPrefix(base, ".")) {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") {
+				add(filepath.Dir(path))
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// checkDir type-checks one directory's non-test package and reports every
+// call statement that discards an error.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	var findings []string
+	for _, pkg := range pkgs {
+		var files []*ast.File
+		for _, f := range pkg.Files {
+			files = append(files, f)
+		}
+		info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+		conf := types.Config{
+			Importer: importer.ForCompiler(fset, "source", nil),
+			// Partial type information is still useful: record what
+			// resolves and keep going.
+			Error: func(error) {},
+		}
+		_, _ = conf.Check(dir, fset, files, info)
+		for _, f := range files {
+			findings = append(findings, checkFile(fset, f, info)...)
+		}
+	}
+	sort.Strings(findings)
+	return findings, nil
+}
+
+// checkFile walks one file for bare call, go, and defer statements whose
+// callee returns an error.
+func checkFile(fset *token.FileSet, f *ast.File, info *types.Info) []string {
+	var findings []string
+	report := func(call *ast.CallExpr, how string) {
+		p := fset.Position(call.Pos())
+		findings = append(findings, fmt.Sprintf("%s:%d: %s discards the error from %s", p.Filename, p.Line, how, callName(call)))
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok && returnsError(call, info) {
+				report(call, "statement")
+			}
+		case *ast.GoStmt:
+			if returnsError(st.Call, info) {
+				report(st.Call, "go statement")
+			}
+		case *ast.DeferStmt:
+			if returnsError(st.Call, info) {
+				report(st.Call, "defer statement")
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// returnsError reports whether the type-checked result of call includes an
+// error. Calls whose type did not resolve are skipped (never flagged).
+func returnsError(call *ast.CallExpr, info *types.Info) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+// isErrorType reports whether t is the built-in error interface (or an
+// alias of it).
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// callName renders a readable name for the callee: the selector path for
+// method and package calls, the identifier for plain calls, and a generic
+// label otherwise.
+func callName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		if x, ok := fn.X.(*ast.Ident); ok {
+			return x.Name + "." + fn.Sel.Name
+		}
+		return "(...)." + fn.Sel.Name
+	default:
+		return "function value"
+	}
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFile writes one source file under dir, creating parents.
+func writeFile(t *testing.T, dir, name, src string) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckDirFlagsDiscards(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.go", `// Package a exercises the checker.
+package a
+
+import "os"
+
+func fails() error { return nil }
+
+func pure() int { return 1 }
+
+func uses() {
+	fails()               // flagged: bare statement
+	go fails()            // flagged: goroutine result vanishes
+	defer fails()         // flagged: deferred result vanishes
+	os.Remove("x")        // flagged: tuple-free stdlib error
+	_ = fails()           // passes: explicit, reviewable discard
+	if err := fails(); err != nil { // passes: handled
+		_ = err
+	}
+	pure()    // passes: no error in the signature
+	println() // passes: built-in, no error
+}
+`)
+	findings, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 4 {
+		t.Fatalf("got %d findings, want 4:\n%s", len(findings), strings.Join(findings, "\n"))
+	}
+	wantSubstrings := []string{"fails", "fails", "fails", "os.Remove"}
+	for _, want := range wantSubstrings {
+		var hit bool
+		for _, f := range findings {
+			if strings.Contains(f, want) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			t.Errorf("no finding mentions %q:\n%s", want, strings.Join(findings, "\n"))
+		}
+	}
+}
+
+func TestCheckDirMultiValueReturns(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.go", `// Package a exercises tuple returns.
+package a
+
+func pair() (int, error) { return 0, nil }
+
+func uses() {
+	pair()       // flagged: the error is the second value
+	n, _ := pair()
+	_ = n
+}
+`)
+	findings, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "pair") {
+		t.Fatalf("got findings %v, want one for pair", findings)
+	}
+}
+
+func TestCheckDirSkipsTests(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.go", "// Package a is clean.\npackage a\n")
+	writeFile(t, dir, "a_test.go", `package a
+
+import "os"
+
+func helper() { os.Remove("x") }
+`)
+	findings, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("test files gated: %v", findings)
+	}
+}
+
+func TestCheckDirCleanPackage(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "a.go", `// Package a handles all of its errors.
+package a
+
+import "os"
+
+func uses() error {
+	if err := os.Remove("x"); err != nil {
+		return err
+	}
+	return nil
+}
+`)
+	findings, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("clean package reported: %v", findings)
+	}
+}
