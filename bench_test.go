@@ -618,6 +618,80 @@ func benchManagerPushParallel(b *testing.B, streams, procs, window, bufLen, batc
 	})
 }
 
+// BenchmarkRouterPushParallel is BenchmarkManagerPushParallel through
+// the routed serving tier: the same GOMAXPROCS producers push the same
+// 256-point batches round-robin across 32 streams, but the Manager is
+// built with NewShardedManager(M), so every call resolves its shard by
+// rendezvous hash and crosses a per-stream latch before it reaches a
+// stream table. The shards=1 cell is the unrouted baseline (a sharded
+// manager of one collapses to NewManager), so the delta to shards=4/8
+// is the router's whole cost: on a single contended table the routing
+// layer must be ~free, and once the per-shard tables are the bottleneck
+// more shards must not slow ingest down. Sub-benchmarks pin GOMAXPROCS
+// themselves for the same b.Run-naming reason as the manager benchmark.
+func BenchmarkRouterPushParallel(b *testing.B) {
+	const (
+		window  = 100
+		bufLen  = 1000
+		batch   = 256
+		streams = 32
+	)
+	for _, shards := range []int{1, 4, 8} {
+		for _, procs := range []int{1, 4, 8} {
+			benchRouterPushParallel(b, shards, streams, procs, window, bufLen, batch)
+		}
+	}
+}
+
+// benchRouterPushParallel runs one (shards, procs) cell of the routed
+// serving benchmark with GOMAXPROCS pinned to procs.
+func benchRouterPushParallel(b *testing.B, shards, streams, procs, window, bufLen, batch int) {
+	b.Run(fmt.Sprintf("shards=%d/procs=%d", shards, procs), func(b *testing.B) {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		m, err := egi.NewShardedManager(shards, egi.ManagerOptions{
+			Stream: egi.StreamOptions{
+				Window:       window,
+				BufLen:       bufLen,
+				EnsembleSize: benchSize,
+				Seed:         benchSeed,
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer m.Close()
+		ids := make([]string, streams)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("s%02d", i)
+			if err := m.Open(ids[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		points := benchWave(bufLen, batch, window)
+		var producer atomic.Int64
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			// Stagger producers across the streams so every stream is
+			// hit and neighboring producers mostly use different ids.
+			n := int(producer.Add(1)) - 1
+			off := 0
+			for pb.Next() {
+				if _, err := m.PushBatchN(ids[n%streams], points[off:off+batch]); err != nil {
+					b.Error(err) // Error, not Fatal: safe off the main goroutine
+					return
+				}
+				n++
+				off = (off + batch) % bufLen
+			}
+		})
+		b.StopTimer()
+		pts := float64(b.N) * float64(batch)
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/pts, "ns/point")
+		b.ReportMetric(pts/b.Elapsed().Seconds(), "points/s")
+	})
+}
+
 // --- Ablations (DESIGN.md §4) ---
 
 // BenchmarkAblationMultiResSAX quantifies the §6.2 claim: the shared

@@ -1,0 +1,131 @@
+package main
+
+// Shard administration endpoints, live only in -shards mode (a
+// single-shard server answers them with 409 ErrNotSharded):
+//
+//	POST /v1/admin/resize {"shards": N}    grow or shrink the shard set
+//	POST /v1/admin/drain  {"shard": name}  empty one shard onto the rest
+//
+// Both migrate affected streams live — each stream is quiesced, its
+// snapshot + WAL tail shipped, and resumed on its new shard — and
+// return the router's post-operation placement snapshot.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"egi"
+)
+
+// routerStatsJSON is the wire form of egi.RouterStats.
+type routerStatsJSON struct {
+	Version           uint64          `json:"version"`
+	Shards            []shardStatJSON `json:"shards"`
+	Pinned            int             `json:"pinned"`
+	Lookups           int64           `json:"lookups"`
+	Migrations        int64           `json:"migrations"`
+	MigrationBytes    int64           `json:"migration_bytes"`
+	MigrationFailures int64           `json:"migration_failures"`
+}
+
+// shardStatJSON is one shard's slice of routerStatsJSON.
+type shardStatJSON struct {
+	Name        string `json:"name"`
+	Draining    bool   `json:"draining,omitempty"`
+	Streams     int    `json:"streams"`
+	MemoryBytes int64  `json:"memory_bytes"`
+}
+
+func toRouterStatsJSON(rs egi.RouterStats) routerStatsJSON {
+	out := routerStatsJSON{
+		Version:           rs.Version,
+		Shards:            make([]shardStatJSON, len(rs.Shards)),
+		Pinned:            rs.Pinned,
+		Lookups:           rs.Lookups,
+		Migrations:        rs.Migrations,
+		MigrationBytes:    rs.MigrationBytes,
+		MigrationFailures: rs.MigrationFailures,
+	}
+	for i, sh := range rs.Shards {
+		out.Shards[i] = shardStatJSON{Name: sh.Name, Draining: sh.Draining, Streams: sh.Streams, MemoryBytes: sh.MemoryBytes}
+	}
+	return out
+}
+
+// adminErrorCode maps shard-administration errors: ErrNotSharded is a
+// 409 (the server is running without -shards), everything else falls
+// back to the shared mapping.
+func adminErrorCode(err error) int {
+	if errors.Is(err, egi.ErrNotSharded) {
+		return http.StatusConflict
+	}
+	return errorCode(err)
+}
+
+// adminResize handles POST /v1/admin/resize: change the shard count
+// live. Partial failure (some streams could not move) is a 500 whose
+// body still carries the router snapshot — unmoved streams keep serving
+// on their old shards, pinned, and the next resize or drain retries.
+func (s *server) adminResize(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Shards int `json:"shards"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing resize request: %w", err))
+		return
+	}
+	if req.Shards < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("shards must be >= 1 (got %d)", req.Shards))
+		return
+	}
+	err := s.m.Resize(req.Shards)
+	s.writeAdminResult(w, err)
+}
+
+// adminDrain handles POST /v1/admin/drain: migrate every stream off one
+// shard, leaving it empty (and still in the set — shrink with resize to
+// remove it).
+func (s *server) adminDrain(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Shard string `json:"shard"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("parsing drain request: %w", err))
+		return
+	}
+	if req.Shard == "" {
+		writeError(w, http.StatusBadRequest, errors.New("shard name required"))
+		return
+	}
+	err := s.m.Drain(req.Shard)
+	s.writeAdminResult(w, err)
+}
+
+// writeAdminResult reports a resize/drain outcome with the router's
+// current placement snapshot attached — on failure too, so the operator
+// sees exactly which shards hold what.
+func (s *server) writeAdminResult(w http.ResponseWriter, opErr error) {
+	rs, statsErr := s.m.RouterStats()
+	if opErr != nil {
+		code := adminErrorCode(opErr)
+		if code == http.StatusBadRequest {
+			// Migration failures are server-side conditions, not client
+			// mistakes.
+			code = http.StatusInternalServerError
+		}
+		setRetryAfter(w, code)
+		body := map[string]any{"error": opErr.Error()}
+		if statsErr == nil {
+			body["router"] = toRouterStatsJSON(rs)
+		}
+		writeJSON(w, code, body)
+		return
+	}
+	if statsErr != nil {
+		writeError(w, adminErrorCode(statsErr), statsErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"router": toRouterStatsJSON(rs)})
+}

@@ -11,7 +11,7 @@
 //	egiserve -window 900 [-addr :8080] [-buflen 9000] [-hop 0] \
 //	         [-threshold 0.2] [-adaptive 0] [-field value] [-nonfinite reject] \
 //	         [-max-streams 0] [-max-bytes 0] [-idle-after 10m] [-sweep 1m] \
-//	         [-data-dir ""] [-snapshot-every 8192] [-fsync] \
+//	         [-data-dir ""] [-snapshot-every 8192] [-fsync] [-shards 1] \
 //	         [-pprof-addr localhost:6060]
 //
 // Endpoints:
@@ -42,6 +42,31 @@
 //	GET    /healthz                   liveness summary; status "degraded"
 //	                                  when any stream is degraded or
 //	                                  quarantined
+//	GET    /metrics                   Prometheus text exposition: stream /
+//	                                  point / event / memory gauges, health
+//	                                  tallies, ingest and eviction counters,
+//	                                  and per-shard + migration metrics in
+//	                                  -shards mode
+//	POST   /v1/admin/resize           {"shards": N} — grow or shrink the
+//	                                  shard set live (requires -shards)
+//	POST   /v1/admin/drain            {"shard": name} — migrate every
+//	                                  stream off one shard (requires
+//	                                  -shards)
+//
+// With -shards M (M > 1), the server runs M in-process manager shards
+// behind a rendezvous-hashing router: each stream lives on exactly one
+// shard (its own -data-dir subdirectory, its own locks; -max-streams and
+// -max-bytes apply per shard), stats name each stream's shard, and the
+// admin endpoints rebalance live — affected streams are quiesced one at
+// a time, their snapshot + WAL tail shipped, and resumed bit-identically
+// on the new shard.
+//
+// Ingest accepts per-stream setting overrides as query parameters on the
+// first push (window, buflen, hop, threshold, rebase_every), e.g.
+// POST /v1/streams/{id}/points?window=300&threshold=0.4. Overrides bind
+// at create time and travel with the stream across restarts and shard
+// moves; pushing with overrides to an existing stream whose settings
+// differ is rejected with 409 and zero points applied.
 //
 // Ingest responses are JSON; limit rejections (stream cap reached with
 // nothing idle, memory budget exhausted) are 429, shutdown is 503, and
@@ -145,6 +170,7 @@ func run(args []string, stdout io.Writer) error {
 		dataDir    = fs.String("data-dir", "", "durability directory: write-ahead log + snapshots per stream; empty = in-memory only")
 		snapEvery  = fs.Int("snapshot-every", 0, "accepted points between snapshot checkpoints per stream (default 8192; requires -data-dir)")
 		fsync      = fs.Bool("fsync", false, "fsync the write-ahead log after every ingest (survive power loss, not just crashes)")
+		shards     = fs.Int("shards", 1, "in-process manager shards behind a rendezvous-hashing router; limits apply per shard, /v1/admin/{resize,drain} rebalance live")
 		eventBuf   = fs.Int("event-buffer", 1024, "per-SSE-subscription event channel capacity")
 		maxBody    = fs.Int64("max-body", defaultMaxBody, "maximum ingest request body size, in bytes")
 		size       = fs.Int("size", 0, "ensemble size N (default 50)")
@@ -174,7 +200,14 @@ Endpoints:
   GET    /v1/events[?stream=id]     SSE firehose of confirmed events and
                                     stream health transitions
   GET    /healthz                   liveness summary (+ degraded streams)
+  GET    /metrics                   Prometheus text exposition
+  POST   /v1/admin/resize           {"shards": N} — resize the shard set
+  POST   /v1/admin/drain            {"shard": name} — empty one shard
 
+With -shards M, the server runs M manager shards behind a rendezvous-
+hashing router (limits per shard); ingest accepts per-stream overrides
+as query parameters (window, buflen, hop, threshold, rebase_every),
+rejected with 409 if the stream exists with different settings.
 Limit rejections are HTTP 429, shutdown 503 (both with Retry-After),
 malformed bodies 400; every ingest error body carries "accepted", the
 applied-prefix length. With -data-dir, streams are write-ahead logged and
@@ -207,7 +240,10 @@ Flags:
 		return fmt.Errorf("-nonfinite must be reject, clamp or drop (got %q)", *nonFinite)
 	}
 
-	m, err := egi.NewManager(egi.ManagerOptions{
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be >= 1 (got %d)", *shards)
+	}
+	m, err := egi.NewShardedManager(*shards, egi.ManagerOptions{
 		Stream: egi.StreamOptions{
 			Window:           *window,
 			BufLen:           *bufLen,
@@ -268,7 +304,7 @@ Flags:
 
 	listenErr := make(chan error, 1)
 	go func() { listenErr <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(stdout, "egiserve listening on %s (window=%d buflen=%d)\n", *addr, *window, *bufLen)
+	fmt.Fprintf(stdout, "egiserve listening on %s (window=%d buflen=%d shards=%d)\n", *addr, *window, *bufLen, *shards)
 
 	select {
 	case err := <-listenErr:

@@ -1,0 +1,111 @@
+package main
+
+// GET /metrics: Prometheus text exposition (version 0.0.4), hand-rolled
+// from the manager/stream/router stats the server already keeps — no
+// client library, no new dependency. Gauges derive from live-stream
+// snapshots; counters (evictions, migrations, ingest totals, routing
+// lookups) come from monotonic sources so scrapes survive stream churn.
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"egi"
+)
+
+// promWriter accumulates one exposition. Families are written HELP line,
+// TYPE line, then samples — the order the text format requires.
+type promWriter struct {
+	b strings.Builder
+}
+
+func (p *promWriter) family(name, help, typ string) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func (p *promWriter) sample(name, labels string, v float64) {
+	if labels != "" {
+		fmt.Fprintf(&p.b, "%s{%s} %g\n", name, labels, v)
+	} else {
+		fmt.Fprintf(&p.b, "%s %g\n", name, v)
+	}
+}
+
+// promLabel renders one label pair, escaping the value per the text
+// format (backslash, double quote, newline).
+func promLabel(key, val string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return fmt.Sprintf(`%s="%s"`, key, r.Replace(val))
+}
+
+// metrics handles GET /metrics with the Prometheus text exposition of
+// the serving stats: stream counts, point/event/memory totals, health
+// tallies, the process-lifetime ingest counter, and — in -shards mode —
+// per-shard placement plus the router's migration counters.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	st := s.m.Stats()
+	var points, events int64
+	for _, ss := range st.Streams {
+		points += ss.Points
+		events += ss.Events
+	}
+
+	p := &promWriter{}
+	p.family("egi_streams", "Live streams.", "gauge")
+	p.sample("egi_streams", "", float64(len(st.Streams)))
+	p.family("egi_stream_points", "Points held by live streams (resets when a stream closes).", "gauge")
+	p.sample("egi_stream_points", "", float64(points))
+	p.family("egi_stream_events", "Confirmed anomaly events across live streams.", "gauge")
+	p.sample("egi_stream_events", "", float64(events))
+	p.family("egi_memory_bytes", "Rolled-up memory footprint across live streams.", "gauge")
+	p.sample("egi_memory_bytes", "", float64(st.TotalBytes))
+	p.family("egi_streams_degraded", "Live streams in degraded (memory-only) durability mode.", "gauge")
+	p.sample("egi_streams_degraded", "", float64(st.Degraded))
+	p.family("egi_streams_quarantined", "Quarantined tombstone streams.", "gauge")
+	p.sample("egi_streams_quarantined", "", float64(st.Quarantined))
+	p.family("egi_recovery_failures", "Stream directories skipped by startup recovery.", "gauge")
+	p.sample("egi_recovery_failures", "", float64(len(s.m.RecoveryFailures())))
+	p.family("egi_streams_evicted_total", "Streams evicted for idleness or budget since start.", "counter")
+	p.sample("egi_streams_evicted_total", "", float64(st.Evicted))
+	p.family("egi_ingest_points_total", "Points accepted over HTTP ingest since start.", "counter")
+	p.sample("egi_ingest_points_total", "", float64(s.ingested.Load()))
+
+	if rs, err := s.m.RouterStats(); err == nil {
+		shards := append([]egi.ShardStats(nil), rs.Shards...)
+		sort.Slice(shards, func(i, j int) bool { return shards[i].Name < shards[j].Name })
+		p.family("egi_shard_streams", "Live streams per serving shard.", "gauge")
+		for _, sh := range shards {
+			p.sample("egi_shard_streams", promLabel("shard", sh.Name), float64(sh.Streams))
+		}
+		p.family("egi_shard_memory_bytes", "Memory footprint per serving shard.", "gauge")
+		for _, sh := range shards {
+			p.sample("egi_shard_memory_bytes", promLabel("shard", sh.Name), float64(sh.MemoryBytes))
+		}
+		p.family("egi_shard_draining", "1 while the shard is being drained.", "gauge")
+		for _, sh := range shards {
+			v := 0.0
+			if sh.Draining {
+				v = 1
+			}
+			p.sample("egi_shard_draining", promLabel("shard", sh.Name), v)
+		}
+		p.family("egi_router_placement_version", "Placement-table generation; bumps on resize or drain.", "gauge")
+		p.sample("egi_router_placement_version", "", float64(rs.Version))
+		p.family("egi_router_pinned_streams", "Streams placed by pin instead of rendezvous hash.", "gauge")
+		p.sample("egi_router_pinned_streams", "", float64(rs.Pinned))
+		p.family("egi_router_lookups_total", "Routing resolutions since start.", "counter")
+		p.sample("egi_router_lookups_total", "", float64(rs.Lookups))
+		p.family("egi_router_migrations_total", "Committed stream migrations since start.", "counter")
+		p.sample("egi_router_migrations_total", "", float64(rs.Migrations))
+		p.family("egi_router_migration_bytes_total", "State bytes shipped by committed migrations.", "counter")
+		p.sample("egi_router_migration_bytes_total", "", float64(rs.MigrationBytes))
+		p.family("egi_router_migration_failures_total", "Migrations that failed before commit.", "counter")
+		p.sample("egi_router_migration_failures_total", "", float64(rs.MigrationFailures))
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = fmt.Fprint(w, p.b.String())
+}

@@ -7,9 +7,12 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"egi"
@@ -34,6 +37,11 @@ type server struct {
 	// (defaulting to 30s/15s) so tests can compress them.
 	sseWriteTimeout time.Duration
 	heartbeatEvery  time.Duration
+
+	// ingested counts points accepted by this server process since start:
+	// the monotonic egi_ingest_points_total counter on /metrics (stream
+	// point counts reset when streams close; a counter must not).
+	ingested atomic.Int64
 }
 
 // defaultMaxBody caps ingest bodies when -max-body is unset. Ingest
@@ -77,6 +85,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/streams/{id}", s.closeStream)
 	mux.HandleFunc("GET /v1/events", s.events)
 	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("POST /v1/admin/resize", s.adminResize)
+	mux.HandleFunc("POST /v1/admin/drain", s.adminDrain)
 	return mux
 }
 
@@ -110,6 +121,7 @@ type streamStatsJSON struct {
 	Degraded    bool      `json:"degraded,omitempty"`
 	Quarantined bool      `json:"quarantined,omitempty"`
 	Fault       string    `json:"fault,omitempty"`
+	Shard       string    `json:"shard,omitempty"`
 }
 
 func toStatsJSON(st egi.StreamStats) streamStatsJSON {
@@ -123,6 +135,7 @@ func toStatsJSON(st egi.StreamStats) streamStatsJSON {
 		Degraded:    st.Degraded,
 		Quarantined: st.Quarantined,
 		Fault:       st.Fault,
+		Shard:       st.Shard,
 	}
 }
 
@@ -170,10 +183,11 @@ func writeIngestError(w http.ResponseWriter, code int, err error, accepted int) 
 }
 
 // errorCode maps manager/detector errors onto HTTP statuses: limit
-// rejections are 429 (back off and retry), shutdown is 503, a quarantined
-// stream is a server-side 500 (the client's request was fine; the stream
-// needs operator attention or a DELETE), everything else about the
-// request's content is 400.
+// rejections are 429 (back off and retry), shutdown is 503, a settings
+// conflict with an existing stream is 409, a quarantined stream is a
+// server-side 500 (the client's request was fine; the stream needs
+// operator attention or a DELETE), everything else about the request's
+// content is 400.
 func errorCode(err error) int {
 	switch {
 	case errors.Is(err, egi.ErrTooManyStreams), errors.Is(err, egi.ErrOverBudget):
@@ -182,11 +196,56 @@ func errorCode(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, egi.ErrUnknownStream):
 		return http.StatusNotFound
+	case errors.Is(err, egi.ErrStreamConfig):
+		return http.StatusConflict
 	case errors.Is(err, egi.ErrStreamQuarantined):
 		return http.StatusInternalServerError
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// parseOverrides reads per-stream setting overrides from ingest query
+// parameters (window, buflen, hop, threshold, rebase_every). Absent
+// parameters inherit the server's template; the zero value and false
+// report no overrides at all.
+func parseOverrides(q url.Values) (egi.StreamOverrides, bool, error) {
+	var ov egi.StreamOverrides
+	any := false
+	intParam := func(name string, dst *int) error {
+		v := q.Get(name)
+		if v == "" {
+			return nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("query parameter %s must be a positive integer (got %q)", name, v)
+		}
+		*dst = n
+		any = true
+		return nil
+	}
+	if err := intParam("window", &ov.Window); err != nil {
+		return ov, false, err
+	}
+	if err := intParam("buflen", &ov.BufLen); err != nil {
+		return ov, false, err
+	}
+	if err := intParam("hop", &ov.Hop); err != nil {
+		return ov, false, err
+	}
+	if err := intParam("rebase_every", &ov.RebaseEvery); err != nil {
+		return ov, false, err
+	}
+	if v := q.Get("threshold"); v != "" {
+		t, err := strconv.ParseFloat(v, 64)
+		if err != nil || !(t > 0 && t <= 1) {
+			return ov, false, fmt.Errorf("query parameter threshold must be in (0, 1] (got %q)", v)
+		}
+		ov.Threshold = t
+		any = true
+	}
+	return ov, any, nil
 }
 
 // ingest handles POST /v1/streams/{id}/points: the body is either NDJSON
@@ -221,7 +280,20 @@ func (s *server) ingest(w http.ResponseWriter, r *http.Request) {
 		writeIngestError(w, http.StatusBadRequest, errors.New("no points in request body"), 0)
 		return
 	}
+	// Per-stream setting overrides ride on query parameters; they bind at
+	// create time, so pushing with overrides to an existing stream whose
+	// settings differ is a 409 with zero points applied.
+	if ov, hasOv, err := parseOverrides(r.URL.Query()); err != nil {
+		writeIngestError(w, http.StatusBadRequest, err, 0)
+		return
+	} else if hasOv {
+		if err := s.m.OpenWith(id, ov); err != nil {
+			writeIngestError(w, errorCode(err), err, 0)
+			return
+		}
+	}
 	accepted, err := s.m.PushBatchN(id, points)
+	s.ingested.Add(int64(accepted))
 	if err != nil {
 		writeIngestError(w, errorCode(err), err, accepted)
 		return

@@ -1,0 +1,344 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"egi"
+)
+
+// promSample matches one exposition sample line: a metric name, an
+// optional label set, and a number.
+var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9]+(\.[0-9]+)?([eE][-+]?[0-9]+)?$`)
+
+// scrape fetches /metrics, validates the text exposition line by line,
+// and returns the samples keyed by their full name{labels} token.
+func scrape(t *testing.T, client *http.Client, base string) map[string]float64 {
+	t.Helper()
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]float64{}
+	seenHelp, seenType := map[string]bool{}, map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if h, ok := strings.CutPrefix(line, "# HELP "); ok {
+			seenHelp[strings.SplitN(h, " ", 2)[0]] = true
+			continue
+		}
+		if ty, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			fields := strings.Fields(ty)
+			if len(fields) != 2 || (fields[1] != "gauge" && fields[1] != "counter") {
+				t.Fatalf("bad TYPE line: %q", line)
+			}
+			seenType[fields[0]] = true
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Fatalf("bad sample line: %q", line)
+		}
+		sp := strings.LastIndex(line, " ")
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad sample value in %q: %v", line, err)
+		}
+		key := line[:sp]
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if !seenHelp[name] || !seenType[name] {
+			t.Fatalf("sample %q precedes its HELP/TYPE lines", line)
+		}
+		out[key] = v
+	}
+	return out
+}
+
+// TestMetricsExposition: /metrics serves valid Prometheus text format
+// with the serving gauges and the monotonic ingest counter, no client
+// library involved.
+func TestMetricsExposition(t *testing.T) {
+	m, err := egi.NewManager(egi.ManagerOptions{Stream: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(newServer(m, "value", 4096, 0, limits{}).handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	for i, id := range []string{"a", "b"} {
+		data := sensorSeries(500, 40, int64(i), 200)
+		resp := post(t, client, fmt.Sprintf("%s/v1/streams/%s/points", ts.URL, id), jsonBody(t, data), "application/json")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %s: status %d", id, resp.StatusCode)
+		}
+	}
+
+	samples := scrape(t, client, ts.URL)
+	if got := samples["egi_streams"]; got != 2 {
+		t.Fatalf("egi_streams = %g, want 2", got)
+	}
+	if got := samples["egi_ingest_points_total"]; got != 1000 {
+		t.Fatalf("egi_ingest_points_total = %g, want 1000", got)
+	}
+	if got := samples["egi_stream_points"]; got != 1000 {
+		t.Fatalf("egi_stream_points = %g, want 1000", got)
+	}
+	if got := samples["egi_memory_bytes"]; got <= 0 {
+		t.Fatalf("egi_memory_bytes = %g", got)
+	}
+	for _, name := range []string{"egi_streams_degraded", "egi_streams_quarantined", "egi_streams_evicted_total", "egi_recovery_failures"} {
+		if got, ok := samples[name]; !ok || got != 0 {
+			t.Fatalf("%s = %g (present %v), want 0", name, got, ok)
+		}
+	}
+	// A single-shard server exposes no router families.
+	for key := range samples {
+		if strings.HasPrefix(key, "egi_shard_") || strings.HasPrefix(key, "egi_router_") {
+			t.Fatalf("router metric %q on a single-shard server", key)
+		}
+	}
+}
+
+// adminPost posts a JSON body to an admin endpoint and decodes the
+// response into out, returning the status code.
+func adminPost(t *testing.T, client *http.Client, url string, req any, out any) int {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := post(t, client, url, bytes.NewReader(b), "application/json")
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestShardedServingAndAdmin: a -shards server spreads streams over the
+// shard set, names each stream's shard in stats, keeps listings sorted,
+// exposes per-shard metrics, and resizes and drains live through the
+// admin endpoints without losing a point.
+func TestShardedServingAndAdmin(t *testing.T) {
+	m, err := egi.NewShardedManager(3, egi.ManagerOptions{Stream: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(newServer(m, "value", 4096, 0, limits{}).handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	const nStreams, nPoints = 12, 300
+	for i := 0; i < nStreams; i++ {
+		// Deliberately ingest in reverse order; the listing must sort.
+		id := fmt.Sprintf("sensor-%02d", nStreams-1-i)
+		data := sensorSeries(nPoints, 40, int64(i), 100)
+		resp := post(t, client, fmt.Sprintf("%s/v1/streams/%s/points", ts.URL, id), jsonBody(t, data), "application/json")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %s: status %d", id, resp.StatusCode)
+		}
+	}
+
+	lr := getList(t, client, ts.URL)
+	if len(lr.Streams) != nStreams {
+		t.Fatalf("%d streams listed, want %d", len(lr.Streams), nStreams)
+	}
+	shardsUsed := map[string]int{}
+	for i, st := range lr.Streams {
+		if i > 0 && lr.Streams[i-1].ID >= st.ID {
+			t.Fatalf("listing out of order: %q before %q", lr.Streams[i-1].ID, st.ID)
+		}
+		if st.Shard == "" {
+			t.Fatalf("%s: no shard in stats", st.ID)
+		}
+		shardsUsed[st.Shard]++
+	}
+	if len(shardsUsed) < 2 {
+		t.Fatalf("all streams on one shard: %v", shardsUsed)
+	}
+
+	samples := scrape(t, client, ts.URL)
+	var perShard float64
+	for name, n := range shardsUsed {
+		key := fmt.Sprintf(`egi_shard_streams{shard="%s"}`, name)
+		if got := samples[key]; got != float64(n) {
+			t.Fatalf("%s = %g, want %d", key, samples[key], n)
+		}
+		perShard += samples[key]
+	}
+	if perShard != nStreams {
+		t.Fatalf("shard stream gauges sum to %g, want %d", perShard, nStreams)
+	}
+	if samples["egi_router_migrations_total"] != 0 {
+		t.Fatalf("migrations before any admin call: %g", samples["egi_router_migrations_total"])
+	}
+
+	// Grow to 4 shards, live.
+	var grown struct {
+		Router routerStatsJSON `json:"router"`
+	}
+	if code := adminPost(t, client, ts.URL+"/v1/admin/resize", map[string]int{"shards": 4}, &grown); code != http.StatusOK {
+		t.Fatalf("resize status %d", code)
+	}
+	if len(grown.Router.Shards) != 4 {
+		t.Fatalf("%d shards after resize, want 4: %+v", len(grown.Router.Shards), grown.Router)
+	}
+	if grown.Router.Version < 2 {
+		t.Fatalf("placement version %d after resize, want >= 2", grown.Router.Version)
+	}
+
+	// Drain the busiest shard; its streams move and keep serving.
+	busiest, most := "", -1
+	for _, sh := range grown.Router.Shards {
+		if sh.Streams > most {
+			busiest, most = sh.Name, sh.Streams
+		}
+	}
+	var drained struct {
+		Router routerStatsJSON `json:"router"`
+	}
+	if code := adminPost(t, client, ts.URL+"/v1/admin/drain", map[string]string{"shard": busiest}, &drained); code != http.StatusOK {
+		t.Fatalf("drain status %d", code)
+	}
+	for _, sh := range drained.Router.Shards {
+		if sh.Name == busiest {
+			if sh.Streams != 0 || !sh.Draining {
+				t.Fatalf("drained shard %+v", sh)
+			}
+		}
+	}
+	if drained.Router.Migrations < int64(most) {
+		t.Fatalf("migrations %d after draining %d streams", drained.Router.Migrations, most)
+	}
+
+	// Every stream survived both operations with every point intact.
+	lr = getList(t, client, ts.URL)
+	if len(lr.Streams) != nStreams {
+		t.Fatalf("%d streams after resize+drain, want %d", len(lr.Streams), nStreams)
+	}
+	for _, st := range lr.Streams {
+		if st.Points != nPoints {
+			t.Fatalf("%s: %d points after resize+drain, want %d", st.ID, st.Points, nPoints)
+		}
+		if st.Shard == busiest {
+			t.Fatalf("%s still on drained shard %s", st.ID, busiest)
+		}
+	}
+
+	// Bad admin requests.
+	if code := adminPost(t, client, ts.URL+"/v1/admin/resize", map[string]int{"shards": 0}, nil); code != http.StatusBadRequest {
+		t.Fatalf("resize to 0: status %d", code)
+	}
+	if code := adminPost(t, client, ts.URL+"/v1/admin/drain", map[string]string{"shard": "nope"}, nil); code == http.StatusOK {
+		t.Fatal("draining an unknown shard succeeded")
+	}
+}
+
+// TestAdminNotSharded: shard administration on a single-shard server is
+// a 409, not a crash or a silent no-op.
+func TestAdminNotSharded(t *testing.T) {
+	m, err := egi.NewManager(egi.ManagerOptions{Stream: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(newServer(m, "value", 4096, 0, limits{}).handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	if code := adminPost(t, client, ts.URL+"/v1/admin/resize", map[string]int{"shards": 2}, nil); code != http.StatusConflict {
+		t.Fatalf("resize on single-shard server: status %d, want 409", code)
+	}
+	if code := adminPost(t, client, ts.URL+"/v1/admin/drain", map[string]string{"shard": "shard-000"}, nil); code != http.StatusConflict {
+		t.Fatalf("drain on single-shard server: status %d, want 409", code)
+	}
+}
+
+// TestIngestOverrides: query-parameter overrides create the stream with
+// pinned settings; repeating them is idempotent, conflicting ones are a
+// 409, malformed ones a 400 — and a rejected request pushes nothing.
+func TestIngestOverrides(t *testing.T) {
+	m, err := egi.NewManager(egi.ManagerOptions{Stream: testOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ts := httptest.NewServer(newServer(m, "value", 4096, 0, limits{}).handler())
+	defer ts.Close()
+	client := ts.Client()
+	url := ts.URL + "/v1/streams/s/points"
+
+	resp := post(t, client, url+"?threshold=0.5", strings.NewReader("1\n2\n3\n"), "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest with overrides: status %d", resp.StatusCode)
+	}
+	resp = post(t, client, url+"?threshold=0.5", strings.NewReader("4\n5\n"), "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat ingest with same overrides: status %d", resp.StatusCode)
+	}
+	resp = post(t, client, url, strings.NewReader("6\n"), "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest without overrides on overridden stream: status %d", resp.StatusCode)
+	}
+
+	resp = post(t, client, url+"?threshold=0.4", strings.NewReader("7\n"), "")
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("conflicting overrides: status %d: %s", resp.StatusCode, body)
+	}
+
+	for _, q := range []string{"?threshold=2", "?threshold=abc", "?window=0", "?window=abc", "?hop=-1", "?rebase_every=x"} {
+		resp = post(t, client, url+q, strings.NewReader("8\n"), "")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+
+	// Rejected requests pushed nothing: 3+2+1 accepted points total.
+	resp, err2 := client.Get(ts.URL + "/v1/streams/s")
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	var st struct {
+		Stats streamStatsJSON `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Stats.Points != 6 {
+		t.Fatalf("points = %d, want 6", st.Stats.Points)
+	}
+}

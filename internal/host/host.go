@@ -1,0 +1,82 @@
+// Package host defines the serving-tier seam: StreamHost is the
+// interface a stream-serving node exposes — everything internal/manager
+// provides to the public API and the HTTP server — so callers can run
+// against one Manager or a whole routed fleet of them without knowing
+// which. internal/router implements StreamHost over many member hosts;
+// MigratableHost is the extra surface (export / import / release) a
+// member must provide for the router to move streams between members
+// live.
+package host
+
+import (
+	"egi/internal/manager"
+	"egi/internal/stream"
+)
+
+// StreamHost is the serving surface of a stream-hosting node: ingest,
+// queries, events, stats, durability operations, and lifecycle. Both
+// *manager.Manager and *router.Router implement it; everything above the
+// serving tier (the public egi API, egiserve, the quality and chaos
+// harnesses) programs against this interface.
+type StreamHost interface {
+	// Open creates the stream if it does not exist yet; idempotent.
+	Open(id string) error
+	// OpenStream is Open with per-stream setting overrides, failing with
+	// manager.ErrStreamConfig when the stream exists with different
+	// effective settings.
+	OpenStream(id string, ov manager.Overrides) error
+	// Push appends one point to the stream, creating it on first use.
+	Push(id string, x float64) error
+	// PushBatch appends the points, in order, creating the stream on
+	// first use.
+	PushBatch(id string, xs []float64) error
+	// PushBatchN is PushBatch reporting how many points were accepted
+	// before any error.
+	PushBatchN(id string, xs []float64) (int, error)
+	// Anomalies returns the stream's current top-K ranking.
+	Anomalies(id string) ([]stream.Event, error)
+	// Subscribe registers for confirmed events of one stream ("" for
+	// all); the cancel deregisters.
+	Subscribe(id string, buf int) (<-chan manager.Event, func())
+	// Stats snapshots every live stream plus rolled-up accounting.
+	Stats() manager.Stats
+	// StreamStats snapshots one live stream.
+	StreamStats(id string) (manager.StreamStats, error)
+	// CloseStream terminally closes the stream and returns its final
+	// stats.
+	CloseStream(id string) (manager.StreamStats, error)
+	// EvictIdle evicts every stream idle past the configured horizon.
+	EvictIdle() []manager.StreamStats
+	// SnapshotStream forces a durability checkpoint of the stream now.
+	SnapshotStream(id string) error
+	// ReplayStream re-derives a stream's events from persisted state.
+	ReplayStream(id string, fn func(hop int, ev stream.Event) error) (int, error)
+	// RecoveryFailures lists streams quarantined by startup recovery.
+	RecoveryFailures() []manager.RecoveryFailure
+	// StreamIDs lists every held stream (live or hibernated), sorted.
+	StreamIDs() []string
+	// TotalBytes is the rolled-up memory footprint.
+	TotalBytes() int64
+	// Len is the number of live streams.
+	Len() int
+	// Close shuts the host down.
+	Close() error
+}
+
+// MigratableHost is a StreamHost whose streams can be moved to another
+// host: the router requires it of members so Resize and Drain can
+// export a stream's versioned state, import it elsewhere, and release
+// the source copy.
+type MigratableHost interface {
+	StreamHost
+	// ExportStream captures the stream's complete portable state without
+	// disturbing it.
+	ExportStream(id string) (manager.StreamState, error)
+	// ImportStream resumes exported state on this host; its durable
+	// checkpoint is the migration commit point.
+	ImportStream(st manager.StreamState) error
+	// ReleaseStream discards this host's copy after a committed move.
+	ReleaseStream(id string) error
+}
+
+var _ MigratableHost = (*manager.Manager)(nil)

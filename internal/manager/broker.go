@@ -72,22 +72,37 @@ func (s *subscription) deliver(ev Event) {
 	}
 }
 
-// broker fans confirmed events out to subscribers. Delivery applies
+// Broker fans confirmed events out to subscribers. Delivery applies
 // backpressure, never loss: a publisher blocks on a full subscriber
 // channel until the subscriber reads or cancels. Subscriptions are
 // independent — a stalled subscriber delays only publishers whose events
 // match its filter, never delivery to other subscribers' streams.
 // Per-stream ordering is preserved because each stream's events reach the
 // broker through that stream's serialized drain.
-type broker struct {
+//
+// A Broker is normally private to one Manager; NewBroker builds one to
+// share between several managers via Config.Events, which keeps
+// per-stream event order intact when a stream migrates between them.
+type Broker struct {
 	mu     sync.Mutex // guards subs and closed
 	subs   map[*subscription]struct{}
 	closed bool
 }
 
-func newBroker() *broker {
-	return &broker{subs: make(map[*subscription]struct{})}
+func newBroker() *Broker {
+	return &Broker{subs: make(map[*subscription]struct{})}
 }
+
+// NewBroker builds a broker for sharing between managers (Config.Events).
+// The caller owns its lifetime: Close it after every sharing manager has
+// shut down.
+func NewBroker() *Broker { return newBroker() }
+
+// Close ends event delivery on a shared broker: subscriber channels are
+// closed, blocked deliveries are woken and abandoned, later publishes are
+// dropped. Idempotent. Managers close their own private brokers; call
+// this only on brokers built with NewBroker.
+func (b *Broker) Close() { b.close() }
 
 // subscribe registers a mailbox of the given capacity for one stream's
 // events ("" for all streams). The returned cancel is idempotent and frees
@@ -95,7 +110,7 @@ func newBroker() *broker {
 // closes (manager shutdown), so a canceled subscriber should stop reading
 // rather than wait for close. Subscribing to a closed broker returns an
 // already-closed channel.
-func (b *broker) subscribe(stream string, buf int) (<-chan Event, func()) {
+func (b *Broker) subscribe(stream string, buf int) (<-chan Event, func()) {
 	if buf <= 0 {
 		buf = 1
 	}
@@ -120,7 +135,7 @@ func (b *broker) subscribe(stream string, buf int) (<-chan Event, func()) {
 }
 
 // publish delivers the events, in order, to every matching subscriber.
-func (b *broker) publish(evs []Event) {
+func (b *Broker) publish(evs []Event) {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -144,7 +159,7 @@ func (b *broker) publish(evs []Event) {
 // close ends event delivery: every subscriber channel is closed (their
 // receive loops terminate), in-flight blocked deliveries are woken and
 // abandoned, and later publishes are dropped.
-func (b *broker) close() {
+func (b *Broker) close() {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()

@@ -37,6 +37,7 @@ package manager
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -108,6 +109,14 @@ type Config struct {
 	// through; nil means the real OS. Fault-injection tests use it to
 	// fail specific operations and exercise degraded mode.
 	FS vfs.FS
+	// Events, when non-nil, is a shared event broker: the manager
+	// publishes into it instead of creating its own, and Close leaves it
+	// open (the sharer owns its lifecycle). A routing tier passes one
+	// broker to every member shard so a merged subscription sees events
+	// in per-stream order even across a stream migration — the source
+	// shard's last events are already in the subscriber channels before
+	// the target shard publishes its first.
+	Events *Broker
 	// Now is the clock, injectable for tests; nil means time.Now.
 	Now func() time.Time
 }
@@ -140,11 +149,15 @@ type StreamStats struct {
 	// Fault is the text of the failure behind Degraded or Quarantined;
 	// empty on a healthy stream.
 	Fault string
+	// Shard names the serving shard hosting the stream. A standalone
+	// manager leaves it empty; the routing tier (internal/router) fills
+	// it in when merging stats across shards.
+	Shard string
 }
 
 // Stats is a point-in-time snapshot of the whole manager.
 type Stats struct {
-	// Streams holds one snapshot per live stream, in unspecified order.
+	// Streams holds one snapshot per live stream, sorted by id.
 	Streams []StreamStats
 	// TotalBytes is the rolled-up MemoryFootprint across live streams.
 	TotalBytes int64
@@ -164,6 +177,12 @@ type Stats struct {
 type entry struct {
 	id      string
 	created time.Time
+
+	// overrides holds the stream's effective (normalized) settings for
+	// the overridable knobs; immutable after construction. Equal to the
+	// template's effective values unless the stream was created with
+	// per-stream overrides.
+	overrides Overrides
 
 	mu        sync.Mutex // guards d, pending, spare, closed, log, sinceSnap, faultErr, retryAt, backoff
 	d         *stream.Detector
@@ -228,9 +247,14 @@ func fnv32a(s string) uint32 {
 type Manager struct {
 	cfg       Config
 	now       func() time.Time
-	broker    *broker
+	broker    *Broker
 	store     *wal.Store // nil when DataDir is empty
 	snapEvery int
+
+	// templateOv is the template's effective values for the overridable
+	// knobs, precomputed at New; the settings a stream created without
+	// overrides runs with.
+	templateOv Overrides
 
 	shards [shardCount]shard
 
@@ -280,12 +304,22 @@ func New(cfg Config) (*Manager, error) {
 	if now == nil {
 		now = time.Now
 	}
+	b := cfg.Events
+	if b == nil {
+		b = newBroker()
+	}
 	m := &Manager{
 		cfg:       cfg,
 		now:       now,
-		broker:    newBroker(),
+		broker:    b,
 		snapEvery: cfg.SnapshotEvery,
 	}
+	// The template was just validated, so its normalized form cannot fail.
+	tpl, err := cfg.Stream.Normalized()
+	if err != nil {
+		return nil, fmt.Errorf("manager: stream template: %w", err)
+	}
+	m.templateOv = Overrides{Window: tpl.Window, BufLen: tpl.BufLen, Hop: tpl.Hop, Threshold: tpl.Threshold, RebaseEvery: tpl.RebaseEvery}
 	for i := range m.shards {
 		m.shards[i].streams = make(map[string]*entry)
 	}
@@ -310,16 +344,17 @@ func New(cfg Config) (*Manager, error) {
 // MaxStreams limit (evicting an idle stream if necessary). It is
 // idempotent: opening an existing stream is a no-op.
 func (m *Manager) Open(id string) error {
-	_, evicted, err := m.get(id, true)
-	m.retire(evicted)
-	return err
+	return m.OpenStream(id, Overrides{})
 }
 
 // get looks up (and under create, makes) the entry for id. The lookup is
-// the ingest hot path: one shard read lock, no global state. It returns
+// the ingest hot path: one shard read lock, no global state. A non-zero
+// ov either pins the settings of a newly created stream or is checked
+// against an existing one (ErrStreamConfig on mismatch); the hot path
+// passes the zero Overrides, which skips the check entirely. get returns
 // any entries evicted to make room; the caller must drain them after all
 // locks are released — which has already happened by the time get returns.
-func (m *Manager) get(id string, create bool) (*entry, []*entry, error) {
+func (m *Manager) get(id string, create bool, ov Overrides) (*entry, []*entry, error) {
 	if m.closed.Load() {
 		return nil, nil, ErrManagerClosed
 	}
@@ -328,17 +363,20 @@ func (m *Manager) get(id string, create bool) (*entry, []*entry, error) {
 	e := sh.streams[id]
 	sh.mu.RUnlock()
 	if e != nil {
+		if err := m.checkOverrides(e, ov); err != nil {
+			return nil, nil, err
+		}
 		return e, nil, nil
 	}
 	if !create {
 		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownStream, id)
 	}
-	return m.create(id, sh)
+	return m.create(id, sh, ov)
 }
 
 // create admits a new stream under createMu, so concurrent creations
 // serialize and the MaxStreams/MaxBytes checks stay atomic.
-func (m *Manager) create(id string, sh *shard) (*entry, []*entry, error) {
+func (m *Manager) create(id string, sh *shard, ov Overrides) (*entry, []*entry, error) {
 	m.createMu.Lock()
 	defer m.createMu.Unlock()
 	if m.closed.Load() {
@@ -350,6 +388,9 @@ func (m *Manager) create(id string, sh *shard) (*entry, []*entry, error) {
 	e := sh.streams[id]
 	sh.mu.RUnlock()
 	if e != nil {
+		if err := m.checkOverrides(e, ov); err != nil {
+			return nil, nil, err
+		}
 		return e, nil, nil
 	}
 	var evicted []*entry
@@ -362,7 +403,7 @@ func (m *Manager) create(id string, sh *shard) (*entry, []*entry, error) {
 	}
 	// openEntry recovers persisted state when the manager is durable, so
 	// a previously evicted (hibernated) stream resumes here transparently.
-	e, err := m.openEntry(id)
+	e, err := m.openEntry(id, ov)
 	if err != nil {
 		return nil, evicted, err
 	}
@@ -422,7 +463,7 @@ func (m *Manager) PushBatchN(id string, xs []float64) (int, error) {
 		if err := m.reserveBytes(); err != nil {
 			return 0, err
 		}
-		e, evicted, err := m.get(id, true)
+		e, evicted, err := m.get(id, true, Overrides{})
 		m.retire(evicted)
 		if err != nil {
 			return 0, err
@@ -718,7 +759,7 @@ func (m *Manager) Subscribe(id string, buf int) (<-chan Event, func()) {
 // Anomalies returns the stream's current top-K ranking within its retained
 // horizon (see stream.Detector.Anomalies). The stream must exist.
 func (m *Manager) Anomalies(id string) ([]stream.Event, error) {
-	e, _, err := m.get(id, false)
+	e, _, err := m.get(id, false, Overrides{})
 	if err != nil {
 		return nil, err
 	}
@@ -753,7 +794,7 @@ func (e *entry) snapshot() StreamStats {
 // StreamStats returns one live stream's snapshot. The read takes only the
 // stream's shard read lock plus atomics, so it never blocks ingest.
 func (m *Manager) StreamStats(id string) (StreamStats, error) {
-	e, _, err := m.get(id, false)
+	e, _, err := m.get(id, false, Overrides{})
 	if err != nil {
 		return StreamStats{}, err
 	}
@@ -761,10 +802,13 @@ func (m *Manager) StreamStats(id string) (StreamStats, error) {
 }
 
 // Stats returns a snapshot of every live stream plus the rolled-up
-// accounting. It walks the shards one read lock at a time and reads
-// per-entry counters through atomics, so it can run continuously against
-// hot shards without ever blocking a push: pushes hold only shard read
-// locks (which share) and entry locks (which Stats never takes).
+// accounting, the per-stream listing sorted by id — shard-map iteration
+// order is random, and a listing that shuffles between calls is useless
+// to diff, page through, or merge across shards. It walks the shards one
+// read lock at a time and reads per-entry counters through atomics, so
+// it can run continuously against hot shards without ever blocking a
+// push: pushes hold only shard read locks (which share) and entry locks
+// (which Stats never takes).
 func (m *Manager) Stats() Stats {
 	s := Stats{
 		Streams:     make([]StreamStats, 0, m.count.Load()),
@@ -781,6 +825,7 @@ func (m *Manager) Stats() Stats {
 		}
 		sh.mu.RUnlock()
 	}
+	sort.Slice(s.Streams, func(i, j int) bool { return s.Streams[i].ID < s.Streams[j].ID })
 	return s
 }
 
@@ -815,6 +860,10 @@ func (m *Manager) Close() error {
 	}
 	m.createMu.Unlock()
 	m.retire(entries)
-	m.broker.close()
+	if m.cfg.Events == nil {
+		// A shared broker (Config.Events) outlives this manager; its
+		// owner closes it after every sharing manager is down.
+		m.broker.close()
+	}
 	return nil
 }

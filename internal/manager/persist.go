@@ -45,6 +45,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -52,8 +53,11 @@ import (
 )
 
 // metaVersion versions the manager's wrapper around detector snapshots:
-// the accounting that must survive alongside the detector state.
-const metaVersion = 1
+// the accounting that must survive alongside the detector state. Version
+// 2 added the stream's effective settings (per-stream overrides), so a
+// stream restores under exactly the configuration it was created with;
+// version-1 payloads are still readable and imply template settings.
+const metaVersion = 2
 
 // Healing retry backoff bounds for degraded streams: the first retry
 // comes healBackoffMin after the fault, doubling per failed attempt up to
@@ -93,34 +97,79 @@ func (m *Manager) RecoveryFailures() []RecoveryFailure {
 	return out
 }
 
+// snapMeta is the manager-level accounting wrapped around a detector
+// snapshot: what must survive a restart or a migration besides the
+// detector state itself.
+type snapMeta struct {
+	events      int64
+	createdNano int64
+	// overrides holds the stream's effective settings. Zero in payloads
+	// written before metaVersion 2, meaning "the manager's template".
+	overrides Overrides
+}
+
 // wrapSnapshot prefixes a detector snapshot with the entry's durable
-// accounting (events count, creation time). Callers hold e.mu.
+// accounting (events count, creation time, effective settings). Callers
+// hold e.mu.
 func (e *entry) wrapSnapshot(det []byte) []byte {
-	buf := make([]byte, 0, len(det)+24)
+	buf := make([]byte, 0, len(det)+64)
 	buf = binary.AppendUvarint(buf, metaVersion)
 	buf = binary.AppendUvarint(buf, uint64(e.events.Load()))
 	buf = binary.AppendVarint(buf, e.created.UnixNano())
+	ov := e.overrides
+	buf = binary.AppendUvarint(buf, uint64(ov.Window))
+	buf = binary.AppendUvarint(buf, uint64(ov.BufLen))
+	buf = binary.AppendUvarint(buf, uint64(ov.Hop))
+	buf = binary.AppendUvarint(buf, math.Float64bits(ov.Threshold))
+	buf = binary.AppendUvarint(buf, uint64(ov.RebaseEvery))
 	return append(buf, det...)
 }
 
 // unwrapSnapshot splits a wrapped payload into accounting and the
-// detector snapshot.
-func unwrapSnapshot(payload []byte) (events int64, createdNano int64, det []byte, err error) {
+// detector snapshot. Both current (v2) and original (v1, no settings)
+// payloads are accepted.
+func unwrapSnapshot(payload []byte) (meta snapMeta, det []byte, err error) {
 	v, n := binary.Uvarint(payload)
-	if n <= 0 || v != metaVersion {
-		return 0, 0, nil, fmt.Errorf("manager: unsupported snapshot meta version")
+	if n <= 0 || v < 1 || v > metaVersion {
+		return snapMeta{}, nil, fmt.Errorf("manager: unsupported snapshot meta version")
 	}
 	payload = payload[n:]
-	ev, n := binary.Uvarint(payload)
-	if n <= 0 {
-		return 0, 0, nil, errors.New("manager: truncated snapshot meta")
+	uvarint := func() (uint64, bool) {
+		x, n := binary.Uvarint(payload)
+		if n <= 0 {
+			return 0, false
+		}
+		payload = payload[n:]
+		return x, true
 	}
-	payload = payload[n:]
+	ev, ok := uvarint()
+	if !ok {
+		return snapMeta{}, nil, errors.New("manager: truncated snapshot meta")
+	}
 	created, n := binary.Varint(payload)
 	if n <= 0 {
-		return 0, 0, nil, errors.New("manager: truncated snapshot meta")
+		return snapMeta{}, nil, errors.New("manager: truncated snapshot meta")
 	}
-	return int64(ev), created, payload[n:], nil
+	payload = payload[n:]
+	meta = snapMeta{events: int64(ev), createdNano: created}
+	if v >= 2 {
+		w, ok1 := uvarint()
+		bl, ok2 := uvarint()
+		hop, ok3 := uvarint()
+		thr, ok4 := uvarint()
+		re, ok5 := uvarint()
+		if !(ok1 && ok2 && ok3 && ok4 && ok5) {
+			return snapMeta{}, nil, errors.New("manager: truncated snapshot meta")
+		}
+		meta.overrides = Overrides{
+			Window:      int(w),
+			BufLen:      int(bl),
+			Hop:         int(hop),
+			Threshold:   math.Float64frombits(thr),
+			RebaseEvery: int(re),
+		}
+	}
+	return meta, payload, nil
 }
 
 // openEntry constructs the entry for id. Without a store this is a fresh
@@ -130,12 +179,24 @@ func unwrapSnapshot(payload []byte) (events int64, createdNano int64, det []byte
 // across a crash: a point acked but confirmed just before the crash may
 // be re-announced after it).
 //
+// ov is the caller's requested per-stream settings. For a genuinely new
+// stream they become the entry's pinned effective settings; for a stream
+// resuming from disk the persisted settings win, and a non-zero ov that
+// disagrees with them is an ErrStreamConfig conflict. A new durable
+// stream created with non-template settings is checkpointed immediately,
+// so the pin exists on disk before any WAL-only state could otherwise be
+// replayed under the wrong configuration.
+//
 // If the log cannot be opened for writing but the persisted state is
 // still readable (or there is none), the stream comes up DEGRADED: fully
 // functional in memory, retrying durability with backoff. Only a stream
 // whose state can neither be opened nor read fails here — resuming it
 // fresh would silently fork its history.
-func (m *Manager) openEntry(id string) (*entry, error) {
+func (m *Manager) openEntry(id string, ov Overrides) (*entry, error) {
+	want, err := m.effectiveOverrides(ov)
+	if err != nil {
+		return nil, err
+	}
 	e := &entry{id: id, created: m.now()}
 	cfg := m.cfg.Stream
 	cfg.OnEvent = func(ev stream.Event) {
@@ -146,6 +207,8 @@ func (m *Manager) openEntry(id string) (*entry, error) {
 	}
 
 	if m.store == nil {
+		e.overrides = want
+		want.applyEffective(&cfg)
 		d, err := stream.New(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("manager: creating stream %q: %w", id, err)
@@ -167,12 +230,41 @@ func (m *Manager) openEntry(id string) (*entry, error) {
 		}
 		rec, log, openFault = rec2, nil, err
 	}
-	if err := m.resumeEntry(e, cfg, rec.Snapshot, rec.Tail); err != nil {
+	closeLog := func() {
 		if log != nil {
 			// Close the handle we cannot use; its error is secondary to
-			// the resume failure being reported.
+			// the failure being reported.
 			_ = log.Close()
 		}
+	}
+	exists := rec.Snapshot != nil || len(rec.Tail) > 0
+	var meta snapMeta
+	var det []byte
+	if rec.Snapshot != nil {
+		if meta, det, err = unwrapSnapshot(rec.Snapshot); err != nil {
+			closeLog()
+			return nil, fmt.Errorf("manager: restoring stream %q: %w", id, err)
+		}
+	}
+	// Resolve the settings this stream actually runs with: persisted pin
+	// first, template for pre-pin (v1 or WAL-only) state, the request
+	// only for a genuinely new stream.
+	eff := meta.overrides
+	if eff.IsZero() {
+		if exists {
+			eff = m.templateOv
+		} else {
+			eff = want
+		}
+	}
+	if exists && !ov.IsZero() && want != eff {
+		closeLog()
+		return nil, overridesConflict(id, want, eff)
+	}
+	e.overrides = eff
+	eff.applyEffective(&cfg)
+	if err := m.resumeEntry(e, cfg, rec.Snapshot != nil, meta, det, rec.Tail); err != nil {
+		closeLog()
 		return nil, err
 	}
 	e.log = log
@@ -182,33 +274,38 @@ func (m *Manager) openEntry(id string) (*entry, error) {
 	e.lastPush.Store(m.now().UnixNano())
 	if openFault != nil {
 		m.degradeLocked(e, fmt.Errorf("manager: opening log for stream %q: %w", id, openFault))
+	} else if !exists && eff != m.templateOv {
+		// Pin non-template settings on disk at create: a WAL-only
+		// directory carries no configuration, so the first durable bytes
+		// must be a checkpoint. Failure degrades rather than fails — the
+		// documented degraded window applies.
+		if err := m.checkpointLocked(e); err != nil {
+			m.degradeLocked(e, err)
+		}
 	}
 	return e, nil
 }
 
 // resumeEntry restores the snapshot (or creates a fresh detector) and
-// replays the logged tail into e.d. A panic anywhere inside the engine —
-// poisoned snapshot bytes, a replay that trips an invariant — is
-// recovered here, at the manager's recovery boundary, and reported as an
-// errReplayPanic so the caller can quarantine the stream.
-func (m *Manager) resumeEntry(e *entry, cfg stream.Config, snap []byte, tail []float64) (err error) {
+// replays the logged tail into e.d. cfg already carries the stream's
+// effective settings. A panic anywhere inside the engine — poisoned
+// snapshot bytes, a replay that trips an invariant — is recovered here,
+// at the manager's recovery boundary, and reported as an errReplayPanic
+// so the caller can quarantine the stream.
+func (m *Manager) resumeEntry(e *entry, cfg stream.Config, hasSnap bool, meta snapMeta, det []byte, tail []float64) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%w: stream %q: %v", errReplayPanic, e.id, r)
 		}
 	}()
-	if snap != nil {
-		events, createdNano, det, err := unwrapSnapshot(snap)
-		var d *stream.Detector
-		if err == nil {
-			d, err = stream.Restore(cfg, det)
-		}
+	if hasSnap {
+		d, err := stream.Restore(cfg, det)
 		if err != nil {
 			return fmt.Errorf("manager: restoring stream %q: %w", e.id, err)
 		}
 		e.d = d
-		e.events.Store(events)
-		e.created = time.Unix(0, createdNano)
+		e.events.Store(meta.events)
+		e.created = time.Unix(0, meta.createdNano)
 	} else {
 		d, err := stream.New(cfg)
 		if err != nil {
@@ -241,7 +338,7 @@ func (m *Manager) recoverAll() error {
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		e, evicted, err := m.get(id, true)
+		e, evicted, err := m.get(id, true, Overrides{})
 		m.retire(evicted)
 		switch {
 		case errors.Is(err, ErrTooManyStreams) || errors.Is(err, ErrOverBudget):
@@ -381,15 +478,17 @@ func (m *Manager) maybeHealLocked(e *entry) {
 // torn record, the points stay applied in memory, and the healing
 // checkpoint will cover them. While degraded nothing is appended — a
 // resumed append after a gap would corrupt the log; only a checkpoint can
-// resume durability. Callers hold e.mu; no-op for non-durable managers.
+// resume durability. The coordinate is advanced even without a store, so
+// a non-durable stream still knows how much input it has consumed (its
+// export coordinate for migration). Callers hold e.mu.
 func (m *Manager) appendWALLocked(e *entry, pts []float64) {
-	if m.store == nil || len(pts) == 0 {
+	if len(pts) == 0 {
 		return
 	}
 	pos := e.walPos
 	e.walPos += len(pts)
 	e.sinceSnap += len(pts)
-	if e.degraded.Load() || e.log == nil {
+	if m.store == nil || e.degraded.Load() || e.log == nil {
 		return
 	}
 	if err := e.log.Append(pos, pts); err != nil {
@@ -434,7 +533,7 @@ func (m *Manager) SnapshotStream(id string) error {
 	if m.store == nil {
 		return errors.New("manager: no data directory configured")
 	}
-	e, _, err := m.get(id, false)
+	e, _, err := m.get(id, false, Overrides{})
 	if err != nil {
 		return err
 	}
@@ -521,8 +620,13 @@ func (m *Manager) ReplayStream(id string, fn func(hop int, ev stream.Event) erro
 		}
 	}
 	if rec.Snapshot != nil {
-		_, _, det, err := unwrapSnapshot(rec.Snapshot)
+		meta, det, err := unwrapSnapshot(rec.Snapshot)
 		if err == nil {
+			// Replay under the stream's pinned settings, not the current
+			// template — exactly what startup recovery would use.
+			if !meta.overrides.IsZero() {
+				meta.overrides.applyEffective(&cfg)
+			}
 			d, err = stream.Restore(cfg, det)
 		}
 		if err != nil {

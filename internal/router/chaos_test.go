@@ -1,0 +1,223 @@
+package router
+
+import (
+	"fmt"
+	"strings"
+	"syscall"
+	"testing"
+
+	"egi/internal/manager"
+	"egi/internal/vfs"
+)
+
+// findStreamOn returns an id whose rendezvous owner between the two
+// members is the wanted one, so the tests control migration direction.
+func findStreamOn(t *testing.T, r *Router, want string) string {
+	t.Helper()
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("sensor-%d", i)
+		if r.shardOf(id) == want {
+			return id
+		}
+	}
+	t.Fatalf("no id places on %q", want)
+	return ""
+}
+
+// TestMigrationTargetDiskFaultKeepsSource: a dead target disk fails the
+// migration BEFORE its commit point — the stream stays whole on the
+// source, still serving, with no acknowledged point lost and no residue
+// on the target; once the disk heals, the retried drain moves it, and
+// the delivered events across fault + retry are bit-identical to a
+// never-migrated stream.
+func TestMigrationTargetDiskFaultKeepsSource(t *testing.T) {
+	clk := &fakeClock{}
+	srcFS, dstFS := vfs.NewInject(nil), vfs.NewInject(nil)
+	c := newCluster(t, t.TempDir(), []string{"m0", "m1"}, clk,
+		map[string]vfs.FS{"m0": srcFS, "m1": dstFS}, false)
+	sub, cancel := c.r.Subscribe("", 256)
+	defer cancel()
+	got := collectEvents(sub)
+
+	ref, err := manager.New(manager.Config{
+		Stream: testStreamConfig(), DataDir: t.TempDir(), SnapshotEvery: 200, Now: clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSub, refCancel := ref.Subscribe("", 256)
+	defer refCancel()
+	want := collectEvents(refSub)
+
+	id := findStreamOn(t, c.r, "m0")
+	full := sineSeries(2000, 40, 31, 500, 1200)
+	pushAll(t, c.r, id, full[:600], 100)
+	pushAll(t, ref, id, full[:600], 100)
+
+	// Kill the target disk; the drain must fail without moving the stream.
+	dstFS.FailNext(syscall.ENOSPC)
+	err = c.r.Drain("m0")
+	if err == nil || !strings.Contains(err.Error(), "importing") {
+		t.Fatalf("drain onto a dead disk: err = %v, want import failure", err)
+	}
+	if mt := c.r.Metrics(); mt.MigrationFailures != 1 || mt.Migrations != 0 {
+		t.Fatalf("failures=%d migrations=%d after target fault, want 1/0", mt.MigrationFailures, mt.Migrations)
+	}
+	st, err := c.r.StreamStats(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shard != "m0" || st.Points != 600 || st.Degraded {
+		t.Fatalf("after target fault: shard=%q points=%d degraded=%v, want m0/600/false", st.Shard, st.Points, st.Degraded)
+	}
+	if ids := c.mgr("m1").StreamIDs(); len(ids) != 0 {
+		t.Fatalf("target holds residue %v after failed import", ids)
+	}
+
+	// The source keeps serving while the target is down.
+	pushAll(t, c.r, id, full[600:1000], 100)
+	pushAll(t, ref, id, full[600:1000], 100)
+
+	// Heal and retry: the stream moves, nothing lost.
+	dstFS.Heal()
+	if err := c.r.Drain("m0"); err != nil {
+		t.Fatalf("drain after heal: %v", err)
+	}
+	st, err = c.r.StreamStats(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shard != "m1" || st.Points != 1000 {
+		t.Fatalf("after healed drain: shard=%q points=%d, want m1/1000", st.Shard, st.Points)
+	}
+	pushAll(t, c.r, id, full[1000:], 100)
+	pushAll(t, ref, id, full[1000:], 100)
+
+	c.close()
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, w := anomaliesOf(got.wait(t), id), anomaliesOf(want.wait(t), id)
+	if !eventsEqual(g, w) {
+		t.Fatalf("events across fault+retry: got %d, want %d", len(g), len(w))
+	}
+	if len(w) == 0 {
+		t.Fatal("fixture produced no events; the comparison is vacuous")
+	}
+}
+
+// TestMigrationDegradedSourceMoves: a stream running degraded (its
+// source disk failed mid-ingest) migrates from its in-memory state, and
+// the import's checkpoint on the healthy target heals it — migration is
+// a repair path, and no acknowledged point is lost on the way.
+func TestMigrationDegradedSourceMoves(t *testing.T) {
+	clk := &fakeClock{}
+	srcFS := vfs.NewInject(nil)
+	c := newCluster(t, t.TempDir(), []string{"m0", "m1"}, clk,
+		map[string]vfs.FS{"m0": srcFS, "m1": vfs.NewInject(nil)}, false)
+	sub, cancel := c.r.Subscribe("", 256)
+	defer cancel()
+	got := collectEvents(sub)
+
+	ref, err := manager.New(manager.Config{
+		Stream: testStreamConfig(), DataDir: t.TempDir(), SnapshotEvery: 200, Now: clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSub, refCancel := ref.Subscribe("", 256)
+	defer refCancel()
+	want := collectEvents(refSub)
+
+	id := findStreamOn(t, c.r, "m0")
+	full := sineSeries(2000, 40, 57, 500, 1200)
+	pushAll(t, c.r, id, full[:500], 100)
+	pushAll(t, ref, id, full[:500], 100)
+
+	// Degrade the source: pushes keep succeeding on memory alone.
+	srcFS.FailNext(syscall.ENOSPC)
+	pushAll(t, c.r, id, full[500:700], 100)
+	pushAll(t, ref, id, full[500:700], 100)
+	st, err := c.r.StreamStats(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Degraded {
+		t.Fatal("source stream not degraded after disk fault")
+	}
+	// The disk recovers but the backoff has not elapsed (the clock never
+	// advances) — the stream stays degraded on the source.
+	srcFS.Heal()
+	if st, _ := c.r.StreamStats(id); !st.Degraded {
+		t.Fatal("stream healed without the backoff elapsing")
+	}
+
+	if err := c.r.Drain("m0"); err != nil {
+		t.Fatalf("draining the degraded source: %v", err)
+	}
+	st, err = c.r.StreamStats(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shard != "m1" || st.Points != 700 {
+		t.Fatalf("after drain: shard=%q points=%d, want m1/700", st.Shard, st.Points)
+	}
+	if st.Degraded {
+		t.Fatal("stream still degraded after migrating to a healthy disk")
+	}
+	if s := c.r.Stats(); s.Degraded != 0 {
+		t.Fatalf("Stats().Degraded = %d after migration healed the stream", s.Degraded)
+	}
+	if mt := c.r.Metrics(); mt.Migrations != 1 || mt.MigrationFailures != 0 {
+		t.Fatalf("migrations=%d failures=%d, want 1/0", mt.Migrations, mt.MigrationFailures)
+	}
+
+	pushAll(t, c.r, id, full[700:], 100)
+	pushAll(t, ref, id, full[700:], 100)
+	c.close()
+	if err := ref.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, w := anomaliesOf(got.wait(t), id), anomaliesOf(want.wait(t), id)
+	if !eventsEqual(g, w) {
+		t.Fatalf("events across degrade+migrate: got %d, want %d", len(g), len(w))
+	}
+	if len(w) == 0 {
+		t.Fatal("fixture produced no events; the comparison is vacuous")
+	}
+}
+
+// TestMigrationSourceReadFaultFallsBackToMemory: when the source disk
+// cannot be read at export time, the migration exports the live
+// in-memory state instead and still completes — a read fault degrades
+// nothing and loses nothing.
+func TestMigrationSourceReadFaultFallsBackToMemory(t *testing.T) {
+	clk := &fakeClock{}
+	srcFS := vfs.NewInject(nil)
+	c := newCluster(t, t.TempDir(), []string{"m0", "m1"}, clk,
+		map[string]vfs.FS{"m0": srcFS, "m1": vfs.NewInject(nil)}, false)
+	defer c.close()
+
+	id := findStreamOn(t, c.r, "m0")
+	pushAll(t, c.r, id, sineSeries(600, 40, 3, 300), 100)
+
+	// Only reads fail: the snapshot+tail on disk is unreadable, but the
+	// write path (and the source release's Remove) still works.
+	srcFS.SetKinds(vfs.OpRead)
+	srcFS.FailNext(syscall.EIO)
+	if err := c.r.Drain("m0"); err != nil {
+		t.Fatalf("drain with unreadable source: %v", err)
+	}
+	st, err := c.r.StreamStats(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shard != "m1" || st.Points != 600 {
+		t.Fatalf("after drain: shard=%q points=%d, want m1/600", st.Shard, st.Points)
+	}
+	if mt := c.r.Metrics(); mt.Migrations != 1 || mt.MigrationFailures != 0 {
+		t.Fatalf("migrations=%d failures=%d, want 1/0", mt.Migrations, mt.MigrationFailures)
+	}
+	srcFS.Heal()
+	pushAll(t, c.r, id, sineSeries(100, 40, 4), 100)
+}

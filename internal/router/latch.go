@@ -1,0 +1,79 @@
+package router
+
+import "sync"
+
+// latch is a per-stream RWMutex with a reference count, living in the
+// latchSet only while someone holds or waits on it. Normal operations
+// read-lock it (they may proceed concurrently); a migration write-locks
+// it, which quiesces the stream: every push and query for that id blocks
+// on the latch until the move commits and owner resolution — performed
+// inside the latch — then lands them on the new home.
+type latch struct {
+	sync.RWMutex
+	refs int
+}
+
+// latchShardCount keeps unrelated streams' latch lookups from contending
+// on one map mutex.
+const latchShardCount = 64
+
+type latchShard struct {
+	mu sync.Mutex
+	m  map[string]*latch
+}
+
+// latchSet is a sharded, refcounted registry of per-stream latches.
+// Streams with no in-flight operation cost nothing.
+type latchSet struct {
+	shards [latchShardCount]latchShard
+}
+
+func newLatchSet() *latchSet {
+	s := &latchSet{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]*latch)
+	}
+	return s
+}
+
+// fnv32a is 32-bit FNV-1a for latch shard selection.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (s *latchSet) shardFor(id string) *latchShard {
+	return &s.shards[fnv32a(id)%latchShardCount]
+}
+
+// acquire returns the latch for id, creating it on first use and
+// incrementing its refcount. The caller locks it (read or write) and
+// must pair the acquire with release.
+func (s *latchSet) acquire(id string) *latch {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	l := sh.m[id]
+	if l == nil {
+		l = &latch{}
+		sh.m[id] = l
+	}
+	l.refs++
+	sh.mu.Unlock()
+	return l
+}
+
+// release drops one reference to id's latch, removing it from the
+// registry when no one holds or waits on it anymore.
+func (s *latchSet) release(id string, l *latch) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	l.refs--
+	if l.refs == 0 {
+		delete(sh.m, id)
+	}
+	sh.mu.Unlock()
+}

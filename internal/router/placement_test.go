@@ -1,0 +1,105 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+// owner returns the rendezvous winner for id among names (highest
+// hrwWeight, ties to the lower index) — the pure placement function the
+// Router applies through ownerIndexLocked.
+func owner(names []string, id string) int {
+	best, bestW := -1, uint64(0)
+	for i, n := range names {
+		w := hrwWeight(n, id)
+		if best == -1 || w > bestW {
+			best, bestW = i, w
+		}
+	}
+	return best
+}
+
+func shardNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("shard-%03d", i)
+	}
+	return names
+}
+
+// TestRendezvousUniformity: 10k stream ids over 8 members must land
+// within ±25% of the perfectly uniform share per member — the placement
+// is hash-balanced, with no member starved or doubled up.
+func TestRendezvousUniformity(t *testing.T) {
+	const nIDs, nMembers = 10000, 8
+	names := shardNames(nMembers)
+	counts := make([]int, nMembers)
+	for i := 0; i < nIDs; i++ {
+		counts[owner(names, fmt.Sprintf("stream-%05d", i))]++
+	}
+	mean := float64(nIDs) / nMembers
+	lo, hi := int(mean*0.75), int(mean*1.25)
+	for i, c := range counts {
+		if c < lo || c > hi {
+			t.Errorf("member %s holds %d of %d ids, outside [%d, %d] (counts %v)",
+				names[i], c, nIDs, lo, hi, counts)
+		}
+	}
+}
+
+// TestResizeRemapBound: growing 4 members to 5 must remap at most
+// 1/5 + ε of 10k ids — the rendezvous minimal-disruption property that
+// makes Resize cheap — and every id that does move lands on the new
+// member (an id never shuffles between surviving members).
+func TestResizeRemapBound(t *testing.T) {
+	const nIDs = 10000
+	before := shardNames(4)
+	after := shardNames(5)
+	moved := 0
+	for i := 0; i < nIDs; i++ {
+		id := fmt.Sprintf("stream-%05d", i)
+		was, is := owner(before, id), owner(after, id)
+		if was == is {
+			continue
+		}
+		moved++
+		if is != 4 {
+			t.Fatalf("id %q moved from member %d to surviving member %d; only moves to the new member are allowed", id, was, is)
+		}
+	}
+	limit := int(float64(nIDs) * (1.0/5 + 0.05))
+	if moved > limit {
+		t.Fatalf("grow 4→5 remapped %d of %d ids, want <= %d (1/5 + ε)", moved, nIDs, limit)
+	}
+	if moved == 0 {
+		t.Fatal("grow 4→5 remapped nothing; the new member is unreachable")
+	}
+}
+
+// TestShrinkRemapOnlyEvictedMember: shrinking 5 members to 4 moves
+// exactly the ids the removed member held; every other placement is
+// untouched.
+func TestShrinkRemapOnlyEvictedMember(t *testing.T) {
+	const nIDs = 10000
+	before := shardNames(5)
+	after := shardNames(4)
+	for i := 0; i < nIDs; i++ {
+		id := fmt.Sprintf("stream-%05d", i)
+		was, is := owner(before, id), owner(after, id)
+		if was != 4 && was != is {
+			t.Fatalf("id %q moved from surviving member %d to %d on shrink", id, was, is)
+		}
+	}
+}
+
+// TestOwnerDeterministic: placement depends only on the set of member
+// names — recomputing it is stable, so independent routers agree.
+func TestOwnerDeterministic(t *testing.T) {
+	names := shardNames(6)
+	for i := 0; i < 1000; i++ {
+		id := fmt.Sprintf("s-%d", i)
+		if a, b := owner(names, id), owner(names, id); a != b {
+			t.Fatalf("owner(%q) unstable: %d then %d", id, a, b)
+		}
+	}
+}

@@ -175,6 +175,13 @@ type Config struct {
 	rebuildEachRun bool
 }
 
+// Normalized returns the configuration with defaults filled in and the
+// streaming knobs validated — the exact settings a detector built from c
+// would run with. Serving layers use it to compare two configurations
+// for effective equality (for example, a per-stream override request
+// against the settings an existing stream already runs with).
+func (c Config) Normalized() (Config, error) { return c.normalized() }
+
 // normalized fills in defaults and validates the streaming knobs; the
 // ensemble knobs are validated by the engine at construction.
 func (c Config) normalized() (Config, error) {

@@ -5,7 +5,9 @@ import (
 	"sync"
 	"time"
 
+	"egi/internal/host"
 	"egi/internal/manager"
+	"egi/internal/router"
 	"egi/internal/stream"
 )
 
@@ -73,6 +75,10 @@ var (
 	// preserved for inspection — so one poisoned stream never takes down
 	// the process. CloseStream deletes it; a restart retries recovery.
 	ErrStreamQuarantined = manager.ErrStreamQuarantined
+	// ErrStreamConfig rejects OpenWith on a stream that already exists
+	// with different effective settings. The existing stream is left
+	// untouched; close it first if the new settings are intended.
+	ErrStreamConfig = manager.ErrStreamConfig
 )
 
 // ErrManagerCallback is returned by NewManager when the stream template
@@ -144,11 +150,14 @@ type StreamStats struct {
 	// Fault is the failure text behind Degraded or Quarantined; empty on
 	// a healthy stream.
 	Fault string
+	// Shard names the serving shard hosting the stream on a sharded
+	// manager (NewShardedManager); empty on a single-shard Manager.
+	Shard string
 }
 
 // ManagerStats is a point-in-time snapshot of a whole Manager.
 type ManagerStats struct {
-	// Streams holds one snapshot per live stream, in unspecified order.
+	// Streams holds one snapshot per live stream, sorted by id.
 	Streams []StreamStats
 	// TotalBytes is the rolled-up MemoryFootprint across live streams.
 	TotalBytes int64
@@ -193,7 +202,12 @@ type ManagerStats struct {
 //
 // All methods are safe for concurrent use.
 type Manager struct {
-	m *manager.Manager
+	h host.StreamHost
+	// r and b are set only on a sharded manager (NewShardedManager): the
+	// routing tier behind h, and the shared event broker the Manager owns
+	// and closes after the shards.
+	r *router.Router
+	b *manager.Broker
 }
 
 // NewManager creates a stream manager. The stream template is validated
@@ -216,34 +230,68 @@ func NewManager(opts ManagerOptions) (*Manager, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Manager{m: m}, nil
+	return &Manager{h: m}, nil
+}
+
+// StreamOverrides pins per-stream detector settings at create time,
+// overriding the manager's stream template for that one stream. Zero
+// fields inherit the template; set fields must be valid on their own
+// terms (the same validation as StreamOptions). The pinned effective
+// settings travel with the stream — they survive hibernation, restarts,
+// and shard migration.
+type StreamOverrides struct {
+	// Window overrides the sliding window length (anomaly scale).
+	Window int
+	// BufLen overrides the ring buffer capacity.
+	BufLen int
+	// Hop overrides the points between detection runs.
+	Hop int
+	// Threshold overrides the fixed event threshold in (0, 1].
+	Threshold float64
+	// RebaseEvery overrides the grammar rebase schedule (K runs; 0
+	// inherits the template).
+	RebaseEvery int
+}
+
+// OpenWith is Open with per-stream setting overrides. Opening an
+// existing stream with the same effective settings is an idempotent
+// no-op; opening one whose settings differ fails with an error wrapping
+// ErrStreamConfig and leaves the stream untouched.
+func (m *Manager) OpenWith(id string, ov StreamOverrides) error {
+	return m.h.OpenStream(id, manager.Overrides{
+		Window:      ov.Window,
+		BufLen:      ov.BufLen,
+		Hop:         ov.Hop,
+		Threshold:   ov.Threshold,
+		RebaseEvery: ov.RebaseEvery,
+	})
 }
 
 // Open creates the stream if it does not exist yet, applying the
 // MaxStreams limit (evicting an idle stream if necessary). It is
 // idempotent: opening an existing stream is a no-op.
-func (m *Manager) Open(id string) error { return m.m.Open(id) }
+func (m *Manager) Open(id string) error { return m.h.Open(id) }
 
 // Push appends one point to the stream, creating it on first use.
-func (m *Manager) Push(id string, x float64) error { return m.m.Push(id, x) }
+func (m *Manager) Push(id string, x float64) error { return m.h.Push(id, x) }
 
 // PushBatch appends the points, in order, to the stream, creating it on
 // first use; no other producer's points interleave with the batch. Limit
 // errors (ErrTooManyStreams, ErrOverBudget) reject the batch outright;
 // detector errors (e.g. a non-finite point) reject the remainder, with
 // everything before the bad point accepted, like Streamer.PushBatch.
-func (m *Manager) PushBatch(id string, xs []float64) error { return m.m.PushBatch(id, xs) }
+func (m *Manager) PushBatch(id string, xs []float64) error { return m.h.PushBatch(id, xs) }
 
 // PushBatchN is PushBatch reporting how many points were accepted —
 // applied to the stream (and write-ahead logged when DataDir is set)
 // before any error — so a client can resend exactly the unapplied
 // remainder after a partial failure.
-func (m *Manager) PushBatchN(id string, xs []float64) (int, error) { return m.m.PushBatchN(id, xs) }
+func (m *Manager) PushBatchN(id string, xs []float64) (int, error) { return m.h.PushBatchN(id, xs) }
 
 // SnapshotStream forces a durability checkpoint of the stream right now,
 // superseding its write-ahead log tail. It requires DataDir to be set and
 // the stream to be live.
-func (m *Manager) SnapshotStream(id string) error { return m.m.SnapshotStream(id) }
+func (m *Manager) SnapshotStream(id string) error { return m.h.SnapshotStream(id) }
 
 // ReplayStream re-derives a stream's recent events from its persisted
 // state: the last checkpoint is restored into a detached detector, the
@@ -254,7 +302,7 @@ func (m *Manager) SnapshotStream(id string) error { return m.m.SnapshotStream(id
 // The live stream is not disturbed. Returns the number of tail points
 // replayed; fn returning an error aborts the replay. Requires DataDir.
 func (m *Manager) ReplayStream(id string, fn func(hop int, a Anomaly) error) (int, error) {
-	return m.m.ReplayStream(id, func(hop int, ev stream.Event) error {
+	return m.h.ReplayStream(id, func(hop int, ev stream.Event) error {
 		return fn(hop, Anomaly{Pos: ev.Pos, Length: ev.Length, Density: ev.Density})
 	})
 }
@@ -273,7 +321,7 @@ func (m *Manager) Subscribe(id string, buf int) (<-chan StreamEvent, func()) {
 	if buf <= 0 {
 		buf = DefaultEventBuffer
 	}
-	in, cancelIn := m.m.Subscribe(id, buf)
+	in, cancelIn := m.h.Subscribe(id, buf)
 	// The converter stage adds no meaningful capacity: the documented
 	// buffer lives in the broker subscription.
 	out := make(chan StreamEvent)
@@ -316,7 +364,7 @@ func (m *Manager) Subscribe(id string, buf int) (<-chan StreamEvent, func()) {
 // retained horizon — the multi-stream analogue of Streamer.Anomalies. The
 // stream must exist.
 func (m *Manager) Anomalies(id string) ([]Anomaly, error) {
-	evs, err := m.m.Anomalies(id)
+	evs, err := m.h.Anomalies(id)
 	if err != nil {
 		return nil, err
 	}
@@ -330,7 +378,7 @@ func (m *Manager) Anomalies(id string) ([]Anomaly, error) {
 // CloseStream flushes the stream (delivering its final events to
 // subscribers), releases its memory, and returns its final stats.
 func (m *Manager) CloseStream(id string) (StreamStats, error) {
-	st, err := m.m.CloseStream(id)
+	st, err := m.h.CloseStream(id)
 	if err != nil {
 		return StreamStats{}, err
 	}
@@ -343,7 +391,7 @@ func (m *Manager) CloseStream(id string) (StreamStats, error) {
 // timer so idle streams are reclaimed even when no limit forces the
 // issue.
 func (m *Manager) EvictIdle() []StreamStats {
-	evicted := m.m.EvictIdle()
+	evicted := m.h.EvictIdle()
 	out := make([]StreamStats, len(evicted))
 	for i, st := range evicted {
 		out[i] = fromStats(st)
@@ -353,7 +401,7 @@ func (m *Manager) EvictIdle() []StreamStats {
 
 // StreamStats returns one live stream's snapshot.
 func (m *Manager) StreamStats(id string) (StreamStats, error) {
-	st, err := m.m.StreamStats(id)
+	st, err := m.h.StreamStats(id)
 	if err != nil {
 		return StreamStats{}, err
 	}
@@ -363,7 +411,7 @@ func (m *Manager) StreamStats(id string) (StreamStats, error) {
 // Stats returns a snapshot of every live stream plus the rolled-up
 // accounting.
 func (m *Manager) Stats() ManagerStats {
-	st := m.m.Stats()
+	st := m.h.Stats()
 	out := ManagerStats{
 		Streams:     make([]StreamStats, len(st.Streams)),
 		TotalBytes:  st.TotalBytes,
@@ -379,16 +427,24 @@ func (m *Manager) Stats() ManagerStats {
 
 // MemoryFootprint is the rolled-up retained-memory accounting across live
 // streams, in bytes; the quantity MaxBytes bounds.
-func (m *Manager) MemoryFootprint() int64 { return m.m.TotalBytes() }
+func (m *Manager) MemoryFootprint() int64 { return m.h.TotalBytes() }
 
 // Len returns the number of live streams.
-func (m *Manager) Len() int { return m.m.Len() }
+func (m *Manager) Len() int { return m.h.Len() }
 
 // Close shuts the manager down: every stream is flushed (delivering its
 // final events), all stream memory is released, and every subscriber
 // channel is closed. Close is idempotent; later operations return
 // ErrManagerClosed.
-func (m *Manager) Close() error { return m.m.Close() }
+func (m *Manager) Close() error {
+	err := m.h.Close()
+	if m.b != nil {
+		// The shared broker is closed after every shard is down, so final
+		// events reach subscribers first.
+		m.b.Close()
+	}
+	return err
+}
 
 func fromStats(st manager.StreamStats) StreamStats {
 	return StreamStats{
@@ -401,6 +457,7 @@ func fromStats(st manager.StreamStats) StreamStats {
 		Degraded:    st.Degraded,
 		Quarantined: st.Quarantined,
 		Fault:       st.Fault,
+		Shard:       st.Shard,
 	}
 }
 
@@ -420,7 +477,7 @@ type RecoveryFailure struct {
 // quarantined: operations on it return ErrStreamQuarantined, its on-disk
 // state is preserved for inspection, and CloseStream deletes it.
 func (m *Manager) RecoveryFailures() []RecoveryFailure {
-	fs := m.m.RecoveryFailures()
+	fs := m.h.RecoveryFailures()
 	out := make([]RecoveryFailure, len(fs))
 	for i, f := range fs {
 		out[i] = RecoveryFailure{Stream: f.Stream, Err: f.Err}

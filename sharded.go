@@ -1,0 +1,159 @@
+package egi
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"egi/internal/manager"
+	"egi/internal/router"
+)
+
+// ErrNotSharded rejects shard-administration calls (Resize, Drain,
+// RouterStats) on a Manager built with NewManager rather than
+// NewShardedManager.
+var ErrNotSharded = errors.New("egi: manager is not sharded")
+
+// shardName names the i-th in-process shard; also its DataDir
+// subdirectory, so names must stay stable across restarts.
+func shardName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// NewShardedManager is NewManager scaled out: it runs shards in-process
+// manager shards behind a rendezvous-hashing router, each shard holding
+// a deterministic subset of the streams (its own DataDir subdirectory
+// when opts.DataDir is set, its own locks and limits — MaxStreams and
+// MaxBytes apply PER SHARD). The result serves the exact same Manager
+// API; streams land on shards by id hash, Resize and Drain move them
+// between shards live, and StreamStats/Stats name each stream's shard.
+// With shards == 1 it is identical to NewManager.
+func NewShardedManager(shards int, opts ManagerOptions) (*Manager, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("egi: shards must be >= 1, got %d", shards)
+	}
+	if shards == 1 {
+		return NewManager(opts)
+	}
+	if opts.Stream.OnAnomaly != nil {
+		return nil, ErrManagerCallback
+	}
+	b := manager.NewBroker()
+	mk := func(i int) (router.Member, error) {
+		cfg := manager.Config{
+			Stream:        opts.Stream.config(),
+			MaxStreams:    opts.MaxStreams,
+			MaxBytes:      opts.MaxBytes,
+			IdleAfter:     opts.IdleAfter,
+			SnapshotEvery: opts.SnapshotEvery,
+			Fsync:         opts.Fsync,
+			Events:        b,
+		}
+		if opts.DataDir != "" {
+			cfg.DataDir = filepath.Join(opts.DataDir, shardName(i))
+		}
+		m, err := manager.New(cfg)
+		if err != nil {
+			return router.Member{}, err
+		}
+		return router.Member{Name: shardName(i), Host: m}, nil
+	}
+	members := make([]router.Member, 0, shards)
+	for i := 0; i < shards; i++ {
+		m, err := mk(i)
+		if err != nil {
+			for _, prev := range members {
+				_ = prev.Host.Close()
+			}
+			b.Close()
+			return nil, fmt.Errorf("egi: creating shard %d: %w", i, err)
+		}
+		members = append(members, m)
+	}
+	r, err := router.New(router.Config{Members: members, Grow: mk})
+	if err != nil {
+		for _, m := range members {
+			_ = m.Host.Close()
+		}
+		b.Close()
+		return nil, err
+	}
+	return &Manager{h: r, r: r, b: b}, nil
+}
+
+// Resize grows or shrinks a sharded manager to n shards, live: streams
+// whose placement changed (~1/M per shard added or removed) are
+// quiesced one at a time, their snapshot + WAL tail shipped to the new
+// shard, and resumed there; all other streams keep serving untouched.
+// Fails with ErrNotSharded on a single-shard Manager.
+func (m *Manager) Resize(n int) error {
+	if m.r == nil {
+		return ErrNotSharded
+	}
+	return m.r.Resize(n)
+}
+
+// Drain migrates every stream off the named shard onto the remaining
+// shards, live, leaving the shard empty but still part of the set (a
+// shrinking Resize removes it). Fails with ErrNotSharded on a
+// single-shard Manager.
+func (m *Manager) Drain(shard string) error {
+	if m.r == nil {
+		return ErrNotSharded
+	}
+	return m.r.Drain(shard)
+}
+
+// ShardStats is one shard's slice of RouterStats.
+type ShardStats struct {
+	// Name is the shard name (also the stream placement label).
+	Name string
+	// Draining reports the shard is being emptied.
+	Draining bool
+	// Streams is the shard's live stream count.
+	Streams int
+	// MemoryBytes is the shard's rolled-up memory footprint.
+	MemoryBytes int64
+}
+
+// RouterStats is a point-in-time snapshot of a sharded manager's
+// placement and migration counters.
+type RouterStats struct {
+	// Version is the placement-table generation; it bumps on every
+	// Resize or Drain.
+	Version uint64
+	// Shards lists per-shard placement state.
+	Shards []ShardStats
+	// Pinned is the number of streams placed by pin (not yet migrated to
+	// their rendezvous owner) rather than by hash.
+	Pinned int
+	// Lookups counts routing resolutions since start.
+	Lookups int64
+	// Migrations counts committed stream moves since start.
+	Migrations int64
+	// MigrationBytes sums the state bytes of committed moves.
+	MigrationBytes int64
+	// MigrationFailures counts moves that failed before commit (the
+	// stream stayed on its source shard).
+	MigrationFailures int64
+}
+
+// RouterStats snapshots the routing tier of a sharded manager. Fails
+// with ErrNotSharded on a single-shard Manager.
+func (m *Manager) RouterStats() (RouterStats, error) {
+	if m.r == nil {
+		return RouterStats{}, ErrNotSharded
+	}
+	mt := m.r.Metrics()
+	out := RouterStats{
+		Version:           mt.Version,
+		Shards:            make([]ShardStats, len(mt.Members)),
+		Pinned:            mt.Pinned,
+		Lookups:           mt.Lookups,
+		Migrations:        mt.Migrations,
+		MigrationBytes:    mt.MigrationBytes,
+		MigrationFailures: mt.MigrationFailures,
+	}
+	for i, mm := range mt.Members {
+		out.Shards[i] = ShardStats{Name: mm.Name, Draining: mm.Draining, Streams: mm.Streams, MemoryBytes: mm.Bytes}
+	}
+	return out, nil
+}

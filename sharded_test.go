@@ -1,0 +1,131 @@
+package egi_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"egi"
+)
+
+// TestShardedManagerPublicAPI: the sharded constructor serves the exact
+// Manager API — streams spread across shards, listings stay sorted, and
+// the admin surface (Resize, Drain, RouterStats) works end to end.
+func TestShardedManagerPublicAPI(t *testing.T) {
+	opts := egi.StreamOptions{Window: 50, BufLen: 400, EnsembleSize: 8, Seed: 21}
+	m, err := egi.NewShardedManager(3, egi.ManagerOptions{Stream: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	series := synthetic(600, 50, 0, 77)
+	// Ingest in reverse id order; the listing must come back sorted.
+	for i := 11; i >= 0; i-- {
+		if err := m.PushBatch(fmt.Sprintf("s%02d", i), series); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := m.Stats()
+	if len(st.Streams) != 12 {
+		t.Fatalf("%d streams, want 12", len(st.Streams))
+	}
+	shards := map[string]int{}
+	for i, s := range st.Streams {
+		if i > 0 && st.Streams[i-1].ID >= s.ID {
+			t.Fatalf("listing out of order: %q before %q", st.Streams[i-1].ID, s.ID)
+		}
+		if s.Shard == "" {
+			t.Fatalf("stream %q has no shard label", s.ID)
+		}
+		shards[s.Shard]++
+	}
+	if len(shards) < 2 {
+		t.Fatalf("all 12 streams on one shard: %v", shards)
+	}
+
+	rs, err := m.RouterStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Shards) != 3 {
+		t.Fatalf("%d shards, want 3", len(rs.Shards))
+	}
+	total := 0
+	for _, s := range rs.Shards {
+		total += s.Streams
+	}
+	if total != 12 {
+		t.Fatalf("shard stream counts sum to %d, want 12", total)
+	}
+
+	// Drain the busiest shard: everything must survive elsewhere.
+	busiest, most := "", -1
+	for name, n := range shards {
+		if n > most {
+			busiest, most = name, n
+		}
+	}
+	if err := m.Drain(busiest); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range m.Stats().Streams {
+		if s.Shard == busiest {
+			t.Fatalf("stream %q still on drained shard %q", s.ID, busiest)
+		}
+		if s.Points != 600 {
+			t.Fatalf("stream %q has %d points after drain, want 600", s.ID, s.Points)
+		}
+	}
+	rs, err = m.RouterStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Migrations < int64(most) || rs.MigrationFailures != 0 {
+		t.Fatalf("migrations=%d (want >= %d) failures=%d", rs.Migrations, most, rs.MigrationFailures)
+	}
+
+	// Shrink away the drained shard; serving continues on two.
+	if err := m.Resize(2); err != nil {
+		t.Fatal(err)
+	}
+	if rs, _ = m.RouterStats(); len(rs.Shards) != 2 {
+		t.Fatalf("%d shards after shrink, want 2", len(rs.Shards))
+	}
+	if err := m.PushBatch("s00", series); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedAdminNotSharded: the admin surface refuses plain managers
+// (and a 1-shard "sharded" manager, which collapses to one) with
+// ErrNotSharded rather than pretending a router exists.
+func TestShardedAdminNotSharded(t *testing.T) {
+	opts := egi.StreamOptions{Window: 50, BufLen: 400, EnsembleSize: 8, Seed: 21}
+	for name, mk := range map[string]func() (*egi.Manager, error){
+		"plain":   func() (*egi.Manager, error) { return egi.NewManager(egi.ManagerOptions{Stream: opts}) },
+		"1-shard": func() (*egi.Manager, error) { return egi.NewShardedManager(1, egi.ManagerOptions{Stream: opts}) },
+	} {
+		m, err := mk()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := m.Resize(2); !errors.Is(err, egi.ErrNotSharded) {
+			t.Fatalf("%s Resize: err = %v, want ErrNotSharded", name, err)
+		}
+		if err := m.Drain("shard-000"); !errors.Is(err, egi.ErrNotSharded) {
+			t.Fatalf("%s Drain: err = %v, want ErrNotSharded", name, err)
+		}
+		if _, err := m.RouterStats(); !errors.Is(err, egi.ErrNotSharded) {
+			t.Fatalf("%s RouterStats: err = %v, want ErrNotSharded", name, err)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Zero and negative shard counts are constructor errors.
+	if _, err := egi.NewShardedManager(0, egi.ManagerOptions{Stream: opts}); err == nil {
+		t.Fatal("NewShardedManager(0) succeeded")
+	}
+}
