@@ -1,0 +1,89 @@
+package router
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"egi/internal/manager"
+)
+
+func mkMember(t *testing.T, name string) Member {
+	t.Helper()
+	m, err := manager.New(manager.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Member{Name: name, Host: m}
+}
+
+// Drain two members, then resize down past both: the live-count check
+// should accept this (one live member remains) but may falsely reject.
+func TestReviewResizeAfterDrains(t *testing.T) {
+	r, err := New(Config{Members: []Member{mkMember(t, "a"), mkMember(t, "b"), mkMember(t, "c")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < 30; i++ {
+		if err := r.Push(fmt.Sprintf("s-%d", i), 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Drain("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Drain("c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Resize(1); err != nil {
+		t.Fatalf("Resize(1) after draining b and c should succeed (a stays live): %v", err)
+	}
+}
+
+// Concurrent CloseStream + routed pushes + Drain: lock-order inversion
+// (route holds r.mu while taking gate; CloseStream holds gate while
+// taking r.mu; quiesce's pending gate writer blocks new readers).
+func TestReviewCloseStreamDrainDeadlock(t *testing.T) {
+	r, err := New(Config{Members: []Member{mkMember(t, "a"), mkMember(t, "b")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ids := make([]string, 200)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("s-%d", i)
+		if err := r.Push(ids[i], 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // closer
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			r.CloseStream(ids[i])
+		}
+	}()
+	go func() { // pusher
+		defer wg.Done()
+		for i := 0; i < 5000; i++ {
+			r.Push(ids[100+i%100], float64(i))
+		}
+	}()
+	go func() { // admin
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			r.Drain("b")
+			r.Resize(2)
+		}
+	}()
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("deadlock: close/push/drain wedged")
+	}
+}
